@@ -1,0 +1,34 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark prints its result table live (bypassing capture) and
+persists it under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+the exact output.  The scale factor honours ``REPRO_SCALE`` (default
+64, i.e. N = 2^14; see repro.experiments.config).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(capsys, results_dir):
+    """Print a result table to the live terminal and save it to disk."""
+
+    def _report(name: str, text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text, end="")
+        (results_dir / f"{name}.txt").write_text(text)
+
+    return _report

@@ -1,0 +1,31 @@
+"""Ablation A3: counter width in the Metwally counting-filter baseline.
+
+§3.3: "each counter must have enough bits to avoid saturation, which
+will generate both false negatives and false positives."  Sweeps the
+counter width on a duplicate-heavy stream and reports saturation
+events plus error rates against exact jumping-window ground truth.
+"""
+
+from repro.experiments import run_cbf_width_ablation
+
+
+def test_cbf_counter_width(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_cbf_width_ablation(counter_widths=(2, 4, 8, 16), seed=42),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_cbf_width", result.render())
+    rows = {row.counter_bits: row for row in result.rows}
+    benchmark.extra_info["saturations"] = {
+        row.counter_bits: row.saturation_events for row in result.rows
+    }
+
+    # Memory cost grows linearly with width ...
+    assert rows[16].memory_bits == 8 * rows[2].memory_bits
+    # ... and buys freedom from saturation.
+    assert rows[2].saturation_events > 0
+    assert rows[16].saturation_events == 0
+    # Narrow counters are at least as error-prone as wide ones.
+    assert rows[2].false_negative_rate >= rows[16].false_negative_rate
+    assert rows[2].false_positive_rate >= rows[16].false_positive_rate * 0.9

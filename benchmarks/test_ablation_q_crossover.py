@@ -1,0 +1,39 @@
+"""Ablation A2: where TBF overtakes GBF as sub-windows multiply (§4).
+
+GBF's per-element cost grows with Q — more lane words per probe once
+Q + 1 exceeds the word size, and lane cleaning proportional to m*Q/N —
+while the TBF's cost is Q-independent.  The paper's guidance ("when Q
+is large ... TBF is a better choice") becomes a measurable crossover in
+word operations per element under a shared memory budget.
+"""
+
+from repro.experiments import run_q_crossover_ablation
+
+
+def test_gbf_tbf_q_crossover(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_q_crossover_ablation(
+            window_size=1 << 12,
+            total_memory_bits=1 << 19,
+            q_values=(4, 8, 16, 32, 64, 128, 256, 512),
+            num_hashes=6,
+            word_bits=32,
+            seed=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    crossover = result.crossover_q
+    text += f"\nmeasured crossover: TBF cheaper from Q = {crossover}\n"
+    report("ablation_q_crossover", text)
+    benchmark.extra_info["crossover_q"] = crossover
+
+    gbf_ops = [row.gbf_measured for row in result.rows]
+    tbf_ops = [row.tbf_measured for row in result.rows]
+    # GBF cost rises with Q; TBF stays flat (within 3x across the sweep).
+    assert gbf_ops[-1] > gbf_ops[0] * 2
+    assert max(tbf_ops) < min(tbf_ops) * 3
+    # The crossover exists: GBF wins somewhere, TBF wins at the top end.
+    assert tbf_ops[-1] < gbf_ops[-1]
+    assert crossover is not None

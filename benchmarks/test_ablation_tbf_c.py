@@ -1,0 +1,37 @@
+"""Ablation A1: the TBF cleanup-slack trade-off (§4.1).
+
+"A smaller C means less space requirement and larger operation time,
+and a larger C means larger space requirement and less operation time."
+Sweeps C and reports entry width, per-element sweep cost, memory, and
+the (C-independent) false-positive rate.
+"""
+
+from repro.experiments import run_tbf_slack_ablation
+
+
+def test_tbf_cleanup_slack_tradeoff(benchmark, report):
+    # Scale 512 here regardless of REPRO_SCALE: the smallest-C point
+    # costs ~N/C entry scans per element, which dominates the budget.
+    result = benchmark.pedantic(
+        lambda: run_tbf_slack_ablation(
+            scale=512, slack_fractions=(1 / 16, 1 / 4, 1.0, 4.0),
+            num_hashes=10, seed=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_tbf_c", result.render())
+    rows = result.rows
+    benchmark.extra_info["rows"] = [
+        (row.cleanup_slack, row.entry_bits, row.scan_per_element, row.measured_fp)
+        for row in rows
+    ]
+
+    # The §4.1 trade-off, monotone in C:
+    for earlier, later in zip(rows, rows[1:]):
+        assert earlier.entry_bits <= later.entry_bits          # space up
+        assert earlier.scan_per_element >= later.scan_per_element  # time down
+        assert earlier.memory_bits <= later.memory_bits
+    # Error rate is a pure function of (m, N, k): C must not affect it.
+    for row in rows:
+        assert abs(row.measured_fp - rows[0].measured_fp) < 0.005

@@ -1,0 +1,42 @@
+"""Reproduces Figure 1: previous algorithm (Metwally CBF) vs GBF FP rate
+as the window size N grows from 2^15 to 2^20 (Q = 31, filters of 2^20).
+
+Headline shape (§3.3): the previous algorithm's FP rate climbs steeply
+with N (its main filter carries the full window load) while GBF's grows
+slowly (each lane carries N/Q); at N = 2^20 the paper quotes 0.62 vs
+0.073.  Theory columns use the paper's exact constants; measured
+columns run the full protocol at REPRO_SCALE-reduced sizes.
+"""
+
+from repro.experiments import run_figure1
+from repro.experiments.figure1 import PAPER_LOG_N_VALUES
+
+
+def test_figure1_previous_vs_gbf(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_figure1(log_n_values=PAPER_LOG_N_VALUES, seed=42),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure1", result.render())
+    benchmark.extra_info["theory_previous"] = result.theory_previous
+    benchmark.extra_info["theory_gbf"] = result.theory_gbf
+    benchmark.extra_info["measured_previous"] = result.measured_previous
+    benchmark.extra_info["measured_gbf"] = result.measured_gbf
+
+    # Shape assertions, scale-independent:
+    # 1. the previous algorithm degrades faster with N,
+    deltas_previous = result.theory_previous[-1] - result.theory_previous[0]
+    deltas_gbf = result.theory_gbf[-1] - result.theory_gbf[0]
+    assert deltas_previous > deltas_gbf
+    # 2. at the largest N, GBF wins by a wide margin (paper: 0.62/0.073),
+    assert result.theory_previous[-1] > 4 * result.theory_gbf[-1]
+    assert result.measured_previous[-1] > 2 * result.measured_gbf[-1]
+    # 3. measured agrees with theory for both algorithms at the endpoint.
+    _assert_close(result.measured_previous[-1], result.theory_previous[-1])
+    _assert_close(result.measured_gbf[-1], result.theory_gbf[-1])
+
+
+def _assert_close(measured: float, theory: float) -> None:
+    """Within 50% relative or 0.02 absolute — FP measurements are noisy."""
+    assert abs(measured - theory) <= max(0.5 * theory, 0.02), (measured, theory)

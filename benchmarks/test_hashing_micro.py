@@ -1,0 +1,32 @@
+"""Micro-benchmarks of the hash families.
+
+Hashing dominates the per-element cost of every filter (k evaluations
+per click), so family choice matters; this bench compares scalar and
+batch paths across the implemented families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import make_family
+
+FAMILIES = ["splitmix", "carter-wegman", "tabulation", "double"]
+RANGE = 1 << 20
+NUM_HASHES = 10
+
+
+@pytest.mark.parametrize("kind", FAMILIES)
+def test_scalar_hashing(benchmark, kind):
+    family = make_family(NUM_HASHES, RANGE, seed=1, kind=kind)
+    identifier = 0x9E3779B97F4A7C15
+
+    benchmark(family.indices, identifier)
+
+
+@pytest.mark.parametrize("kind", FAMILIES)
+def test_batch_hashing(benchmark, kind):
+    family = make_family(NUM_HASHES, RANGE, seed=1, kind=kind)
+    identifiers = np.arange(1 << 14, dtype=np.uint64)
+
+    result = benchmark(family.indices_batch, identifiers)
+    assert result.shape == (1 << 14, NUM_HASHES)

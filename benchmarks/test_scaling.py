@@ -1,0 +1,26 @@
+"""Scale-invariance validation: the license for scaled measurements.
+
+Runs the Figure 2(b) protocol at four scales with identical (k, n/m)
+and checks the measured FP rate sits on the scale-free theory curve at
+every size.  This is the empirical justification for reporting
+REPRO_SCALE-reduced measurements against the paper's full-size claims.
+"""
+
+from repro.experiments import run_scaling_validation
+
+
+def test_fp_rate_is_scale_invariant(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_scaling_validation(scales=(512, 256, 128, 64), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    report("scaling", result.render())
+    benchmark.extra_info["rows"] = [
+        (row.scale, row.measured_fp, row.theory_fp) for row in result.rows
+    ]
+    for row in result.rows:
+        # Tens to hundreds of expected FPs per run: 40% relative slack.
+        assert 0.6 <= row.ratio <= 1.4, (row.scale, row.ratio)
+    # No monotone drift with size: smallest and largest agree closely.
+    assert abs(result.rows[0].ratio - result.rows[-1].ratio) < 0.4

@@ -1,0 +1,81 @@
+"""Throughput of every detector (Theorems 1.3 / 2.3, wall-clock view).
+
+pytest-benchmark times ``process`` over one full window of distinct
+traffic after a two-window warm-up.  Absolute numbers are
+interpreter-bound (the paper's testbed was native code); the relative
+ordering — GBF/TBF fast, naive and exact slower, Metwally slowest due
+to double counter updates — is the reproducible claim.
+"""
+
+import pytest
+
+from repro.baselines import (
+    ExactDetector,
+    LandmarkBloomDetector,
+    MetwallyCBFDetector,
+    NaiveSubwindowBloomDetector,
+    StableBloomDetector,
+)
+from repro.core import GBFDetector, TBFDetector, TBFJumpingDetector
+from repro.streams import distinct_stream
+
+WINDOW = 1 << 12
+SUBWINDOWS = 8
+MEMORY_BITS = 1 << 18
+NUM_HASHES = 6
+
+
+def _detector(name: str):
+    bits_per_filter = MEMORY_BITS // (SUBWINDOWS + 1)
+    if name == "gbf":
+        return GBFDetector(WINDOW, SUBWINDOWS, bits_per_filter, NUM_HASHES, seed=1)
+    if name == "tbf":
+        return TBFDetector(WINDOW, MEMORY_BITS // 14, NUM_HASHES, seed=1)
+    if name == "tbf-jumping":
+        return TBFJumpingDetector(WINDOW, SUBWINDOWS, MEMORY_BITS // 5, NUM_HASHES, seed=1)
+    if name == "naive-bloom":
+        return NaiveSubwindowBloomDetector(
+            WINDOW, SUBWINDOWS, bits_per_filter, NUM_HASHES, seed=1
+        )
+    if name == "metwally-cbf":
+        return MetwallyCBFDetector(
+            WINDOW, SUBWINDOWS, MEMORY_BITS // ((SUBWINDOWS + 1) * 8),
+            NUM_HASHES, counter_bits=8, seed=1,
+        )
+    if name == "landmark-bloom":
+        return LandmarkBloomDetector(WINDOW, MEMORY_BITS, NUM_HASHES, seed=1)
+    if name == "stable-bloom":
+        return StableBloomDetector.with_tuned_decay(
+            WINDOW, MEMORY_BITS // 3, NUM_HASHES, seed=1
+        )
+    return ExactDetector.sliding(WINDOW)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "gbf",
+        "tbf",
+        "tbf-jumping",
+        "naive-bloom",
+        "metwally-cbf",
+        "landmark-bloom",
+        "stable-bloom",
+        "exact",
+    ],
+)
+def test_process_throughput(benchmark, name):
+    detector = _detector(name)
+    warmup = [int(x) for x in distinct_stream(2 * WINDOW, seed=7)]
+    segment = [int(x) for x in distinct_stream(WINDOW, seed=8)]
+    for identifier in warmup:
+        detector.process(identifier)
+
+    position = 0
+
+    def run_one():
+        nonlocal position
+        detector.process(segment[position & (WINDOW - 1)])
+        position += 1
+
+    benchmark(run_one)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's motivating protocol: advertiser and publisher audit the
+same click stream independently and reconcile.
+
+"A possible solution is that both the online advertisers and publishers
+keep on auditing the click stream and reach an agreement on the
+determination of valid clicks." (§1.1)
+
+Both parties run their own one-pass sketch — the advertiser a GBF over
+a jumping window, the publisher a TBF over a sliding window — on
+identical input.  Because both algorithms are zero-false-negative,
+every disagreement is a false positive of one sketch, so the disputed
+amount shrinks as either party spends more memory.  The script sweeps
+the advertiser's memory budget to show exactly that.
+
+Run:  python examples/advertiser_audit.py
+"""
+
+from repro import WindowSpec, create_detector, demo_network, run_audit
+from repro.adnet import TrafficProfile
+from repro.metrics import render_table
+
+
+def main() -> None:
+    network = demo_network(seed=5)
+    clicks = network.run(
+        duration=2 * 3600.0,
+        profile=TrafficProfile(click_rate=1.5, num_visitors=250,
+                               revisit_probability=0.05),
+    )
+    # Attach real prices so the dispute is in dollars.
+    for click in clicks:
+        click.cost = network.ad_links[click.ad_id].cpc
+    print(f"Auditing {len(clicks)} clicks "
+          f"(~${sum(c.cost for c in clicks):.0f} of gross billable volume)\n")
+
+    window = 8192
+    rows = []
+    for advertiser_kib in (4, 16, 64, 256):
+        advertiser = create_detector(
+            "gbf",
+            WindowSpec("jumping", window, 8),
+            memory_bits=advertiser_kib * 8 * 1024,
+            seed=1,
+        )
+        publisher = create_detector(
+            "tbf", WindowSpec("sliding", window), memory_bits=256 * 8 * 1024, seed=2
+        )
+        report = run_audit(clicks, advertiser, publisher,
+                           price_of=lambda click: click.cost)
+        rows.append(
+            [
+                f"{advertiser_kib} KiB",
+                "256 KiB",
+                f"{100 * report.agreement_rate:.3f}%",
+                report.disputed,
+                f"${report.disputed_amount:.2f}",
+                f"${report.agreed_amount:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["advertiser memory", "publisher memory", "agreement",
+             "disputed clicks", "disputed $", "agreed valid $"],
+            rows,
+            title=(
+                "Advertiser (GBF, jumping window) vs publisher (TBF, sliding "
+                f"window), N = {window} clicks"
+            ),
+        )
+    )
+    print(
+        "Residual disputes at high memory stem from the two parties'\n"
+        "window semantics (jumping blocks vs exact sliding) - the paper's\n"
+        "point that both sides must also agree on the decaying-window model."
+    )
+
+
+if __name__ == "__main__":
+    main()

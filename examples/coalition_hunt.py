@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Hunting fraud that duplicate detection cannot see.
+
+Duplicate detection has a precise boundary (the paper's scope): it caps
+each *identity* at one billed click per window.  An attacker who
+rotates identities — a fresh (IP, cookie) per click — never repeats,
+so every click bills.  This example stages exactly that attack and
+shows the two complementary streaming detectors that catch it anyway:
+
+* **Space-Saving skew monitoring** — the hammered ad is a glaring
+  heavy hitter even though no identity repeats;
+* **MinHash coalition detection** — when the attacker reuses a finite
+  identity pool across several target ads, the pool members betray
+  themselves by clicking the *same* ad set.
+
+Run:  python examples/coalition_hunt.py
+"""
+
+from repro import WindowSpec, create_detector
+from repro.analysis import AttackCostModel, attacker_roi
+from repro.detection import CoalitionDetector, SkewMonitor
+from repro.metrics import render_table
+from repro.streams import (
+    DEFAULT_SCHEME,
+    RotatingIdentityCampaign,
+    TrafficClass,
+    interleave_batches,
+)
+from repro.adnet import AdNetwork, TrafficProfile
+
+
+def build_network(seed: int) -> AdNetwork:
+    """A clean network (no built-in attacks) with a handful of keywords."""
+    network = AdNetwork(seed=seed)
+    network.add_advertiser("BlueWidgets", budget=1e6,
+                           bids={"widgets": 1.20, "gadgets": 0.40, "deals": 0.2})
+    network.add_advertiser("GadgetKing", budget=1e6,
+                           bids={"gadgets": 0.90, "widgets": 0.75, "shoes": 0.3})
+    network.add_advertiser("CheapDeals", budget=1e6,
+                           bids={"deals": 0.30, "shoes": 0.25, "widgets": 0.2})
+    network.add_publisher("search-site", traffic_weight=2.0)
+    network.add_publisher("blog-network", traffic_weight=1.0)
+    network.run_auctions(["widgets", "gadgets", "deals", "shoes"])
+    return network
+
+
+def main() -> None:
+    network = build_network(seed=31)
+    duration = 7200.0
+    background = network.run(
+        duration=duration,
+        profile=TrafficProfile(click_rate=2.0, num_visitors=800,
+                               ad_popularity_exponent=0.6),
+    )
+    target_ads = sorted(network.ad_links)[:3]
+    # Pool sized to beat the dedup window: identity+ad pairs (1500 x 3)
+    # far outnumber the attack clicks a 4096-click window can hold, so
+    # no pair repeats in-window.
+    campaign = RotatingIdentityCampaign(
+        ad_ids=target_ads, publisher_id=0, advertiser_id=0,
+        pool_size=1500, rate=1.5, seed=32,
+    )
+    clicks = interleave_batches([background, campaign.generate(0.0, duration)])
+    attack_clicks = sum(1 for c in clicks if c.traffic_class is TrafficClass.BOTNET)
+    print(f"{len(clicks)} clicks; {attack_clicks} from a 1500-identity "
+          f"rotation attack on ads {target_ads}\n")
+
+    # 1. Duplicate detection: the attack sails through.
+    dedup = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    monitor = SkewMonitor(capacity=128)
+    coalition = CoalitionDetector(num_hashes=64, max_sources=512,
+                                  min_clicks=5, seed=33)
+    rejected_attack = rejected_total = 0
+    for click in clicks:
+        duplicate = dedup.process(DEFAULT_SCHEME.identify(click))
+        rejected_total += duplicate
+        if duplicate and click.traffic_class is TrafficClass.BOTNET:
+            rejected_attack += 1
+        monitor.observe(click)
+        coalition.observe_click(click)
+    print(f"duplicate detection rejected {rejected_attack}/{attack_clicks} "
+          f"attack clicks ({rejected_total} total) - rotation evades it, "
+          "as the adversarial analysis predicts.\n")
+
+    # 2. Skew monitoring: the hammered ads stand out.
+    rows = []
+    for hitter in monitor.by_ad.top(5):
+        rows.append([
+            hitter.element,
+            hitter.count,
+            hitter.guaranteed_count,
+            "TARGET" if hitter.element in target_ads else "",
+        ])
+    print(render_table(
+        ["ad", "clicks (est)", "clicks (guaranteed)", ""],
+        rows,
+        title="Space-Saving: top clicked ads",
+    ))
+
+    # 3. Coalition detection: the identity pool clusters.
+    groups = coalition.coalitions(threshold=0.85)
+    attack_ips = {c.source_ip for c in clicks
+                  if c.traffic_class is TrafficClass.BOTNET}
+    if groups:
+        largest = groups[0]
+        purity = len(largest & attack_ips) / len(largest)
+        print(f"\nMinHash coalitions at similarity >= 0.85: {len(groups)} group(s); "
+              f"largest has {len(largest)} members, {100 * purity:.0f}% of them "
+              "attack identities.")
+    else:
+        print("\nno coalitions found (unexpected)")
+
+    # 4. What the attack costs under dedup (the identifier treadmill).
+    model = AttackCostModel(cpc=1.0, identity_cost=0.05)
+    print(
+        "\nEconomics: with dedup enabled, leverage is capped at "
+        f"{attacker_roi(model, 50, detection_enabled=True):.0f}x per identity "
+        f"dollar (vs {attacker_roi(model, 50, detection_enabled=False):.0f}x "
+        "undetected) - rotation is the attacker's forced, costlier move,\n"
+        "and skew/coalition monitoring closes in on exactly that move."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: detect duplicate clicks in a stream with GBF and TBF.
+
+Builds the two detectors from the paper over a 10,000-click decaying
+window, feeds them a synthetic click stream containing a known fraction
+of duplicates, and compares their verdicts against exact ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExactDetector, GBFDetector, TBFDetector
+from repro.metrics import ConfusionMatrix, render_table
+from repro.streams import DuplicateSpec, duplicated_stream
+
+
+def main() -> None:
+    window_size = 10_000
+    num_subwindows = 8
+
+    # The paper's two algorithms.  Sizes follow the paper's recipe:
+    # pick m so the optimal k lands near 10 for the expected load.
+    gbf = GBFDetector(
+        window_size=window_size,
+        num_subwindows=num_subwindows,
+        bits_per_filter=18_000,   # each lane holds <= N/Q = 1250 clicks
+        num_hashes=10,
+        seed=7,
+    )
+    tbf = TBFDetector(
+        window_size=window_size,
+        num_entries=145_000,      # holds N = 10,000 active clicks
+        num_hashes=10,
+        seed=7,
+    )
+    # Ground-truth labelers over the same window models.
+    exact_jumping = ExactDetector.jumping(window_size, num_subwindows)
+    exact_sliding = ExactDetector.sliding(window_size)
+
+    # 120k clicks, 25% of which duplicate an identifier from the recent
+    # past (lags up to 1.5 windows: some in-window, some expired).
+    stream = duplicated_stream(
+        120_000, DuplicateSpec(rate=0.25, max_lag=15_000), seed=3
+    )
+
+    gbf_matrix = ConfusionMatrix()
+    tbf_matrix = ConfusionMatrix()
+    for identifier in map(int, stream):
+        gbf_matrix.update(gbf.process(identifier), exact_jumping.process(identifier))
+        tbf_matrix.update(tbf.process(identifier), exact_sliding.process(identifier))
+
+    rows = []
+    for name, matrix, window in (
+        ("GBF (jumping window)", gbf_matrix, f"{window_size} clicks / {num_subwindows} blocks"),
+        ("TBF (sliding window)", tbf_matrix, f"{window_size} clicks"),
+    ):
+        rows.append(
+            [
+                name,
+                window,
+                matrix.true_positives,
+                matrix.false_positives,
+                matrix.false_negatives,
+                f"{matrix.false_positive_rate:.5f}",
+            ]
+        )
+    print(
+        render_table(
+            ["detector", "window", "caught dups", "false pos", "false neg", "fp rate"],
+            rows,
+            title="Duplicate-click detection on 120,000 synthetic clicks",
+        )
+    )
+    print(
+        "Note: the rare 'false negatives' are cascades of false positives\n"
+        "(an FP suppresses an insertion), never missed duplicates of clicks\n"
+        "the detector itself accepted - the zero-FN guarantee of the paper.\n"
+    )
+    print(f"GBF memory: {gbf.memory_bits / 8 / 1024:.1f} KiB "
+          f"({gbf.logical_memory_bits} logical bits)")
+    print(f"TBF memory: {tbf.memory_bits / 8 / 1024:.1f} KiB "
+          f"({tbf.num_entries} entries x {tbf.entry_bits} bits)")
+    exact_cost = exact_sliding.memory_bits / 8 / 1024
+    print(f"Exact baseline working set: ~{exact_cost:.1f} KiB and growing with distinct clicks")
+
+
+if __name__ == "__main__":
+    main()

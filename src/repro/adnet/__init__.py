@@ -1,0 +1,44 @@
+"""Pay-per-click advertising-network substrate."""
+
+from .auction import AuctionResult, allocate_ad_links, keyword_prices, run_keyword_auction
+from .audit import AuditReport, run_audit
+from .billing import BillingEngine, BillingTotals
+from .dynamics import (
+    BidPolicy,
+    BudgetPacer,
+    DynamicAuctioneer,
+    PacingConfig,
+    RoundOutcome,
+    paced_charge,
+)
+from .entities import Advertiser, AdLink, Publisher, Registry, Visitor
+from .fraud import competitor_botnet, crawler_noise, dishonest_publisher
+from .network import AdNetwork, TrafficProfile, demo_network
+
+__all__ = [
+    "BudgetPacer",
+    "PacingConfig",
+    "BidPolicy",
+    "DynamicAuctioneer",
+    "RoundOutcome",
+    "paced_charge",
+    "Advertiser",
+    "Publisher",
+    "AdLink",
+    "Visitor",
+    "Registry",
+    "run_keyword_auction",
+    "allocate_ad_links",
+    "keyword_prices",
+    "AuctionResult",
+    "BillingEngine",
+    "BillingTotals",
+    "AdNetwork",
+    "TrafficProfile",
+    "demo_network",
+    "competitor_botnet",
+    "dishonest_publisher",
+    "crawler_noise",
+    "run_audit",
+    "AuditReport",
+]

@@ -1,0 +1,110 @@
+"""Keyword auctions: how CPC prices are set (§1.1).
+
+"Online advertisers bid on keywords of search engines or ad links of
+online publishers."  We implement the standard generalized second-price
+(GSP) auction per keyword: advertisers are ranked by bid; the winner of
+each slot pays the bid of the advertiser ranked immediately below (plus
+a minimum increment), never more than their own bid.  The auction's
+output is the set of :class:`~repro.adnet.entities.AdLink` objects the
+network serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from .entities import Advertiser, AdLink, Publisher
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Outcome of one keyword's auction: ranked (advertiser, price) pairs."""
+
+    keyword: str
+    ranked: List  # list of (advertiser_id, price) in slot order
+
+    @property
+    def winner(self):
+        return self.ranked[0] if self.ranked else None
+
+
+def run_keyword_auction(
+    keyword: str,
+    advertisers: Sequence[Advertiser],
+    num_slots: int = 1,
+    reserve_price: float = 0.01,
+    increment: float = 0.01,
+) -> AuctionResult:
+    """Generalized second-price auction for one keyword.
+
+    Advertisers without a bid on ``keyword`` (or bidding below the
+    reserve) do not participate.  Slot ``i``'s price is
+    ``min(own_bid, next_bid + increment)``, with the last participant
+    paying the reserve.
+    """
+    if num_slots < 1:
+        raise ConfigurationError(f"num_slots must be >= 1, got {num_slots}")
+    if reserve_price < 0:
+        raise ConfigurationError(f"reserve_price must be >= 0, got {reserve_price}")
+    participants = [
+        (advertiser.bids[keyword], advertiser.advertiser_id)
+        for advertiser in advertisers
+        if advertiser.bids.get(keyword, 0.0) >= reserve_price
+    ]
+    # Deterministic tie-break on advertiser id keeps auctions reproducible.
+    participants.sort(key=lambda pair: (-pair[0], pair[1]))
+    ranked = []
+    for slot in range(min(num_slots, len(participants))):
+        own_bid, advertiser_id = participants[slot]
+        if slot + 1 < len(participants):
+            price = min(own_bid, participants[slot + 1][0] + increment)
+        else:
+            price = min(own_bid, reserve_price)
+        ranked.append((advertiser_id, round(price, 4)))
+    return AuctionResult(keyword=keyword, ranked=ranked)
+
+
+def allocate_ad_links(
+    keywords: Sequence[str],
+    advertisers: Sequence[Advertiser],
+    publishers: Sequence[Publisher],
+    slots_per_publisher: int = 1,
+    reserve_price: float = 0.01,
+) -> List[AdLink]:
+    """Run every keyword's auction and place winners on every publisher.
+
+    Each publisher shows up to ``slots_per_publisher`` ads per keyword;
+    ad ids are allocated densely in placement order.
+    """
+    links: List[AdLink] = []
+    next_ad_id = 0
+    for keyword in keywords:
+        result = run_keyword_auction(
+            keyword, advertisers, num_slots=slots_per_publisher,
+            reserve_price=reserve_price,
+        )
+        for publisher in publishers:
+            for advertiser_id, price in result.ranked:
+                links.append(
+                    AdLink(
+                        ad_id=next_ad_id,
+                        advertiser_id=advertiser_id,
+                        publisher_id=publisher.publisher_id,
+                        keyword=keyword,
+                        cpc=price,
+                    )
+                )
+                next_ad_id += 1
+    return links
+
+
+def keyword_prices(links: Sequence[AdLink]) -> Dict[str, float]:
+    """Average CPC per keyword across placements (reporting helper)."""
+    totals: Dict[str, List[float]] = {}
+    for link in links:
+        totals.setdefault(link.keyword, []).append(link.cpc)
+    return {
+        keyword: sum(prices) / len(prices) for keyword, prices in totals.items()
+    }

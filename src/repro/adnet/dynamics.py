@@ -1,0 +1,165 @@
+"""Advertising-network dynamics: bids, budgets, and pacing over time.
+
+The paper's future work names "advertising network dynamics [and] new
+service models".  This module adds the time dimension to the static
+auction of :mod:`repro.adnet.auction`:
+
+* **Budget pacing** — spreading an advertiser's daily budget across the
+  day instead of exhausting it in the first traffic burst (which is
+  precisely what a morning botnet otherwise forces).
+* **Bid adjustment** — advertisers reacting to observed performance by
+  raising/lowering keyword bids between auction rounds.
+* **Auction rounds** — periodically re-running the keyword auctions so
+  prices track the moving bids, as real networks do.
+
+Together these let experiments ask economics questions: how fast does a
+budget-drain attack bite under pacing?  Does smart pricing (see
+:mod:`repro.detection.quality`) stabilize prices under fraud?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import BudgetError, ConfigurationError
+from .entities import Advertiser
+
+
+@dataclass(frozen=True)
+class PacingConfig:
+    """Budget-pacing policy.
+
+    ``horizon`` is the planning period (e.g. 86 400 s for daily
+    budgets); spending is throttled so that by elapsed fraction ``f``
+    of the horizon at most ``f * budget * (1 + tolerance)`` is spent.
+    """
+
+    horizon: float = 86_400.0
+    tolerance: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {self.horizon}")
+        if self.tolerance < 0:
+            raise ConfigurationError(
+                f"tolerance must be >= 0, got {self.tolerance}"
+            )
+
+
+class BudgetPacer:
+    """Throttles an advertiser's spend to a linear schedule.
+
+    ``allow(advertiser, amount, now)`` answers whether charging
+    ``amount`` at time ``now`` keeps the advertiser on schedule; the
+    billing loop skips (does not bill) clicks that would overshoot —
+    they are simply not served in a real network.
+    """
+
+    def __init__(self, config: PacingConfig | None = None, start: float = 0.0) -> None:
+        self.config = config or PacingConfig()
+        self.start = start
+        self.throttled: Dict[int, int] = {}
+
+    def allow(self, advertiser: Advertiser, amount: float, now: float) -> bool:
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount}")
+        elapsed = max(0.0, now - self.start)
+        fraction = min(1.0, elapsed / self.config.horizon)
+        ceiling = advertiser.budget * fraction * (1.0 + self.config.tolerance)
+        if advertiser.spent + amount <= ceiling or fraction >= 1.0:
+            return advertiser.can_afford(amount)
+        self.throttled[advertiser.advertiser_id] = (
+            self.throttled.get(advertiser.advertiser_id, 0) + 1
+        )
+        return False
+
+
+@dataclass
+class BidPolicy:
+    """How an advertiser moves a keyword bid between rounds.
+
+    A simple proportional controller on the observed valid-click share:
+    if fewer than ``target_share`` of the keyword's valid clicks went
+    to this advertiser, raise the bid by ``step``; if more, lower it —
+    bounded by ``[min_bid, max_bid]``.
+    """
+
+    target_share: float = 0.5
+    step: float = 0.05
+    min_bid: float = 0.01
+    max_bid: float = 10.0
+
+    def adjust(self, current_bid: float, observed_share: float) -> float:
+        if observed_share < self.target_share:
+            adjusted = current_bid * (1.0 + self.step)
+        else:
+            adjusted = current_bid * (1.0 - self.step)
+        return round(min(self.max_bid, max(self.min_bid, adjusted)), 4)
+
+
+@dataclass
+class RoundOutcome:
+    """Observable result of one auction round, fed back into policies."""
+
+    round_index: int
+    keyword_prices: Dict[str, float] = field(default_factory=dict)
+    valid_clicks: Dict[int, int] = field(default_factory=dict)  # advertiser -> count
+
+
+class DynamicAuctioneer:
+    """Re-runs keyword auctions and applies bid policies between rounds."""
+
+    def __init__(self, network, policies: Dict[int, BidPolicy] | None = None) -> None:
+        self.network = network
+        self.policies = policies or {}
+        self.history: List[RoundOutcome] = []
+
+    def record_round(self, valid_clicks: Dict[int, int]) -> RoundOutcome:
+        """Close a round: adjust bids from observed shares, re-auction."""
+        from .auction import keyword_prices
+
+        total = sum(valid_clicks.values())
+        advertisers = {
+            a.advertiser_id: a for a in self.network.advertisers.all()
+        }
+        for advertiser_id, policy in self.policies.items():
+            advertiser = advertisers.get(advertiser_id)
+            if advertiser is None:
+                raise ConfigurationError(
+                    f"policy references unknown advertiser {advertiser_id}"
+                )
+            share = (
+                valid_clicks.get(advertiser_id, 0) / total if total else 0.0
+            )
+            advertiser.bids = {
+                keyword: policy.adjust(bid, share)
+                for keyword, bid in advertiser.bids.items()
+            }
+        keywords = sorted({link.keyword for link in self.network.ad_links.values()})
+        self.network.run_auctions(keywords)
+        outcome = RoundOutcome(
+            round_index=len(self.history),
+            keyword_prices=keyword_prices(list(self.network.ad_links.values())),
+            valid_clicks=dict(valid_clicks),
+        )
+        self.history.append(outcome)
+        return outcome
+
+
+def paced_charge(billing, pacer: BudgetPacer, click) -> float:
+    """Charge a click subject to pacing; returns the amount (0 if throttled).
+
+    Raises :class:`~repro.errors.BudgetError` only when the budget is
+    truly exhausted (not merely paced).
+    """
+    link = billing.ad_links[click.ad_id]
+    advertiser = billing.advertisers.get(link.advertiser_id)
+    if not pacer.allow(advertiser, link.cpc, click.timestamp):
+        if not advertiser.can_afford(link.cpc):
+            raise BudgetError(
+                f"advertiser {advertiser.advertiser_id} exhausted"
+            )
+        click.charged = False
+        return 0.0
+    return billing.charge(click)

@@ -1,0 +1,125 @@
+"""Entities of a pay-per-click advertising network (§1.1 of the paper).
+
+The cast: **advertisers** bid on keywords and fund budgets;
+**publishers** host ad links and earn per click; **ad links** bind an
+advertiser's keyword bid to a publisher slot at a CPC set by the
+keyword auction; **visitors** are the browsing population whose clicks
+form the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class Advertiser:
+    """An advertiser account: keyword bids plus a spending budget."""
+
+    advertiser_id: int
+    name: str
+    budget: float
+    #: Keyword -> maximum CPC bid.
+    bids: Dict[str, float] = field(default_factory=dict)
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {self.budget}")
+
+    @property
+    def remaining_budget(self) -> float:
+        return max(0.0, self.budget - self.spent)
+
+    def can_afford(self, amount: float) -> bool:
+        return self.remaining_budget >= amount
+
+
+@dataclass
+class Publisher:
+    """A site in the ad network displaying sponsored links.
+
+    ``traffic_weight`` sets its share of legitimate traffic;
+    ``revenue_share`` is the fraction of each CPC it keeps (the network
+    keeps the rest).
+    """
+
+    publisher_id: int
+    name: str
+    traffic_weight: float = 1.0
+    revenue_share: float = 0.7
+    earned: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.traffic_weight < 0:
+            raise ConfigurationError(
+                f"traffic_weight must be >= 0, got {self.traffic_weight}"
+            )
+        if not 0.0 <= self.revenue_share <= 1.0:
+            raise ConfigurationError(
+                f"revenue_share must be in [0, 1], got {self.revenue_share}"
+            )
+
+
+@dataclass
+class AdLink:
+    """A sponsored link: one advertiser's ad in one publisher slot.
+
+    ``cpc`` is the price per valid click, set by the keyword auction
+    (second-price), never above the advertiser's bid.
+    """
+
+    ad_id: int
+    advertiser_id: int
+    publisher_id: int
+    keyword: str
+    cpc: float
+
+    def __post_init__(self) -> None:
+        if self.cpc < 0:
+            raise ConfigurationError(f"cpc must be >= 0, got {self.cpc}")
+
+
+@dataclass
+class Visitor:
+    """A legitimate browser identity: stable (IP, cookie) pair."""
+
+    source_ip: int
+    cookie: int
+
+
+class Registry:
+    """Id-indexed storage for one entity type with safe allocation."""
+
+    def __init__(self) -> None:
+        self._items: Dict[int, object] = {}
+        self._next_id = 0
+
+    def allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def add(self, entity_id: int, entity: object) -> None:
+        if entity_id in self._items:
+            raise ConfigurationError(f"duplicate entity id {entity_id}")
+        self._items[entity_id] = entity
+        self._next_id = max(self._next_id, entity_id + 1)
+
+    def get(self, entity_id: int) -> object:
+        try:
+            return self._items[entity_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown entity id {entity_id}") from None
+
+    def all(self) -> List[object]:
+        return list(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, entity_id: int) -> bool:
+        return entity_id in self._items

@@ -1,0 +1,128 @@
+"""Fraud-scenario orchestration: named attack configurations.
+
+§1.1 lists the sources of click fraud: the publishers themselves, ad
+sub-distributors, competitors, and crawlers.  Each scenario builder
+here wires one of those actors into an :class:`~repro.adnet.network.AdNetwork`
+with sensible parameters, so examples and tests can summon a named
+threat in one line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..streams.attacks import (
+    BotnetCampaign,
+    CrawlerTraffic,
+    HitInflationCampaign,
+    SingleAttackerCampaign,
+)
+from .network import AdNetwork
+
+
+def _ads_of_publisher(network: AdNetwork, publisher_id: int) -> List[int]:
+    ads = [
+        link.ad_id
+        for link in network.ad_links.values()
+        if link.publisher_id == publisher_id
+    ]
+    if not ads:
+        raise ConfigurationError(f"publisher {publisher_id} has no ad links")
+    return ads
+
+
+def _priciest_ads(network: AdNetwork, count: int) -> List[int]:
+    links = sorted(network.ad_links.values(), key=lambda link: -link.cpc)
+    if not links:
+        raise ConfigurationError("network has no ad links; run_auctions() first")
+    return [link.ad_id for link in links[:count]]
+
+
+def competitor_botnet(
+    network: AdNetwork,
+    num_bots: int = 100,
+    mean_interval: float = 60.0,
+    target_ads: Optional[Sequence[int]] = None,
+    seed: int = 11,
+) -> BotnetCampaign:
+    """Scenario 2: a rival drains the top bidder's budget with a botnet.
+
+    Targets the most expensive placements (where each fraudulent click
+    hurts most) unless ``target_ads`` overrides the choice.
+    """
+    ads = list(target_ads) if target_ads else _priciest_ads(network, 2)
+    first = network.ad_links[ads[0]]
+    campaign = BotnetCampaign(
+        ad_ids=ads,
+        publisher_id=first.publisher_id,
+        advertiser_id=first.advertiser_id,
+        num_bots=num_bots,
+        mean_interval=mean_interval,
+        seed=seed,
+    )
+    network.add_campaign(campaign)
+    return campaign
+
+
+def dishonest_publisher(
+    network: AdNetwork,
+    publisher_id: int,
+    clicker_interval: float = 30.0,
+    inflation_rate: float = 0.0,
+    seed: int = 13,
+) -> List[object]:
+    """A publisher boosting its own revenue.
+
+    Installs a repeat-clicker on its own placements (caught by duplicate
+    detection) and, when ``inflation_rate > 0``, a hit-inflation stream
+    of fabricated identities (NOT caught by duplicate detection — the
+    boundary §2.4's Streaming-Rules line of work addresses).
+    """
+    ads = _ads_of_publisher(network, publisher_id)
+    first = network.ad_links[ads[0]]
+    campaigns: List[object] = [
+        SingleAttackerCampaign(
+            ad_id=ads[0],
+            publisher_id=publisher_id,
+            advertiser_id=first.advertiser_id,
+            source_ip=0xDEAD0001,
+            cookie=0xBEEF,
+            mean_interval=clicker_interval,
+            seed=seed,
+        )
+    ]
+    if inflation_rate > 0:
+        campaigns.append(
+            HitInflationCampaign(
+                ad_ids=ads,
+                publisher_id=publisher_id,
+                advertiser_id=first.advertiser_id,
+                rate=inflation_rate,
+                seed=seed + 1,
+            )
+        )
+    for campaign in campaigns:
+        network.add_campaign(campaign)
+    return campaigns
+
+
+def crawler_noise(
+    network: AdNetwork,
+    revisit_interval: float = 300.0,
+    seed: int = 17,
+) -> CrawlerTraffic:
+    """A well-behaved crawler periodically refetching every ad link."""
+    links = list(network.ad_links.values())
+    if not links:
+        raise ConfigurationError("network has no ad links; run_auctions() first")
+    campaign = CrawlerTraffic(
+        ad_ids=[link.ad_id for link in links],
+        publisher_id=links[0].publisher_id,
+        advertiser_id=links[0].advertiser_id,
+        source_ip=0x42420000,
+        revisit_interval=revisit_interval,
+        seed=seed,
+    )
+    network.add_campaign(campaign)
+    return campaign

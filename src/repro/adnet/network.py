@@ -1,0 +1,235 @@
+"""The advertising-network simulator: traffic generation end to end.
+
+Composes the substrate: advertisers bid through the keyword auction,
+publishers receive placements, a visitor population browses (Zipf ad
+popularity, Poisson arrivals, deliberate revisits — the paper's
+Scenario 1), and fraud campaigns overlay attack traffic (Scenario 2).
+``run()`` yields the merged, timestamp-ordered click stream that the
+detection pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..streams.attacks import BotnetCampaign
+from ..streams.click import Click, TrafficClass
+from ..streams.merge import interleave_batches
+from ..streams.zipf import ZipfSampler
+from .auction import allocate_ad_links
+from .billing import BillingEngine
+from .entities import Advertiser, AdLink, Publisher, Registry, Visitor
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape of legitimate traffic.
+
+    ``click_rate`` is network-wide clicks per time unit;
+    ``revisit_probability`` is the chance a visitor's click repeats one
+    of their own earlier clicks (Scenario 1's returning customer);
+    ``revisit_mean_delay`` is the mean time before they return.
+    """
+
+    click_rate: float = 10.0
+    num_visitors: int = 1000
+    ad_popularity_exponent: float = 1.1
+    revisit_probability: float = 0.05
+    revisit_mean_delay: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.click_rate <= 0:
+            raise ConfigurationError(f"click_rate must be > 0, got {self.click_rate}")
+        if self.num_visitors < 1:
+            raise ConfigurationError(
+                f"num_visitors must be >= 1, got {self.num_visitors}"
+            )
+        if not 0.0 <= self.revisit_probability <= 1.0:
+            raise ConfigurationError(
+                "revisit_probability must be in [0, 1], "
+                f"got {self.revisit_probability}"
+            )
+
+
+class AdNetwork:
+    """A complete simulated pay-per-click network."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.advertisers = Registry()
+        self.publishers = Registry()
+        self.ad_links: Dict[int, AdLink] = {}
+        self._campaigns: List = []
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_advertiser(
+        self, name: str, budget: float, bids: Dict[str, float]
+    ) -> Advertiser:
+        advertiser = Advertiser(
+            advertiser_id=self.advertisers.allocate_id(),
+            name=name,
+            budget=budget,
+            bids=dict(bids),
+        )
+        self.advertisers.add(advertiser.advertiser_id, advertiser)
+        return advertiser
+
+    def add_publisher(
+        self, name: str, traffic_weight: float = 1.0, revenue_share: float = 0.7
+    ) -> Publisher:
+        publisher = Publisher(
+            publisher_id=self.publishers.allocate_id(),
+            name=name,
+            traffic_weight=traffic_weight,
+            revenue_share=revenue_share,
+        )
+        self.publishers.add(publisher.publisher_id, publisher)
+        return publisher
+
+    def run_auctions(self, keywords: Sequence[str], slots_per_publisher: int = 1) -> None:
+        """Allocate ad links for ``keywords`` across all publishers."""
+        links = allocate_ad_links(
+            keywords,
+            [a for a in self.advertisers.all()],
+            [p for p in self.publishers.all()],
+            slots_per_publisher=slots_per_publisher,
+        )
+        self.ad_links = {link.ad_id: link for link in links}
+
+    def add_campaign(self, campaign) -> None:
+        """Attach any fraud/crawler campaign exposing ``generate(start, end)``."""
+        self._campaigns.append(campaign)
+
+    def make_billing_engine(self) -> BillingEngine:
+        if not self.ad_links:
+            raise ConfigurationError("run_auctions() before billing")
+        return BillingEngine(self.advertisers, self.publishers, self.ad_links)
+
+    # ------------------------------------------------------------------
+    # Traffic generation
+    # ------------------------------------------------------------------
+
+    def _legitimate_traffic(
+        self, start: float, end: float, profile: TrafficProfile
+    ) -> List[Click]:
+        if not self.ad_links:
+            raise ConfigurationError("run_auctions() before generating traffic")
+        rng = self._rng
+        links = list(self.ad_links.values())
+        publisher_weights = np.array(
+            [self.publishers.get(link.publisher_id).traffic_weight for link in links],
+            dtype=np.float64,
+        )
+        popularity = ZipfSampler(
+            len(links), profile.ad_popularity_exponent, seed=self.seed + 1
+        )
+        visitors = [
+            Visitor(source_ip=0x01000000 + i, cookie=int(rng.integers(1, 1 << 31)))
+            for i in range(profile.num_visitors)
+        ]
+
+        clicks: List[Click] = []
+        now = start
+        expected = max(1, int((end - start) * profile.click_rate))
+        gaps = rng.exponential(1.0 / profile.click_rate, size=expected * 2)
+        gap_index = 0
+        while now < end:
+            if gap_index >= len(gaps):
+                gaps = rng.exponential(1.0 / profile.click_rate, size=expected)
+                gap_index = 0
+            now += float(gaps[gap_index])
+            gap_index += 1
+            if now >= end:
+                break
+            visitor = visitors[int(rng.integers(len(visitors)))]
+            rank = popularity.sample_one()
+            # Weight popularity by publisher traffic share.
+            if publisher_weights[rank] <= 0:
+                continue
+            link = links[rank]
+            click = Click(
+                timestamp=now,
+                source_ip=visitor.source_ip,
+                cookie=visitor.cookie,
+                ad_id=link.ad_id,
+                publisher_id=link.publisher_id,
+                advertiser_id=link.advertiser_id,
+                traffic_class=TrafficClass.LEGITIMATE,
+            )
+            clicks.append(click)
+            # Scenario 1: the interested customer who comes back later.
+            if rng.random() < profile.revisit_probability:
+                delay = float(rng.exponential(profile.revisit_mean_delay))
+                if now + delay < end:
+                    clicks.append(
+                        Click(
+                            timestamp=now + delay,
+                            source_ip=visitor.source_ip,
+                            cookie=visitor.cookie,
+                            ad_id=link.ad_id,
+                            publisher_id=link.publisher_id,
+                            advertiser_id=link.advertiser_id,
+                            traffic_class=TrafficClass.REPEAT_VISITOR,
+                        )
+                    )
+        clicks.sort(key=lambda c: c.timestamp)
+        return clicks
+
+    def run(
+        self,
+        duration: float,
+        profile: Optional[TrafficProfile] = None,
+        start: float = 0.0,
+    ) -> List[Click]:
+        """Generate the full click stream for ``[start, start + duration)``."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        profile = profile or TrafficProfile()
+        end = start + duration
+        batches = [self._legitimate_traffic(start, end, profile)]
+        for campaign in self._campaigns:
+            batches.append(campaign.generate(start, end))
+        return interleave_batches(batches)
+
+
+def demo_network(seed: int = 0) -> AdNetwork:
+    """A small ready-made network used by examples and tests.
+
+    Three advertisers bidding on four keywords, two publishers, and a
+    botnet campaign targeting the most expensive keyword's placements.
+    """
+    network = AdNetwork(seed=seed)
+    network.add_advertiser(
+        "BlueWidgets", budget=5_000.0, bids={"widgets": 1.20, "gadgets": 0.40}
+    )
+    network.add_advertiser(
+        "GadgetKing", budget=3_000.0, bids={"gadgets": 0.90, "widgets": 0.75}
+    )
+    network.add_advertiser(
+        "CheapDeals", budget=1_000.0, bids={"deals": 0.30, "widgets": 0.25}
+    )
+    network.add_publisher("search-site", traffic_weight=2.0)
+    network.add_publisher("blog-network", traffic_weight=1.0)
+    network.run_auctions(["widgets", "gadgets", "deals"])
+    target_ads = [
+        link.ad_id for link in network.ad_links.values() if link.keyword == "widgets"
+    ]
+    network.add_campaign(
+        BotnetCampaign(
+            ad_ids=target_ads[:2],
+            publisher_id=1,
+            advertiser_id=0,
+            num_bots=25,
+            mean_interval=120.0,
+            seed=seed + 7,
+        )
+    )
+    return network

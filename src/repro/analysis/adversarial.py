@@ -1,0 +1,130 @@
+"""Adversarial economics: what does fraud cost under duplicate detection?
+
+The paper's future work asks about "various sophisticated click fraud
+attacks" and the "economic impacts of click frauds."  Duplicate
+detection changes the attacker's optimization problem in a precisely
+analyzable way:
+
+* Every identifier earns **at most one billed click per window** (zero
+  false negatives), so a sustained fraudulent billing rate of ``r``
+  clicks/window requires controlling at least ``r`` distinct
+  identifiers per window — the *identifier treadmill*.
+* Rotating identifiers (fresh IPs/cookies per click — hit inflation)
+  defeats pure dedup, but each fresh identity has an acquisition cost
+  (botnet rental, proxy churn), turning detection strength into an
+  attack-cost lower bound.
+
+These functions quantify that trade, and the FP side: what a detector's
+false positives cost the *publisher* in wrongly rejected clicks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AttackCostModel:
+    """Economic parameters of an identifier-rotation attack.
+
+    ``identity_cost`` is the attacker's marginal cost of one fresh
+    (IP, cookie) identity; ``cpc`` the victim's cost per click.
+    """
+
+    cpc: float
+    identity_cost: float
+
+    def __post_init__(self) -> None:
+        if self.cpc < 0:
+            raise ConfigurationError(f"cpc must be >= 0, got {self.cpc}")
+        if self.identity_cost < 0:
+            raise ConfigurationError(
+                f"identity_cost must be >= 0, got {self.identity_cost}"
+            )
+
+
+def max_billed_fraud_per_window(num_identities: int) -> int:
+    """Billed fraudulent clicks per window with ``num_identities`` bots.
+
+    With zero-FN duplicate detection each identity's repeats inside a
+    window are rejected: one billed click per identity per window.
+    Without detection the same identities can bill every click.
+    """
+    if num_identities < 0:
+        raise ConfigurationError(
+            f"num_identities must be >= 0, got {num_identities}"
+        )
+    return num_identities
+
+
+def identities_needed(target_billed_per_window: int) -> int:
+    """Identities required to sustain a billed-fraud rate under dedup."""
+    if target_billed_per_window < 0:
+        raise ConfigurationError("target must be >= 0")
+    return target_billed_per_window
+
+
+def attacker_roi(
+    model: AttackCostModel,
+    clicks_per_identity_per_window: float,
+    detection_enabled: bool,
+) -> float:
+    """Victim damage per attacker dollar (the attacker's leverage).
+
+    Damage is the victim's billed spend; cost is identity acquisition.
+    Without detection, leverage grows linearly with the per-identity
+    click rate; with detection it is capped at ``cpc / identity_cost``
+    regardless of how hard each bot clicks.
+    """
+    if clicks_per_identity_per_window <= 0:
+        raise ConfigurationError("clicks_per_identity_per_window must be > 0")
+    if model.identity_cost == 0:
+        return math.inf
+    billed = 1.0 if detection_enabled else clicks_per_identity_per_window
+    return billed * model.cpc / model.identity_cost
+
+
+def detection_damage_reduction(clicks_per_identity_per_window: float) -> float:
+    """Fraction of fraudulent spend removed by dedup: ``1 - 1/c``.
+
+    ``c`` is how many times each identity clicks per window; heavier
+    hammering means dedup removes more (the attacker's dilemma: clicking
+    harder stops paying the moment dedup is deployed).
+    """
+    if clicks_per_identity_per_window < 1:
+        raise ConfigurationError("clicks_per_identity_per_window must be >= 1")
+    return 1.0 - 1.0 / clicks_per_identity_per_window
+
+
+def publisher_fp_loss_per_window(
+    fp_rate: float,
+    valid_clicks_per_window: float,
+    revenue_per_click: float,
+) -> float:
+    """Expected publisher revenue lost to false positives, per window.
+
+    The flip side of sketching: each falsely rejected valid click
+    forfeits its revenue share.  This is the quantity a publisher
+    weighs against the sketch's memory savings when agreeing to the
+    §1.1 audit protocol — and why the paper drives FP rates to ~1e-3.
+    """
+    if not 0.0 <= fp_rate <= 1.0:
+        raise ConfigurationError(f"fp_rate must be in [0, 1], got {fp_rate}")
+    if valid_clicks_per_window < 0 or revenue_per_click < 0:
+        raise ConfigurationError("counts and prices must be >= 0")
+    return fp_rate * valid_clicks_per_window * revenue_per_click
+
+
+def breakeven_identity_cost(model_cpc: float) -> float:
+    """Identity cost above which budget-drain attacks lose money under dedup.
+
+    With dedup each identity drains at most one ``cpc`` per window; if a
+    fresh identity costs more than the cpc, pure budget-drain is
+    negative-ROI and the attacker needs a different objective.
+    """
+    if model_cpc < 0:
+        raise ConfigurationError(f"cpc must be >= 0, got {model_cpc}")
+    return model_cpc

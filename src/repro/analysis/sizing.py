@@ -1,0 +1,171 @@
+"""Capacity planning: turn an FP target or a memory budget into parameters.
+
+Answers the deployment questions a network operator actually asks:
+"I can spend 2 MB per ad campaign and need a 1-hour window over ~1M
+clicks — which algorithm, what ``m``, what ``k``, and what FP rate do I
+get?"  Used by the ``capacity_planning`` example and the detection
+facade's auto-configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bloom.params import bits_for_target_rate, optimal_num_hashes
+from ..core.memory_model import gbf_cost, tbf_cost
+from ..core.tbf import entry_bits_required
+from ..errors import ConfigurationError
+from .theory import gbf_window_fp, tbf_fp
+
+
+@dataclass(frozen=True)
+class GBFPlan:
+    """A fully determined GBF configuration."""
+
+    window_size: int
+    num_subwindows: int
+    bits_per_filter: int
+    num_hashes: int
+    predicted_fp: float
+
+    @property
+    def total_memory_bits(self) -> int:
+        return self.bits_per_filter * (self.num_subwindows + 1)
+
+
+@dataclass(frozen=True)
+class TBFPlan:
+    """A fully determined TBF configuration."""
+
+    window_size: int
+    num_entries: int
+    num_hashes: int
+    cleanup_slack: int
+    entry_bits: int
+    predicted_fp: float
+
+    @property
+    def total_memory_bits(self) -> int:
+        return self.num_entries * self.entry_bits
+
+
+def plan_gbf_from_memory(
+    window_size: int,
+    num_subwindows: int,
+    total_memory_bits: int,
+    num_hashes: Optional[int] = None,
+) -> GBFPlan:
+    """Best GBF configuration under a total memory budget ``M``.
+
+    Splits ``M`` into ``Q + 1`` lanes and (unless given) picks the ``k``
+    optimal for a lane's ``N/Q`` load.
+    """
+    bits_per_filter = total_memory_bits // (num_subwindows + 1)
+    if bits_per_filter < 1:
+        raise ConfigurationError(
+            f"budget {total_memory_bits} bits cannot fund {num_subwindows + 1} lanes"
+        )
+    per_lane = window_size // num_subwindows
+    k = num_hashes or optimal_num_hashes(bits_per_filter, max(per_lane, 1))
+    fp = gbf_window_fp(window_size, num_subwindows, bits_per_filter, k)
+    return GBFPlan(window_size, num_subwindows, bits_per_filter, k, fp)
+
+
+def plan_gbf_for_target(
+    window_size: int,
+    num_subwindows: int,
+    target_fp: float,
+) -> GBFPlan:
+    """Smallest GBF meeting a query-level FP target.
+
+    The query FP is ``~Q`` lane FPs, so each lane is sized for
+    ``target_fp / Q`` at load ``N/Q``, then verified against the exact
+    window-level formula and grown if needed.
+    """
+    if not 0.0 < target_fp < 1.0:
+        raise ConfigurationError(f"target_fp must be in (0, 1), got {target_fp}")
+    per_lane_target = target_fp / num_subwindows
+    per_lane_load = max(1, window_size // num_subwindows)
+    bits_per_filter = bits_for_target_rate(per_lane_load, per_lane_target)
+    while True:
+        k = optimal_num_hashes(bits_per_filter, per_lane_load)
+        fp = gbf_window_fp(window_size, num_subwindows, bits_per_filter, k)
+        if fp <= target_fp:
+            return GBFPlan(window_size, num_subwindows, bits_per_filter, k, fp)
+        bits_per_filter = math.ceil(bits_per_filter * 1.05) + 1
+
+
+def plan_tbf_from_memory(
+    window_size: int,
+    total_memory_bits: int,
+    num_hashes: Optional[int] = None,
+    cleanup_slack: Optional[int] = None,
+) -> TBFPlan:
+    """Best TBF configuration under a total memory budget ``M``."""
+    if cleanup_slack is None:
+        cleanup_slack = window_size - 1
+    entry_bits = entry_bits_required(window_size, cleanup_slack)
+    num_entries = total_memory_bits // entry_bits
+    if num_entries < 1:
+        raise ConfigurationError(
+            f"budget {total_memory_bits} bits is below one {entry_bits}-bit entry"
+        )
+    k = num_hashes or optimal_num_hashes(num_entries, window_size)
+    fp = tbf_fp(window_size, num_entries, k)
+    return TBFPlan(window_size, num_entries, k, cleanup_slack, entry_bits, fp)
+
+
+def plan_tbf_for_target(
+    window_size: int,
+    target_fp: float,
+    cleanup_slack: Optional[int] = None,
+) -> TBFPlan:
+    """Smallest TBF meeting an FP target over a sliding window."""
+    if not 0.0 < target_fp < 1.0:
+        raise ConfigurationError(f"target_fp must be in (0, 1), got {target_fp}")
+    if cleanup_slack is None:
+        cleanup_slack = window_size - 1
+    entry_bits = entry_bits_required(window_size, cleanup_slack)
+    num_entries = bits_for_target_rate(window_size, target_fp)
+    while True:
+        k = optimal_num_hashes(num_entries, window_size)
+        fp = tbf_fp(window_size, num_entries, k)
+        if fp <= target_fp:
+            return TBFPlan(
+                window_size, num_entries, k, cleanup_slack, entry_bits, fp
+            )
+        num_entries = math.ceil(num_entries * 1.05) + 1
+
+
+def recommend_jumping_window_algorithm(
+    window_size: int,
+    num_subwindows: int,
+    total_memory_bits: int,
+    num_hashes: int = 10,
+    word_bits: int = 64,
+) -> str:
+    """Pick GBF or TBF for a jumping window, per the paper's §4.1 guidance.
+
+    "When Q is large, GBF cannot process the click stream efficiently,
+    and TBF is a better choice."  Compares predicted word operations per
+    element under the shared memory budget and returns ``"gbf"`` or
+    ``"tbf-jumping"``.
+    """
+    bits_per_filter = max(1, total_memory_bits // (num_subwindows + 1))
+    gbf_ops = gbf_cost(
+        window_size, num_subwindows, bits_per_filter, num_hashes, word_bits
+    ).total
+    entry_bits = max(
+        1, math.ceil(math.log2(2 * num_subwindows + 2))
+    )
+    tbf_entries = max(1, total_memory_bits // entry_bits)
+    subwindow_size = window_size // num_subwindows
+    tbf_ops = tbf_cost(
+        window_size,
+        tbf_entries,
+        num_hashes,
+        cleanup_slack=(num_subwindows - 1) * subwindow_size + subwindow_size - 1,
+    ).total
+    return "gbf" if gbf_ops <= tbf_ops else "tbf-jumping"

@@ -1,0 +1,135 @@
+"""Theoretical false-positive predictions for every detector (§3.2, §4.2).
+
+These are the curves plotted as "Theoretical Result" in the paper's
+Figures 1 and 2.  All of them reduce to the classical Bloom-filter
+formula with the right effective load:
+
+* **GBF** — each lane holds at most ``N/Q`` elements of one sub-window;
+  a query falsely matches a lane with the classical probability
+  ``f_sub``, and falsely matches the *window* when any of the ``Q``
+  active lanes matches: ``1 - (1 - f_sub)^Q``.  (The paper's Figure 2(a)
+  text quotes the per-lane ``f_sub``; we expose both — see
+  EXPERIMENTS.md for the comparison.)
+* **TBF** — an entry is a false-positive contributor iff it was written
+  by some element of the last ``N`` arrivals; entries older than that
+  fail the activity check whether or not they were swept.  So the FP
+  rate equals a classical filter with ``m`` slots and ``N`` elements.
+* **Metwally CBF** — the main filter is queried as if all ``N`` window
+  elements lived in one filter (§3.3's first critique), so it is the
+  classical formula at full load ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..bloom.params import false_positive_rate, optimal_num_hashes
+from ..core.tbf import entry_bits_required
+from ..errors import ConfigurationError
+
+
+def gbf_subfilter_fp(
+    window_size: int, num_subwindows: int, bits_per_filter: int, num_hashes: int
+) -> float:
+    """FP probability of a single full GBF lane (``N/Q`` elements)."""
+    per_lane = window_size // num_subwindows
+    return false_positive_rate(bits_per_filter, per_lane, num_hashes)
+
+
+def gbf_window_fp(
+    window_size: int, num_subwindows: int, bits_per_filter: int, num_hashes: int
+) -> float:
+    """Query-level GBF FP rate: any of the ``Q`` active lanes matches."""
+    per_lane = gbf_subfilter_fp(
+        window_size, num_subwindows, bits_per_filter, num_hashes
+    )
+    return 1.0 - (1.0 - per_lane) ** num_subwindows
+
+
+def gbf_fp_from_memory(
+    window_size: int,
+    num_subwindows: int,
+    total_memory_bits: int,
+    num_hashes: int,
+) -> float:
+    """GBF FP rate given a total budget ``M`` split into ``Q + 1`` lanes."""
+    bits_per_filter = total_memory_bits // (num_subwindows + 1)
+    if bits_per_filter < 1:
+        raise ConfigurationError("memory budget too small for Q + 1 lanes")
+    return gbf_window_fp(window_size, num_subwindows, bits_per_filter, num_hashes)
+
+
+def tbf_fp(window_size: int, num_entries: int, num_hashes: int) -> float:
+    """TBF FP rate: classical formula with ``N`` active writers.
+
+    Exactly the elements of the last ``N`` arrivals hold active
+    timestamps; each wrote ``k`` entries.  An entry is *query-active*
+    iff at least one of them hit it, giving the classical fill
+    fraction; stale-but-unswept entries fail the activity check and
+    contribute nothing (Theorem 2's zero-FN argument in reverse).
+    """
+    return false_positive_rate(num_entries, window_size, num_hashes)
+
+
+def tbf_fp_from_memory(
+    window_size: int,
+    total_memory_bits: int,
+    num_hashes: int,
+    cleanup_slack: int | None = None,
+) -> float:
+    """TBF FP rate given ``M`` total bits (entries are ``O(log N)`` bits)."""
+    if cleanup_slack is None:
+        cleanup_slack = window_size - 1
+    entry_bits = entry_bits_required(window_size, cleanup_slack)
+    num_entries = total_memory_bits // entry_bits
+    if num_entries < 1:
+        raise ConfigurationError("memory budget smaller than one TBF entry")
+    return tbf_fp(window_size, num_entries, num_hashes)
+
+
+def metwally_main_fp(
+    window_size: int, num_counters: int, num_hashes: int
+) -> float:
+    """FP rate of the §3.3 baseline's main filter: full window load ``N``."""
+    return false_positive_rate(num_counters, window_size, num_hashes)
+
+
+def landmark_bloom_fp(
+    window_size: int, num_bits: int, num_hashes: int
+) -> float:
+    """Worst-case FP of the landmark scheme: epoch fully loaded (``N``)."""
+    return false_positive_rate(num_bits, window_size, num_hashes)
+
+
+def gbf_optimal_hashes(
+    window_size: int, num_subwindows: int, bits_per_filter: int
+) -> int:
+    """Optimal ``k`` for a GBF lane: sized for ``N/Q`` elements."""
+    return optimal_num_hashes(bits_per_filter, window_size // num_subwindows)
+
+
+def tbf_optimal_hashes(window_size: int, num_entries: int) -> int:
+    """Optimal ``k`` for a TBF: sized for ``N`` active elements."""
+    return optimal_num_hashes(num_entries, window_size)
+
+
+def expected_false_positives(
+    fp_rate: float, num_queries: int
+) -> float:
+    """Expected FP count over ``num_queries`` distinct-element queries."""
+    if not 0.0 <= fp_rate <= 1.0:
+        raise ConfigurationError(f"fp_rate must be in [0, 1], got {fp_rate}")
+    if num_queries < 0:
+        raise ConfigurationError(f"num_queries must be >= 0, got {num_queries}")
+    return fp_rate * num_queries
+
+
+def fp_confidence_interval(
+    observed_fp: int, num_queries: int, z: float = 1.96
+) -> tuple:
+    """Normal-approximation CI for a measured FP rate (reporting helper)."""
+    if num_queries <= 0:
+        return (0.0, 0.0)
+    rate = observed_fp / num_queries
+    half_width = z * math.sqrt(max(rate * (1.0 - rate), 1e-300) / num_queries)
+    return (max(0.0, rate - half_width), min(1.0, rate + half_width))

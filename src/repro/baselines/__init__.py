@@ -1,0 +1,17 @@
+"""Baselines and comparators: exact ground truth plus every scheme the
+paper compares against or improves upon."""
+
+from .exact import ExactDetector, TimeBasedExactDetector
+from .landmark_bloom import LandmarkBloomDetector
+from .metwally_cbf import MetwallyCBFDetector
+from .naive_bloom import NaiveSubwindowBloomDetector
+from .stable_bloom import StableBloomDetector
+
+__all__ = [
+    "ExactDetector",
+    "TimeBasedExactDetector",
+    "LandmarkBloomDetector",
+    "NaiveSubwindowBloomDetector",
+    "MetwallyCBFDetector",
+    "StableBloomDetector",
+]

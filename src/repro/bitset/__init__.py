@@ -1,0 +1,13 @@
+"""Bit vectors and the D-bit word memory model."""
+
+from .bitset import BitVector, PackedBitVector
+from .words import SUPPORTED_WORD_BITS, OperationCounter, OperationRates, WordArray
+
+__all__ = [
+    "BitVector",
+    "PackedBitVector",
+    "WordArray",
+    "OperationCounter",
+    "OperationRates",
+    "SUPPORTED_WORD_BITS",
+]

@@ -1,0 +1,144 @@
+"""Bit vectors backing the Bloom-filter variants.
+
+Two implementations share one interface:
+
+* :class:`BitVector` — one byte per bit (numpy ``uint8``).  Fastest for
+  scalar access from Python and the default backing store for the
+  classical/counting/stable filters, where the word-packing of bits is
+  not part of the algorithm being studied.
+* :class:`PackedBitVector` — bits packed ``word_bits`` to a word on top
+  of :class:`~repro.bitset.words.WordArray`, so every bit access is
+  accounted as a word read/write.  Used by the op-count benchmarks to
+  model what a C implementation would touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .words import OperationCounter, WordArray
+
+
+class BitVector:
+    """A fixed-size vector of bits with O(1) get/set.
+
+    Storage is one byte per bit: profligate in real memory but the
+    *modeled* size (:attr:`memory_bits`) is ``num_bits``, which is what
+    all sizing math uses.
+    """
+
+    __slots__ = ("num_bits", "_bits")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 1:
+            raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_bits = num_bits
+        self._bits = np.zeros(num_bits, dtype=np.uint8)
+
+    def get(self, index: int) -> bool:
+        return bool(self._bits[index])
+
+    def set(self, index: int) -> None:
+        self._bits[index] = 1
+
+    def clear(self, index: int) -> None:
+        self._bits[index] = 0
+
+    def clear_all(self) -> None:
+        self._bits.fill(0)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(self._bits.sum())
+
+    def all_set(self, indices) -> bool:
+        """True when every bit in ``indices`` is 1 (short-circuits)."""
+        bits = self._bits
+        for index in indices:
+            if not bits[index]:
+                return False
+        return True
+
+    def set_many(self, indices) -> None:
+        bits = self._bits
+        for index in indices:
+            bits[index] = 1
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_bits
+
+    def raw(self) -> "np.ndarray":
+        return self._bits
+
+
+class PackedBitVector:
+    """Bits packed into D-bit words with counted word accesses.
+
+    Bit ``i`` lives at offset ``i % word_bits`` of word ``i // word_bits``.
+    Every get costs one word read; every set/clear costs one read plus
+    one write (read-modify-write), matching what scalar CPU code does.
+    """
+
+    __slots__ = ("num_bits", "word_bits", "_words")
+
+    def __init__(
+        self,
+        num_bits: int,
+        word_bits: int = 64,
+        counter: OperationCounter | None = None,
+    ) -> None:
+        if num_bits < 1:
+            raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_bits = num_bits
+        self.word_bits = word_bits
+        num_words = -(-num_bits // word_bits)
+        self._words = WordArray(num_words, word_bits, counter)
+
+    @property
+    def counter(self) -> OperationCounter:
+        return self._words.counter
+
+    def get(self, index: int) -> bool:
+        word = self._words.read_word(index // self.word_bits)
+        return bool((word >> (index % self.word_bits)) & 1)
+
+    def set(self, index: int) -> None:
+        slot = index // self.word_bits
+        word = self._words.read_word(slot)
+        self._words.write_word(slot, word | (1 << (index % self.word_bits)))
+
+    def clear(self, index: int) -> None:
+        slot = index // self.word_bits
+        word = self._words.read_word(slot)
+        self._words.write_word(slot, word & ~(1 << (index % self.word_bits)))
+
+    def clear_all(self) -> None:
+        self._words.fill(0)
+
+    def count(self) -> int:
+        return int(np.unpackbits(self._words.raw().view(np.uint8)).sum())
+
+    def all_set(self, indices) -> bool:
+        for index in indices:
+            if not self.get(index):
+                return False
+        return True
+
+    def set_many(self, indices) -> None:
+        for index in indices:
+            self.set(index)
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_bits
+
+    def raw(self) -> "np.ndarray":
+        return self._words.raw()

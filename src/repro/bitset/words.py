@@ -1,0 +1,130 @@
+"""D-bit word memory model with operation accounting.
+
+The paper states every running-time result in units of CPU word
+reads/writes: "assuming that the CPU can read/write a D-bit word in each
+cycle" (Theorem 1).  :class:`WordArray` models exactly that — a flat
+array of ``D``-bit words where every access goes through
+:meth:`read_word` / :meth:`write_word` and is tallied in an
+:class:`OperationCounter`.  The GBF structure and the op-count
+benchmarks are built on it, which lets us *measure* the
+words-per-element costs the theorems claim instead of asserting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+SUPPORTED_WORD_BITS = (8, 16, 32, 64)
+
+
+@dataclass
+class OperationCounter:
+    """Tallies of the primitive operations a detector performs.
+
+    ``word_reads`` / ``word_writes`` count memory-word accesses;
+    ``hash_evaluations`` counts hash-function evaluations (each is O(1)
+    arithmetic).  ``elements`` counts processed stream elements so
+    per-element averages are one division away.
+    """
+
+    word_reads: int = 0
+    word_writes: int = 0
+    hash_evaluations: int = 0
+    elements: int = 0
+
+    def reset(self) -> None:
+        self.word_reads = 0
+        self.word_writes = 0
+        self.hash_evaluations = 0
+        self.elements = 0
+
+    @property
+    def total_word_ops(self) -> int:
+        return self.word_reads + self.word_writes
+
+    def per_element(self) -> "OperationRates":
+        """Average operation counts per processed element."""
+        n = max(self.elements, 1)
+        return OperationRates(
+            word_reads=self.word_reads / n,
+            word_writes=self.word_writes / n,
+            hash_evaluations=self.hash_evaluations / n,
+        )
+
+    def merged_with(self, other: "OperationCounter") -> "OperationCounter":
+        return OperationCounter(
+            word_reads=self.word_reads + other.word_reads,
+            word_writes=self.word_writes + other.word_writes,
+            hash_evaluations=self.hash_evaluations + other.hash_evaluations,
+            elements=self.elements + other.elements,
+        )
+
+
+@dataclass(frozen=True)
+class OperationRates:
+    """Per-element averages derived from an :class:`OperationCounter`."""
+
+    word_reads: float
+    word_writes: float
+    hash_evaluations: float
+
+    @property
+    def total_word_ops(self) -> float:
+        return self.word_reads + self.word_writes
+
+
+_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+
+
+class WordArray:
+    """A flat array of ``num_words`` words of ``word_bits`` bits each.
+
+    All reads and writes are counted.  Values are plain Python ints in
+    ``[0, 2**word_bits)``; storage is a numpy array of the matching
+    unsigned dtype so memory usage mirrors the modeled footprint.
+    """
+
+    __slots__ = ("word_bits", "num_words", "counter", "_words", "_mask")
+
+    def __init__(
+        self,
+        num_words: int,
+        word_bits: int = 64,
+        counter: OperationCounter | None = None,
+    ) -> None:
+        if word_bits not in SUPPORTED_WORD_BITS:
+            raise ConfigurationError(
+                f"word_bits must be one of {SUPPORTED_WORD_BITS}, got {word_bits}"
+            )
+        if num_words < 0:
+            raise ConfigurationError(f"num_words must be >= 0, got {num_words}")
+        self.word_bits = word_bits
+        self.num_words = num_words
+        self.counter = counter if counter is not None else OperationCounter()
+        self._words = np.zeros(num_words, dtype=_DTYPES[word_bits])
+        self._mask = (1 << word_bits) - 1
+
+    def read_word(self, index: int) -> int:
+        self.counter.word_reads += 1
+        return int(self._words[index])
+
+    def write_word(self, index: int, value: int) -> None:
+        self.counter.word_writes += 1
+        self._words[index] = value & self._mask
+
+    def fill(self, value: int) -> None:
+        """Bulk-initialize every word to ``value``, counted as N writes."""
+        self.counter.word_writes += self.num_words
+        self._words.fill(value & self._mask)
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_words * self.word_bits
+
+    def raw(self) -> "np.ndarray":
+        """Uncounted view of the backing array (for tests and snapshots)."""
+        return self._words

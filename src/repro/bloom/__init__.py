@@ -1,0 +1,27 @@
+"""Bloom-filter family: classical, counting, stable, and their math."""
+
+from .classical import BloomFilter
+from .partitioned import PartitionedBloomFilter
+from .counting import CountingBloomFilter
+from .params import (
+    bits_for_target_rate,
+    expected_fill_fraction,
+    false_positive_rate,
+    false_positive_rate_asymptotic,
+    min_false_positive_rate,
+    optimal_num_hashes,
+)
+from .stable import StableBloomFilter
+
+__all__ = [
+    "BloomFilter",
+    "PartitionedBloomFilter",
+    "CountingBloomFilter",
+    "StableBloomFilter",
+    "false_positive_rate",
+    "false_positive_rate_asymptotic",
+    "optimal_num_hashes",
+    "min_false_positive_rate",
+    "bits_for_target_rate",
+    "expected_fill_fraction",
+]

@@ -1,0 +1,114 @@
+"""Classical Bloom filter (Bloom, 1970; §2.1 of the paper).
+
+The membership sketch everything else in this library builds on.  A
+filter is ``m`` bits plus a :class:`~repro.hashing.HashFamily`; inserting
+sets ``k`` bits, querying checks them.  No deletions, no false
+negatives, false positives at the rate given by
+:func:`repro.bloom.params.false_positive_rate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..bitset import BitVector
+from ..errors import ConfigurationError
+from ..hashing import HashFamily, SplitMixFamily
+
+
+class BloomFilter:
+    """A classical ``m``-bit Bloom filter with ``k`` hash functions.
+
+    Parameters
+    ----------
+    num_bits:
+        Filter size ``m`` in bits.
+    num_hashes:
+        Number of hash functions ``k`` (ignored when ``family`` is given,
+        which supplies its own).
+    seed:
+        Seed for the default hash family.
+    family:
+        Optional pre-built hash family; its bucket range must equal
+        ``num_bits``.  Sharing one family across several filters is how
+        the GBF keeps "all Bloom filters using the same set of hash
+        functions" (§3.1).
+    """
+
+    __slots__ = ("num_bits", "family", "_bits", "count_inserted")
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int = 4,
+        seed: int = 0,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        if family is None:
+            family = SplitMixFamily(num_hashes, num_bits, seed)
+        if family.num_buckets != num_bits:
+            raise ConfigurationError(
+                f"hash family range {family.num_buckets} != num_bits {num_bits}"
+            )
+        self.num_bits = num_bits
+        self.family = family
+        self._bits = BitVector(num_bits)
+        #: Number of successful (non-duplicate) insertions, for sizing math.
+        self.count_inserted = 0
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    def add(self, identifier: int) -> None:
+        """Insert ``identifier`` unconditionally."""
+        self._bits.set_many(self.family.indices(identifier))
+        self.count_inserted += 1
+
+    def contains(self, identifier: int) -> bool:
+        """Membership query; false positives possible, negatives exact."""
+        return self._bits.all_set(self.family.indices(identifier))
+
+    def add_if_absent(self, identifier: int) -> bool:
+        """Insert unless present; returns True when it was already present.
+
+        This is the one-pass duplicate-detection primitive: a single pass
+        over the indices reads each bit and sets the missing ones, which
+        is how the landmark-window scheme of Metwally et al. operates.
+        """
+        indices = self.family.indices(identifier)
+        present = self._bits.all_set(indices)
+        if not present:
+            self._bits.set_many(indices)
+            self.count_inserted += 1
+        return present
+
+    def contains_indices(self, indices: Iterable[int]) -> bool:
+        """Membership check from pre-computed hash indices."""
+        return self._bits.all_set(indices)
+
+    def add_indices(self, indices: List[int]) -> None:
+        """Insertion from pre-computed hash indices."""
+        self._bits.set_many(indices)
+        self.count_inserted += 1
+
+    def clear(self) -> None:
+        """Reset to empty (the landmark-window epoch switch)."""
+        self._bits.clear_all()
+        self.count_inserted = 0
+
+    def bits_set(self) -> int:
+        return self._bits.count()
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_bits
+
+    def __contains__(self, identifier: int) -> bool:
+        return self.contains(identifier)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"inserted={self.count_inserted})"
+        )

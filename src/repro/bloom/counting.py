@@ -1,0 +1,183 @@
+"""Counting Bloom filter (Fan et al., "Summary Cache", 2000).
+
+Replaces each bit with a small counter so elements can be *deleted* —
+the property the jumping-window scheme of Metwally et al. [21] relies
+on (and that §3.3 of the paper critiques).  Counters have a configurable
+width; on overflow they either saturate (the deployed-practice behaviour
+whose failure mode ablation A3 measures) or raise
+:class:`~repro.errors.CapacityError`.
+
+A saturated counter can no longer be decremented reliably, which is
+exactly how counting filters pick up false negatives *and* stuck-on
+false positives — the effect the paper's comparison highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigurationError
+from ..hashing import HashFamily, SplitMixFamily
+
+_DTYPES = {1: np.uint8, 2: np.uint8, 4: np.uint8, 8: np.uint8, 16: np.uint16, 32: np.uint32}
+
+
+class CountingBloomFilter:
+    """An array of ``m`` counters of ``counter_bits`` bits each.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counter slots ``m``.
+    num_hashes:
+        Hash functions ``k`` (ignored when ``family`` is supplied).
+    counter_bits:
+        Width of each counter (1, 2, 4, 8, 16 or 32).  The modeled
+        memory cost is ``m * counter_bits`` bits.  Width 1 degenerates
+        to a plain Bloom filter with no usable deletion (any removal of
+        a shared bit is lossy) — included to chart the §3.3 trade-off's
+        endpoint.
+    saturate:
+        When True (default) counters stick at their maximum instead of
+        overflowing; when False an overflow raises ``CapacityError``.
+    """
+
+    __slots__ = (
+        "num_counters",
+        "counter_bits",
+        "family",
+        "saturate",
+        "_counters",
+        "_max_value",
+        "count_inserted",
+        "saturation_events",
+    )
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_hashes: int = 4,
+        counter_bits: int = 4,
+        seed: int = 0,
+        family: Optional[HashFamily] = None,
+        saturate: bool = True,
+    ) -> None:
+        if counter_bits not in _DTYPES:
+            raise ConfigurationError(
+                f"counter_bits must be one of {sorted(_DTYPES)}, got {counter_bits}"
+            )
+        if num_counters < 1:
+            raise ConfigurationError(f"num_counters must be >= 1, got {num_counters}")
+        if family is None:
+            family = SplitMixFamily(num_hashes, num_counters, seed)
+        if family.num_buckets != num_counters:
+            raise ConfigurationError(
+                f"hash family range {family.num_buckets} != num_counters {num_counters}"
+            )
+        self.num_counters = num_counters
+        self.counter_bits = counter_bits
+        self.family = family
+        self.saturate = saturate
+        self._counters = np.zeros(num_counters, dtype=_DTYPES[counter_bits])
+        self._max_value = (1 << counter_bits) - 1
+        self.count_inserted = 0
+        #: How many counter increments hit the ceiling (ablation A3 metric).
+        self.saturation_events = 0
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    def add(self, identifier: int) -> None:
+        self.add_indices(self.family.indices(identifier))
+
+    def add_indices(self, indices: List[int]) -> None:
+        counters = self._counters
+        for index in indices:
+            value = int(counters[index])
+            if value >= self._max_value:
+                self.saturation_events += 1
+                if not self.saturate:
+                    raise CapacityError(
+                        f"counter {index} overflow at width {self.counter_bits} bits"
+                    )
+                continue
+            counters[index] = value + 1
+        self.count_inserted += 1
+
+    def remove(self, identifier: int) -> None:
+        self.remove_indices(self.family.indices(identifier))
+
+    def remove_indices(self, indices: Iterable[int]) -> None:
+        """Decrement the counters of a previously inserted element.
+
+        Saturated counters are *not* decremented (their true count is
+        unknown); zero counters are left at zero rather than wrapping.
+        Both behaviours mirror deployed counting-filter practice and are
+        the source of the residual errors ablation A3 quantifies.
+        """
+        counters = self._counters
+        for index in indices:
+            value = int(counters[index])
+            if value == 0 or value >= self._max_value:
+                continue
+            counters[index] = value - 1
+
+    def contains(self, identifier: int) -> bool:
+        return self.contains_indices(self.family.indices(identifier))
+
+    def contains_indices(self, indices: Iterable[int]) -> bool:
+        counters = self._counters
+        for index in indices:
+            if not counters[index]:
+                return False
+        return True
+
+    def counter_value(self, index: int) -> int:
+        return int(self._counters[index])
+
+    def add_filter(self, other: "CountingBloomFilter") -> None:
+        """Pointwise add ``other`` into this filter (saturating).
+
+        This is the "combining two counting Bloom filters is performed by
+        adding the corresponding counters" operation of §3.3.
+        """
+        self._require_compatible(other)
+        wide = self._counters.astype(np.uint32) + other._counters.astype(np.uint32)
+        clipped = np.minimum(wide, self._max_value)
+        self.saturation_events += int((wide > self._max_value).sum())
+        self._counters = clipped.astype(self._counters.dtype)
+        self.count_inserted += other.count_inserted
+
+    def subtract_filter(self, other: "CountingBloomFilter") -> None:
+        """Pointwise subtract (clamped at zero) — the §3.3 expiry step."""
+        self._require_compatible(other)
+        wide = self._counters.astype(np.int64) - other._counters.astype(np.int64)
+        self._counters = np.maximum(wide, 0).astype(self._counters.dtype)
+        self.count_inserted = max(0, self.count_inserted - other.count_inserted)
+
+    def _require_compatible(self, other: "CountingBloomFilter") -> None:
+        if (
+            other.num_counters != self.num_counters
+            or other.counter_bits != self.counter_bits
+        ):
+            raise ConfigurationError(
+                "filters must have identical num_counters and counter_bits"
+            )
+
+    def clear(self) -> None:
+        self._counters.fill(0)
+        self.count_inserted = 0
+        self.saturation_events = 0
+
+    def nonzero_counters(self) -> int:
+        return int((self._counters != 0).sum())
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_counters * self.counter_bits
+
+    def __contains__(self, identifier: int) -> bool:
+        return self.contains(identifier)

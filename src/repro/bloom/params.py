@@ -1,0 +1,104 @@
+"""Bloom-filter parameter mathematics (§2.1 of the paper).
+
+Implements the standard false-positive analysis the paper builds on:
+
+* exact FP rate ``(1 - (1 - 1/m)^{kn})^k``,
+* the asymptotic form ``(1 - e^{-kn/m})^k``,
+* the optimal hash count ``k = ln 2 * m / n`` (giving ``f ~ 2^{-k}``),
+* sizing helpers (bits needed for a target FP rate).
+
+These functions are reused by :mod:`repro.analysis.theory` to produce
+the theoretical curves in Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def false_positive_rate(num_bits: int, num_elements: int, num_hashes: int) -> float:
+    """Exact FP rate of a classical Bloom filter.
+
+    ``(1 - (1 - 1/m)^{kn})^k`` for ``m`` bits, ``n`` inserted distinct
+    elements, ``k`` hash functions.  Uses ``expm1``/``log1p`` to stay
+    accurate when ``1/m`` is tiny.
+    """
+    _validate(num_bits, num_elements, num_hashes)
+    if num_elements == 0:
+        return 0.0
+    # (1 - 1/m)^{kn} = exp(kn * log(1 - 1/m))
+    fill = -math.expm1(num_hashes * num_elements * math.log1p(-1.0 / num_bits))
+    return fill**num_hashes
+
+
+def false_positive_rate_asymptotic(
+    num_bits: int, num_elements: int, num_hashes: int
+) -> float:
+    """Asymptotic FP rate ``(1 - e^{-kn/m})^k`` (the paper's §2.1 form)."""
+    _validate(num_bits, num_elements, num_hashes)
+    if num_elements == 0:
+        return 0.0
+    fill = -math.expm1(-num_hashes * num_elements / num_bits)
+    return fill**num_hashes
+
+
+def optimal_num_hashes(num_bits: int, num_elements: int) -> int:
+    """The integer ``k`` minimizing the FP rate: ``round(ln 2 * m / n)``.
+
+    Evaluates the exact rate at ``floor`` and ``ceil`` of the real
+    optimum and returns whichever wins (they can differ when ``m/n`` is
+    small).  Always at least 1.
+    """
+    if num_elements <= 0:
+        return 1
+    ideal = math.log(2) * num_bits / num_elements
+    low = max(1, math.floor(ideal))
+    high = max(1, math.ceil(ideal))
+    if low == high:
+        return low
+    rate_low = false_positive_rate(num_bits, num_elements, low)
+    rate_high = false_positive_rate(num_bits, num_elements, high)
+    return low if rate_low <= rate_high else high
+
+
+def min_false_positive_rate(num_bits: int, num_elements: int) -> float:
+    """FP rate at the optimal ``k``; approaches ``2^{-ln2 * m/n}``."""
+    k = optimal_num_hashes(num_bits, num_elements)
+    return false_positive_rate(num_bits, num_elements, k)
+
+
+def bits_for_target_rate(num_elements: int, target_rate: float) -> int:
+    """Minimum bits ``m`` so an optimally configured filter meets ``target_rate``.
+
+    Uses the classical closed form ``m = -n ln f / (ln 2)^2`` then nudges
+    upward until the exact formula (at integer optimal ``k``) satisfies
+    the target, so the returned size is sufficient, not merely
+    approximately so.
+    """
+    if num_elements < 1:
+        raise ConfigurationError(f"num_elements must be >= 1, got {num_elements}")
+    if not 0.0 < target_rate < 1.0:
+        raise ConfigurationError(f"target_rate must be in (0, 1), got {target_rate}")
+    num_bits = max(1, math.ceil(-num_elements * math.log(target_rate) / math.log(2) ** 2))
+    while min_false_positive_rate(num_bits, num_elements) > target_rate:
+        num_bits = math.ceil(num_bits * 1.05) + 1
+    return num_bits
+
+
+def expected_fill_fraction(num_bits: int, num_elements: int, num_hashes: int) -> float:
+    """Expected fraction of bits set after ``n`` distinct insertions."""
+    _validate(num_bits, num_elements, num_hashes)
+    if num_elements == 0:
+        return 0.0
+    return -math.expm1(num_hashes * num_elements * math.log1p(-1.0 / num_bits))
+
+
+def _validate(num_bits: int, num_elements: int, num_hashes: int) -> None:
+    if num_bits < 1:
+        raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+    if num_elements < 0:
+        raise ConfigurationError(f"num_elements must be >= 0, got {num_elements}")
+    if num_hashes < 1:
+        raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")

@@ -1,0 +1,179 @@
+"""Stable Bloom filter (Deng & Rafiei, SIGMOD 2006).
+
+The related-work baseline of §2.4: a fixed array of small cells where
+every insertion first *randomly decrements* ``p`` cells (evicting stale
+information) and then sets the element's ``k`` cells to the maximum
+value.  The filter reaches a stable fraction of zero cells, giving
+bounded false positives on unbounded streams — but the random eviction
+introduces **false negatives**, which is precisely the deficiency the
+paper's GBF/TBF algorithms remove (both are zero-false-negative).
+
+We implement it faithfully so the experiment harness can demonstrate
+that trade-off side by side with TBF.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing import HashFamily, SplitMixFamily
+
+
+class StableBloomFilter:
+    """``num_cells`` cells of ``cell_bits`` bits with random decay.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of cells ``m``.
+    num_hashes:
+        Hash functions ``k``.
+    cell_bits:
+        Bits per cell ``d``; cells count down from ``Max = 2^d - 1``.
+    decrements_per_insert:
+        ``p``, the number of randomly chosen cells decremented before
+        each insertion.  :meth:`recommended_decrements` computes the
+        value Deng & Rafiei derive for a target false-positive rate.
+    """
+
+    __slots__ = (
+        "num_cells",
+        "cell_bits",
+        "decrements_per_insert",
+        "family",
+        "_cells",
+        "_max_value",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        num_cells: int,
+        num_hashes: int = 4,
+        cell_bits: int = 3,
+        decrements_per_insert: int = 10,
+        seed: int = 0,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        if num_cells < 1:
+            raise ConfigurationError(f"num_cells must be >= 1, got {num_cells}")
+        if not 1 <= cell_bits <= 8:
+            raise ConfigurationError(f"cell_bits must be in [1, 8], got {cell_bits}")
+        if decrements_per_insert < 1:
+            raise ConfigurationError(
+                f"decrements_per_insert must be >= 1, got {decrements_per_insert}"
+            )
+        if family is None:
+            family = SplitMixFamily(num_hashes, num_cells, seed)
+        if family.num_buckets != num_cells:
+            raise ConfigurationError(
+                f"hash family range {family.num_buckets} != num_cells {num_cells}"
+            )
+        self.num_cells = num_cells
+        self.cell_bits = cell_bits
+        self.decrements_per_insert = decrements_per_insert
+        self.family = family
+        self._cells = np.zeros(num_cells, dtype=np.uint8)
+        self._max_value = (1 << cell_bits) - 1
+        self._rng = random.Random(seed ^ 0x5B1F)
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    def process(self, identifier: int) -> bool:
+        """One-pass duplicate check: query, decay, insert.
+
+        Returns True when the element looked like a duplicate *before*
+        insertion.  Deng & Rafiei query first, then decay, then set.
+        """
+        indices = self.family.indices(identifier)
+        duplicate = self.contains_indices(indices)
+        self._decay()
+        cells = self._cells
+        for index in indices:
+            cells[index] = self._max_value
+        return duplicate
+
+    def query(self, identifier: int) -> bool:
+        return self.contains_indices(self.family.indices(identifier))
+
+    def contains_indices(self, indices: List[int]) -> bool:
+        cells = self._cells
+        for index in indices:
+            if not cells[index]:
+                return False
+        return True
+
+    def _decay(self) -> None:
+        cells = self._cells
+        randrange = self._rng.randrange
+        m = self.num_cells
+        for _ in range(self.decrements_per_insert):
+            index = randrange(m)
+            value = cells[index]
+            if value:
+                cells[index] = value - 1
+
+    def zero_fraction(self) -> float:
+        """Measured fraction of zero cells (converges to the stable point)."""
+        return float((self._cells == 0).sum()) / self.num_cells
+
+    @staticmethod
+    def stable_zero_fraction(
+        num_cells: int, num_hashes: int, cell_bits: int, decrements_per_insert: int
+    ) -> float:
+        """Deng & Rafiei Theorem 2: the limiting fraction of zero cells.
+
+        ``(1 / (1 + 1/(p(1/k - 1/m))))^{Max}`` — the probability a given
+        cell is zero once the filter is stable.
+        """
+        max_value = (1 << cell_bits) - 1
+        inner = 1.0 / (
+            1.0 + 1.0 / (decrements_per_insert * (1.0 / num_hashes - 1.0 / num_cells))
+        )
+        return inner**max_value
+
+    @staticmethod
+    def stable_false_positive_rate(
+        num_cells: int, num_hashes: int, cell_bits: int, decrements_per_insert: int
+    ) -> float:
+        """FP rate once stable: ``(1 - zero_fraction)^k``."""
+        zero = StableBloomFilter.stable_zero_fraction(
+            num_cells, num_hashes, cell_bits, decrements_per_insert
+        )
+        return (1.0 - zero) ** num_hashes
+
+    @staticmethod
+    def recommended_decrements(
+        num_cells: int, num_hashes: int, cell_bits: int, target_rate: float
+    ) -> int:
+        """Smallest ``p`` whose stable FP rate meets ``target_rate``.
+
+        Inverts the stable-point formula; raises ``ConfigurationError``
+        when no ``p`` can reach the target with these ``m``, ``k``, ``d``.
+        """
+        if num_cells <= num_hashes:
+            raise ConfigurationError(
+                "stable point requires num_cells > num_hashes"
+            )
+        max_value = (1 << cell_bits) - 1
+        zero_needed = 1.0 - target_rate ** (1.0 / num_hashes)
+        denominator = (
+            (1.0 / zero_needed ** (1.0 / max_value)) - 1.0
+        )
+        if denominator <= 0:
+            raise ConfigurationError("target rate unreachable with these parameters")
+        p = 1.0 / (denominator * (1.0 / num_hashes - 1.0 / num_cells))
+        if p <= 0:
+            raise ConfigurationError("target rate unreachable with these parameters")
+        return max(1, math.ceil(p))
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_cells * self.cell_bits

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   synthesize a click stream (with optional botnet traffic)
+               to CSV/JSONL
+``detect``     run a duplicate detector over a stream file and report
+               duplicate statistics, per-publisher quality, and alerts
+``plan``       size a detector for a window and FP target / memory budget
+``figures``    regenerate the paper's figures (same output as the
+               benchmark harness, without pytest)
+
+Examples
+--------
+::
+
+    python -m repro generate --duration 3600 --botnet-bots 50 out.jsonl
+    python -m repro detect --algorithm tbf --window 8192 --target-fp 1e-3 out.jsonl
+    python -m repro plan --window 1048576 --target-fp 0.001
+    python -m repro figures --which 2b --scale 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adnet import AdNetwork, TrafficProfile, competitor_botnet
+from .analysis import plan_gbf_for_target, plan_tbf_for_target
+from .detection import (
+    AlertEngine,
+    ClickQualityTracker,
+    DetectionPipeline,
+    QualityConfig,
+    WindowSpec,
+    create_detector,
+    default_rules,
+)
+from .metrics import render_table
+from .streams import load_clicks, write_clicks_csv, write_clicks_jsonl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Duplicate-click detection in pay-per-click streams "
+        "(Zhang & Guan, ICDCS 2008 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesize a click stream")
+    generate.add_argument("output", help="output path (.csv or .jsonl)")
+    generate.add_argument("--duration", type=float, default=3600.0,
+                          help="simulated seconds of traffic (default 3600)")
+    generate.add_argument("--click-rate", type=float, default=2.0,
+                          help="legitimate clicks per second (default 2.0)")
+    generate.add_argument("--visitors", type=int, default=300)
+    generate.add_argument("--botnet-bots", type=int, default=0,
+                          help="attach a botnet campaign with this many bots")
+    generate.add_argument("--bot-interval", type=float, default=120.0,
+                          help="mean seconds between a bot's clicks")
+    generate.add_argument("--seed", type=int, default=0)
+
+    detect = commands.add_parser("detect", help="run a detector over a stream file")
+    detect.add_argument("input", help="stream file from `repro generate`")
+    detect.add_argument("--algorithm", default="tbf",
+                        choices=["tbf", "gbf", "tbf-jumping", "exact",
+                                 "metwally-cbf", "stable-bloom"])
+    detect.add_argument("--window", type=int, default=8192,
+                        help="window size in clicks (default 8192)")
+    detect.add_argument("--subwindows", type=int, default=8,
+                        help="Q for jumping-window algorithms")
+    detect.add_argument("--target-fp", type=float, default=None)
+    detect.add_argument("--memory-kib", type=float, default=None,
+                        help="memory budget in KiB (alternative to --target-fp)")
+    detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument("--quality", action="store_true",
+                        help="also report per-publisher click quality")
+
+    plan = commands.add_parser("plan", help="size a detector")
+    plan.add_argument("--window", type=int, required=True)
+    plan.add_argument("--subwindows", type=int, default=8)
+    plan.add_argument("--target-fp", type=float, default=0.001)
+
+    figures = commands.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--which", default="all", choices=["1", "2a", "2b", "all"])
+    figures.add_argument("--scale", type=int, default=None,
+                         help="size divisor vs the paper's N = 2^20 "
+                         "(default: REPRO_SCALE or 64)")
+    figures.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    network = AdNetwork(seed=args.seed)
+    network.add_advertiser("alpha", budget=1e9,
+                           bids={"one": 1.0, "two": 0.6, "three": 0.3})
+    network.add_advertiser("beta", budget=1e9,
+                           bids={"two": 0.9, "three": 0.5, "four": 0.4})
+    network.add_advertiser("gamma", budget=1e9,
+                           bids={"one": 0.7, "four": 0.6, "five": 0.2})
+    network.add_publisher("portal", traffic_weight=2.0)
+    network.add_publisher("blogs", traffic_weight=1.0)
+    network.run_auctions(["one", "two", "three", "four", "five"])
+    if args.botnet_bots > 0:
+        competitor_botnet(network, num_bots=args.botnet_bots,
+                          mean_interval=args.bot_interval, seed=args.seed + 1)
+    clicks = network.run(
+        duration=args.duration,
+        profile=TrafficProfile(click_rate=args.click_rate,
+                               num_visitors=args.visitors),
+    )
+    for click in clicks:
+        click.cost = network.ad_links[click.ad_id].cpc
+    if args.output.endswith(".csv"):
+        count = write_clicks_csv(args.output, clicks)
+    else:
+        count = write_clicks_jsonl(args.output, clicks)
+    fraud = sum(1 for c in clicks if c.is_fraud)
+    print(f"wrote {count} clicks to {args.output} ({fraud} fraudulent)")
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    clicks = load_clicks(args.input)
+    kind = "jumping" if args.algorithm in ("gbf", "tbf-jumping", "metwally-cbf") else "sliding"
+    subwindows = args.subwindows if kind == "jumping" else 1
+    window = args.window - args.window % subwindows if subwindows > 1 else args.window
+    spec = WindowSpec(kind, window, subwindows)
+    sizing = {}
+    if args.algorithm != "exact":
+        if args.memory_kib is not None:
+            sizing["memory_bits"] = int(args.memory_kib * 8 * 1024)
+        else:
+            sizing["target_fp"] = args.target_fp if args.target_fp else 0.001
+    detector = create_detector(args.algorithm, spec, seed=args.seed, **sizing)
+
+    quality = ClickQualityTracker(QualityConfig(window=window, grace_clicks=0))
+    engine = AlertEngine(default_rules())
+    pipeline = DetectionPipeline(detector)
+    duplicates = 0
+    for click in clicks:
+        is_duplicate = pipeline.process_click(click)
+        duplicates += is_duplicate
+        quality.observe(click, is_duplicate)
+        engine.observe(click, is_duplicate)
+
+    total = len(clicks)
+    print(f"{total} clicks; {duplicates} duplicates "
+          f"({100 * duplicates / max(total, 1):.2f}%)")
+    fraud_total = sum(1 for c in clicks if c.is_fraud)
+    if fraud_total:
+        print(f"(stream ground truth: {fraud_total} clicks from fraud campaigns)")
+    top = pipeline.scoreboard.top_sources(count=5, min_clicks=10)
+    if top:
+        print("\ntop suspicious sources:")
+        for key, stats in top:
+            print(f"  {key:#014x}  {stats.clicks:6d} clicks  "
+                  f"{100 * stats.duplicate_rate:5.1f}% duplicates")
+    if args.quality:
+        print("\nper-publisher click quality:")
+        rows = [
+            [publisher, data["clicks"], data["quality"], data["multiplier"]]
+            for publisher, data in sorted(quality.report().items())
+        ]
+        print(render_table(["publisher", "clicks", "quality", "smart-price x"], rows))
+    if engine.alerts:
+        print(f"\n{len(engine.alerts)} alerts (first 5):")
+        for alert in engine.alerts[:5]:
+            print(f"  [{alert.rule_name}] {alert.scope} {alert.key:#x}: "
+                  f"{100 * alert.duplicate_rate:.0f}% duplicates over "
+                  f"{alert.clicks} clicks")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    gbf = plan_gbf_for_target(args.window, args.subwindows, args.target_fp)
+    tbf = plan_tbf_for_target(args.window, args.target_fp)
+    rows = [
+        [
+            f"GBF (jumping, Q={args.subwindows})",
+            f"{gbf.total_memory_bits / 8 / 1024:.1f} KiB",
+            gbf.num_hashes,
+            f"{gbf.predicted_fp:.2e}",
+        ],
+        [
+            "TBF (sliding)",
+            f"{tbf.total_memory_bits / 8 / 1024:.1f} KiB",
+            tbf.num_hashes,
+            f"{tbf.predicted_fp:.2e}",
+        ],
+    ]
+    print(render_table(
+        ["detector", "memory", "k", "predicted FP"],
+        rows,
+        title=f"Plans for N = {args.window}, target FP = {args.target_fp}",
+    ))
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    from .experiments import run_figure1, run_figure2a, run_figure2b
+
+    if args.which in ("1", "all"):
+        print(run_figure1(scale=args.scale, seed=args.seed).render())
+    if args.which in ("2a", "all"):
+        print(run_figure2a(scale=args.scale, seed=args.seed).render())
+    if args.which in ("2b", "all"):
+        print(run_figure2b(scale=args.scale, seed=args.seed).render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "detect": _command_detect,
+        "plan": _command_plan,
+        "figures": _command_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

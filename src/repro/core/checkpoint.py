@@ -1,0 +1,266 @@
+"""Detector checkpointing: serialize and restore in-flight sketch state.
+
+A production click-stream processor restarts — deploys, crashes,
+rebalances.  Losing a detector's state silently un-flags every click of
+the last window (the attacker's dream), so the sketch must checkpoint.
+This module snapshots GBF / TBF / TBF-jumping detectors to bytes and
+restores them to bit-identical state: the restored detector makes
+exactly the decisions the original would have (tested).
+
+Format: an 8-byte magic, a length-prefixed JSON header carrying the
+configuration and scalar state, then the raw little-endian array
+payload, then a CRC32 of everything before it.  Corruption, truncation,
+or a configuration mismatch raises :class:`CheckpointError` — a wrong
+sketch must never load quietly.
+
+Hash-family seeds are part of the configuration, so a checkpoint
+restores with the identical family.  Checkpoints of detectors built on
+externally supplied ``family`` objects record the family's class name
+and parameters and rebuild it; exotic custom families are rejected at
+save time rather than mis-restored at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ReproError
+from ..hashing import (
+    CarterWegmanFamily,
+    DoubleHashingFamily,
+    MultiplyShiftFamily,
+    SplitMixFamily,
+    TabulationFamily,
+)
+from .gbf import GBFDetector
+from .tbf import TBFDetector
+from .tbf_jumping import TBFJumpingDetector
+
+_MAGIC = b"RPROCKP1"
+
+_FAMILY_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        SplitMixFamily,
+        CarterWegmanFamily,
+        TabulationFamily,
+        MultiplyShiftFamily,
+        DoubleHashingFamily,
+    )
+}
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint is corrupt, truncated, or does not match the config."""
+
+
+def _family_spec(family) -> Dict[str, Any]:
+    name = type(family).__name__
+    if name not in _FAMILY_CLASSES:
+        raise CheckpointError(
+            f"cannot checkpoint custom hash family {name!r}; use a built-in "
+            "family or persist the detector yourself"
+        )
+    return {
+        "class": name,
+        "num_hashes": family.num_hashes,
+        "num_buckets": family.num_buckets,
+        "seed": family.seed,
+    }
+
+
+def _rebuild_family(spec: Dict[str, Any]):
+    try:
+        cls = _FAMILY_CLASSES[spec["class"]]
+        return cls(spec["num_hashes"], spec["num_buckets"], spec["seed"])
+    except (KeyError, TypeError) as error:
+        raise CheckpointError(f"bad hash-family spec in checkpoint: {error}") from error
+
+
+def _pack(header: Dict[str, Any], payload: bytes) -> bytes:
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    body = (
+        _MAGIC
+        + struct.pack("<I", len(header_bytes))
+        + header_bytes
+        + struct.pack("<Q", len(payload))
+        + payload
+    )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def _unpack(blob: bytes) -> tuple:
+    if len(blob) < len(_MAGIC) + 4 + 8 + 4:
+        raise CheckpointError("checkpoint truncated")
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise CheckpointError("bad checkpoint magic")
+    body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
+    if zlib.crc32(body) != crc:
+        raise CheckpointError("checkpoint CRC mismatch (corrupt data)")
+    offset = len(_MAGIC)
+    (header_len,) = struct.unpack_from("<I", body, offset)
+    offset += 4
+    try:
+        header = json.loads(body[offset : offset + header_len])
+    except ValueError as error:
+        raise CheckpointError(f"unreadable checkpoint header: {error}") from error
+    offset += header_len
+    (payload_len,) = struct.unpack_from("<Q", body, offset)
+    offset += 8
+    payload = body[offset : offset + payload_len]
+    if len(payload) != payload_len:
+        raise CheckpointError("checkpoint payload truncated")
+    return header, payload
+
+
+# ----------------------------------------------------------------------
+# Per-detector handlers
+# ----------------------------------------------------------------------
+
+def save_detector(detector) -> bytes:
+    """Serialize a GBF / TBF / TBF-jumping detector to bytes."""
+    if isinstance(detector, GBFDetector):
+        return _save_gbf(detector)
+    if isinstance(detector, TBFDetector):
+        return _save_tbf(detector)
+    if isinstance(detector, TBFJumpingDetector):
+        return _save_tbf_jumping(detector)
+    raise CheckpointError(
+        f"unsupported detector type {type(detector).__name__}"
+    )
+
+
+def load_detector(blob: bytes):
+    """Restore a detector from :func:`save_detector` output."""
+    header, payload = _unpack(blob)
+    kind = header.get("kind")
+    if kind == "gbf":
+        return _load_gbf(header, payload)
+    if kind == "tbf":
+        return _load_tbf(header, payload)
+    if kind == "tbf-jumping":
+        return _load_tbf_jumping(header, payload)
+    raise CheckpointError(f"unknown detector kind {kind!r} in checkpoint")
+
+
+def _save_gbf(detector: GBFDetector) -> bytes:
+    header = {
+        "kind": "gbf",
+        "window_size": detector.window_size,
+        "num_subwindows": detector.num_subwindows,
+        "bits_per_filter": detector.bits_per_filter,
+        "word_bits": detector.word_bits,
+        "family": _family_spec(detector.family),
+        "position": detector._position,
+        "current_lane": detector._current_lane,
+        "cleaning_lane": detector._cleaning_lane,
+        "clean_cursor": detector._clean_cursor,
+        "active_masks": [str(mask) for mask in detector._active_masks],
+    }
+    payload = detector._matrix._words.tobytes()
+    return _pack(header, payload)
+
+
+def _load_gbf(header: Dict[str, Any], payload: bytes) -> GBFDetector:
+    family = _rebuild_family(header["family"])
+    try:
+        detector = GBFDetector(
+            header["window_size"],
+            header["num_subwindows"],
+            header["bits_per_filter"],
+            word_bits=header["word_bits"],
+            family=family,
+        )
+        words = np.frombuffer(payload, dtype=np.uint64).copy()
+        if words.shape != detector._matrix._words.shape:
+            raise CheckpointError("GBF payload size does not match configuration")
+        detector._matrix._words = words
+        detector._position = header["position"]
+        detector._current_lane = header["current_lane"]
+        detector._cleaning_lane = header["cleaning_lane"]
+        detector._clean_cursor = header["clean_cursor"]
+        detector._active_masks = [int(mask) for mask in header["active_masks"]]
+    except KeyError as error:
+        raise CheckpointError(f"missing GBF checkpoint field: {error}") from error
+    return detector
+
+
+def _save_tbf(detector: TBFDetector) -> bytes:
+    header = {
+        "kind": "tbf",
+        "window_size": detector.window_size,
+        "num_entries": detector.num_entries,
+        "cleanup_slack": detector.cleanup_slack,
+        "family": _family_spec(detector.family),
+        "position": detector._position,
+        "clean_cursor": detector._clean_cursor,
+        "dtype": detector._entries.dtype.name,
+    }
+    return _pack(header, detector._entries.tobytes())
+
+
+def _load_tbf(header: Dict[str, Any], payload: bytes) -> TBFDetector:
+    family = _rebuild_family(header["family"])
+    try:
+        detector = TBFDetector(
+            header["window_size"],
+            header["num_entries"],
+            cleanup_slack=header["cleanup_slack"],
+            family=family,
+        )
+        entries = np.frombuffer(payload, dtype=np.dtype(header["dtype"])).copy()
+        if entries.shape != detector._entries.shape:
+            raise CheckpointError("TBF payload size does not match configuration")
+        if entries.dtype != detector._entries.dtype:
+            raise CheckpointError("TBF payload dtype does not match configuration")
+        detector._entries = entries
+        detector._position = header["position"]
+        detector._clean_cursor = header["clean_cursor"]
+    except KeyError as error:
+        raise CheckpointError(f"missing TBF checkpoint field: {error}") from error
+    return detector
+
+
+def _save_tbf_jumping(detector: TBFJumpingDetector) -> bytes:
+    header = {
+        "kind": "tbf-jumping",
+        "window_size": detector.window_size,
+        "num_subwindows": detector.num_subwindows,
+        "num_entries": detector.num_entries,
+        "cleanup_slack": detector.cleanup_slack,
+        "family": _family_spec(detector.family),
+        "position": detector._position,
+        "clean_cursor": detector._clean_cursor,
+        "dtype": detector._entries.dtype.name,
+    }
+    return _pack(header, detector._entries.tobytes())
+
+
+def _load_tbf_jumping(header: Dict[str, Any], payload: bytes) -> TBFJumpingDetector:
+    family = _rebuild_family(header["family"])
+    try:
+        detector = TBFJumpingDetector(
+            header["window_size"],
+            header["num_subwindows"],
+            header["num_entries"],
+            cleanup_slack=header["cleanup_slack"],
+            family=family,
+        )
+        entries = np.frombuffer(payload, dtype=np.dtype(header["dtype"])).copy()
+        if entries.shape != detector._entries.shape:
+            raise CheckpointError(
+                "TBF-jumping payload size does not match configuration"
+            )
+        detector._entries = entries
+        detector._position = header["position"]
+        detector._clean_cursor = header["clean_cursor"]
+    except KeyError as error:
+        raise CheckpointError(
+            f"missing TBF-jumping checkpoint field: {error}"
+        ) from error
+    return detector

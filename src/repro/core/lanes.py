@@ -1,0 +1,241 @@
+"""Lane-packed bit storage — the memory layout at the heart of the GBF.
+
+§3.1: "instead of dividing the entire memory into separate pieces for
+separate Bloom filters, the bits with the same index in each Bloom
+filter are grouped together ... the CPU can visit the required bits in
+a bunch."
+
+A :class:`LanePackedBitMatrix` stores ``num_slots`` *fields* of
+``num_lanes`` bits each (one bit per logical Bloom filter) inside
+``word_bits``-wide machine words, in whichever of two layouts applies:
+
+* **dense** (``num_lanes <= word_bits``): ``word_bits // num_lanes``
+  whole fields share one word.  A membership probe reads one word per
+  hash index; cleaning one lane across a word's worth of slots is a
+  single read-modify-write — this is what makes the GBF's per-element
+  cleaning cost ``O(Q/D * M/N)`` (Theorem 1.3) rather than ``O(Q*M/N)``.
+* **wide** (``num_lanes > word_bits``): each field spans
+  ``ceil(num_lanes / word_bits)`` words; probes cost that many reads per
+  hash index, which is exactly the regime where §4 hands over to TBF.
+
+All accesses are tallied into an
+:class:`~repro.bitset.words.OperationCounter` supplied by the owner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..bitset.words import OperationCounter
+from ..errors import ConfigurationError
+
+
+class LanePackedBitMatrix:
+    """``num_slots`` fields of ``num_lanes`` bits packed into words."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        num_lanes: int,
+        word_bits: int = 64,
+        counter: OperationCounter | None = None,
+    ) -> None:
+        if num_slots < 1:
+            raise ConfigurationError(f"num_slots must be >= 1, got {num_slots}")
+        if num_lanes < 1:
+            raise ConfigurationError(f"num_lanes must be >= 1, got {num_lanes}")
+        if word_bits not in (8, 16, 32, 64):
+            raise ConfigurationError(f"word_bits must be 8/16/32/64, got {word_bits}")
+        self.num_slots = num_slots
+        self.num_lanes = num_lanes
+        self.word_bits = word_bits
+        self.counter = counter if counter is not None else OperationCounter()
+        self.field_mask = (1 << num_lanes) - 1
+
+        if num_lanes <= word_bits:
+            #: Whole fields per word (dense layout); 1 in the wide layout.
+            self.slots_per_word = word_bits // num_lanes
+            self.words_per_slot = 1
+            num_words = -(-num_slots // self.slots_per_word)
+        else:
+            self.slots_per_word = 1
+            self.words_per_slot = -(-num_lanes // word_bits)
+            num_words = num_slots * self.words_per_slot
+        self._words = np.zeros(num_words, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Dense-layout helpers
+    # ------------------------------------------------------------------
+
+    def _field_position(self, slot: int) -> tuple:
+        word_index, slot_in_word = divmod(slot, self.slots_per_word)
+        return word_index, slot_in_word * self.num_lanes
+
+    # ------------------------------------------------------------------
+    # Probing and insertion
+    # ------------------------------------------------------------------
+
+    def probe_and(self, indices: Sequence[int]) -> List[int]:
+        """AND the fields at ``indices``; returns the lane-bit survivors.
+
+        The result is a little-endian list of words (one when
+        ``num_lanes <= word_bits``): bit ``j`` set means every probed
+        slot has lane ``j``'s bit set — i.e. filter ``j`` claims
+        membership.  Counts one word read per index (dense) or
+        ``words_per_slot`` reads per index (wide).
+        """
+        words = self._words
+        if self.words_per_slot == 1:
+            combined = self.field_mask
+            if self.slots_per_word == 1:
+                for index in indices:
+                    combined &= int(words[index])
+            else:
+                lanes = self.num_lanes
+                spw = self.slots_per_word
+                for index in indices:
+                    word_index, slot_in_word = divmod(index, spw)
+                    combined &= int(words[word_index]) >> (slot_in_word * lanes)
+                combined &= self.field_mask
+            self.counter.word_reads += len(indices)
+            return [combined]
+
+        stride = self.words_per_slot
+        mask = (1 << self.word_bits) - 1
+        combined = [mask] * stride
+        for index in indices:
+            base = index * stride
+            for offset in range(stride):
+                combined[offset] &= int(words[base + offset])
+        self.counter.word_reads += len(indices) * stride
+        return combined
+
+    def set_lane(self, indices: Sequence[int], lane: int) -> None:
+        """Set ``lane``'s bit in every field at ``indices``.
+
+        Counted as one write per index: the paper's flow ANDs the k
+        words it already fetched and "write[s] them back", so the reads
+        were already paid for by :meth:`probe_and`.
+        """
+        words = self._words
+        if self.words_per_slot == 1:
+            lanes = self.num_lanes
+            spw = self.slots_per_word
+            for index in indices:
+                word_index, slot_in_word = divmod(index, spw)
+                bit = np.uint64(1 << (slot_in_word * lanes + lane))
+                words[word_index] |= bit
+        else:
+            stride = self.words_per_slot
+            offset, bit_position = divmod(lane, self.word_bits)
+            bit = np.uint64(1 << bit_position)
+            for index in indices:
+                words[index * stride + offset] |= bit
+        self.counter.word_writes += len(indices)
+
+    # ------------------------------------------------------------------
+    # Lane cleaning
+    # ------------------------------------------------------------------
+
+    def clear_lane_range(self, lane: int, start_slot: int, num_cleared: int) -> None:
+        """Zero ``lane``'s bit in slots [start_slot, start_slot + num_cleared).
+
+        In the dense layout a single read-modify-write clears the lane
+        across every field sharing the word — the "bunch" access §3.1
+        promises.  Words whose lane bits are already zero cost only the
+        read.
+        """
+        if num_cleared <= 0:
+            return
+        stop_slot = min(start_slot + num_cleared, self.num_slots)
+        words = self._words
+        reads = 0
+        writes = 0
+        if self.words_per_slot == 1:
+            lanes = self.num_lanes
+            spw = self.slots_per_word
+            first_word = start_slot // spw
+            last_word = (stop_slot - 1) // spw
+            # Lane bit replicated at every field offset within a word.
+            full_mask = 0
+            for slot_in_word in range(spw):
+                full_mask |= 1 << (slot_in_word * lanes + lane)
+            for word_index in range(first_word, last_word + 1):
+                mask = full_mask
+                if word_index == first_word or word_index == last_word:
+                    # Partial coverage at the range edges.
+                    mask = 0
+                    for slot_in_word in range(spw):
+                        slot = word_index * spw + slot_in_word
+                        if start_slot <= slot < stop_slot:
+                            mask |= 1 << (slot_in_word * lanes + lane)
+                word = int(words[word_index])
+                reads += 1
+                if word & mask:
+                    words[word_index] = np.uint64(word & ~mask)
+                    writes += 1
+        else:
+            stride = self.words_per_slot
+            offset, bit_position = divmod(lane, self.word_bits)
+            keep = np.uint64(~np.uint64(1 << bit_position))
+            for slot in range(start_slot, stop_slot):
+                index = slot * stride + offset
+                word = words[index]
+                reads += 1
+                if word & ~keep:
+                    words[index] = word & keep
+                    writes += 1
+        self.counter.word_reads += reads
+        self.counter.word_writes += writes
+
+    def words_for_slot_range(self, num_slots: int) -> int:
+        """How many word RMWs cleaning ``num_slots`` consecutive slots takes."""
+        return -(-num_slots // self.slots_per_word)
+
+    def clear_all(self) -> None:
+        """Bulk zero (used by idle-gap fast-forward); counts a full sweep."""
+        nonzero = int((self._words != 0).sum())
+        self.counter.word_reads += len(self._words)
+        self.counter.word_writes += nonzero
+        self._words.fill(0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_words(self) -> int:
+        return len(self._words)
+
+    @property
+    def memory_bits(self) -> int:
+        return len(self._words) * self.word_bits
+
+    def lane_population(self, lane: int) -> int:
+        """Set-bit count of one lane (diagnostics and tests)."""
+        words = self._words
+        if self.words_per_slot == 1:
+            count = 0
+            lanes = self.num_lanes
+            spw = self.slots_per_word
+            for slot in range(self.num_slots):
+                word_index, slot_in_word = divmod(slot, spw)
+                if int(words[word_index]) >> (slot_in_word * lanes + lane) & 1:
+                    count += 1
+            return count
+        stride = self.words_per_slot
+        offset, bit_position = divmod(lane, self.word_bits)
+        lane_words = words[offset::stride]
+        return int(((lane_words >> np.uint64(bit_position)) & np.uint64(1)).sum())
+
+    def get_bit(self, slot: int, lane: int) -> bool:
+        """Uncounted single-bit read (tests only)."""
+        if self.words_per_slot == 1:
+            word_index, base = self._field_position(slot)
+            return bool(int(self._words[word_index]) >> (base + lane) & 1)
+        offset, bit_position = divmod(lane, self.word_bits)
+        return bool(
+            int(self._words[slot * self.words_per_slot + offset]) >> bit_position & 1
+        )

@@ -1,0 +1,163 @@
+"""Analytical per-element operation costs (Theorems 1.3 and 2.3).
+
+The paper measures running time in D-bit-word memory operations per
+processed element.  This module provides closed-form predictions for
+every algorithm in the library so the op-count benchmarks can compare
+measured against predicted, and so ablation A2 can locate the Q value
+where TBF overtakes GBF.
+
+All counts are *worst case* per element (every check reads all ``k``
+positions, every insert writes all ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Predicted word operations per element, split by purpose."""
+
+    check_reads: float
+    insert_writes: float
+    cleaning_ops: float
+
+    @property
+    def total(self) -> float:
+        return self.check_reads + self.insert_writes + self.cleaning_ops
+
+
+def gbf_cost(
+    window_size: int,
+    num_subwindows: int,
+    bits_per_filter: int,
+    num_hashes: int,
+    word_bits: int = 64,
+) -> OpCost:
+    """GBF: ``k * ceil((Q+1)/D)`` reads, ``k`` writes, plus lane cleaning.
+
+    Cleaning zeroes ``ceil(m / (N/Q))`` slots per element; dense lane
+    packing clears ``D // (Q+1)`` slots per word RMW, giving Theorem
+    1.3's ``O(Q/D * M/N)`` word operations.
+    """
+    num_lanes = num_subwindows + 1
+    if num_lanes <= word_bits:
+        words_per_slot = 1
+        slots_per_word = word_bits // num_lanes
+    else:
+        words_per_slot = -(-num_lanes // word_bits)
+        slots_per_word = 1
+    subwindow_size = window_size // num_subwindows
+    clean_slots = -(-bits_per_filter // subwindow_size)
+    clean_words = -(-clean_slots // slots_per_word)
+    return OpCost(
+        check_reads=num_hashes * words_per_slot,
+        insert_writes=num_hashes,
+        cleaning_ops=2.0 * clean_words,
+    )
+
+
+def tbf_cost(
+    window_size: int,
+    num_entries: int,
+    num_hashes: int,
+    cleanup_slack: int | None = None,
+) -> OpCost:
+    """TBF: ``k`` reads, ``k`` writes, ``ceil(m/(C+1))`` cleaning scans.
+
+    Theorem 2.3's ``O(M / (N log N))`` is the cleaning term at the
+    default ``C = N - 1``: the cursor scans ``~m/N`` entries per element
+    and ``m = M / O(log N)``.
+    """
+    if cleanup_slack is None:
+        cleanup_slack = window_size - 1
+    scans = -(-num_entries // (cleanup_slack + 1))
+    return OpCost(
+        check_reads=num_hashes,
+        insert_writes=num_hashes,
+        cleaning_ops=2.0 * scans,
+    )
+
+
+def naive_subwindow_bloom_cost(
+    window_size: int,
+    num_subwindows: int,
+    bits_per_filter: int,
+    num_hashes: int,
+    word_bits: int = 64,
+) -> OpCost:
+    """Naive per-sub-window Bloom filters (§3.1's strawman).
+
+    Checking touches one bit — one word — per hash per *active filter*
+    (``Q * k`` reads, the cost GBF's interleaving removes); cleaning the
+    expired filter is amortized over the sub-window exactly as in GBF.
+    """
+    subwindow_size = window_size // num_subwindows
+    clean_bits = -(-bits_per_filter // subwindow_size)
+    clean_words = min(clean_bits, -(-bits_per_filter // word_bits))
+    return OpCost(
+        check_reads=float(num_subwindows * num_hashes),
+        insert_writes=num_hashes,
+        cleaning_ops=2.0 * clean_words,
+    )
+
+
+def metwally_cbf_cost(
+    window_size: int,
+    num_subwindows: int,
+    num_counters: int,
+    num_hashes: int,
+) -> OpCost:
+    """Metwally et al. jumping-window counting filters (§3.3).
+
+    Per element: check ``k`` counters of the main filter, increment
+    ``k`` counters in both the sub-window filter and the main filter.
+    Expiring a sub-window subtracts an entire ``m``-counter filter from
+    the main one — ``O(m)`` operations amortized over ``N/Q`` arrivals.
+    """
+    subwindow_size = window_size // num_subwindows
+    subtract_ops = 2.0 * num_counters / subwindow_size
+    return OpCost(
+        check_reads=num_hashes,
+        insert_writes=2.0 * num_hashes,
+        cleaning_ops=subtract_ops,
+    )
+
+
+def exact_dict_cost(num_hashes: int = 1) -> OpCost:
+    """Exact dict+queue baseline: O(1) dictionary ops, O(N log N)-bits state.
+
+    Listed for completeness in throughput tables; its memory is the
+    thing the paper's sketches exist to avoid.
+    """
+    return OpCost(check_reads=1.0, insert_writes=2.0, cleaning_ops=2.0)
+
+
+def gbf_tbf_crossover_subwindows(
+    window_size: int,
+    total_memory_bits: int,
+    num_hashes: int,
+    word_bits: int = 64,
+) -> int:
+    """Smallest Q at which TBF costs fewer word ops than GBF (ablation A2).
+
+    Both algorithms are given the same memory budget ``M``; GBF splits it
+    into ``Q + 1`` lanes, TBF into ``M / ceil(log2(2N+1))`` entries.
+    Returns ``window_size`` when GBF wins everywhere (no crossover).
+    """
+    import math
+
+    entry_bits = max(1, math.ceil(math.log2(2 * window_size + 2)))
+    tbf_entries = max(1, total_memory_bits // entry_bits)
+    tbf_total = tbf_cost(window_size, tbf_entries, num_hashes).total
+    for num_subwindows in range(1, window_size + 1):
+        if window_size % num_subwindows != 0:
+            continue
+        bits_per_filter = max(1, total_memory_bits // (num_subwindows + 1))
+        gbf_total = gbf_cost(
+            window_size, num_subwindows, bits_per_filter, num_hashes, word_bits
+        ).total
+        if tbf_total < gbf_total:
+            return num_subwindows
+    return window_size

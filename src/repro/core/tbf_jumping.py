@@ -1,0 +1,183 @@
+"""TBF over jumping windows with many sub-windows (§4.1 extension).
+
+When a jumping window has a large number of sub-windows ``Q``, the GBF
+needs ``ceil((Q+1)/D)`` words per hashed slot and becomes slow; §4.1
+notes that the TBF handles this regime naturally: give every element of
+the same sub-window the *same* timestamp (the sub-window index), so all
+of a sub-window's elements expire from the filter simultaneously —
+jumping-window semantics with sliding-window machinery.
+
+Timestamps are measured in sub-window units, so entries need only
+``ceil(log2(Q + C + 2))`` bits and the cleaning cursor has
+``(C + 1) * N/Q`` arrivals to cover the filter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bitset.words import OperationCounter
+from ..errors import ConfigurationError
+from ..hashing import HashFamily, SplitMixFamily
+from .tbf import _dtype_for_bits
+
+
+class TBFJumpingDetector:
+    """One-pass duplicate detector over a count-based jumping window.
+
+    Parameters mirror :class:`~repro.core.gbf.GBFDetector` where they
+    overlap; ``cleanup_slack`` is in *sub-window* units and defaults to
+    ``Q - 1``.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        num_subwindows: int,
+        num_entries: int,
+        num_hashes: int = 4,
+        cleanup_slack: Optional[int] = None,
+        seed: int = 0,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        if window_size < 1:
+            raise ConfigurationError(f"window_size must be >= 1, got {window_size}")
+        if num_subwindows < 1:
+            raise ConfigurationError(
+                f"num_subwindows must be >= 1, got {num_subwindows}"
+            )
+        if window_size % num_subwindows != 0:
+            raise ConfigurationError(
+                f"window_size {window_size} not divisible by Q={num_subwindows}"
+            )
+        if num_entries < 1:
+            raise ConfigurationError(f"num_entries must be >= 1, got {num_entries}")
+        if cleanup_slack is None:
+            cleanup_slack = num_subwindows - 1
+        if cleanup_slack < 0:
+            raise ConfigurationError(
+                f"cleanup_slack must be >= 0, got {cleanup_slack}"
+            )
+        if family is None:
+            family = SplitMixFamily(num_hashes, num_entries, seed)
+        if family.num_buckets != num_entries:
+            raise ConfigurationError(
+                f"hash family range {family.num_buckets} != num_entries {num_entries}"
+            )
+
+        self.window_size = window_size
+        self.num_subwindows = num_subwindows
+        self.subwindow_size = window_size // num_subwindows
+        self.num_entries = num_entries
+        self.cleanup_slack = cleanup_slack
+        self.family = family
+
+        self.timestamp_period = num_subwindows + cleanup_slack + 1
+        self.entry_bits = max(1, math.ceil(math.log2(self.timestamp_period + 1)))
+        self.empty_value = (1 << self.entry_bits) - 1
+        self._entries = np.full(
+            num_entries, self.empty_value, dtype=_dtype_for_bits(self.entry_bits)
+        )
+        # Cursor must lap the filter within (C+1) sub-windows of arrivals.
+        arrivals_per_lap = (cleanup_slack + 1) * self.subwindow_size
+        self._scan_per_element = -(-num_entries // arrivals_per_lap)
+        self._clean_cursor = 0
+        self._position = -1
+
+        self.counter = OperationCounter()
+
+    def _clean_step(self, now: int) -> None:
+        entries = self._entries
+        m = self.num_entries
+        period = self.timestamp_period
+        active_span = self.num_subwindows
+        empty = self.empty_value
+        cursor = self._clean_cursor
+        reads = 0
+        writes = 0
+        for _ in range(self._scan_per_element):
+            value = int(entries[cursor])
+            reads += 1
+            if value != empty and (now - value) % period >= active_span:
+                entries[cursor] = empty
+                writes += 1
+            cursor += 1
+            if cursor == m:
+                cursor = 0
+        self._clean_cursor = cursor
+        self.counter.word_reads += reads
+        self.counter.word_writes += writes
+
+    def process(self, identifier: int) -> bool:
+        """Observe the next click; True means duplicate (not recorded)."""
+        self.counter.hash_evaluations += self.family.num_hashes
+        return self.process_indices(self.family.indices(identifier))
+
+    def process_indices(self, indices: Sequence[int]) -> bool:
+        self._position += 1
+        now = (self._position // self.subwindow_size) % self.timestamp_period
+        self._clean_step(now)
+
+        entries = self._entries
+        period = self.timestamp_period
+        active_span = self.num_subwindows
+        empty = self.empty_value
+
+        duplicate = True
+        reads = 0
+        for index in indices:
+            value = int(entries[index])
+            reads += 1
+            if value == empty or (now - value) % period >= active_span:
+                duplicate = False
+                break
+        self.counter.word_reads += reads
+        self.counter.elements += 1
+        if duplicate:
+            return True
+        stamp = entries.dtype.type(now)
+        for index in indices:
+            entries[index] = stamp
+        self.counter.word_writes += len(indices)
+        return False
+
+    def query(self, identifier: int) -> bool:
+        return self.query_indices(self.family.indices(identifier))
+
+    def query_indices(self, indices: Sequence[int]) -> bool:
+        if self._position < 0:
+            return False
+        entries = self._entries
+        now = (self._position // self.subwindow_size) % self.timestamp_period
+        period = self.timestamp_period
+        empty = self.empty_value
+        for index in indices:
+            value = int(entries[index])
+            if value == empty or (now - value) % period >= self.num_subwindows:
+                return False
+        return True
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def scan_per_element(self) -> int:
+        return self._scan_per_element
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_entries * self.entry_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TBFJumpingDetector(N={self.window_size}, Q={self.num_subwindows}, "
+            f"m={self.num_entries}, k={self.num_hashes}, C={self.cleanup_slack})"
+        )

@@ -1,0 +1,222 @@
+"""TBF over time-based sliding windows (§4.1 extension).
+
+"Suppose the entire sliding window is equally divided into R time
+units.  In Step 1, the cleaning procedure executes once in each time
+unit ... instead of inserting the counting-based position, the time
+unit information is inserted into the entries of TBF."
+
+Timestamps are *time-unit indices* rather than arrival positions, so
+the window "contains the last ``R`` units" — a granularity-``T/R``
+approximation of the ideal time-based sliding window (elements expire
+at unit boundaries, at most one unit late).  Cleaning advances with the
+clock, not with arrivals: each elapsed unit funds one cursor quota of
+``ceil(m / (C + 1))`` entries.  Long idle gaps are fast-forwarded — once
+every timestamp in the filter has expired, a single full wipe replaces
+the tick-by-tick replay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bitset.words import OperationCounter
+from ..errors import ConfigurationError, StreamError
+from ..hashing import HashFamily, SplitMixFamily
+from .tbf import _dtype_for_bits
+
+
+class TimeBasedTBFDetector:
+    """Duplicate detector over a time-based sliding window of ``duration``.
+
+    Parameters
+    ----------
+    duration:
+        Window length ``T`` in stream time units (e.g. seconds).
+    resolution:
+        ``R``, the number of time units the window is divided into; the
+        effective expiry granularity is ``duration / resolution``.
+    num_entries, num_hashes, seed, family:
+        As in :class:`~repro.core.tbf.TBFDetector`.
+    cleanup_slack:
+        ``C`` in time units; defaults to ``R - 1``.
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        resolution: int,
+        num_entries: int,
+        num_hashes: int = 4,
+        cleanup_slack: Optional[int] = None,
+        seed: int = 0,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        if resolution < 1:
+            raise ConfigurationError(f"resolution must be >= 1, got {resolution}")
+        if num_entries < 1:
+            raise ConfigurationError(f"num_entries must be >= 1, got {num_entries}")
+        if cleanup_slack is None:
+            cleanup_slack = resolution - 1
+        if cleanup_slack < 0:
+            raise ConfigurationError(f"cleanup_slack must be >= 0, got {cleanup_slack}")
+        if family is None:
+            family = SplitMixFamily(num_hashes, num_entries, seed)
+        if family.num_buckets != num_entries:
+            raise ConfigurationError(
+                f"hash family range {family.num_buckets} != num_entries {num_entries}"
+            )
+
+        self.duration = float(duration)
+        self.resolution = resolution
+        self.unit_duration = self.duration / resolution
+        self.num_entries = num_entries
+        self.cleanup_slack = cleanup_slack
+        self.family = family
+
+        # Wraparound period: count-based TBFs use N + C + 1 because the
+        # cleaning cursor provably re-visits every entry within C + 1
+        # *arrivals* of it expiring.  With a wall clock, cleaning only
+        # runs at arrival instants, so a re-visit can be late by one
+        # inter-arrival gap — bounded by R units (longer gaps trigger
+        # the full wipe).  An entry kept at age <= R-1 is therefore
+        # re-visited at age < (R-1) + (C+1) + R, so the period must
+        # exceed 2R + C for expired ages to stay distinguishable.
+        self.timestamp_period = 2 * resolution + cleanup_slack + 1
+        self.entry_bits = max(1, math.ceil(math.log2(self.timestamp_period + 1)))
+        self.empty_value = (1 << self.entry_bits) - 1
+        self._entries = np.full(
+            num_entries, self.empty_value, dtype=_dtype_for_bits(self.entry_bits)
+        )
+        self._scan_per_unit = -(-num_entries // (cleanup_slack + 1))
+        self._clean_cursor = 0
+        self._last_unit: Optional[int] = None
+        self._last_time: Optional[float] = None
+
+        self.counter = OperationCounter()
+
+    # ------------------------------------------------------------------
+    # Clock handling
+    # ------------------------------------------------------------------
+
+    def _unit_of(self, timestamp: float) -> int:
+        return int(timestamp // self.unit_duration)
+
+    def _advance_clock(self, timestamp: float) -> int:
+        """Run the per-unit cleaning for every unit elapsed; return ``now``."""
+        if self._last_time is not None and timestamp < self._last_time:
+            raise StreamError(
+                f"timestamp regressed: {timestamp} after {self._last_time}"
+            )
+        self._last_time = timestamp
+        unit = self._unit_of(timestamp)
+        if self._last_unit is None:
+            self._last_unit = unit
+            return unit % self.timestamp_period
+        elapsed = unit - self._last_unit
+        self._last_unit = unit
+        now = unit % self.timestamp_period
+        if elapsed <= 0:
+            return now
+        if elapsed >= self.resolution:
+            # Everything in the filter predates the window: wipe it.
+            stale = int((self._entries != self.empty_value).sum())
+            self._entries.fill(self.empty_value)
+            self.counter.word_reads += self.num_entries
+            self.counter.word_writes += stale
+            self._clean_cursor = 0
+            return now
+        budget = min(elapsed * self._scan_per_unit, self.num_entries)
+        self._clean_segment(now, budget)
+        return now
+
+    def _clean_segment(self, now: int, budget: int) -> None:
+        entries = self._entries
+        m = self.num_entries
+        period = self.timestamp_period
+        active_span = self.resolution
+        empty = self.empty_value
+        cursor = self._clean_cursor
+        reads = 0
+        writes = 0
+        for _ in range(budget):
+            value = int(entries[cursor])
+            reads += 1
+            if value != empty and (now - value) % period >= active_span:
+                entries[cursor] = empty
+                writes += 1
+            cursor += 1
+            if cursor == m:
+                cursor = 0
+        self._clean_cursor = cursor
+        self.counter.word_reads += reads
+        self.counter.word_writes += writes
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+
+    def process_at(self, identifier: int, timestamp: float) -> bool:
+        """Observe a click at ``timestamp``; True means duplicate."""
+        self.counter.hash_evaluations += self.family.num_hashes
+        return self.process_indices_at(self.family.indices(identifier), timestamp)
+
+    def process_indices_at(self, indices: Sequence[int], timestamp: float) -> bool:
+        now = self._advance_clock(timestamp)
+        entries = self._entries
+        period = self.timestamp_period
+        active_span = self.resolution
+        empty = self.empty_value
+
+        duplicate = True
+        reads = 0
+        for index in indices:
+            value = int(entries[index])
+            reads += 1
+            if value == empty or (now - value) % period >= active_span:
+                duplicate = False
+                break
+        self.counter.word_reads += reads
+        self.counter.elements += 1
+        if duplicate:
+            return True
+        stamp = entries.dtype.type(now)
+        for index in indices:
+            entries[index] = stamp
+        self.counter.word_writes += len(indices)
+        return False
+
+    def query_at(self, identifier: int, timestamp: float) -> bool:
+        """Duplicate check at ``timestamp`` without recording the element.
+
+        Advances the cleaning clock (time passes regardless) but does not
+        insert.
+        """
+        indices = self.family.indices(identifier)
+        now = self._advance_clock(timestamp)
+        entries = self._entries
+        for index in indices:
+            value = int(entries[index])
+            if value == self.empty_value:
+                return False
+            if (now - value) % self.timestamp_period >= self.resolution:
+                return False
+        return True
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    @property
+    def memory_bits(self) -> int:
+        return self.num_entries * self.entry_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimeBasedTBFDetector(T={self.duration}, R={self.resolution}, "
+            f"m={self.num_entries}, k={self.num_hashes})"
+        )

@@ -1,0 +1,36 @@
+"""High-level detection: unified factory, pipeline, scoring, alerting."""
+
+from .alerts import Alert, AlertEngine, AlertRule, default_rules
+from .coalitions import CoalitionDetector, CoalitionPair, MinHashSignature
+from .detector import ALGORITHMS, WindowSpec, create_detector
+from .heavy_hitters import HeavyHitter, SkewMonitor, SpaceSaving
+from .pipeline import DetectionPipeline, PipelineResult, classify_stream
+from .quality import ClickQualityTracker, QualityConfig
+from .scoring import SourceScoreboard, SourceStats
+from .sharded import ShardedDetector, TimeShardedDetector, default_router
+
+__all__ = [
+    "ShardedDetector",
+    "TimeShardedDetector",
+    "default_router",
+    "ClickQualityTracker",
+    "QualityConfig",
+    "SpaceSaving",
+    "SkewMonitor",
+    "HeavyHitter",
+    "CoalitionDetector",
+    "CoalitionPair",
+    "MinHashSignature",
+    "create_detector",
+    "WindowSpec",
+    "ALGORITHMS",
+    "DetectionPipeline",
+    "PipelineResult",
+    "classify_stream",
+    "SourceScoreboard",
+    "SourceStats",
+    "AlertEngine",
+    "AlertRule",
+    "Alert",
+    "default_rules",
+]

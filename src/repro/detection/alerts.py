@@ -1,0 +1,111 @@
+"""Threshold alerting on top of the fraud scoreboard.
+
+Converts streaming duplicate statistics into discrete operator alerts:
+"source 10.0.0.7 exceeded a 60% duplicate rate over 50+ clicks".
+Alerts fire once per (key, rule) pair until reset, so a sustained
+attack produces one actionable event, not a flood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..streams.click import Click
+from .scoring import SourceScoreboard
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Fire when a key's duplicate rate crosses ``threshold`` with volume.
+
+    ``scope`` is ``"source"`` or ``"publisher"``.
+    """
+
+    name: str
+    scope: str
+    threshold: float
+    min_clicks: int = 20
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("source", "publisher"):
+            raise ConfigurationError(f"unknown alert scope {self.scope!r}")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {self.threshold}"
+            )
+        if self.min_clicks < 1:
+            raise ConfigurationError(
+                f"min_clicks must be >= 1, got {self.min_clicks}"
+            )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert."""
+
+    rule_name: str
+    scope: str
+    key: int
+    clicks: int
+    duplicate_rate: float
+    timestamp: float
+
+
+class AlertEngine:
+    """Evaluates alert rules as verdicts stream in."""
+
+    def __init__(self, rules: List[AlertRule]) -> None:
+        self.rules = list(rules)
+        self.scoreboard = SourceScoreboard()
+        self.alerts: List[Alert] = []
+        self._fired: Set[Tuple[str, int]] = set()
+
+    def observe(self, click: Click, duplicate: bool) -> List[Alert]:
+        """Record one verdict; returns any alerts that just fired."""
+        self.scoreboard.record(click, duplicate)
+        fired_now: List[Alert] = []
+        for rule in self.rules:
+            if rule.scope == "source":
+                key = click.source_ip
+                stats = self.scoreboard.by_source[key]
+            else:
+                key = click.publisher_id
+                stats = self.scoreboard.by_publisher[key]
+            if stats.clicks < rule.min_clicks:
+                continue
+            if stats.duplicate_rate < rule.threshold:
+                continue
+            fingerprint = (rule.name, key)
+            if fingerprint in self._fired:
+                continue
+            self._fired.add(fingerprint)
+            alert = Alert(
+                rule_name=rule.name,
+                scope=rule.scope,
+                key=key,
+                clicks=stats.clicks,
+                duplicate_rate=stats.duplicate_rate,
+                timestamp=click.timestamp,
+            )
+            self.alerts.append(alert)
+            fired_now.append(alert)
+        return fired_now
+
+    def reset_key(self, rule_name: str, key: int) -> None:
+        """Re-arm a (rule, key) pair after the operator handles the alert."""
+        self._fired.discard((rule_name, key))
+
+
+def default_rules() -> List[AlertRule]:
+    """A sensible starting rule set for the examples."""
+    return [
+        AlertRule(name="hot-source", scope="source", threshold=0.5, min_clicks=20),
+        AlertRule(
+            name="suspicious-publisher",
+            scope="publisher",
+            threshold=0.3,
+            min_clicks=200,
+        ),
+    ]

@@ -1,0 +1,206 @@
+"""Coalition detection: sources that click suspiciously alike.
+
+The paper's related work (§2.4) cites Metwally et al.'s
+*Similarity-Seeker* [20]: fraudsters distribute their clicking across
+many identities, so no single identity looks hot — but the identities
+betray themselves by clicking the *same set of ads*.  Coalition
+detection finds pairs/groups of sources with abnormally similar click
+sets.
+
+Exact pairwise Jaccard over all sources is quadratic in sources and
+linear in history; the streaming-scale approach is **MinHash**
+(Broder): per source, keep ``num_hashes`` running minima of hashed ad
+ids.  The fraction of matching minima between two sources is an
+unbiased estimate of the Jaccard similarity of their ad sets, in
+``O(num_hashes)`` space per source and ``O(num_hashes)`` time per
+comparison.
+
+:class:`CoalitionDetector` maintains signatures per source, prunes to
+the busiest sources (Space-Saving), and reports high-similarity pairs
+and their connected components as coalition candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..hashing import derive_constants
+from ..streams.click import Click
+from .heavy_hitters import SpaceSaving
+
+_MASK64 = (1 << 64) - 1
+_C1 = 0xBF58476D1CE4E5B9
+_C2 = 0x94D049BB133111EB
+
+
+def _mix(value: int) -> int:
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * _C1) & _MASK64
+    value = ((value ^ (value >> 27)) * _C2) & _MASK64
+    return value ^ (value >> 31)
+
+
+class MinHashSignature:
+    """Running MinHash of a growing set, ``num_hashes`` permutations."""
+
+    __slots__ = ("_minima", "_salts", "items_observed")
+
+    def __init__(self, salts: List[int]) -> None:
+        self._salts = salts
+        self._minima = [_MASK64] * len(salts)
+        self.items_observed = 0
+
+    def observe(self, item: int) -> None:
+        self.items_observed += 1
+        minima = self._minima
+        for index, salt in enumerate(self._salts):
+            hashed = _mix(item ^ salt)
+            if hashed < minima[index]:
+                minima[index] = hashed
+
+    def similarity(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity of the two underlying sets."""
+        matches = sum(
+            mine == theirs and mine != _MASK64
+            for mine, theirs in zip(self._minima, other._minima)
+        )
+        return matches / len(self._minima)
+
+    @property
+    def memory_bits(self) -> int:
+        return 64 * len(self._minima)
+
+
+@dataclass(frozen=True)
+class CoalitionPair:
+    """Two sources whose ad sets look suspiciously similar."""
+
+    source_a: int
+    source_b: int
+    similarity: float
+    clicks_a: int
+    clicks_b: int
+
+
+class CoalitionDetector:
+    """Streaming coalition detection over (source, ad) click events.
+
+    Parameters
+    ----------
+    num_hashes:
+        MinHash permutations per source (estimation std is
+        ``~sqrt(J(1-J)/num_hashes)``).
+    max_sources:
+        Signatures are kept only for the busiest ``max_sources`` sources
+        (Space-Saving prunes the long tail — a source too quiet to be
+        monitored cannot be a useful coalition member anyway).
+    min_clicks:
+        Sources below this click count are excluded from reports (their
+        signatures are too immature to compare).
+    """
+
+    def __init__(
+        self,
+        num_hashes: int = 64,
+        max_sources: int = 1024,
+        min_clicks: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
+        if max_sources < 2:
+            raise ConfigurationError(f"max_sources must be >= 2, got {max_sources}")
+        if min_clicks < 1:
+            raise ConfigurationError(f"min_clicks must be >= 1, got {min_clicks}")
+        self.num_hashes = num_hashes
+        self.max_sources = max_sources
+        self.min_clicks = min_clicks
+        self._salts = derive_constants(seed ^ 0xC0A1, num_hashes)
+        self._signatures: Dict[int, MinHashSignature] = {}
+        self._volume = SpaceSaving(max_sources)
+
+    def observe(self, source: int, ad_id: int) -> None:
+        """Record that ``source`` clicked ``ad_id``."""
+        self._volume.observe(source)
+        signature = self._signatures.get(source)
+        if signature is None:
+            if len(self._signatures) >= self.max_sources:
+                self._prune()
+                if len(self._signatures) >= self.max_sources:
+                    return  # source too quiet to monitor right now
+            signature = MinHashSignature(self._salts)
+            self._signatures[source] = signature
+        signature.observe(ad_id)
+
+    def observe_click(self, click: Click) -> None:
+        self.observe(click.source_ip, click.ad_id)
+
+    def _prune(self) -> None:
+        """Keep signatures only for sources the volume summary monitors."""
+        monitored = {
+            hitter.element for hitter in self._volume.top(self.max_sources)
+        }
+        self._signatures = {
+            source: signature
+            for source, signature in self._signatures.items()
+            if source in monitored
+        }
+
+    def similar_pairs(self, threshold: float = 0.7) -> List[CoalitionPair]:
+        """All monitored source pairs with estimated Jaccard >= threshold."""
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+        eligible = [
+            (source, signature)
+            for source, signature in self._signatures.items()
+            if signature.items_observed >= self.min_clicks
+        ]
+        pairs: List[CoalitionPair] = []
+        for index, (source_a, signature_a) in enumerate(eligible):
+            for source_b, signature_b in eligible[index + 1 :]:
+                similarity = signature_a.similarity(signature_b)
+                if similarity >= threshold:
+                    pairs.append(
+                        CoalitionPair(
+                            source_a=min(source_a, source_b),
+                            source_b=max(source_a, source_b),
+                            similarity=similarity,
+                            clicks_a=signature_a.items_observed,
+                            clicks_b=signature_b.items_observed,
+                        )
+                    )
+        pairs.sort(key=lambda pair: -pair.similarity)
+        return pairs
+
+    def coalitions(self, threshold: float = 0.7) -> List[Set[int]]:
+        """Connected components of the similarity graph (size >= 2)."""
+        pairs = self.similar_pairs(threshold)
+        parent: Dict[int, int] = {}
+
+        def find(node: int) -> int:
+            parent.setdefault(node, node)
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for pair in pairs:
+            root_a, root_b = find(pair.source_a), find(pair.source_b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+        groups: Dict[int, Set[int]] = {}
+        for node in parent:
+            groups.setdefault(find(node), set()).add(node)
+        return sorted(
+            (members for members in groups.values() if len(members) >= 2),
+            key=lambda members: (-len(members), min(members)),
+        )
+
+    @property
+    def memory_bits(self) -> int:
+        signature_bits = sum(
+            signature.memory_bits for signature in self._signatures.values()
+        )
+        return signature_bits + self._volume.memory_bits

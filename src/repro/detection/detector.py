@@ -1,0 +1,235 @@
+"""Unified construction of duplicate-click detectors.
+
+One factory, every algorithm in the library, with auto-sizing: give it
+a window specification plus either explicit filter parameters or a
+memory budget / FP target and it returns a ready detector implementing
+the :class:`~repro.types.DuplicateDetector` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.sizing import (
+    plan_gbf_for_target,
+    plan_gbf_from_memory,
+    plan_tbf_for_target,
+    plan_tbf_from_memory,
+)
+from ..baselines import (
+    ExactDetector,
+    LandmarkBloomDetector,
+    MetwallyCBFDetector,
+    NaiveSubwindowBloomDetector,
+    StableBloomDetector,
+)
+from ..core import GBFDetector, TBFDetector, TBFJumpingDetector
+from ..errors import ConfigurationError
+
+ALGORITHMS = (
+    "gbf",
+    "tbf",
+    "tbf-jumping",
+    "exact",
+    "landmark-bloom",
+    "naive-bloom",
+    "metwally-cbf",
+    "stable-bloom",
+)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A decaying-window requirement.
+
+    ``kind`` is ``"sliding"``, ``"jumping"`` or ``"landmark"``;
+    ``num_subwindows`` applies to jumping windows only.
+    """
+
+    kind: str
+    size: int
+    num_subwindows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sliding", "jumping", "landmark"):
+            raise ConfigurationError(f"unknown window kind {self.kind!r}")
+        if self.size < 1:
+            raise ConfigurationError(f"window size must be >= 1, got {self.size}")
+        if self.kind == "jumping":
+            if self.num_subwindows < 1:
+                raise ConfigurationError(
+                    f"num_subwindows must be >= 1, got {self.num_subwindows}"
+                )
+            if self.size % self.num_subwindows != 0:
+                raise ConfigurationError(
+                    f"window size {self.size} not divisible by "
+                    f"{self.num_subwindows} sub-windows"
+                )
+
+
+def create_detector(
+    algorithm: str,
+    window: WindowSpec,
+    memory_bits: Optional[int] = None,
+    target_fp: Optional[float] = None,
+    num_hashes: Optional[int] = None,
+    seed: int = 0,
+):
+    """Build a detector for ``window`` using ``algorithm``.
+
+    Exactly one of ``memory_bits`` / ``target_fp`` sizes the sketch
+    (the exact baseline needs neither).  ``num_hashes`` overrides the
+    auto-chosen optimum.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if algorithm == "exact":
+        return _create_exact(window)
+    if memory_bits is None and target_fp is None:
+        raise ConfigurationError(
+            f"{algorithm} needs memory_bits or target_fp for sizing"
+        )
+    if memory_bits is not None and target_fp is not None:
+        raise ConfigurationError("pass memory_bits or target_fp, not both")
+
+    if algorithm == "gbf":
+        _require(window, "jumping", algorithm)
+        if memory_bits is not None:
+            plan = plan_gbf_from_memory(
+                window.size, window.num_subwindows, memory_bits, num_hashes
+            )
+        else:
+            plan = plan_gbf_for_target(window.size, window.num_subwindows, target_fp)
+        return GBFDetector(
+            window.size,
+            window.num_subwindows,
+            plan.bits_per_filter,
+            num_hashes or plan.num_hashes,
+            seed=seed,
+        )
+
+    if algorithm == "tbf":
+        _require(window, "sliding", algorithm)
+        if memory_bits is not None:
+            plan = plan_tbf_from_memory(window.size, memory_bits, num_hashes)
+        else:
+            plan = plan_tbf_for_target(window.size, target_fp)
+        return TBFDetector(
+            window.size,
+            plan.num_entries,
+            num_hashes or plan.num_hashes,
+            cleanup_slack=plan.cleanup_slack,
+            seed=seed,
+        )
+
+    if algorithm == "tbf-jumping":
+        _require(window, "jumping", algorithm)
+        # Size like a sliding-window TBF but with sub-window timestamps
+        # (entries need only ceil(log2(2Q + 1)) bits).
+        if memory_bits is not None:
+            import math
+
+            entry_bits = max(
+                1, math.ceil(math.log2(2 * window.num_subwindows + 2))
+            )
+            num_entries = max(1, memory_bits // entry_bits)
+        else:
+            plan = plan_tbf_for_target(window.size, target_fp)
+            num_entries = plan.num_entries
+        from ..bloom.params import optimal_num_hashes
+
+        k = num_hashes or optimal_num_hashes(num_entries, window.size)
+        return TBFJumpingDetector(
+            window.size, window.num_subwindows, num_entries, k, seed=seed
+        )
+
+    if algorithm == "landmark-bloom":
+        _require(window, "landmark", algorithm)
+        num_bits, k = _plain_bloom_size(window.size, memory_bits, target_fp)
+        return LandmarkBloomDetector(
+            window.size, num_bits, num_hashes or k, seed=seed
+        )
+
+    if algorithm == "naive-bloom":
+        _require(window, "jumping", algorithm)
+        if memory_bits is not None:
+            plan = plan_gbf_from_memory(
+                window.size, window.num_subwindows, memory_bits, num_hashes
+            )
+        else:
+            plan = plan_gbf_for_target(window.size, window.num_subwindows, target_fp)
+        return NaiveSubwindowBloomDetector(
+            window.size,
+            window.num_subwindows,
+            plan.bits_per_filter,
+            num_hashes or plan.num_hashes,
+            seed=seed,
+        )
+
+    if algorithm == "metwally-cbf":
+        _require(window, "jumping", algorithm)
+        counter_bits = 8
+        if memory_bits is not None:
+            num_counters = max(
+                1, memory_bits // ((window.num_subwindows + 1) * counter_bits)
+            )
+        else:
+            # Main filter carries the full window load; size it for that.
+            from ..bloom.params import bits_for_target_rate
+
+            num_counters = bits_for_target_rate(window.size, target_fp)
+        from ..bloom.params import optimal_num_hashes
+
+        k = num_hashes or optimal_num_hashes(num_counters, window.size)
+        return MetwallyCBFDetector(
+            window.size,
+            window.num_subwindows,
+            num_counters,
+            k,
+            counter_bits=counter_bits,
+            seed=seed,
+        )
+
+    # stable-bloom
+    if window.kind != "sliding":
+        raise ConfigurationError("stable-bloom approximates sliding windows only")
+    cell_bits = 3
+    if memory_bits is not None:
+        num_cells = max(1, memory_bits // cell_bits)
+    else:
+        from ..bloom.params import bits_for_target_rate
+
+        num_cells = bits_for_target_rate(window.size, target_fp)
+    return StableBloomDetector.with_tuned_decay(
+        window.size, num_cells, num_hashes or 4, cell_bits=cell_bits, seed=seed
+    )
+
+
+def _create_exact(window: WindowSpec):
+    if window.kind == "sliding":
+        return ExactDetector.sliding(window.size)
+    if window.kind == "jumping":
+        return ExactDetector.jumping(window.size, window.num_subwindows)
+    return ExactDetector.landmark(window.size)
+
+
+def _require(window: WindowSpec, kind: str, algorithm: str) -> None:
+    if window.kind != kind:
+        raise ConfigurationError(
+            f"{algorithm} runs over {kind} windows, got {window.kind!r}"
+        )
+
+
+def _plain_bloom_size(
+    window_size: int, memory_bits: Optional[int], target_fp: Optional[float]
+):
+    from ..bloom.params import bits_for_target_rate, optimal_num_hashes
+
+    if memory_bits is not None:
+        num_bits = memory_bits
+    else:
+        num_bits = bits_for_target_rate(window_size, target_fp)
+    return num_bits, optimal_num_hashes(num_bits, window_size)

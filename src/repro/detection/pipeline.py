@@ -1,0 +1,105 @@
+"""The end-to-end detection pipeline: clicks → detector → billing.
+
+Ties the whole system together: every click is projected to its
+identifier, passed through a one-pass duplicate detector, and settled —
+charged if valid, rejected if duplicate — while per-source statistics
+accumulate for fraud scoring.  This is the deployment shape the paper
+envisions for either party of the advertiser/publisher audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..adnet.billing import BillingEngine
+from ..errors import BudgetError
+from ..streams.click import Click, DEFAULT_SCHEME, IdentifierScheme
+from .scoring import SourceScoreboard
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produced."""
+
+    processed: int = 0
+    valid: int = 0
+    duplicates: int = 0
+    budget_exhausted: int = 0
+    scoreboard: Optional[SourceScoreboard] = None
+    billing_summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duplicate_rate(self) -> float:
+        return self.duplicates / self.processed if self.processed else 0.0
+
+
+class DetectionPipeline:
+    """One party's online click-processing loop.
+
+    Parameters
+    ----------
+    detector:
+        Any object with ``process(identifier) -> bool``.
+    billing:
+        Optional :class:`~repro.adnet.billing.BillingEngine`; without
+        it the pipeline only classifies (the auditing-side use case).
+    scheme:
+        How clicks map to duplicate-detection identifiers.
+    score_sources:
+        Track per-source duplicate ratios for fraud scoring.
+    """
+
+    def __init__(
+        self,
+        detector,
+        billing: Optional[BillingEngine] = None,
+        scheme: IdentifierScheme = DEFAULT_SCHEME,
+        score_sources: bool = True,
+    ) -> None:
+        self.detector = detector
+        self.billing = billing
+        self.scheme = scheme
+        self.scoreboard = SourceScoreboard() if score_sources else None
+
+    def process_click(self, click: Click) -> bool:
+        """Handle one click; returns True when rejected as duplicate."""
+        identifier = self.scheme.identify(click)
+        duplicate = self.detector.process(identifier)
+        if self.scoreboard is not None:
+            self.scoreboard.record(click, duplicate)
+        if self.billing is not None:
+            if duplicate:
+                self.billing.reject_duplicate(click)
+            else:
+                self.billing.charge(click)
+        return duplicate
+
+    def run(self, clicks: Iterable[Click]) -> PipelineResult:
+        """Process a whole stream, tolerating exhausted budgets."""
+        result = PipelineResult(scoreboard=self.scoreboard)
+        for click in clicks:
+            result.processed += 1
+            try:
+                duplicate = self.process_click(click)
+            except BudgetError:
+                result.budget_exhausted += 1
+                continue
+            if duplicate:
+                result.duplicates += 1
+            else:
+                result.valid += 1
+        if self.billing is not None:
+            result.billing_summary = self.billing.summary()
+        return result
+
+
+def classify_stream(
+    clicks: Iterable[Click],
+    detector,
+    scheme: IdentifierScheme = DEFAULT_SCHEME,
+) -> List[bool]:
+    """Bare classification: the detector's verdict per click, in order."""
+    identify = scheme.identify
+    process = detector.process
+    return [process(identify(click)) for click in clicks]

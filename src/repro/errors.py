@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause,
+while configuration problems and runtime-state problems stay
+distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A constructor or factory received inconsistent or invalid parameters.
+
+    Examples: a Bloom filter with ``num_bits <= 0``, a jumping window whose
+    size is not divisible by its sub-window count, a TBF whose cleanup
+    budget ``C`` is negative.
+    """
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A bounded data structure was asked to exceed its designed capacity.
+
+    Raised, for example, when a counting Bloom filter counter would
+    overflow its configured width and saturation is disabled.
+    """
+
+
+class StreamError(ReproError, RuntimeError):
+    """A click stream violated an ordering or format requirement.
+
+    Examples: non-monotonic timestamps fed to a time-based window, or a
+    malformed record encountered while parsing a stream file.
+    """
+
+
+class BudgetError(ReproError, RuntimeError):
+    """An advertiser budget was exhausted or a charge was invalid."""

@@ -1,0 +1,49 @@
+"""Reproduction harness: one module per paper figure, plus ablations."""
+
+from .ablations import (
+    CBFWidthResult,
+    LandmarkMissResult,
+    QCrossoverResult,
+    TBFSlackResult,
+    run_cbf_width_ablation,
+    run_landmark_boundary_ablation,
+    run_q_crossover_ablation,
+    run_tbf_slack_ablation,
+)
+from .config import (
+    DEFAULT_SCALE,
+    FPExperimentConfig,
+    PAPER_WINDOW_SIZE,
+    scale_factor,
+)
+from .figure1 import Figure1Result, run_figure1
+from .figure2a import Figure2aResult, run_figure2a
+from .figure2b import Figure2bResult, run_figure2b
+from .runner import FPMeasurement, measure_false_positives, run_distinct_stream_fp
+from .scaling import ScalingResult, run_scaling_validation
+
+__all__ = [
+    "run_figure1",
+    "run_figure2a",
+    "run_figure2b",
+    "Figure1Result",
+    "Figure2aResult",
+    "Figure2bResult",
+    "run_tbf_slack_ablation",
+    "run_q_crossover_ablation",
+    "run_cbf_width_ablation",
+    "run_landmark_boundary_ablation",
+    "LandmarkMissResult",
+    "TBFSlackResult",
+    "QCrossoverResult",
+    "CBFWidthResult",
+    "run_scaling_validation",
+    "ScalingResult",
+    "FPExperimentConfig",
+    "FPMeasurement",
+    "measure_false_positives",
+    "run_distinct_stream_fp",
+    "scale_factor",
+    "DEFAULT_SCALE",
+    "PAPER_WINDOW_SIZE",
+]

@@ -1,0 +1,429 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+* **A1 — TBF cleanup slack C** (§4.1): "a smaller C means less space
+  requirement and larger operation time, and a larger C means larger
+  space requirement and less operation time."  We sweep C and measure
+  entry width, sweep cost, memory, and FP rate.
+* **A2 — GBF/TBF crossover in Q** (§4 opening): GBF's per-element cost
+  grows with ``Q`` (lane words + cleaning); TBF's does not.  We locate
+  the crossover with both predicted and *measured* word operations.
+* **A3 — counting-filter counter width** (§3.3): the baseline's
+  counters must hold up to ``N/Q`` and ``N``; narrower counters
+  saturate, producing stuck-on false positives and genuine false
+  negatives.  We sweep the width on a duplicate-carrying stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..baselines import ExactDetector, MetwallyCBFDetector
+from ..core import GBFDetector, TBFDetector, TBFJumpingDetector, gbf_cost, tbf_cost
+from ..metrics.confusion import ConfusionMatrix
+from ..metrics.reporting import render_table
+from ..streams.generators import DuplicateSpec, duplicated_stream
+from .config import FPExperimentConfig, scale_factor, scaled_fig2b_entries
+from .runner import run_distinct_stream_fp
+
+
+# ----------------------------------------------------------------------
+# A1: TBF cleanup slack
+# ----------------------------------------------------------------------
+
+@dataclass
+class TBFSlackRow:
+    cleanup_slack: int
+    entry_bits: int
+    scan_per_element: int
+    memory_bits: int
+    measured_fp: float
+    theory_fp: float
+
+
+@dataclass
+class TBFSlackResult:
+    window_size: int
+    num_entries: int
+    num_hashes: int
+    rows: List[TBFSlackRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(
+            ["C", "entry_bits", "scan/elem", "memory_bits", "measured_fp", "theory_fp"],
+            [
+                [
+                    row.cleanup_slack,
+                    row.entry_bits,
+                    row.scan_per_element,
+                    row.memory_bits,
+                    row.measured_fp,
+                    row.theory_fp,
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"Ablation A1 - TBF space/time trade-off in C "
+                f"(N={self.window_size}, m={self.num_entries}, k={self.num_hashes})"
+            ),
+        )
+
+
+def run_tbf_slack_ablation(
+    scale: Optional[int] = None,
+    slack_fractions: Sequence[float] = (1 / 16, 1 / 4, 1.0, 4.0),
+    num_hashes: int = 10,
+    seed: int = 0,
+) -> TBFSlackResult:
+    """Sweep ``C = fraction * N`` (fraction 0 selects the paper's C=0
+    full-rescan variant — supported, but it costs O(m) *entry scans per
+    element* and is only tractable at tiny scales)."""
+    from ..analysis.theory import tbf_fp
+
+    scale = scale or scale_factor()
+    config = FPExperimentConfig.scaled(scale, seed=seed)
+    num_entries = scaled_fig2b_entries(scale)
+    result = TBFSlackResult(
+        window_size=config.window_size,
+        num_entries=num_entries,
+        num_hashes=num_hashes,
+    )
+    for fraction in slack_fractions:
+        slack = max(0, round(fraction * config.window_size) - (1 if fraction == 1.0 else 0))
+        detector = TBFDetector(
+            window_size=config.window_size,
+            num_entries=num_entries,
+            num_hashes=num_hashes,
+            cleanup_slack=slack,
+            seed=seed,
+        )
+        measurement = run_distinct_stream_fp(detector, config)
+        result.rows.append(
+            TBFSlackRow(
+                cleanup_slack=slack,
+                entry_bits=detector.entry_bits,
+                scan_per_element=detector.scan_per_element,
+                memory_bits=detector.memory_bits,
+                measured_fp=measurement.rate,
+                theory_fp=tbf_fp(config.window_size, num_entries, num_hashes),
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# A2: GBF vs TBF word operations as Q grows
+# ----------------------------------------------------------------------
+
+@dataclass
+class QCrossoverRow:
+    num_subwindows: int
+    gbf_predicted: float
+    gbf_measured: float
+    tbf_predicted: float
+    tbf_measured: float
+
+
+@dataclass
+class QCrossoverResult:
+    window_size: int
+    total_memory_bits: int
+    num_hashes: int
+    word_bits: int
+    rows: List[QCrossoverRow] = field(default_factory=list)
+
+    @property
+    def crossover_q(self) -> Optional[int]:
+        """First swept Q where TBF needs fewer measured ops than GBF."""
+        for row in self.rows:
+            if row.tbf_measured < row.gbf_measured:
+                return row.num_subwindows
+        return None
+
+    def render(self) -> str:
+        return render_table(
+            ["Q", "GBF ops (pred)", "GBF ops (meas)", "TBF ops (pred)", "TBF ops (meas)"],
+            [
+                [
+                    row.num_subwindows,
+                    row.gbf_predicted,
+                    row.gbf_measured,
+                    row.tbf_predicted,
+                    row.tbf_measured,
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"Ablation A2 - word ops per element vs Q "
+                f"(N={self.window_size}, M={self.total_memory_bits} bits, "
+                f"k={self.num_hashes}, D={self.word_bits})"
+            ),
+        )
+
+
+def run_q_crossover_ablation(
+    window_size: int = 1 << 12,
+    total_memory_bits: int = 1 << 18,
+    q_values: Sequence[int] = (4, 8, 16, 32, 64, 128, 256),
+    num_hashes: int = 6,
+    word_bits: int = 64,
+    seed: int = 0,
+) -> QCrossoverResult:
+    """Measure per-element word ops for both algorithms across Q.
+
+    Both detectors get the same total memory budget.  The TBF runs in
+    jumping-window mode (sub-window timestamps) so the comparison is
+    like for like.  Measured ops come from the detectors' own counters
+    over a full window of distinct traffic after a warm-up window.
+    """
+    import math
+
+    from ..streams.generators import distinct_stream
+
+    result = QCrossoverResult(
+        window_size=window_size,
+        total_memory_bits=total_memory_bits,
+        num_hashes=num_hashes,
+        word_bits=word_bits,
+    )
+    warmup = window_size * 2
+    measured_span = window_size
+    stream = distinct_stream(warmup + measured_span, seed)
+    for num_subwindows in q_values:
+        if window_size % num_subwindows:
+            continue
+        bits_per_filter = total_memory_bits // (num_subwindows + 1)
+        gbf = GBFDetector(
+            window_size,
+            num_subwindows,
+            bits_per_filter,
+            num_hashes,
+            word_bits=word_bits,
+            seed=seed,
+        )
+        entry_bits = max(1, math.ceil(math.log2(2 * num_subwindows + 2)))
+        tbf = TBFJumpingDetector(
+            window_size,
+            num_subwindows,
+            max(1, total_memory_bits // entry_bits),
+            num_hashes,
+            seed=seed,
+        )
+        gbf_measured = _measure_word_ops(gbf, stream, warmup)
+        tbf_measured = _measure_word_ops(tbf, stream, warmup)
+        subwindow = window_size // num_subwindows
+        result.rows.append(
+            QCrossoverRow(
+                num_subwindows=num_subwindows,
+                gbf_predicted=gbf_cost(
+                    window_size, num_subwindows, bits_per_filter, num_hashes, word_bits
+                ).total,
+                gbf_measured=gbf_measured,
+                tbf_predicted=tbf_cost(
+                    window_size,
+                    tbf.num_entries,
+                    num_hashes,
+                    cleanup_slack=num_subwindows * subwindow - 1,
+                ).total,
+                tbf_measured=tbf_measured,
+            )
+        )
+    return result
+
+
+def _measure_word_ops(detector, stream, warmup: int) -> float:
+    for identifier in stream[:warmup]:
+        detector.process(int(identifier))
+    detector.counter.reset()
+    for identifier in stream[warmup:]:
+        detector.process(int(identifier))
+    rates = detector.counter.per_element()
+    return rates.total_word_ops
+
+
+# ----------------------------------------------------------------------
+# A3: counting-filter counter width
+# ----------------------------------------------------------------------
+
+@dataclass
+class CBFWidthRow:
+    counter_bits: int
+    memory_bits: int
+    saturation_events: int
+    false_positive_rate: float
+    false_negative_rate: float
+
+
+@dataclass
+class CBFWidthResult:
+    window_size: int
+    num_subwindows: int
+    num_counters: int
+    num_hashes: int
+    rows: List[CBFWidthRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(
+            ["counter_bits", "memory_bits", "saturations", "fp_rate", "fn_rate"],
+            [
+                [
+                    row.counter_bits,
+                    row.memory_bits,
+                    row.saturation_events,
+                    row.false_positive_rate,
+                    row.false_negative_rate,
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"Ablation A3 - Metwally CBF counter width "
+                f"(N={self.window_size}, Q={self.num_subwindows}, "
+                f"m={self.num_counters}, k={self.num_hashes})"
+            ),
+        )
+
+
+def run_cbf_width_ablation(
+    window_size: int = 1 << 12,
+    num_subwindows: int = 8,
+    num_counters: int = 1 << 14,
+    counter_widths: Sequence[int] = (2, 4, 8, 16),
+    num_hashes: int = 3,
+    duplicate_rate: float = 0.3,
+    seed: int = 0,
+) -> CBFWidthResult:
+    """Duplicate-heavy stream through the CBF baseline at several widths.
+
+    With narrow counters the heavy repeats saturate popular slots:
+    subtraction can no longer remove expired contributions (stuck-on
+    FPs) or removes too much (FNs).  Ground truth comes from the exact
+    jumping-window detector.
+    """
+    stream = duplicated_stream(
+        window_size * 6,
+        DuplicateSpec(rate=duplicate_rate, max_lag=window_size // 2),
+        seed=seed,
+    )
+    result = CBFWidthResult(
+        window_size=window_size,
+        num_subwindows=num_subwindows,
+        num_counters=num_counters,
+        num_hashes=num_hashes,
+    )
+    for width in counter_widths:
+        detector = MetwallyCBFDetector(
+            window_size,
+            num_subwindows,
+            num_counters,
+            num_hashes,
+            counter_bits=width,
+            seed=seed,
+        )
+        exact = ExactDetector.jumping(window_size, num_subwindows)
+        matrix = ConfusionMatrix()
+        for identifier in stream:
+            identifier = int(identifier)
+            matrix.update(detector.process(identifier), exact.process(identifier))
+        result.rows.append(
+            CBFWidthRow(
+                counter_bits=width,
+                memory_bits=detector.memory_bits,
+                saturation_events=detector.saturation_events,
+                false_positive_rate=matrix.false_positive_rate,
+                false_negative_rate=matrix.false_negative_rate,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# A5: landmark-window boundary misses
+# ----------------------------------------------------------------------
+
+@dataclass
+class LandmarkMissRow:
+    duplicate_lag: int
+    landmark_miss_rate: float
+    tbf_miss_rate: float
+
+
+@dataclass
+class LandmarkMissResult:
+    window_size: int
+    rows: List[LandmarkMissRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(
+            ["lag", "landmark miss rate", "TBF(sliding) miss rate"],
+            [
+                [row.duplicate_lag, row.landmark_miss_rate, row.tbf_miss_rate]
+                for row in self.rows
+            ],
+            title=(
+                "Ablation A5 - duplicates straddling landmark epochs "
+                f"(N={self.window_size})"
+            ),
+        )
+
+
+def run_landmark_boundary_ablation(
+    window_size: int = 1 << 12,
+    lags: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    pairs_per_lag: int = 400,
+    seed: int = 0,
+) -> LandmarkMissResult:
+    """Quantify why landmark windows are not enough (§1.2 / §2.4).
+
+    The Metwally et al. landmark scheme clears its filter every N
+    arrivals, so a duplicate pair separated by ``lag < N`` is *missed*
+    whenever an epoch boundary falls between the two clicks — with
+    probability ``lag / N`` for a randomly placed pair.  A sliding
+    window never misses them.  We inject duplicate pairs at controlled
+    lags into distinct background traffic and measure each scheme's
+    miss rate on the second element of every pair.
+    """
+    import numpy as np
+
+    from ..baselines import LandmarkBloomDetector
+    from ..core import TBFDetector
+    from ..streams.generators import distinct_stream
+
+    rng = np.random.default_rng(seed)
+    result = LandmarkMissResult(window_size=window_size)
+    for lag_fraction in lags:
+        lag = max(1, round(lag_fraction * window_size))
+        landmark = LandmarkBloomDetector(
+            window_size, 1 << 18, 8, seed=seed
+        )
+        tbf = TBFDetector(window_size, 1 << 18, 8, seed=seed)
+        background = iter(map(int, distinct_stream(
+            pairs_per_lag * (lag + window_size), seed=seed + lag
+        )))
+        landmark_misses = 0
+        tbf_misses = 0
+        for pair in range(pairs_per_lag):
+            # Random placement of the pair relative to epoch boundaries.
+            prefix = int(rng.integers(0, window_size))
+            for _ in range(prefix):
+                filler = next(background)
+                landmark.process(filler)
+                tbf.process(filler)
+            first = next(background)
+            landmark.process(first)
+            tbf.process(first)
+            for _ in range(lag - 1):
+                filler = next(background)
+                landmark.process(filler)
+                tbf.process(filler)
+            if not landmark.process(first):
+                landmark_misses += 1
+            if not tbf.process(first):
+                tbf_misses += 1
+        result.rows.append(
+            LandmarkMissRow(
+                duplicate_lag=lag,
+                landmark_miss_rate=landmark_misses / pairs_per_lag,
+                tbf_miss_rate=tbf_misses / pairs_per_lag,
+            )
+        )
+    return result

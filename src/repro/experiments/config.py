@@ -1,0 +1,88 @@
+"""Experiment configuration: the paper's constants and scaling rules.
+
+The paper evaluates at ``N = 2^20`` with streams of ``20 * N`` elements
+(§5) — about 21M elements per configuration, comfortable in C, slow in
+pure Python.  Bloom-filter false-positive rates depend only on the
+*ratios* ``k`` and ``n/m`` (see :mod:`repro.bloom.params`), so every
+experiment here scales ``N`` and ``m`` down by a common factor while
+keeping ``k``, ``Q``, the ``20N`` stream length, and the ``10N``
+measurement window — preserving the statistics the figures plot.  The
+scale factor defaults to 64 (``N = 2^14``) and can be overridden with
+the ``REPRO_SCALE`` environment variable (set ``REPRO_SCALE=1`` to run
+the paper's exact sizes, given patience).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: §5 constants, verbatim from the paper.
+PAPER_WINDOW_SIZE = 1 << 20
+PAPER_FIG2A_SUBWINDOWS = 8
+PAPER_FIG2A_BITS_PER_FILTER = 1_876_246
+PAPER_FIG2B_ENTRIES = 15_112_980
+PAPER_FIG1_SUBWINDOWS = 31
+PAPER_FIG1_FILTER_BITS = 1 << 20
+PAPER_STREAM_MULTIPLIER = 20  # total stream length = 20 * N
+PAPER_MEASURE_MULTIPLIER = 10  # FPs counted over the last 10 * N
+
+DEFAULT_SCALE = 64
+
+
+def scale_factor(default: int = DEFAULT_SCALE) -> int:
+    """The active scale-down factor (``REPRO_SCALE`` env override)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_SCALE must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_SCALE must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FPExperimentConfig:
+    """One false-positive measurement configuration (§5 protocol)."""
+
+    window_size: int
+    stream_length: int
+    measure_from: int  # stream position where FP counting starts
+    seed: int = 0
+
+    @classmethod
+    def scaled(cls, scale: int, seed: int = 0) -> "FPExperimentConfig":
+        """The paper's protocol at ``N = 2^20 / scale``."""
+        if scale < 1:
+            raise ConfigurationError(f"scale must be >= 1, got {scale}")
+        window = PAPER_WINDOW_SIZE // scale
+        if window < 1:
+            raise ConfigurationError(f"scale {scale} collapses the window to zero")
+        length = PAPER_STREAM_MULTIPLIER * window
+        measure_from = length - PAPER_MEASURE_MULTIPLIER * window
+        return cls(
+            window_size=window,
+            stream_length=length,
+            measure_from=measure_from,
+            seed=seed,
+        )
+
+
+def scaled_fig2a_bits(scale: int) -> int:
+    """Figure 2(a) lane size at the given scale (same m/N ratio)."""
+    return max(1, round(PAPER_FIG2A_BITS_PER_FILTER / scale))
+
+
+def scaled_fig2b_entries(scale: int) -> int:
+    """Figure 2(b) entry count at the given scale (same m/N ratio)."""
+    return max(1, round(PAPER_FIG2B_ENTRIES / scale))
+
+
+def scaled_fig1_filter_bits(scale: int) -> int:
+    """Figure 1 per-filter size at the given scale."""
+    return max(1, PAPER_FIG1_FILTER_BITS // scale)

@@ -1,0 +1,99 @@
+"""Figure 2(a): GBF false-positive rate vs number of hash functions.
+
+Paper setup (§5): jumping window ``N = 2^20``, ``Q = 8`` sub-windows,
+``m = 1,876,246`` bits per lane filter; a stream of ``20N`` distinct
+identifiers; false positives counted over the last ``10N`` clicks
+(after the structure stabilizes).  At ``k = 10`` (the optimum for a
+lane's ``N/Q`` load) the paper reports an FP rate of about ``0.001``.
+
+We sweep ``k`` and report three curves: the measured rate, the paper's
+per-lane theoretical rate, and the query-level (any-of-Q-lanes)
+theoretical rate; the measured points track the query-level curve (see
+DESIGN.md §3.2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.theory import gbf_subfilter_fp, gbf_window_fp
+from ..core import GBFDetector
+from ..metrics.reporting import render_series
+from .config import (
+    FPExperimentConfig,
+    PAPER_FIG2A_SUBWINDOWS,
+    scale_factor,
+    scaled_fig2a_bits,
+)
+from .runner import run_distinct_stream_fp
+
+DEFAULT_K_VALUES = tuple(range(2, 15, 2))
+
+
+@dataclass
+class Figure2aResult:
+    """All series of the reproduced figure."""
+
+    window_size: int
+    num_subwindows: int
+    bits_per_filter: int
+    k_values: List[int] = field(default_factory=list)
+    measured: List[float] = field(default_factory=list)
+    theory_per_lane: List[float] = field(default_factory=list)
+    theory_query: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        title = (
+            f"Figure 2(a) - GBF FP rate over jumping windows "
+            f"(N={self.window_size}, Q={self.num_subwindows}, "
+            f"m={self.bits_per_filter})"
+        )
+        return render_series(
+            "k",
+            self.k_values,
+            [
+                ("measured", self.measured),
+                ("theory(per-lane)", self.theory_per_lane),
+                ("theory(query)", self.theory_query),
+            ],
+            title=title,
+        )
+
+
+def run_figure2a(
+    scale: Optional[int] = None,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    seed: int = 0,
+) -> Figure2aResult:
+    """Reproduce Figure 2(a) at ``N = 2^20 / scale`` (same m/N, Q, k)."""
+    scale = scale or scale_factor()
+    config = FPExperimentConfig.scaled(scale, seed=seed)
+    bits_per_filter = scaled_fig2a_bits(scale)
+    result = Figure2aResult(
+        window_size=config.window_size,
+        num_subwindows=PAPER_FIG2A_SUBWINDOWS,
+        bits_per_filter=bits_per_filter,
+    )
+    for k in k_values:
+        detector = GBFDetector(
+            window_size=config.window_size,
+            num_subwindows=PAPER_FIG2A_SUBWINDOWS,
+            bits_per_filter=bits_per_filter,
+            num_hashes=k,
+            seed=seed + k,
+        )
+        measurement = run_distinct_stream_fp(detector, config)
+        result.k_values.append(k)
+        result.measured.append(measurement.rate)
+        result.theory_per_lane.append(
+            gbf_subfilter_fp(
+                config.window_size, PAPER_FIG2A_SUBWINDOWS, bits_per_filter, k
+            )
+        )
+        result.theory_query.append(
+            gbf_window_fp(
+                config.window_size, PAPER_FIG2A_SUBWINDOWS, bits_per_filter, k
+            )
+        )
+    return result

@@ -1,0 +1,91 @@
+"""Shared experiment execution: the §5 false-positive protocol.
+
+"We simulate our algorithms by processing synthetic click streams which
+have no duplicate click" — so on these streams *every* reported
+duplicate is a false positive, and the FP rate is simply (reports in
+the measurement region) / (elements in the measurement region).
+
+Detectors that expose ``process_indices`` plus a ``family`` attribute
+are driven through pre-computed batch hashing (bit-identical to online
+hashing, verified by tests); anything else is driven through plain
+``process``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..streams.generators import distinct_stream
+from .config import FPExperimentConfig
+
+_BATCH = 1 << 15
+
+
+@dataclass(frozen=True)
+class FPMeasurement:
+    """Outcome of one false-positive run."""
+
+    queries: int
+    false_positives: int
+
+    @property
+    def rate(self) -> float:
+        return self.false_positives / self.queries if self.queries else 0.0
+
+
+def run_distinct_stream_fp(detector, config: FPExperimentConfig) -> FPMeasurement:
+    """Run the paper's protocol: 20N distinct ids, count FPs in the last 10N."""
+    stream = distinct_stream(config.stream_length, config.seed)
+    return measure_false_positives(detector, stream, config.measure_from)
+
+
+def measure_false_positives(
+    detector, identifiers: "np.ndarray", measure_from: int
+) -> FPMeasurement:
+    """Feed a duplicate-free stream; count duplicate reports past ``measure_from``."""
+    total = len(identifiers)
+    false_positives = 0
+    position = 0
+    if hasattr(detector, "process_indices") and hasattr(detector, "family"):
+        family = detector.family
+        process = detector.process_indices
+        counter = getattr(detector, "counter", None)
+        num_hashes = family.num_hashes
+        for start in range(0, total, _BATCH):
+            batch = identifiers[start : start + _BATCH]
+            rows = family.indices_batch(batch)
+            if counter is not None:
+                counter.hash_evaluations += num_hashes * len(batch)
+            for row in rows:
+                if process(row) and position >= measure_from:
+                    false_positives += 1
+                position += 1
+    else:
+        process = detector.process
+        for identifier in identifiers:
+            if process(int(identifier)) and position >= measure_from:
+                false_positives += 1
+            position += 1
+    queries = total - measure_from
+    return FPMeasurement(queries=queries, false_positives=false_positives)
+
+
+def run_labeled_stream(detector, exact_detector, identifiers) -> "LabeledRunResult":
+    """Run a (possibly duplicate-carrying) stream through a sketch and the
+    exact labeler simultaneously, tallying the confusion matrix."""
+    from ..metrics.confusion import ConfusionMatrix
+
+    matrix = ConfusionMatrix()
+    for identifier in identifiers:
+        identifier = int(identifier)
+        predicted = detector.process(identifier)
+        actual = exact_detector.process(identifier)
+        matrix.update(predicted, actual)
+    return LabeledRunResult(matrix=matrix)
+
+
+@dataclass(frozen=True)
+class LabeledRunResult:
+    matrix: object

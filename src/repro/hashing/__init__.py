@@ -1,0 +1,57 @@
+"""Hash-function families used by every Bloom-filter variant.
+
+The default family for experiments is :class:`SplitMixFamily` (fastest
+to vectorize); :class:`CarterWegmanFamily` and :class:`TabulationFamily`
+provide provably universal alternatives, and
+:class:`DoubleHashingFamily` implements the Kirsch–Mitzenmacher
+two-function optimization.
+"""
+
+from .double_hashing import DoubleHashingFamily
+from .family import HashFamily, derive_constants
+from .tabulation import TabulationFamily
+from .universal import CarterWegmanFamily, MultiplyShiftFamily, SplitMixFamily
+from .vectorized import chunked, precompute_indices
+
+#: The family experiments use unless told otherwise.
+DEFAULT_FAMILY = SplitMixFamily
+
+
+def make_family(
+    num_hashes: int,
+    num_buckets: int,
+    seed: int = 0,
+    kind: str = "splitmix",
+) -> HashFamily:
+    """Construct a hash family by name.
+
+    ``kind`` is one of ``"splitmix"``, ``"carter-wegman"``,
+    ``"tabulation"``, ``"multiply-shift"``, ``"double"``.
+    """
+    kinds = {
+        "splitmix": SplitMixFamily,
+        "carter-wegman": CarterWegmanFamily,
+        "tabulation": TabulationFamily,
+        "multiply-shift": MultiplyShiftFamily,
+        "double": DoubleHashingFamily,
+    }
+    try:
+        factory = kinds[kind]
+    except KeyError:
+        raise ValueError(f"unknown hash family kind {kind!r}; choose from {sorted(kinds)}") from None
+    return factory(num_hashes, num_buckets, seed)
+
+
+__all__ = [
+    "HashFamily",
+    "CarterWegmanFamily",
+    "MultiplyShiftFamily",
+    "SplitMixFamily",
+    "TabulationFamily",
+    "DoubleHashingFamily",
+    "derive_constants",
+    "precompute_indices",
+    "chunked",
+    "make_family",
+    "DEFAULT_FAMILY",
+]

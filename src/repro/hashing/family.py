@@ -1,0 +1,89 @@
+"""Base class for families of hash functions used by Bloom-filter variants.
+
+Every filter in this library (classical, counting, stable, group, timing)
+hashes each element with ``k`` independent functions into ``[0, num_buckets)``.
+A :class:`HashFamily` bundles those ``k`` functions behind two entry
+points:
+
+* :meth:`HashFamily.indices` — scalar path used by the one-pass
+  streaming algorithms (one element at a time, as the paper requires);
+* :meth:`HashFamily.indices_batch` — vectorized path used by the
+  experiment harness to pre-compute hash values for millions of stream
+  elements at once (numpy ``uint64`` arithmetic).
+
+Families are deterministic given ``(num_hashes, num_buckets, seed)`` so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One round of the splitmix64 finalizer (public-domain, Steele et al.).
+
+    Used to derive well-mixed per-function constants from a single seed.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def derive_constants(seed: int, count: int) -> List[int]:
+    """Derive ``count`` 64-bit constants from ``seed``, never zero."""
+    constants = []
+    state = seed & _MASK64
+    while len(constants) < count:
+        state = (state + 0x9E3779B97F4A7C15) & _MASK64
+        constant = _splitmix64(state)
+        if constant != 0:
+            constants.append(constant)
+    return constants
+
+
+class HashFamily:
+    """A family of ``num_hashes`` functions mapping ints to bucket indices.
+
+    Subclasses implement :meth:`indices` and (optionally, for speed)
+    :meth:`indices_batch`; the default batch implementation falls back to
+    the scalar path.
+    """
+
+    def __init__(self, num_hashes: int, num_buckets: int, seed: int = 0) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
+        if num_buckets < 1:
+            raise ConfigurationError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_hashes = num_hashes
+        self.num_buckets = num_buckets
+        self.seed = int(seed)
+
+    def indices(self, identifier: int) -> List[int]:
+        """Return the ``num_hashes`` bucket indices for one identifier."""
+        raise NotImplementedError
+
+    def indices_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
+        """Return an ``(n, num_hashes)`` uint64 array of bucket indices.
+
+        The default implementation loops over the scalar path; fast
+        subclasses override this with pure numpy arithmetic.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        out = np.empty((identifiers.shape[0], self.num_hashes), dtype=np.uint64)
+        for row, identifier in enumerate(identifiers):
+            out[row, :] = self.indices(int(identifier))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(num_hashes={self.num_hashes}, "
+            f"num_buckets={self.num_buckets}, seed={self.seed})"
+        )

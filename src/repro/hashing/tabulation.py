@@ -1,0 +1,72 @@
+"""Simple tabulation hashing (Zobrist / Carter–Wegman tables).
+
+Tabulation hashing splits a 64-bit key into 8 bytes and XORs one random
+table entry per byte.  It is 3-independent, behaves like a fully random
+function in virtually all Bloom-filter workloads (Patrascu & Thorup,
+"The Power of Simple Tabulation Hashing"), and its batch form is pure
+numpy table lookups, making it the fastest *provably strong* family in
+this library.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .family import HashFamily, derive_constants
+
+_BYTES_PER_KEY = 8
+_TABLE_SIZE = 256
+
+
+class TabulationFamily(HashFamily):
+    """``k`` independent simple-tabulation hash functions.
+
+    Each function owns 8 tables of 256 random 64-bit entries; the final
+    value is reduced to ``[0, num_buckets)`` with a modulo (bias at most
+    ``num_buckets / 2^64``).
+    """
+
+    def __init__(self, num_hashes: int, num_buckets: int, seed: int = 0) -> None:
+        super().__init__(num_hashes, num_buckets, seed)
+        rng = np.random.default_rng(derive_constants(seed, 1)[0])
+        # Shape: (num_hashes, 8 byte positions, 256 byte values).
+        self._tables = rng.integers(
+            0,
+            1 << 63,
+            size=(num_hashes, _BYTES_PER_KEY, _TABLE_SIZE),
+            dtype=np.uint64,
+        )
+        # Python-int copy for the scalar path (avoids numpy scalar overhead).
+        self._tables_py = [
+            [[int(v) for v in position] for position in function]
+            for function in self._tables
+        ]
+
+    def indices(self, identifier: int) -> List[int]:
+        x = identifier & ((1 << 64) - 1)
+        key_bytes = [(x >> (8 * b)) & 0xFF for b in range(_BYTES_PER_KEY)]
+        m = self.num_buckets
+        out = []
+        for function in self._tables_py:
+            value = 0
+            for position, byte in enumerate(key_bytes):
+                value ^= function[position][byte]
+            out.append(value % m)
+        return out
+
+    def indices_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
+        xs = np.asarray(identifiers, dtype=np.uint64)
+        out = np.empty((xs.shape[0], self.num_hashes), dtype=np.uint64)
+        byte_columns = [
+            ((xs >> np.uint64(8 * b)) & np.uint64(0xFF)).astype(np.intp)
+            for b in range(_BYTES_PER_KEY)
+        ]
+        m = np.uint64(self.num_buckets)
+        for column in range(self.num_hashes):
+            value = self._tables[column, 0][byte_columns[0]]
+            for b in range(1, _BYTES_PER_KEY):
+                value = value ^ self._tables[column, b][byte_columns[b]]
+            out[:, column] = value % m
+        return out

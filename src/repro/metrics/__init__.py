@@ -1,0 +1,20 @@
+"""Measurement: confusion matrices, op counts, throughput, reporting."""
+
+from .confusion import ConfusionMatrix
+from .opcount import OpMeasurement, measure_ops, relative_error
+from .reporting import format_cell, render_series, render_table, to_csv
+from .throughput import ThroughputResult, time_callable, time_detector
+
+__all__ = [
+    "ConfusionMatrix",
+    "OpMeasurement",
+    "measure_ops",
+    "relative_error",
+    "ThroughputResult",
+    "time_detector",
+    "time_callable",
+    "render_table",
+    "render_series",
+    "to_csv",
+    "format_cell",
+]

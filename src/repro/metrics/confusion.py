@@ -1,0 +1,82 @@
+"""Confusion-matrix accounting against ground truth.
+
+The experiment protocol compares a sketch detector's per-element
+verdicts against exact labels.  Positive = "duplicate".  Per the
+paper's guarantees, GBF/TBF should show FN = 0 in the self-consistent
+sense (see DESIGN.md §3); FPs are the quantity Figures 1-2 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConfusionMatrix:
+    """Streaming 2x2 confusion counts for duplicate detection."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    def update(self, predicted_duplicate: bool, actual_duplicate: bool) -> None:
+        if predicted_duplicate and actual_duplicate:
+            self.true_positives += 1
+        elif predicted_duplicate:
+            self.false_positives += 1
+        elif actual_duplicate:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FPs over actual negatives — the rate the paper's figures plot."""
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        positives = self.true_positives + self.false_negatives
+        return self.false_negatives / positives if positives else 0.0
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 1.0
+
+    @property
+    def f1(self) -> float:
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        total = self.total
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+    def merged_with(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            true_negatives=self.true_negatives + other.true_negatives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )

@@ -1,0 +1,47 @@
+"""Operation-count measurement helpers.
+
+Detectors expose a :class:`~repro.bitset.words.OperationCounter` on
+their ``counter`` attribute; these helpers snapshot it around a
+workload and compare measured per-element costs with the predictions
+of :mod:`repro.core.memory_model` (the Theorem 1.3 / 2.3 claims).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..bitset.words import OperationCounter, OperationRates
+
+
+@dataclass(frozen=True)
+class OpMeasurement:
+    """Measured per-element operation rates over one workload segment."""
+
+    elements: int
+    rates: OperationRates
+
+    @property
+    def words_per_element(self) -> float:
+        return self.rates.total_word_ops
+
+
+def measure_ops(detector, identifiers: Iterable[int]) -> OpMeasurement:
+    """Process ``identifiers`` and return per-element operation rates.
+
+    Resets the detector's counter first so the measurement covers only
+    this segment (feed any warm-up stream before calling).
+    """
+    counter: OperationCounter = detector.counter
+    counter.reset()
+    process = detector.process
+    for identifier in identifiers:
+        process(identifier)
+    return OpMeasurement(elements=counter.elements, rates=counter.per_element())
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """|measured - predicted| / predicted, guarding the zero case."""
+    if predicted == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - predicted) / predicted

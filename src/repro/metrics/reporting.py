@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent across
+experiments, and emit machine-readable CSV alongside when asked.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 6) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-4 or abs(value) >= 1e7):
+            return f"{value:.3e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 6,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    formatted_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    separator = "-+-".join("-" * width for width in widths)
+    out.write(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+        + "\n"
+    )
+    out.write(separator + "\n")
+    for row in formatted_rows:
+        out.write(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths)) + "\n"
+        )
+    return out.getvalue()
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    precision: int = 6,
+) -> str:
+    """Render figure-style data: one x column plus named y series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, one per curve.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        rows.append([x_value] + [values[index] for _, values in series])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Minimal CSV text for persisting results next to bench output."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(format_cell(cell, precision=10) for cell in row))
+    return "\n".join(lines) + "\n"

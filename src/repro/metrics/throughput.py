@@ -1,0 +1,50 @@
+"""Wall-clock throughput measurement.
+
+Interpreter-bound numbers (this is Python, the paper's testbed was C),
+but *relative* throughput between algorithms under identical harness
+overhead is meaningful and is what the throughput bench reports
+alongside the word-operation counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one timed run."""
+
+    elements: int
+    seconds: float
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.elements / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def microseconds_per_element(self) -> float:
+        return 1e6 * self.seconds / self.elements if self.elements else 0.0
+
+
+def time_detector(detector, identifiers: Sequence[int]) -> ThroughputResult:
+    """Time ``detector.process`` over ``identifiers`` (pre-materialized)."""
+    process = detector.process
+    start = time.perf_counter()
+    for identifier in identifiers:
+        process(identifier)
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(elements=len(identifiers), seconds=elapsed)
+
+
+def time_callable(function, batches: Iterable) -> ThroughputResult:
+    """Time ``function(batch)`` across batches; counts ``len(batch)`` each."""
+    total = 0
+    start = time.perf_counter()
+    for batch in batches:
+        function(batch)
+        total += len(batch)
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(elements=total, seconds=elapsed)

@@ -1,0 +1,60 @@
+"""Click streams: records, synthetic workloads, attacks, persistence."""
+
+from .arrival import BurstyArrivals, DiurnalArrivals, PoissonArrivals
+from .attacks import (
+    BotnetCampaign,
+    CrawlerTraffic,
+    HitInflationCampaign,
+    RotatingIdentityCampaign,
+    SingleAttackerCampaign,
+)
+from .click import (
+    DEFAULT_SCHEME,
+    Click,
+    IdentifierScheme,
+    TrafficClass,
+    combine_fields,
+)
+from .generators import (
+    DuplicateSpec,
+    adversarial_burst_stream,
+    distinct_stream,
+    duplicated_stream,
+)
+from .io import (
+    load_clicks,
+    read_clicks_csv,
+    read_clicks_jsonl,
+    write_clicks_csv,
+    write_clicks_jsonl,
+)
+from .merge import interleave_batches, merge_streams
+from .zipf import ZipfSampler
+
+__all__ = [
+    "Click",
+    "TrafficClass",
+    "IdentifierScheme",
+    "DEFAULT_SCHEME",
+    "combine_fields",
+    "distinct_stream",
+    "duplicated_stream",
+    "adversarial_burst_stream",
+    "DuplicateSpec",
+    "ZipfSampler",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "SingleAttackerCampaign",
+    "RotatingIdentityCampaign",
+    "BotnetCampaign",
+    "HitInflationCampaign",
+    "CrawlerTraffic",
+    "write_clicks_csv",
+    "read_clicks_csv",
+    "write_clicks_jsonl",
+    "read_clicks_jsonl",
+    "load_clicks",
+    "merge_streams",
+    "interleave_batches",
+]

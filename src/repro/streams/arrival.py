@@ -1,0 +1,133 @@
+"""Arrival-time processes for time-based click streams.
+
+The time-based window detectors (:class:`TimeBasedGBFDetector`,
+:class:`TimeBasedTBFDetector`) need realistic inter-arrival behaviour:
+steady Poisson traffic, bursty bot traffic, and daily cycles.  Each
+process yields monotone non-decreasing timestamps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson process at ``rate`` events per time unit."""
+
+    def __init__(self, rate: float, seed: int = 0, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self.start = start
+        self._rng = np.random.default_rng(seed)
+
+    def take(self, count: int) -> "np.ndarray":
+        """Timestamps of the next ``count`` arrivals."""
+        gaps = self._rng.exponential(1.0 / self.rate, size=count)
+        return self.start + np.cumsum(gaps)
+
+    def __iter__(self) -> Iterator[float]:
+        now = self.start
+        while True:
+            now += float(self._rng.exponential(1.0 / self.rate))
+            yield now
+
+
+class BurstyArrivals:
+    """Two-state Markov-modulated Poisson process (quiet/burst).
+
+    Bot traffic in the wild comes in bursts: long quiet periods at
+    ``base_rate`` punctuated by bursts at ``burst_rate``.  State flips
+    are exponential with mean ``mean_quiet`` / ``mean_burst`` durations.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        mean_quiet: float,
+        mean_burst: float,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        if min(base_rate, burst_rate, mean_quiet, mean_burst) <= 0:
+            raise ConfigurationError("all BurstyArrivals parameters must be > 0")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.mean_quiet = mean_quiet
+        self.mean_burst = mean_burst
+        self.start = start
+        self._rng = np.random.default_rng(seed)
+
+    def take(self, count: int) -> "np.ndarray":
+        rng = self._rng
+        timestamps = np.empty(count, dtype=np.float64)
+        now = self.start
+        bursting = False
+        state_left = float(rng.exponential(self.mean_quiet))
+        produced = 0
+        while produced < count:
+            rate = self.burst_rate if bursting else self.base_rate
+            gap = float(rng.exponential(1.0 / rate))
+            if gap >= state_left:
+                now += state_left
+                bursting = not bursting
+                state_left = float(
+                    rng.exponential(self.mean_burst if bursting else self.mean_quiet)
+                )
+                continue
+            now += gap
+            state_left -= gap
+            timestamps[produced] = now
+            produced += 1
+        return timestamps
+
+
+class DiurnalArrivals:
+    """Inhomogeneous Poisson process with a daily sinusoidal rate.
+
+    ``rate(t) = mean_rate * (1 + amplitude * sin(2*pi*t/period))``,
+    sampled by thinning.  ``amplitude`` must lie in [0, 1).
+    """
+
+    def __init__(
+        self,
+        mean_rate: float,
+        amplitude: float = 0.5,
+        period: float = 86_400.0,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        if mean_rate <= 0:
+            raise ConfigurationError(f"mean_rate must be > 0, got {mean_rate}")
+        if not 0 <= amplitude < 1:
+            raise ConfigurationError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {period}")
+        self.mean_rate = mean_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.start = start
+        self._rng = np.random.default_rng(seed)
+
+    def _rate_at(self, timestamp: float) -> float:
+        phase = 2.0 * math.pi * timestamp / self.period
+        return self.mean_rate * (1.0 + self.amplitude * math.sin(phase))
+
+    def take(self, count: int) -> "np.ndarray":
+        rng = self._rng
+        max_rate = self.mean_rate * (1.0 + self.amplitude)
+        timestamps = np.empty(count, dtype=np.float64)
+        now = self.start
+        produced = 0
+        while produced < count:
+            now += float(rng.exponential(1.0 / max_rate))
+            if rng.random() * max_rate <= self._rate_at(now):
+                timestamps[produced] = now
+                produced += 1
+        return timestamps

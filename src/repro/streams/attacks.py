@@ -1,0 +1,298 @@
+"""Click-fraud attack traffic models (§1.1's threat inventory).
+
+Each attack is a generator of :class:`~repro.streams.click.Click`
+objects with ground-truth fraud labels, so detection pipelines can be
+scored end to end.  The models cover the paper's named threats:
+
+* :class:`SingleAttackerCampaign` — one human/script re-clicking an ad
+  (the degenerate Scenario 2);
+* :class:`BotnetCampaign` — "the competitors or even the publishers
+  control a botnet with thousands of computers, each of which initiate
+  many clicks to the ad links everyday" (Scenario 2 verbatim);
+* :class:`HitInflationCampaign` — a publisher inflating click counts
+  with fabricated identifiers (Anupam et al.'s attack, §2.4): each
+  click looks *distinct*, so duplicate detection alone cannot flag it —
+  the campaign exists to demonstrate that boundary honestly;
+* :class:`CrawlerTraffic` — non-malicious but duplicate-heavy crawler
+  fetches (a fraud *source* the paper lists, billed unfairly without
+  dedup).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .click import Click, TrafficClass
+
+
+class SingleAttackerCampaign:
+    """One source clicking one ad repeatedly at a fixed mean interval."""
+
+    def __init__(
+        self,
+        ad_id: int,
+        publisher_id: int,
+        advertiser_id: int,
+        source_ip: int,
+        cookie: int,
+        mean_interval: float,
+        seed: int = 0,
+    ) -> None:
+        if mean_interval <= 0:
+            raise ConfigurationError(
+                f"mean_interval must be > 0, got {mean_interval}"
+            )
+        self.ad_id = ad_id
+        self.publisher_id = publisher_id
+        self.advertiser_id = advertiser_id
+        self.source_ip = source_ip
+        self.cookie = cookie
+        self.mean_interval = mean_interval
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, start: float, end: float) -> List[Click]:
+        clicks = []
+        now = start + float(self._rng.exponential(self.mean_interval))
+        while now < end:
+            clicks.append(
+                Click(
+                    timestamp=now,
+                    source_ip=self.source_ip,
+                    cookie=self.cookie,
+                    ad_id=self.ad_id,
+                    publisher_id=self.publisher_id,
+                    advertiser_id=self.advertiser_id,
+                    traffic_class=TrafficClass.SINGLE_ATTACKER,
+                )
+            )
+            now += float(self._rng.exponential(self.mean_interval))
+        return clicks
+
+
+class BotnetCampaign:
+    """Scenario 2: ``num_bots`` machines each re-clicking target ads.
+
+    Every bot has its own (IP, cookie) pair and clicks each target ad
+    with exponential inter-click times of mean ``mean_interval``.  The
+    per-bot repeats are what decaying-window duplicate detection
+    catches: each bot's clicks on one ad are identical clicks arriving
+    within a short interval.
+    """
+
+    def __init__(
+        self,
+        ad_ids: Sequence[int],
+        publisher_id: int,
+        advertiser_id: int,
+        num_bots: int,
+        mean_interval: float,
+        seed: int = 0,
+        ip_base: int = 0x0A000000,
+    ) -> None:
+        if num_bots < 1:
+            raise ConfigurationError(f"num_bots must be >= 1, got {num_bots}")
+        if mean_interval <= 0:
+            raise ConfigurationError(
+                f"mean_interval must be > 0, got {mean_interval}"
+            )
+        if not ad_ids:
+            raise ConfigurationError("ad_ids must be non-empty")
+        self.ad_ids = list(ad_ids)
+        self.publisher_id = publisher_id
+        self.advertiser_id = advertiser_id
+        self.num_bots = num_bots
+        self.mean_interval = mean_interval
+        self.ip_base = ip_base
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, start: float, end: float) -> List[Click]:
+        rng = self._rng
+        clicks: List[Click] = []
+        for bot in range(self.num_bots):
+            source_ip = self.ip_base + bot
+            cookie = int(rng.integers(1, 1 << 31))
+            for ad_id in self.ad_ids:
+                now = start + float(rng.exponential(self.mean_interval))
+                while now < end:
+                    clicks.append(
+                        Click(
+                            timestamp=now,
+                            source_ip=source_ip,
+                            cookie=cookie,
+                            ad_id=ad_id,
+                            publisher_id=self.publisher_id,
+                            advertiser_id=self.advertiser_id,
+                            traffic_class=TrafficClass.BOTNET,
+                        )
+                    )
+                    now += float(rng.exponential(self.mean_interval))
+        clicks.sort(key=lambda click: click.timestamp)
+        return clicks
+
+
+class HitInflationCampaign:
+    """A dishonest publisher fabricating clicks with *fresh* identifiers.
+
+    Each fabricated click carries a never-reused (IP, cookie), so a pure
+    duplicate detector accepts them all — the attack the paper's related
+    work (Streaming-Rules, Similarity-Seeker) targets instead.  Included
+    so end-to-end evaluations report the detection boundary truthfully.
+    """
+
+    def __init__(
+        self,
+        ad_ids: Sequence[int],
+        publisher_id: int,
+        advertiser_id: int,
+        rate: float,
+        seed: int = 0,
+        ip_base: int = 0xC0000000,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if not ad_ids:
+            raise ConfigurationError("ad_ids must be non-empty")
+        self.ad_ids = list(ad_ids)
+        self.publisher_id = publisher_id
+        self.advertiser_id = advertiser_id
+        self.rate = rate
+        self.ip_base = ip_base
+        self._rng = np.random.default_rng(seed)
+        self._next_identity = 0
+
+    def generate(self, start: float, end: float) -> List[Click]:
+        rng = self._rng
+        clicks: List[Click] = []
+        now = start + float(rng.exponential(1.0 / self.rate))
+        while now < end:
+            identity = self._next_identity
+            self._next_identity += 1
+            clicks.append(
+                Click(
+                    timestamp=now,
+                    source_ip=self.ip_base + identity,
+                    cookie=0x7F000000 + identity,
+                    ad_id=self.ad_ids[int(rng.integers(len(self.ad_ids)))],
+                    publisher_id=self.publisher_id,
+                    advertiser_id=self.advertiser_id,
+                    traffic_class=TrafficClass.HIT_INFLATION,
+                )
+            )
+            now += float(rng.exponential(1.0 / self.rate))
+        return clicks
+
+
+class RotatingIdentityCampaign:
+    """An attacker pacing each identity to one click per window.
+
+    The optimal strategy *against* duplicate detection (see
+    :mod:`repro.analysis.adversarial`): maintain a pool of
+    ``pool_size`` identities and cycle through them, so no identity
+    repeats within the detector's window and every click bills.  The
+    attack's cost is the identity pool — which is exactly what the
+    adversarial analysis prices.  Included so experiments can measure
+    the detection boundary honestly: dedup caps this attack's rate at
+    ``pool_size`` billed clicks per window but cannot zero it.
+    """
+
+    def __init__(
+        self,
+        ad_ids: Sequence[int],
+        publisher_id: int,
+        advertiser_id: int,
+        pool_size: int,
+        rate: float,
+        seed: int = 0,
+        ip_base: int = 0xB0000000,
+    ) -> None:
+        if pool_size < 1:
+            raise ConfigurationError(f"pool_size must be >= 1, got {pool_size}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if not ad_ids:
+            raise ConfigurationError("ad_ids must be non-empty")
+        self.ad_ids = list(ad_ids)
+        self.publisher_id = publisher_id
+        self.advertiser_id = advertiser_id
+        self.pool_size = pool_size
+        self.rate = rate
+        self.ip_base = ip_base
+        self._rng = np.random.default_rng(seed)
+        self._cursor = 0
+
+    def generate(self, start: float, end: float) -> List[Click]:
+        rng = self._rng
+        clicks: List[Click] = []
+        now = start + float(rng.exponential(1.0 / self.rate))
+        while now < end:
+            identity = self._cursor % self.pool_size
+            ad_index = (self._cursor // self.pool_size) % len(self.ad_ids)
+            self._cursor += 1
+            clicks.append(
+                Click(
+                    timestamp=now,
+                    source_ip=self.ip_base + identity,
+                    cookie=0x51000000 + identity,
+                    ad_id=self.ad_ids[ad_index],
+                    publisher_id=self.publisher_id,
+                    advertiser_id=self.advertiser_id,
+                    traffic_class=TrafficClass.BOTNET,
+                )
+            )
+            now += float(rng.exponential(1.0 / self.rate))
+        return clicks
+
+
+class CrawlerTraffic:
+    """A crawler refetching ad links on a schedule (duplicate-heavy, not
+    malicious — but billable without dedup, which is the unfairness the
+    paper's Scenario 1/2 trade-off addresses)."""
+
+    def __init__(
+        self,
+        ad_ids: Sequence[int],
+        publisher_id: int,
+        advertiser_id: int,
+        source_ip: int,
+        revisit_interval: float,
+        seed: int = 0,
+    ) -> None:
+        if revisit_interval <= 0:
+            raise ConfigurationError(
+                f"revisit_interval must be > 0, got {revisit_interval}"
+            )
+        if not ad_ids:
+            raise ConfigurationError("ad_ids must be non-empty")
+        self.ad_ids = list(ad_ids)
+        self.publisher_id = publisher_id
+        self.advertiser_id = advertiser_id
+        self.source_ip = source_ip
+        self.revisit_interval = revisit_interval
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, start: float, end: float) -> List[Click]:
+        clicks: List[Click] = []
+        jitter = self.revisit_interval * 0.05
+        now = start
+        while now < end:
+            for ad_id in self.ad_ids:
+                offset = float(self._rng.uniform(0, jitter))
+                if now + offset >= end:
+                    continue
+                clicks.append(
+                    Click(
+                        timestamp=now + offset,
+                        source_ip=self.source_ip,
+                        cookie=0,
+                        ad_id=ad_id,
+                        publisher_id=self.publisher_id,
+                        advertiser_id=self.advertiser_id,
+                        traffic_class=TrafficClass.CRAWLER,
+                    )
+                )
+            now += self.revisit_interval
+        clicks.sort(key=lambda click: click.timestamp)
+        return clicks

@@ -1,0 +1,108 @@
+"""Synthetic identifier streams — including the paper's evaluation workload.
+
+§5: "we simulate our algorithms by processing synthetic click streams
+which have no duplicate click ... We generated 20·N distinct click
+identifiers.  We counted the false positives within the last 10·N
+clicks."  :func:`distinct_stream` builds exactly that workload;
+:func:`duplicated_stream` builds streams with *controlled* duplicate
+injection (known lag distribution) for correctness experiments, where
+the exact baselines provide ground-truth labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+def distinct_stream(length: int, seed: int = 0) -> "np.ndarray":
+    """``length`` pairwise-distinct 64-bit identifiers (uint64).
+
+    Identifiers are a seeded affine-mixed counter: distinct by
+    construction (the map is a bijection on 64-bit integers), with none
+    of the structure of raw sequential ints.
+    """
+    if length < 0:
+        raise ConfigurationError(f"length must be >= 0, got {length}")
+    counter = np.arange(length, dtype=np.uint64)
+    # Affine bijection: odd multiplier, seed-derived offset.
+    multiplier = np.uint64(0x9E3779B97F4A7C15)
+    offset = np.uint64((seed * 0xD1342543DE82EF95 + 0x2545F4914F6CDD1D) & _MASK64)
+    with np.errstate(over="ignore"):
+        return counter * multiplier + offset
+
+
+@dataclass(frozen=True)
+class DuplicateSpec:
+    """Controls duplicate injection for :func:`duplicated_stream`.
+
+    ``rate`` is the probability each emitted element repeats an earlier
+    one; ``max_lag`` bounds how far back (in arrivals) the repeated
+    element may lie.  Lags are drawn uniformly from ``[1, max_lag]``, so
+    choosing ``max_lag`` above a detector's window size exercises both
+    in-window duplicates (must be caught) and expired ones (must not
+    be — per Definition 1 they are fresh valid clicks again).
+    """
+
+    rate: float = 0.2
+    max_lag: int = 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_lag < 1:
+            raise ConfigurationError(f"max_lag must be >= 1, got {self.max_lag}")
+
+
+def duplicated_stream(
+    length: int,
+    spec: Optional[DuplicateSpec] = None,
+    seed: int = 0,
+) -> "np.ndarray":
+    """A stream of identifiers with duplicates injected at known lags.
+
+    Returns a uint64 array.  Elements are fresh distinct identifiers
+    with probability ``1 - spec.rate``; otherwise they copy the
+    identifier that arrived ``lag`` positions earlier with ``lag``
+    uniform in ``[1, spec.max_lag]`` (clamped to the stream prefix).
+    """
+    if spec is None:
+        spec = DuplicateSpec()
+    fresh = distinct_stream(length, seed)
+    if length == 0:
+        return fresh
+    rng = np.random.default_rng(seed + 0x9D5)
+    duplicate_mask = rng.random(length) < spec.rate
+    duplicate_mask[0] = False
+    lags = rng.integers(1, spec.max_lag + 1, size=length)
+    stream = fresh.copy()
+    for position in np.nonzero(duplicate_mask)[0]:
+        lag = min(int(lags[position]), int(position))
+        stream[position] = stream[position - lag]
+    return stream
+
+
+def adversarial_burst_stream(
+    length: int,
+    burst_identifier: int,
+    burst_every: int,
+    seed: int = 0,
+) -> "np.ndarray":
+    """Distinct background traffic with one identifier repeating periodically.
+
+    Models the crudest click-fraud pattern: an attacker re-clicking one
+    ad link every ``burst_every`` arrivals amid legitimate distinct
+    traffic.  Useful for demonstrating window-threshold semantics: with
+    window ``N``, the repeats are duplicates iff ``burst_every <= N``.
+    """
+    if burst_every < 1:
+        raise ConfigurationError(f"burst_every must be >= 1, got {burst_every}")
+    stream = distinct_stream(length, seed)
+    stream[::burst_every] = np.uint64(burst_identifier & _MASK64)
+    return stream

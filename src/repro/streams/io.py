@@ -1,0 +1,132 @@
+"""Click-stream persistence: CSV and JSON-lines.
+
+Streams written by one process replay bit-identically in another: all
+identifier math is seed-stable (:func:`repro.streams.click.combine_fields`)
+and these writers round-trip every :class:`Click` field including the
+ground-truth traffic class.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..errors import StreamError
+from .click import Click, TrafficClass
+
+_CSV_FIELDS = [
+    "timestamp",
+    "source_ip",
+    "cookie",
+    "ad_id",
+    "publisher_id",
+    "advertiser_id",
+    "cost",
+    "traffic_class",
+]
+
+
+def write_clicks_csv(path: Union[str, Path], clicks: Iterable[Click]) -> int:
+    """Write clicks to CSV; returns the number of records written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for click in clicks:
+            writer.writerow(
+                [
+                    repr(click.timestamp),
+                    click.source_ip,
+                    click.cookie,
+                    click.ad_id,
+                    click.publisher_id,
+                    click.advertiser_id,
+                    repr(click.cost),
+                    click.traffic_class.value,
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_clicks_csv(path: Union[str, Path]) -> Iterator[Click]:
+    """Stream clicks back from a CSV written by :func:`write_clicks_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CSV_FIELDS:
+            raise StreamError(f"unexpected CSV header in {path}: {header}")
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(_CSV_FIELDS):
+                raise StreamError(f"{path}:{line_number}: expected "
+                                  f"{len(_CSV_FIELDS)} fields, got {len(row)}")
+            try:
+                yield Click(
+                    timestamp=float(row[0]),
+                    source_ip=int(row[1]),
+                    cookie=int(row[2]),
+                    ad_id=int(row[3]),
+                    publisher_id=int(row[4]),
+                    advertiser_id=int(row[5]),
+                    cost=float(row[6]),
+                    traffic_class=TrafficClass(row[7]),
+                )
+            except (ValueError, KeyError) as error:
+                raise StreamError(f"{path}:{line_number}: {error}") from error
+
+
+def write_clicks_jsonl(path: Union[str, Path], clicks: Iterable[Click]) -> int:
+    """Write clicks as JSON lines; returns the number of records written."""
+    count = 0
+    with open(path, "w") as handle:
+        for click in clicks:
+            record = {
+                "timestamp": click.timestamp,
+                "source_ip": click.source_ip,
+                "cookie": click.cookie,
+                "ad_id": click.ad_id,
+                "publisher_id": click.publisher_id,
+                "advertiser_id": click.advertiser_id,
+                "cost": click.cost,
+                "traffic_class": click.traffic_class.value,
+            }
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_clicks_jsonl(path: Union[str, Path]) -> Iterator[Click]:
+    """Stream clicks back from a JSONL file."""
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield Click(
+                    timestamp=float(record["timestamp"]),
+                    source_ip=int(record["source_ip"]),
+                    cookie=int(record["cookie"]),
+                    ad_id=int(record["ad_id"]),
+                    publisher_id=int(record["publisher_id"]),
+                    advertiser_id=int(record["advertiser_id"]),
+                    cost=float(record.get("cost", 0.0)),
+                    traffic_class=TrafficClass(
+                        record.get("traffic_class", "legitimate")
+                    ),
+                )
+            except (ValueError, KeyError) as error:
+                raise StreamError(f"{path}:{line_number}: {error}") from error
+
+
+def load_clicks(path: Union[str, Path]) -> List[Click]:
+    """Load a whole stream file, dispatching on extension (.csv / .jsonl)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return list(read_clicks_csv(path))
+    if path.suffix in (".jsonl", ".ndjson"):
+        return list(read_clicks_jsonl(path))
+    raise StreamError(f"unknown stream format: {path.suffix!r}")

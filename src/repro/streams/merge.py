@@ -1,0 +1,43 @@
+"""Merging click sources into one timestamp-ordered stream.
+
+An advertising network's click stream is the interleaving of many
+sources: legitimate visitors across publishers, attack campaigns,
+crawlers.  :func:`merge_streams` lazily merges any number of
+individually-ordered click iterables; :func:`interleave_batches`
+handles the common generate-then-merge case.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List
+
+from ..errors import StreamError
+from .click import Click
+
+
+def merge_streams(*sources: Iterable[Click]) -> Iterator[Click]:
+    """Merge timestamp-ordered click sources into one ordered stream.
+
+    Lazy (works with generators) and stable; verifies output
+    monotonicity, raising :class:`~repro.errors.StreamError` if any
+    source violates its ordering contract.
+    """
+    merged = heapq.merge(*sources, key=lambda click: click.timestamp)
+    last = float("-inf")
+    for click in merged:
+        if click.timestamp < last:
+            raise StreamError(
+                f"source stream out of order at t={click.timestamp} (seen {last})"
+            )
+        last = click.timestamp
+        yield click
+
+
+def interleave_batches(batches: Iterable[List[Click]]) -> List[Click]:
+    """Merge pre-materialized click batches into one sorted list."""
+    everything: List[Click] = []
+    for batch in batches:
+        everything.extend(batch)
+    everything.sort(key=lambda click: click.timestamp)
+    return everything

@@ -1,0 +1,66 @@
+"""Shared protocols and type aliases used across the library.
+
+The central abstraction is :class:`DuplicateDetector`: every algorithm in
+this library — the paper's GBF and TBF, and every baseline — exposes the
+same one-pass interface so detectors are interchangeable in pipelines,
+experiments, and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+#: Click identifiers are opaque hashable values.  The synthetic experiment
+#: streams use integers; the advertising-network simulator uses strings
+#: derived from (source IP, cookie, ad id).
+Identifier = int
+
+
+@runtime_checkable
+class DuplicateDetector(Protocol):
+    """One-pass duplicate detector over a decaying window.
+
+    Implementations observe a stream one element at a time via
+    :meth:`process` and report whether each element is a duplicate of an
+    element that was *accepted as valid* earlier in the current window
+    (Definition 1 in the paper).
+    """
+
+    def process(self, identifier: int) -> bool:
+        """Observe the next stream element.
+
+        Returns ``True`` when the element is classified as a duplicate
+        click (and therefore is *not* recorded as a new valid click), and
+        ``False`` when it is accepted as a valid click and recorded.
+        """
+        ...
+
+    def query(self, identifier: int) -> bool:
+        """Report whether ``identifier`` currently looks like a duplicate.
+
+        Unlike :meth:`process` this is side-effect free: it neither
+        advances the window nor records the element.
+        """
+        ...
+
+    @property
+    def memory_bits(self) -> int:
+        """Total bits of state the detector's summary structure occupies."""
+        ...
+
+
+@runtime_checkable
+class TimestampedDuplicateDetector(Protocol):
+    """Duplicate detector over a *time-based* decaying window.
+
+    The caller supplies an explicit, non-decreasing timestamp with each
+    element instead of the detector counting arrivals.
+    """
+
+    def process_at(self, identifier: int, timestamp: float) -> bool:
+        """Observe an element arriving at ``timestamp``; see ``process``."""
+        ...
+
+    @property
+    def memory_bits(self) -> int:
+        ...

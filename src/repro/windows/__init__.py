@@ -1,0 +1,25 @@
+"""Decaying-window models: landmark, jumping, sliding (§1.2)."""
+
+from .base import CountBasedWindow, TimeBasedWindow
+from .exponential_histogram import (
+    ExponentialHistogram,
+    SlidingWindowCounter,
+    exact_window_count,
+)
+from .jumping import JumpingWindow, TimeBasedJumpingWindow
+from .landmark import LandmarkWindow, TimeBasedLandmarkWindow
+from .sliding import SlidingWindow, TimeBasedSlidingWindow
+
+__all__ = [
+    "CountBasedWindow",
+    "TimeBasedWindow",
+    "LandmarkWindow",
+    "TimeBasedLandmarkWindow",
+    "JumpingWindow",
+    "TimeBasedJumpingWindow",
+    "SlidingWindow",
+    "TimeBasedSlidingWindow",
+    "ExponentialHistogram",
+    "SlidingWindowCounter",
+    "exact_window_count",
+]

@@ -1,0 +1,73 @@
+"""Decaying-window model abstractions (§1.2 of the paper).
+
+A *window model* answers one question: given the stream position (or
+time) at which an element arrived, is that element still part of the
+current window?  The exact baselines and the ground-truth labeler are
+defined directly on these semantics, and every sketch algorithm in
+:mod:`repro.core` is tested against them.
+
+Two flavours exist, mirroring the paper:
+
+* **count-based** — positions are arrival indices 0, 1, 2, …; the window
+  holds (roughly) the last ``N`` arrivals;
+* **time-based** — positions are timestamps; the window holds arrivals
+  from the last ``T`` time units.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, StreamError
+
+
+class CountBasedWindow:
+    """Base class for count-based decaying windows.
+
+    Subclasses define :meth:`is_active`.  :meth:`observe` advances the
+    stream by one arrival and returns the arrival's position.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"window size must be >= 1, got {size}")
+        self.size = size
+        #: Position of the most recent arrival; -1 before any arrival.
+        self.position = -1
+
+    def observe(self) -> int:
+        """Record one arrival and return its position."""
+        self.position += 1
+        return self.position
+
+    def is_active(self, position: int) -> bool:
+        """Whether the element that arrived at ``position`` is in-window."""
+        raise NotImplementedError
+
+    def expiry_position(self, position: int) -> int:
+        """First stream position at which ``position`` is *no longer* active."""
+        raise NotImplementedError
+
+
+class TimeBasedWindow:
+    """Base class for time-based decaying windows.
+
+    Timestamps must be non-decreasing; :meth:`observe_at` enforces this
+    and raises :class:`~repro.errors.StreamError` on regressions, since
+    silently accepting out-of-order time would corrupt expiry logic.
+    """
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"window duration must be > 0, got {duration}")
+        self.duration = duration
+        self.current_time: float | None = None
+
+    def observe_at(self, timestamp: float) -> float:
+        if self.current_time is not None and timestamp < self.current_time:
+            raise StreamError(
+                f"timestamp regressed: {timestamp} after {self.current_time}"
+            )
+        self.current_time = timestamp
+        return timestamp
+
+    def is_active(self, timestamp: float) -> bool:
+        raise NotImplementedError

@@ -1,0 +1,91 @@
+"""Jumping windows (Zhu & Shasha, 2002; §1.2 of the paper).
+
+A window of ``N`` arrivals is divided into ``Q`` equal sub-windows of
+``N/Q`` arrivals.  The window "jumps" a sub-window at a time: when a new
+sub-window begins, the oldest one expires as a block.  At any moment the
+active window is the current (possibly partial) sub-window plus the
+``Q - 1`` before it, so it spans between ``(Q-1)·N/Q + 1`` and ``N``
+arrivals — the compromise between landmark and sliding windows.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import CountBasedWindow, TimeBasedWindow
+
+
+class JumpingWindow(CountBasedWindow):
+    """Count-based jumping window: ``size`` arrivals in ``num_subwindows`` blocks.
+
+    ``size`` must divide evenly into ``num_subwindows`` blocks, exactly as
+    the paper assumes ("evenly divide the entire jumping window").
+    """
+
+    def __init__(self, size: int, num_subwindows: int) -> None:
+        super().__init__(size)
+        if num_subwindows < 1:
+            raise ConfigurationError(
+                f"num_subwindows must be >= 1, got {num_subwindows}"
+            )
+        if size % num_subwindows != 0:
+            raise ConfigurationError(
+                f"window size {size} is not divisible by {num_subwindows} sub-windows"
+            )
+        self.num_subwindows = num_subwindows
+        self.subwindow_size = size // num_subwindows
+
+    def subwindow_of(self, position: int) -> int:
+        """Index of the sub-window that ``position`` belongs to."""
+        return position // self.subwindow_size
+
+    def current_subwindow(self) -> int:
+        return max(self.position, 0) // self.subwindow_size
+
+    def is_active(self, position: int) -> bool:
+        if position < 0 or position > self.position:
+            return False
+        return (
+            self.subwindow_of(self.position) - self.subwindow_of(position)
+            < self.num_subwindows
+        )
+
+    def expiry_position(self, position: int) -> int:
+        """An element expires when its sub-window falls ``Q`` behind."""
+        return (self.subwindow_of(position) + self.num_subwindows) * self.subwindow_size
+
+    def at_subwindow_boundary(self) -> bool:
+        """True right after the first arrival of a new sub-window."""
+        return self.position >= 0 and self.position % self.subwindow_size == 0
+
+    def active_span(self) -> int:
+        """Number of arrivals currently covered by the window."""
+        if self.position < 0:
+            return 0
+        oldest_active = max(
+            0, (self.subwindow_of(self.position) - self.num_subwindows + 1)
+        ) * self.subwindow_size
+        return self.position - oldest_active + 1
+
+
+class TimeBasedJumpingWindow(TimeBasedWindow):
+    """Time-based jumping window: ``duration`` split into ``Q`` time blocks."""
+
+    def __init__(self, duration: float, num_subwindows: int) -> None:
+        super().__init__(duration)
+        if num_subwindows < 1:
+            raise ConfigurationError(
+                f"num_subwindows must be >= 1, got {num_subwindows}"
+            )
+        self.num_subwindows = num_subwindows
+        self.subwindow_duration = duration / num_subwindows
+
+    def subwindow_of(self, timestamp: float) -> int:
+        return int(timestamp // self.subwindow_duration)
+
+    def is_active(self, timestamp: float) -> bool:
+        if self.current_time is None or timestamp > self.current_time:
+            return False
+        return (
+            self.subwindow_of(self.current_time) - self.subwindow_of(timestamp)
+            < self.num_subwindows
+        )

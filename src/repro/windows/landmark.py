@@ -1,0 +1,46 @@
+"""Landmark windows (§1.2).
+
+The stream is chopped into consecutive epochs of ``N`` arrivals (or
+``T`` time units); all elements of an epoch expire together when the
+next epoch starts.  This is the model under which classical Bloom
+filters deploy directly (Metwally et al. [21]): keep one filter per
+epoch and clear it at the boundary.
+"""
+
+from __future__ import annotations
+
+from .base import CountBasedWindow, TimeBasedWindow
+
+
+class LandmarkWindow(CountBasedWindow):
+    """Count-based landmark window of ``size`` arrivals per epoch."""
+
+    def epoch_of(self, position: int) -> int:
+        return position // self.size
+
+    def current_epoch(self) -> int:
+        return max(self.position, 0) // self.size
+
+    def is_active(self, position: int) -> bool:
+        if position < 0 or position > self.position:
+            return False
+        return self.epoch_of(position) == self.epoch_of(self.position)
+
+    def expiry_position(self, position: int) -> int:
+        return (self.epoch_of(position) + 1) * self.size
+
+    def at_epoch_boundary(self) -> bool:
+        """True right after the first arrival of a new epoch."""
+        return self.position >= 0 and self.position % self.size == 0
+
+
+class TimeBasedLandmarkWindow(TimeBasedWindow):
+    """Time-based landmark window: epochs of ``duration`` time units."""
+
+    def epoch_of(self, timestamp: float) -> int:
+        return int(timestamp // self.duration)
+
+    def is_active(self, timestamp: float) -> bool:
+        if self.current_time is None or timestamp > self.current_time:
+            return False
+        return self.epoch_of(timestamp) == self.epoch_of(self.current_time)

@@ -1,0 +1,40 @@
+"""Sliding windows (Datar et al., SODA 2002; §1.2 of the paper).
+
+The strictest decaying model: the window always contains exactly the
+last ``N`` arrivals (count-based) or everything from the last ``T``
+time units (time-based), and elements expire one by one.
+"""
+
+from __future__ import annotations
+
+from .base import CountBasedWindow, TimeBasedWindow
+
+
+class SlidingWindow(CountBasedWindow):
+    """Count-based sliding window over the last ``size`` arrivals."""
+
+    def is_active(self, position: int) -> bool:
+        if position < 0 or position > self.position:
+            return False
+        return self.position - position < self.size
+
+    def expiry_position(self, position: int) -> int:
+        return position + self.size
+
+    def active_span(self) -> int:
+        if self.position < 0:
+            return 0
+        return min(self.position + 1, self.size)
+
+
+class TimeBasedSlidingWindow(TimeBasedWindow):
+    """Time-based sliding window over the last ``duration`` time units.
+
+    An element at timestamp ``t`` is active while ``now - t < duration``
+    (half-open: an element exactly ``duration`` old has expired).
+    """
+
+    def is_active(self, timestamp: float) -> bool:
+        if self.current_time is None or timestamp > self.current_time:
+            return False
+        return self.current_time - timestamp < self.duration

@@ -1,0 +1,278 @@
+"""Unit tests for the advertising-network substrate."""
+
+import pytest
+
+from repro.adnet import (
+    AdNetwork,
+    Advertiser,
+    Publisher,
+    TrafficProfile,
+    allocate_ad_links,
+    competitor_botnet,
+    crawler_noise,
+    demo_network,
+    dishonest_publisher,
+    keyword_prices,
+    run_audit,
+    run_keyword_auction,
+)
+from repro.adnet.entities import Registry
+from repro.baselines import ExactDetector
+from repro.errors import BudgetError, ConfigurationError
+from repro.streams import TrafficClass
+
+
+def _advertisers():
+    return [
+        Advertiser(0, "a", 100.0, {"widgets": 1.00}),
+        Advertiser(1, "b", 100.0, {"widgets": 0.60}),
+        Advertiser(2, "c", 100.0, {"widgets": 0.30}),
+        Advertiser(3, "d", 100.0, {}),
+    ]
+
+
+class TestAuction:
+    def test_second_price_rule(self):
+        result = run_keyword_auction("widgets", _advertisers(), num_slots=2)
+        assert result.ranked[0] == (0, 0.61)  # pays runner-up + increment
+        assert result.ranked[1] == (1, 0.31)
+
+    def test_last_participant_pays_reserve(self):
+        result = run_keyword_auction("widgets", _advertisers()[:1], reserve_price=0.05)
+        assert result.ranked[0] == (0, 0.05)
+
+    def test_non_bidders_excluded(self):
+        result = run_keyword_auction("widgets", _advertisers(), num_slots=10)
+        assert len(result.ranked) == 3  # advertiser 3 never bid
+
+    def test_reserve_filters_low_bids(self):
+        result = run_keyword_auction("widgets", _advertisers(), reserve_price=0.5)
+        assert [advertiser for advertiser, _ in result.ranked] == [0]
+
+    def test_price_never_exceeds_bid(self):
+        for slots in (1, 2, 3):
+            result = run_keyword_auction("widgets", _advertisers(), num_slots=slots)
+            advertisers = {a.advertiser_id: a for a in _advertisers()}
+            for advertiser_id, price in result.ranked:
+                assert price <= advertisers[advertiser_id].bids["widgets"]
+
+    def test_allocate_links_across_publishers(self):
+        publishers = [Publisher(0, "p0"), Publisher(1, "p1")]
+        links = allocate_ad_links(["widgets"], _advertisers(), publishers)
+        assert len(links) == 2  # one winner x two publishers
+        assert {link.publisher_id for link in links} == {0, 1}
+        assert len({link.ad_id for link in links}) == len(links)
+
+    def test_keyword_prices_reporting(self):
+        publishers = [Publisher(0, "p0")]
+        links = allocate_ad_links(["widgets"], _advertisers(), publishers)
+        prices = keyword_prices(links)
+        assert prices["widgets"] == pytest.approx(0.61)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_keyword_auction("widgets", _advertisers(), num_slots=0)
+
+
+class TestRegistry:
+    def test_allocate_and_get(self):
+        registry = Registry()
+        first = registry.allocate_id()
+        registry.add(first, "x")
+        assert registry.get(first) == "x"
+        assert registry.allocate_id() == first + 1
+
+    def test_duplicate_and_missing(self):
+        registry = Registry()
+        registry.add(0, "x")
+        with pytest.raises(ConfigurationError):
+            registry.add(0, "y")
+        with pytest.raises(ConfigurationError):
+            registry.get(99)
+
+
+class TestBilling:
+    def _network(self):
+        network = AdNetwork(seed=1)
+        network.add_advertiser("a", budget=10.0, bids={"w": 1.0})
+        network.add_advertiser("b", budget=10.0, bids={"w": 0.5})
+        network.add_publisher("p", revenue_share=0.7)
+        network.run_auctions(["w"])
+        return network
+
+    def test_charge_moves_money(self):
+        network = self._network()
+        billing = network.make_billing_engine()
+        clicks = network.run(duration=50.0, profile=TrafficProfile(click_rate=2.0, num_visitors=5))
+        click = clicks[0]
+        amount = billing.charge(click)
+        assert amount > 0
+        advertiser = network.advertisers.get(click.advertiser_id)
+        link = network.ad_links[click.ad_id]
+        assert advertiser.spent == pytest.approx(link.cpc)
+        publisher = network.publishers.get(click.publisher_id)
+        assert publisher.earned == pytest.approx(0.7 * amount)
+        assert billing.network_revenue == pytest.approx(0.3 * amount)
+        assert click.charged is True
+
+    def test_reject_duplicate_records_savings(self):
+        network = self._network()
+        billing = network.make_billing_engine()
+        clicks = network.run(duration=50.0, profile=TrafficProfile(click_rate=2.0, num_visitors=5))
+        saved = billing.reject_duplicate(clicks[0])
+        assert saved > 0
+        assert billing.totals.rejected_clicks == 1
+        assert clicks[0].charged is False
+
+    def test_budget_exhaustion(self):
+        network = AdNetwork(seed=2)
+        network.add_advertiser("tiny", budget=0.05, bids={"w": 1.0})
+        network.add_publisher("p")
+        network.run_auctions(["w"])
+        billing = network.make_billing_engine()
+        clicks = network.run(duration=100.0, profile=TrafficProfile(click_rate=2.0, num_visitors=5))
+        with pytest.raises(BudgetError):
+            for click in clicks:
+                billing.charge(click)
+
+    def test_refund(self):
+        network = self._network()
+        billing = network.make_billing_engine()
+        advertiser = network.advertisers.get(0)
+        advertiser.spent = 5.0
+        billing.refund(0, 2.0)
+        assert advertiser.spent == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            billing.refund(0, -1.0)
+
+    def test_summary_fraud_ledger(self):
+        network = demo_network(seed=3)
+        billing = network.make_billing_engine()
+        clicks = network.run(duration=600.0, profile=TrafficProfile(click_rate=1.0, num_visitors=20))
+        fraud_clicks = [c for c in clicks if c.is_fraud]
+        assert fraud_clicks, "demo network must include botnet traffic"
+        # Reject all fraud, charge the rest: prevention shows in the ledger.
+        for click in clicks:
+            try:
+                if click.is_fraud:
+                    billing.reject_duplicate(click)
+                else:
+                    billing.charge(click)
+            except BudgetError:
+                break
+        summary = billing.summary()
+        assert summary["fraud_prevented"] > 0
+        assert summary["fraud_charged"] == 0
+
+
+class TestNetworkTraffic:
+    def test_stream_is_time_ordered(self):
+        network = demo_network(seed=4)
+        clicks = network.run(duration=300.0)
+        timestamps = [click.timestamp for click in clicks]
+        assert timestamps == sorted(timestamps)
+
+    def test_traffic_classes_present(self):
+        network = demo_network(seed=5)
+        clicks = network.run(
+            duration=2000.0,
+            profile=TrafficProfile(click_rate=2.0, num_visitors=50,
+                                   revisit_probability=0.2, revisit_mean_delay=50.0),
+        )
+        classes = {click.traffic_class for click in clicks}
+        assert TrafficClass.LEGITIMATE in classes
+        assert TrafficClass.REPEAT_VISITOR in classes
+        assert TrafficClass.BOTNET in classes
+
+    def test_requires_auctions_before_traffic(self):
+        network = AdNetwork()
+        network.add_advertiser("a", 1.0, {"w": 0.5})
+        network.add_publisher("p")
+        with pytest.raises(ConfigurationError):
+            network.run(10.0)
+
+    def test_fraud_helpers_attach_campaigns(self):
+        network = demo_network(seed=6)
+        competitor_botnet(network, num_bots=3, mean_interval=30.0)
+        dishonest_publisher(network, publisher_id=0, inflation_rate=0.5)
+        crawler_noise(network, revisit_interval=100.0)
+        clicks = network.run(duration=500.0,
+                             profile=TrafficProfile(click_rate=1.0, num_visitors=10))
+        classes = {click.traffic_class for click in clicks}
+        assert TrafficClass.SINGLE_ATTACKER in classes
+        assert TrafficClass.HIT_INFLATION in classes
+        assert TrafficClass.CRAWLER in classes
+
+
+class TestAudit:
+    def test_exact_parties_always_agree(self):
+        network = demo_network(seed=7)
+        clicks = network.run(duration=300.0,
+                             profile=TrafficProfile(click_rate=2.0, num_visitors=20))
+        report = run_audit(
+            clicks,
+            ExactDetector.sliding(512),
+            ExactDetector.sliding(512),
+        )
+        assert report.agreement_rate == 1.0
+        assert report.disputed == 0
+        assert report.total_clicks == len(clicks)
+
+    def test_disagreement_counted_by_side(self):
+        class AlwaysDuplicate:
+            def process(self, identifier):
+                return True
+
+        class NeverDuplicate:
+            def process(self, identifier):
+                return False
+
+        network = demo_network(seed=8)
+        clicks = network.run(duration=60.0,
+                             profile=TrafficProfile(click_rate=2.0, num_visitors=10))
+        report = run_audit(clicks, AlwaysDuplicate(), NeverDuplicate(), keep_disputed=True)
+        assert report.disputed == report.total_clicks
+        assert report.publisher_only_valid == report.total_clicks
+        assert len(report.disputed_clicks) == report.total_clicks
+        assert report.agreement_rate == 0.0
+
+
+class TestMoneyConservation:
+    def test_every_charged_cent_is_accounted_for(self):
+        # Conservation law: advertiser spend == publisher earnings +
+        # network revenue == billing ledger total, for any mix of
+        # charges, rejections, and refunds.
+        import random
+
+        network = AdNetwork(seed=9)
+        network.add_advertiser("a", budget=10_000.0, bids={"w": 1.0, "v": 0.5})
+        network.add_advertiser("b", budget=10_000.0, bids={"w": 0.8, "v": 0.7})
+        network.add_publisher("p0", revenue_share=0.7)
+        network.add_publisher("p1", revenue_share=0.6)
+        network.run_auctions(["w", "v"])
+        billing = network.make_billing_engine()
+        clicks = network.run(
+            duration=400.0,
+            profile=TrafficProfile(click_rate=3.0, num_visitors=30),
+        )
+        rng = random.Random(4)
+        refunded = 0.0
+        for click in clicks:
+            roll = rng.random()
+            if roll < 0.2:
+                billing.reject_duplicate(click)
+            else:
+                amount = billing.charge(click)
+                if roll > 0.95:
+                    billing.refund(click.advertiser_id, amount / 2)
+                    refunded += amount / 2
+
+        spent = sum(a.spent for a in network.advertisers.all())
+        earned = sum(p.earned for p in network.publishers.all())
+        ledger = billing.totals.charged_amount
+        assert spent == pytest.approx(ledger - refunded, rel=1e-9)
+        assert earned + billing.network_revenue == pytest.approx(ledger, rel=1e-9)
+        # Rejections moved no money.
+        assert billing.totals.rejected_amount >= 0
+        for advertiser in network.advertisers.all():
+            assert advertiser.spent <= advertiser.budget + 1e-9

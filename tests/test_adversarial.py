@@ -1,0 +1,85 @@
+"""Tests for the adversarial-economics analysis, including an empirical
+check of the identifier-treadmill bound against a real detector."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    AttackCostModel,
+    attacker_roi,
+    breakeven_identity_cost,
+    detection_damage_reduction,
+    identities_needed,
+    max_billed_fraud_per_window,
+    publisher_fp_loss_per_window,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBounds:
+    def test_one_billed_click_per_identity(self):
+        assert max_billed_fraud_per_window(100) == 100
+        assert identities_needed(100) == 100
+        with pytest.raises(ConfigurationError):
+            max_billed_fraud_per_window(-1)
+
+    def test_roi_capped_by_detection(self):
+        model = AttackCostModel(cpc=1.0, identity_cost=0.1)
+        undetected = attacker_roi(model, clicks_per_identity_per_window=50,
+                                  detection_enabled=False)
+        detected = attacker_roi(model, clicks_per_identity_per_window=50,
+                                detection_enabled=True)
+        assert undetected == pytest.approx(500.0)
+        assert detected == pytest.approx(10.0)
+        # Clicking harder doesn't help once detection is on.
+        harder = attacker_roi(model, clicks_per_identity_per_window=500,
+                              detection_enabled=True)
+        assert harder == detected
+
+    def test_free_identities_break_everything(self):
+        model = AttackCostModel(cpc=1.0, identity_cost=0.0)
+        assert attacker_roi(model, 10, detection_enabled=True) == math.inf
+
+    def test_damage_reduction_monotone(self):
+        assert detection_damage_reduction(1) == 0.0
+        assert detection_damage_reduction(10) == pytest.approx(0.9)
+        assert detection_damage_reduction(100) > detection_damage_reduction(10)
+        with pytest.raises(ConfigurationError):
+            detection_damage_reduction(0.5)
+
+    def test_fp_loss(self):
+        loss = publisher_fp_loss_per_window(0.001, 100_000, 0.5)
+        assert loss == pytest.approx(50.0)
+        with pytest.raises(ConfigurationError):
+            publisher_fp_loss_per_window(2.0, 1, 1)
+
+    def test_breakeven(self):
+        assert breakeven_identity_cost(0.75) == 0.75
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            AttackCostModel(cpc=-1, identity_cost=0)
+        with pytest.raises(ConfigurationError):
+            attacker_roi(AttackCostModel(1, 1), 0, True)
+
+
+class TestEmpiricalTreadmill:
+    def test_detector_enforces_one_bill_per_identity_per_window(self):
+        # The bound max_billed_fraud_per_window rests on: with zero FN,
+        # an identity bills at most once per window.  Verify against a
+        # real TBF under the worst-case hammering attack.
+        from repro.core import TBFDetector
+
+        window = 128
+        detector = TBFDetector(window, 1 << 14, 6, seed=1)
+        num_identities = 10
+        billed = 0
+        for step in range(window * 5):
+            identity = step % num_identities  # round-robin hammering
+            if not detector.process(identity):
+                billed += 1
+        windows_elapsed = (window * 5) / window
+        # Per identity: one bill at the start, then one each time its
+        # previous valid click expires (every N arrivals).
+        assert billed <= num_identities * math.ceil(windows_elapsed)

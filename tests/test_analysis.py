@@ -1,0 +1,120 @@
+"""Unit tests for the theory and sizing modules."""
+
+import pytest
+
+from repro.analysis import (
+    expected_false_positives,
+    fp_confidence_interval,
+    gbf_fp_from_memory,
+    gbf_optimal_hashes,
+    gbf_subfilter_fp,
+    gbf_window_fp,
+    landmark_bloom_fp,
+    metwally_main_fp,
+    plan_gbf_for_target,
+    plan_gbf_from_memory,
+    plan_tbf_for_target,
+    plan_tbf_from_memory,
+    recommend_jumping_window_algorithm,
+    tbf_fp,
+    tbf_fp_from_memory,
+    tbf_optimal_hashes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTheory:
+    def test_gbf_window_fp_union_bound_shape(self):
+        per_lane = gbf_subfilter_fp(1 << 14, 8, 1 << 15, 6)
+        window = gbf_window_fp(1 << 14, 8, 1 << 15, 6)
+        assert per_lane < window <= 8 * per_lane
+
+    def test_paper_headline_fig2a(self):
+        # §5: per-lane rate at the paper's exact constants ~ 0.001.
+        per_lane = gbf_subfilter_fp(1 << 20, 8, 1_876_246, 10)
+        assert per_lane == pytest.approx(0.001, abs=3e-4)
+
+    def test_paper_headline_fig2b(self):
+        rate = tbf_fp(1 << 20, 15_112_980, 10)
+        assert rate == pytest.approx(0.001, abs=3e-4)
+
+    def test_figure1_gap_at_full_size(self):
+        # §3.3: at N = 2^20, m = 2^20 the previous algorithm is several
+        # times worse than GBF (paper: 0.62 vs 0.073).
+        for k in (2, 3, 4):
+            previous = metwally_main_fp(1 << 20, 1 << 20, k)
+            gbf = gbf_window_fp(1 << 20, 31, 1 << 20, k)
+            assert previous > 4 * gbf
+
+    def test_gbf_equals_previous_at_k1(self):
+        # Degenerate identity: with one hash the union of Q lane checks
+        # is statistically a single filter with N insertions.
+        previous = metwally_main_fp(1 << 16, 1 << 16, 1)
+        gbf = gbf_window_fp(1 << 16, 16, 1 << 16, 1)
+        assert gbf == pytest.approx(previous, rel=1e-6)
+
+    def test_memory_based_forms(self):
+        window = 1 << 12
+        direct = gbf_window_fp(window, 8, (1 << 16) // 9, 5)
+        from_memory = gbf_fp_from_memory(window, 8, 1 << 16, 5)
+        assert from_memory == pytest.approx(direct)
+        assert tbf_fp_from_memory(window, 1 << 20, 5) > 0
+
+    def test_landmark_fp_is_full_load(self):
+        assert landmark_bloom_fp(1000, 1 << 14, 4) == metwally_main_fp(1000, 1 << 14, 4)
+
+    def test_optimal_hash_helpers(self):
+        assert gbf_optimal_hashes(1 << 20, 8, 1_876_246) == 10
+        assert tbf_optimal_hashes(1 << 20, 15_112_980) == 10
+
+    def test_expected_false_positives(self):
+        assert expected_false_positives(0.001, 10_000) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            expected_false_positives(1.5, 10)
+
+    def test_confidence_interval_contains_rate(self):
+        low, high = fp_confidence_interval(10, 10_000)
+        assert low < 0.001 < high
+        assert fp_confidence_interval(0, 0) == (0.0, 0.0)
+
+
+class TestSizing:
+    def test_gbf_plan_from_memory_respects_budget(self):
+        plan = plan_gbf_from_memory(1 << 14, 8, 1 << 20)
+        assert plan.total_memory_bits <= 1 << 20
+        assert plan.num_hashes >= 1
+        assert 0 < plan.predicted_fp < 1
+
+    def test_gbf_plan_for_target_meets_it(self):
+        plan = plan_gbf_for_target(1 << 14, 8, 0.001)
+        assert plan.predicted_fp <= 0.001
+        assert gbf_window_fp(1 << 14, 8, plan.bits_per_filter, plan.num_hashes) <= 0.001
+
+    def test_tbf_plan_from_memory_respects_budget(self):
+        plan = plan_tbf_from_memory(1 << 14, 1 << 22)
+        assert plan.total_memory_bits <= 1 << 22
+
+    def test_tbf_plan_for_target_meets_it(self):
+        plan = plan_tbf_for_target(1 << 14, 0.001)
+        assert plan.predicted_fp <= 0.001
+        assert tbf_fp(1 << 14, plan.num_entries, plan.num_hashes) <= 0.001
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_gbf_from_memory(1 << 14, 8, 4)
+        with pytest.raises(ConfigurationError):
+            plan_tbf_from_memory(1 << 14, 4)
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_gbf_for_target(1 << 14, 8, 1.5)
+        with pytest.raises(ConfigurationError):
+            plan_tbf_for_target(1 << 14, 0.0)
+
+    def test_recommendation_flips_with_q(self):
+        # §4.1: small Q -> GBF; very large Q -> TBF.
+        window, memory = 1 << 14, 1 << 20
+        small = recommend_jumping_window_algorithm(window, 4, memory, word_bits=32)
+        large = recommend_jumping_window_algorithm(window, 1 << 12, memory, word_bits=32)
+        assert small == "gbf"
+        assert large == "tbf-jumping"

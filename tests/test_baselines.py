@@ -1,0 +1,192 @@
+"""Unit tests for the sketch baselines: landmark Bloom, naive
+per-sub-window Bloom, Metwally CBF, Stable Bloom."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    ExactDetector,
+    LandmarkBloomDetector,
+    MetwallyCBFDetector,
+    NaiveSubwindowBloomDetector,
+    StableBloomDetector,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLandmarkBloom:
+    def test_duplicate_within_epoch(self):
+        detector = LandmarkBloomDetector(8, 1 << 14, 5, seed=1)
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_epoch_clear_forgets(self):
+        detector = LandmarkBloomDetector(4, 1 << 14, 5, seed=1)
+        detector.process(42)
+        for filler in range(100, 103):
+            detector.process(filler)
+        assert detector.process(42) is False  # new epoch
+
+    def test_matches_exact_when_filter_large(self):
+        detector = LandmarkBloomDetector(16, 1 << 16, 8, seed=2)
+        exact = ExactDetector.landmark(16)
+        rng = random.Random(4)
+        for _ in range(2000):
+            identifier = rng.randrange(64)
+            assert detector.process(identifier) == exact.process(identifier)
+
+    def test_epoch_clear_cost_counted(self):
+        detector = LandmarkBloomDetector(4, 1024, 2, seed=1)
+        for identifier in range(5):
+            detector.process(identifier)
+        # One epoch switch happened: an O(m) write burst.
+        assert detector.counter.word_writes >= 1024
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            LandmarkBloomDetector(0, 100)
+
+
+class TestNaiveSubwindowBloom:
+    def test_basic_duplicate_semantics(self):
+        detector = NaiveSubwindowBloomDetector(16, 4, 1 << 14, 5, seed=1)
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_block_expiry(self):
+        detector = NaiveSubwindowBloomDetector(16, 4, 1 << 14, 5, seed=1)
+        detector.process(42)
+        for filler in range(100, 115):
+            detector.process(filler)
+        assert detector.process(42) is False  # position 16: block 0 expired
+
+    def test_check_cost_scales_with_q(self):
+        # The strawman's defining cost: ~Q*k reads per duplicate check.
+        window, bits, k = 64, 1 << 12, 3
+        small = NaiveSubwindowBloomDetector(window, 2, bits, k, seed=2)
+        large = NaiveSubwindowBloomDetector(window, 16, bits, k, seed=2)
+        for detector in (small, large):
+            for identifier in range(3 * window):
+                detector.process(identifier)
+            detector.counter.reset()
+            for identifier in range(10_000, 10_000 + window):
+                detector.process(identifier)
+        reads_small = small.counter.per_element().word_reads
+        reads_large = large.counter.per_element().word_reads
+        assert reads_large > reads_small * 3
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            NaiveSubwindowBloomDetector(10, 3, 100)
+
+
+class TestMetwallyCBF:
+    def test_basic_duplicate_semantics(self):
+        detector = MetwallyCBFDetector(16, 4, 1 << 14, 4, seed=1)
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_subwindow_subtraction_expires(self):
+        detector = MetwallyCBFDetector(16, 4, 1 << 14, 4, counter_bits=16, seed=1)
+        detector.process(42)
+        for filler in range(100, 115):
+            detector.process(filler)
+        assert detector.process(42) is False
+
+    def test_no_false_negatives_with_wide_counters(self):
+        detector = MetwallyCBFDetector(32, 4, 1 << 15, 4, counter_bits=16, seed=2)
+        exact = ExactDetector.jumping(32, 4)
+        rng = random.Random(6)
+        for _ in range(3000):
+            identifier = rng.randrange(80)
+            predicted = detector.process(identifier)
+            actual = exact.process(identifier)
+            assert not (actual and not predicted)
+
+    def test_narrow_counters_saturate_under_honest_load(self):
+        # §3.3's width argument: at a well-sized load (~0.7 increments
+        # per counter) the busiest of thousands of counters still
+        # exceeds a 2-bit cap, so narrow counters saturate even without
+        # an adversary.
+        detector = MetwallyCBFDetector(512, 4, 2048, 3, counter_bits=2, seed=3)
+        for identifier in range(4000):
+            detector.process(identifier)
+        assert detector.saturation_events > 0
+
+    def test_memory_accounts_all_filters(self):
+        detector = MetwallyCBFDetector(16, 4, 1000, 4, counter_bits=8)
+        for identifier in range(32):  # activate all sub-filters
+            detector.process(identifier)
+        # main + Q sub-filters, 8 bits per counter
+        assert detector.memory_bits == (4 + 1) * 1000 * 8
+
+    def test_higher_fp_than_gbf_at_same_filter_size(self):
+        # §3.3's core claim, measured: with equal per-filter size, the
+        # main-CBF check behaves like a filter loaded with N elements
+        # while each GBF lane holds only N/Q.
+        from repro.core import GBFDetector
+        from repro.streams import distinct_stream
+
+        window, subwindows, size, k = 512, 8, 2048, 4
+        cbf = MetwallyCBFDetector(window, subwindows, size, k, counter_bits=16, seed=4)
+        gbf = GBFDetector(window, subwindows, size, k, seed=4)
+        cbf_fp = gbf_fp = 0
+        for identifier in map(int, distinct_stream(6 * window, seed=9)):
+            if cbf.process(identifier):
+                cbf_fp += 1
+            if gbf.process(identifier):
+                gbf_fp += 1
+        assert cbf_fp > gbf_fp * 3
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            MetwallyCBFDetector(10, 3, 100)
+
+
+class TestStableBloomDetector:
+    def test_immediate_repeat_flagged(self):
+        detector = StableBloomDetector(1 << 12, 4, seed=1)
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_tuned_decay_window_scale(self):
+        detector = StableBloomDetector.with_tuned_decay(1000, 1 << 12, 4, seed=2)
+        assert detector.window_size == 1000
+        assert detector.filter.decrements_per_insert >= 1
+
+    def test_has_false_negatives_unlike_tbf(self):
+        # The library's reason to include SBF: demonstrate its FNs on a
+        # workload TBF handles exactly.
+        from repro.core import TBFDetector
+        from repro.windows import SlidingWindow
+
+        window = 64
+        sbf = StableBloomDetector.with_tuned_decay(window, 512, 4, seed=3)
+        tbf = TBFDetector(window, 1 << 14, 6, seed=3)
+        sliding = SlidingWindow(window)
+        last_valid_sbf = {}
+        last_valid_tbf = {}
+        sbf_fn = tbf_fn = 0
+        rng = random.Random(8)
+        for _ in range(6000):
+            identifier = rng.randrange(96)
+            sliding.observe()
+            s = sbf.process(identifier)
+            t = tbf.process(identifier)
+            prev = last_valid_sbf.get(identifier)
+            if prev is not None and sliding.is_active(prev) and not s:
+                sbf_fn += 1
+            prev = last_valid_tbf.get(identifier)
+            if prev is not None and sliding.is_active(prev) and not t:
+                tbf_fn += 1
+            if not s:
+                last_valid_sbf[identifier] = sliding.position
+            if not t:
+                last_valid_tbf[identifier] = sliding.position
+        assert tbf_fn == 0
+        assert sbf_fn > 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            StableBloomDetector.with_tuned_decay(0, 100)

@@ -1,0 +1,98 @@
+"""Unit tests for the exact (ground-truth) detectors."""
+
+from repro.baselines import ExactDetector, TimeBasedExactDetector
+from repro.windows import TimeBasedSlidingWindow
+
+
+class TestSlidingExact:
+    def test_immediate_repeat(self):
+        exact = ExactDetector.sliding(8)
+        assert exact.process(1) is False
+        assert exact.process(1) is True
+
+    def test_expiry_at_exact_lag(self):
+        exact = ExactDetector.sliding(4)
+        exact.process(42)                    # position 0
+        for filler in range(100, 103):
+            exact.process(filler)            # positions 1-3
+        assert exact.process(42) is False    # position 4: lag N, expired
+
+    def test_definition1_duplicate_of_duplicate(self):
+        # Definition 1: duplicates compare against *valid* clicks only.
+        # valid(0), dup(2), then at position N the original has expired
+        # and the duplicate never counted, so the click is fresh again.
+        exact = ExactDetector.sliding(4)
+        assert exact.process(42) is False    # position 0: valid
+        exact.process(100)                   # 1
+        assert exact.process(42) is True     # 2: duplicate (not recorded)
+        exact.process(101)                   # 3
+        assert exact.process(42) is False    # 4: original expired -> valid
+
+    def test_counts(self):
+        exact = ExactDetector.sliding(10)
+        for identifier in [1, 2, 1, 3, 1]:
+            exact.process(identifier)
+        assert exact.valid == 3
+        assert exact.duplicates == 2
+
+    def test_memory_shrinks_after_expiry(self):
+        exact = ExactDetector.sliding(16)
+        for identifier in range(1000):
+            exact.process(identifier)
+        assert exact.active_distinct() <= 16
+
+    def test_query_side_effect_free(self):
+        exact = ExactDetector.sliding(8)
+        exact.process(5)
+        assert exact.query(5) is True
+        assert exact.query(6) is False
+        assert exact.process(6) is False
+
+
+class TestJumpingExact:
+    def test_block_expiry(self):
+        exact = ExactDetector.jumping(8, 4)  # blocks of 2
+        exact.process(42)                    # position 0, block 0
+        for filler in range(100, 107):
+            exact.process(filler)            # positions 1-7
+        assert exact.process(42) is False    # position 8: block 4, block 0 expired
+
+    def test_still_active_in_oldest_block(self):
+        exact = ExactDetector.jumping(8, 4)
+        exact.process(42)
+        for filler in range(100, 106):
+            exact.process(filler)
+        assert exact.process(42) is True     # position 7: block 0 active
+
+
+class TestLandmarkExact:
+    def test_epoch_reset(self):
+        exact = ExactDetector.landmark(4)
+        exact.process(42)                    # epoch 0
+        exact.process(42)                    # duplicate
+        for filler in range(100, 102):
+            exact.process(filler)            # fills epoch 0
+        assert exact.process(42) is False    # epoch 1: fresh
+
+
+class TestTimeBasedExact:
+    def test_duration_expiry(self):
+        exact = TimeBasedExactDetector(TimeBasedSlidingWindow(10.0))
+        assert exact.process_at(42, 0.0) is False
+        assert exact.process_at(42, 9.9) is True
+        assert exact.process_at(42, 10.0 + 9.9) is False  # anchored at 0.0
+
+    def test_duplicate_anchors_on_valid(self):
+        exact = TimeBasedExactDetector(TimeBasedSlidingWindow(10.0))
+        exact.process_at(42, 0.0)            # valid
+        assert exact.process_at(42, 5.0) is True
+        # At t=10: the valid click (t=0) expired; the t=5 duplicate never
+        # counted, so this is a fresh valid click.
+        assert exact.process_at(42, 10.0) is False
+
+    def test_counts_and_memory(self):
+        exact = TimeBasedExactDetector(TimeBasedSlidingWindow(1.0))
+        for step in range(100):
+            exact.process_at(step, float(step))
+        assert exact.valid == 100
+        assert exact.memory_bits < 100 * 128  # expired records purged

@@ -1,0 +1,145 @@
+"""Unit tests for bit vectors and the word memory model."""
+
+import pytest
+
+from repro.bitset import (
+    BitVector,
+    OperationCounter,
+    PackedBitVector,
+    WordArray,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBitVector:
+    def test_starts_clear(self):
+        bits = BitVector(100)
+        assert bits.count() == 0
+        assert not bits.get(0)
+        assert len(bits) == 100
+        assert bits.memory_bits == 100
+
+    def test_set_get_clear(self):
+        bits = BitVector(10)
+        bits.set(3)
+        assert bits.get(3)
+        assert bits.count() == 1
+        bits.clear(3)
+        assert not bits.get(3)
+
+    def test_set_many_and_all_set(self):
+        bits = BitVector(50)
+        bits.set_many([1, 2, 3])
+        assert bits.all_set([1, 2, 3])
+        assert not bits.all_set([1, 2, 4])
+
+    def test_clear_all(self):
+        bits = BitVector(20)
+        bits.set_many(range(20))
+        bits.clear_all()
+        assert bits.count() == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(0)
+
+
+class TestWordArray:
+    def test_read_write_counted(self):
+        counter = OperationCounter()
+        words = WordArray(8, 64, counter)
+        words.write_word(3, 0xDEADBEEF)
+        assert words.read_word(3) == 0xDEADBEEF
+        assert counter.word_writes == 1
+        assert counter.word_reads == 1
+
+    def test_value_masked_to_width(self):
+        words = WordArray(2, 8)
+        words.write_word(0, 0x1FF)
+        assert words.read_word(0) == 0xFF
+
+    def test_fill_counts_all_writes(self):
+        counter = OperationCounter()
+        words = WordArray(16, 32, counter)
+        words.fill(7)
+        assert counter.word_writes == 16
+        assert words.read_word(15) == 7
+
+    def test_memory_bits(self):
+        assert WordArray(10, 16).memory_bits == 160
+
+    def test_rejects_bad_word_bits(self):
+        with pytest.raises(ConfigurationError):
+            WordArray(4, 12)
+
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_all_supported_widths(self, word_bits):
+        words = WordArray(4, word_bits)
+        maximum = (1 << word_bits) - 1
+        words.write_word(0, maximum)
+        assert words.read_word(0) == maximum
+
+
+class TestOperationCounter:
+    def test_per_element_rates(self):
+        counter = OperationCounter(word_reads=10, word_writes=6, hash_evaluations=4, elements=2)
+        rates = counter.per_element()
+        assert rates.word_reads == 5.0
+        assert rates.word_writes == 3.0
+        assert rates.total_word_ops == 8.0
+
+    def test_per_element_no_elements(self):
+        rates = OperationCounter(word_reads=3).per_element()
+        assert rates.word_reads == 3.0
+
+    def test_reset(self):
+        counter = OperationCounter(word_reads=1, word_writes=2, hash_evaluations=3, elements=4)
+        counter.reset()
+        assert counter.total_word_ops == 0
+        assert counter.elements == 0
+
+    def test_merged_with(self):
+        merged = OperationCounter(word_reads=1, elements=1).merged_with(
+            OperationCounter(word_writes=2, elements=3)
+        )
+        assert merged.word_reads == 1
+        assert merged.word_writes == 2
+        assert merged.elements == 4
+
+
+class TestPackedBitVector:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_matches_plain_bitvector(self, word_bits):
+        plain = BitVector(133)
+        packed = PackedBitVector(133, word_bits)
+        pattern = [0, 1, 7, 8, 63, 64, 100, 132]
+        for index in pattern:
+            plain.set(index)
+            packed.set(index)
+        for index in range(133):
+            assert plain.get(index) == packed.get(index)
+        assert plain.count() == packed.count()
+
+    def test_clear_bit(self):
+        packed = PackedBitVector(70)
+        packed.set(65)
+        packed.clear(65)
+        assert not packed.get(65)
+        assert packed.count() == 0
+
+    def test_access_is_counted(self):
+        packed = PackedBitVector(64, 64)
+        packed.set(5)          # read + write
+        packed.get(5)          # read
+        packed.clear(5)        # read + write
+        assert packed.counter.word_reads == 3
+        assert packed.counter.word_writes == 2
+
+    def test_all_set_and_set_many(self):
+        packed = PackedBitVector(128, 32)
+        packed.set_many([1, 33, 127])
+        assert packed.all_set([1, 33, 127])
+        assert not packed.all_set([1, 2])
+
+    def test_memory_bits_is_logical_size(self):
+        assert PackedBitVector(100, 64).memory_bits == 100

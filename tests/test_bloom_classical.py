@@ -1,0 +1,148 @@
+"""Unit tests for the classical Bloom filter."""
+
+import pytest
+
+from repro.bloom import BloomFilter, false_positive_rate
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixFamily
+
+
+def test_no_false_negatives():
+    bloom = BloomFilter(4096, num_hashes=4, seed=1)
+    inserted = list(range(0, 2000, 7))
+    for identifier in inserted:
+        bloom.add(identifier)
+    assert all(bloom.contains(identifier) for identifier in inserted)
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter(1024, num_hashes=3)
+    assert not any(bloom.contains(identifier) for identifier in range(100))
+
+
+def test_measured_fp_rate_tracks_theory():
+    num_bits, load, k = 8192, 1000, 4
+    bloom = BloomFilter(num_bits, num_hashes=k, seed=3)
+    for identifier in range(load):
+        bloom.add(identifier)
+    probes = 20_000
+    false_positives = sum(
+        bloom.contains(identifier) for identifier in range(10**6, 10**6 + probes)
+    )
+    predicted = false_positive_rate(num_bits, load, k)
+    measured = false_positives / probes
+    assert measured == pytest.approx(predicted, rel=0.35)
+
+
+def test_add_if_absent_semantics():
+    bloom = BloomFilter(1 << 16, num_hashes=5, seed=2)
+    assert bloom.add_if_absent(42) is False  # first sight: inserted
+    assert bloom.add_if_absent(42) is True   # second sight: duplicate
+    assert bloom.count_inserted == 1
+
+
+def test_clear_resets_state():
+    bloom = BloomFilter(512, num_hashes=2)
+    bloom.add(1)
+    assert bloom.bits_set() > 0
+    bloom.clear()
+    assert bloom.bits_set() == 0
+    assert bloom.count_inserted == 0
+    assert not bloom.contains(1)
+
+
+def test_precomputed_index_paths_match_online():
+    family = SplitMixFamily(4, 2048, seed=9)
+    online = BloomFilter(2048, family=family)
+    replay = BloomFilter(2048, family=family)
+    for identifier in range(300):
+        online.add(identifier)
+        replay.add_indices(family.indices(identifier))
+    for identifier in range(600):
+        assert online.contains(identifier) == replay.contains_indices(
+            family.indices(identifier)
+        )
+
+
+def test_in_operator():
+    bloom = BloomFilter(1 << 14, num_hashes=4)
+    bloom.add(7)
+    assert 7 in bloom
+
+
+def test_family_range_must_match():
+    family = SplitMixFamily(4, 100, seed=0)
+    with pytest.raises(ConfigurationError):
+        BloomFilter(200, family=family)
+
+
+def test_shared_family_gives_identical_bit_patterns():
+    family = SplitMixFamily(3, 4096, seed=5)
+    a = BloomFilter(4096, family=family)
+    b = BloomFilter(4096, family=family)
+    a.add(123)
+    b.add(123)
+    assert (a._bits.raw() == b._bits.raw()).all()
+
+
+def test_bits_set_counts():
+    bloom = BloomFilter(1 << 15, num_hashes=6, seed=0)
+    bloom.add(1)
+    assert 1 <= bloom.bits_set() <= 6
+
+
+class TestPartitionedBloomFilter:
+    def test_no_false_negatives(self):
+        from repro.bloom import PartitionedBloomFilter
+
+        bloom = PartitionedBloomFilter(8192, num_hashes=4, seed=1)
+        for identifier in range(0, 1000, 3):
+            bloom.add(identifier)
+        assert all(bloom.contains(i) for i in range(0, 1000, 3))
+
+    def test_each_insert_sets_exactly_k_distinct_bits(self):
+        from repro.bloom import PartitionedBloomFilter
+
+        bloom = PartitionedBloomFilter(1 << 16, num_hashes=8, seed=2)
+        bloom.add(42)
+        assert bloom.bits_set() == 8  # segments cannot collide
+
+    def test_add_if_absent(self):
+        from repro.bloom import PartitionedBloomFilter
+
+        bloom = PartitionedBloomFilter(1 << 14, num_hashes=4, seed=3)
+        assert bloom.add_if_absent(7) is False
+        assert bloom.add_if_absent(7) is True
+
+    def test_fp_rate_close_to_formula_and_above_classical(self):
+        import pytest as _pytest
+
+        from repro.bloom import (
+            BloomFilter,
+            PartitionedBloomFilter,
+            false_positive_rate,
+        )
+
+        num_bits, load, k = 8192, 1200, 4
+        partitioned = PartitionedBloomFilter(num_bits, k, seed=5)
+        for identifier in range(load):
+            partitioned.add(identifier)
+        probes = 20_000
+        measured = sum(
+            partitioned.contains(i) for i in range(10**6, 10**6 + probes)
+        ) / probes
+        predicted = PartitionedBloomFilter.false_positive_rate(num_bits, load, k)
+        assert measured == _pytest.approx(predicted, rel=0.3)
+        # The partitioned layout is (slightly) worse than the classical.
+        assert predicted >= false_positive_rate(num_bits, load, k)
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.bloom import PartitionedBloomFilter
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            PartitionedBloomFilter(3, num_hashes=4)
+        with _pytest.raises(ConfigurationError):
+            PartitionedBloomFilter(100, num_hashes=0)

@@ -1,0 +1,110 @@
+"""Unit tests for the counting Bloom filter."""
+
+import pytest
+
+from repro.bloom import CountingBloomFilter
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing import SplitMixFamily
+
+
+def test_insert_then_contains():
+    cbf = CountingBloomFilter(2048, num_hashes=4, seed=1)
+    cbf.add(10)
+    assert cbf.contains(10)
+    assert not cbf.contains(999999)
+
+
+def test_remove_undoes_insert():
+    cbf = CountingBloomFilter(2048, num_hashes=4, seed=1)
+    cbf.add(10)
+    cbf.remove(10)
+    assert not cbf.contains(10)
+    assert cbf.nonzero_counters() == 0
+
+
+def test_remove_keeps_other_elements():
+    cbf = CountingBloomFilter(1 << 14, num_hashes=4, counter_bits=8, seed=2)
+    for identifier in range(100):
+        cbf.add(identifier)
+    cbf.remove(50)
+    for identifier in range(100):
+        if identifier != 50:
+            assert cbf.contains(identifier)  # no false negatives from deletes
+
+
+def test_counter_saturation_recorded():
+    cbf = CountingBloomFilter(64, num_hashes=1, counter_bits=4, seed=0)
+    for _ in range(20):
+        cbf.add(7)  # same slot, counter caps at 15
+    assert cbf.saturation_events == 5
+
+
+def test_overflow_raises_when_saturation_disabled():
+    cbf = CountingBloomFilter(64, num_hashes=1, counter_bits=4, seed=0, saturate=False)
+    for _ in range(15):
+        cbf.add(7)
+    with pytest.raises(CapacityError):
+        cbf.add(7)
+
+
+def test_saturated_counter_sticks_after_removals():
+    # The §3.3 failure mode: once saturated, removals cannot drain the
+    # counter, leaving a stuck-on membership.
+    cbf = CountingBloomFilter(64, num_hashes=1, counter_bits=4, seed=0)
+    for _ in range(16):
+        cbf.add(7)
+    for _ in range(16):
+        cbf.remove(7)
+    assert cbf.contains(7)
+
+
+def test_add_filter_is_pointwise_sum():
+    family = SplitMixFamily(3, 512, seed=4)
+    a = CountingBloomFilter(512, counter_bits=8, family=family)
+    b = CountingBloomFilter(512, counter_bits=8, family=family)
+    a.add(1)
+    b.add(1)
+    b.add(2)
+    a.add_filter(b)
+    index = family.indices(1)[0]
+    assert a.counter_value(index) >= 2
+    assert a.contains(2)
+    assert a.count_inserted == 3
+
+
+def test_subtract_filter_expires_subwindow():
+    family = SplitMixFamily(3, 512, seed=4)
+    main = CountingBloomFilter(512, counter_bits=8, family=family)
+    sub = CountingBloomFilter(512, counter_bits=8, family=family)
+    for identifier in (5, 6, 7):
+        main.add(identifier)
+        sub.add(identifier)
+    main.add(99)
+    main.subtract_filter(sub)
+    assert not main.contains(5)
+    assert main.contains(99)
+
+
+def test_add_filter_requires_compatible_geometry():
+    a = CountingBloomFilter(512, counter_bits=8)
+    b = CountingBloomFilter(256, counter_bits=8)
+    with pytest.raises(ConfigurationError):
+        a.add_filter(b)
+
+
+def test_memory_accounts_counter_width():
+    assert CountingBloomFilter(1000, counter_bits=4).memory_bits == 4000
+    assert CountingBloomFilter(1000, counter_bits=16).memory_bits == 16000
+
+
+def test_invalid_counter_bits():
+    with pytest.raises(ConfigurationError):
+        CountingBloomFilter(100, counter_bits=3)
+
+
+def test_clear():
+    cbf = CountingBloomFilter(256, seed=1)
+    cbf.add(5)
+    cbf.clear()
+    assert cbf.nonzero_counters() == 0
+    assert cbf.count_inserted == 0

@@ -1,0 +1,102 @@
+"""Unit tests for Bloom-filter parameter mathematics."""
+
+import math
+
+import pytest
+
+from repro.bloom import (
+    bits_for_target_rate,
+    expected_fill_fraction,
+    false_positive_rate,
+    false_positive_rate_asymptotic,
+    min_false_positive_rate,
+    optimal_num_hashes,
+)
+from repro.errors import ConfigurationError
+
+
+def test_empty_filter_never_false_positive():
+    assert false_positive_rate(1024, 0, 4) == 0.0
+
+
+def test_exact_close_to_asymptotic_for_large_m():
+    exact = false_positive_rate(1 << 20, 100_000, 7)
+    asymptotic = false_positive_rate_asymptotic(1 << 20, 100_000, 7)
+    assert exact == pytest.approx(asymptotic, rel=1e-3)
+
+
+def test_rate_increases_with_load():
+    rates = [false_positive_rate(4096, n, 4) for n in (100, 500, 1000, 4000)]
+    assert rates == sorted(rates)
+    assert 0 < rates[0] < rates[-1] < 1
+
+
+def test_single_hash_single_element():
+    # One element, one hash, m bits: FP = 1/m exactly.
+    assert false_positive_rate(100, 1, 1) == pytest.approx(0.01)
+
+
+def test_paper_figure2b_constant():
+    # §5: N = 2^20, m = 15,112,980, k = 10 -> "about 0.001".
+    rate = false_positive_rate(15_112_980, 1 << 20, 10)
+    assert rate == pytest.approx(0.00098, abs=5e-5)
+
+
+def test_optimal_num_hashes_near_ln2_ratio():
+    m, n = 1 << 20, 100_000
+    k = optimal_num_hashes(m, n)
+    assert k in (math.floor(math.log(2) * m / n), math.ceil(math.log(2) * m / n))
+    # Optimal k beats its neighbours.
+    best = false_positive_rate(m, n, k)
+    assert best <= false_positive_rate(m, n, k + 1)
+    if k > 1:
+        assert best <= false_positive_rate(m, n, k - 1)
+
+
+def test_optimal_num_hashes_at_least_one():
+    assert optimal_num_hashes(10, 1000) == 1
+    assert optimal_num_hashes(10, 0) == 1
+
+
+def test_paper_constants_chosen_for_k10():
+    # The paper's m values make k = 10 optimal for their loads.
+    assert optimal_num_hashes(15_112_980, 1 << 20) == 10
+    assert optimal_num_hashes(1_876_246, (1 << 20) // 8) == 10
+
+
+def test_min_false_positive_rate_close_to_power_law():
+    m, n = 1 << 16, 4096
+    k = optimal_num_hashes(m, n)
+    assert min_false_positive_rate(m, n) == pytest.approx(2.0 ** (-k), rel=0.25)
+
+
+def test_bits_for_target_rate_sufficient_and_tightish():
+    n, target = 10_000, 0.001
+    m = bits_for_target_rate(n, target)
+    assert min_false_positive_rate(m, n) <= target
+    # Not wildly oversized: within 25% of the closed-form estimate.
+    closed_form = -n * math.log(target) / math.log(2) ** 2
+    assert m <= closed_form * 1.25
+
+
+def test_bits_for_target_rate_validation():
+    with pytest.raises(ConfigurationError):
+        bits_for_target_rate(0, 0.01)
+    with pytest.raises(ConfigurationError):
+        bits_for_target_rate(10, 1.5)
+
+
+def test_expected_fill_fraction_half_at_optimum():
+    # At the optimal k the fill fraction is ~1/2.
+    m, n = 1 << 18, 20_000
+    k = optimal_num_hashes(m, n)
+    assert expected_fill_fraction(m, n, k) == pytest.approx(0.5, abs=0.03)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        false_positive_rate(0, 10, 1)
+    with pytest.raises(ConfigurationError):
+        false_positive_rate(10, -1, 1)
+    with pytest.raises(ConfigurationError):
+        false_positive_rate(10, 1, 0)

@@ -1,0 +1,71 @@
+"""Unit tests for the Stable Bloom filter (Deng & Rafiei baseline)."""
+
+import pytest
+
+from repro.bloom import StableBloomFilter
+from repro.errors import ConfigurationError
+
+
+def test_recent_duplicate_detected():
+    sbf = StableBloomFilter(4096, num_hashes=3, cell_bits=3, decrements_per_insert=4, seed=1)
+    assert sbf.process(42) is False
+    assert sbf.process(42) is True  # immediate repeat: cells still at Max
+
+
+def test_fresh_elements_mostly_pass():
+    sbf = StableBloomFilter(1 << 14, num_hashes=4, cell_bits=3, decrements_per_insert=10, seed=2)
+    flagged = sum(sbf.process(identifier) for identifier in range(2000))
+    assert flagged < 50  # all distinct: only (rare) false positives
+
+
+def test_false_negatives_exist_for_old_elements():
+    # The structural deficiency the paper's TBF removes: after enough
+    # decay, a previously inserted element is forgotten.
+    sbf = StableBloomFilter(256, num_hashes=2, cell_bits=2, decrements_per_insert=32, seed=3)
+    sbf.process(7)
+    for filler in range(1000, 1400):
+        sbf.process(filler)
+    assert sbf.query(7) is False
+
+
+def test_zero_fraction_converges_to_stable_point():
+    m, k, d, p = 2048, 3, 2, 12
+    sbf = StableBloomFilter(m, num_hashes=k, cell_bits=d, decrements_per_insert=p, seed=4)
+    for identifier in range(30_000):
+        sbf.process(identifier)
+    predicted = StableBloomFilter.stable_zero_fraction(m, k, d, p)
+    assert sbf.zero_fraction() == pytest.approx(predicted, abs=0.08)
+
+
+def test_stable_fp_rate_formula_consistency():
+    fp = StableBloomFilter.stable_false_positive_rate(4096, 4, 3, 10)
+    zero = StableBloomFilter.stable_zero_fraction(4096, 4, 3, 10)
+    assert fp == pytest.approx((1 - zero) ** 4)
+    assert 0 < fp < 1
+
+
+def test_recommended_decrements_meets_target():
+    m, k, d = 1 << 16, 4, 3
+    target = 0.05
+    p = StableBloomFilter.recommended_decrements(m, k, d, target)
+    achieved = StableBloomFilter.stable_false_positive_rate(m, k, d, p)
+    assert achieved <= target * 1.05
+
+
+def test_recommended_decrements_unreachable_target():
+    with pytest.raises(ConfigurationError):
+        # The stable point needs num_cells > num_hashes.
+        StableBloomFilter.recommended_decrements(4, 4, 3, 0.01)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        StableBloomFilter(0)
+    with pytest.raises(ConfigurationError):
+        StableBloomFilter(100, cell_bits=9)
+    with pytest.raises(ConfigurationError):
+        StableBloomFilter(100, decrements_per_insert=0)
+
+
+def test_memory_bits():
+    assert StableBloomFilter(1000, cell_bits=3).memory_bits == 3000

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (driven in-process via main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_then_detect(tmp_path, capsys):
+    stream = tmp_path / "clicks.jsonl"
+    assert main([
+        "generate", str(stream),
+        "--duration", "600", "--click-rate", "1.0", "--visitors", "50",
+        "--botnet-bots", "10", "--bot-interval", "60", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "fraudulent" in out
+    assert stream.exists()
+
+    assert main([
+        "detect", str(stream),
+        "--algorithm", "tbf", "--window", "4096", "--target-fp", "0.001",
+        "--quality",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "duplicates" in out
+    assert "click quality" in out
+
+
+def test_generate_csv_format(tmp_path, capsys):
+    stream = tmp_path / "clicks.csv"
+    assert main([
+        "generate", str(stream), "--duration", "120", "--seed", "1",
+    ]) == 0
+    header = stream.read_text().splitlines()[0]
+    assert header.startswith("timestamp,")
+
+
+@pytest.mark.parametrize("algorithm", ["gbf", "tbf-jumping", "metwally-cbf", "exact"])
+def test_detect_other_algorithms(tmp_path, capsys, algorithm):
+    stream = tmp_path / "clicks.jsonl"
+    main(["generate", str(stream), "--duration", "200", "--seed", "2"])
+    capsys.readouterr()
+    assert main([
+        "detect", str(stream), "--algorithm", algorithm,
+        "--window", "1024", "--memory-kib", "64",
+    ]) == 0
+    assert "duplicates" in capsys.readouterr().out
+
+
+def test_detect_memory_budget_mode(tmp_path, capsys):
+    stream = tmp_path / "clicks.jsonl"
+    main(["generate", str(stream), "--duration", "200", "--seed", "5"])
+    capsys.readouterr()
+    assert main([
+        "detect", str(stream), "--algorithm", "tbf",
+        "--window", "2048", "--memory-kib", "128",
+    ]) == 0
+
+
+def test_plan_command(capsys):
+    assert main([
+        "plan", "--window", "1048576", "--target-fp", "0.001",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "GBF" in out and "TBF" in out and "predicted FP" in out
+
+
+def test_figures_command(capsys):
+    assert main(["figures", "--which", "2b", "--scale", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2(b)" in out
+
+
+def test_figures_theory_speed(capsys):
+    # Figure 1 at a big scale stays fast enough for CI.
+    assert main(["figures", "--which", "1", "--scale", "4096"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,140 @@
+"""Tests for MinHash signatures and coalition detection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import CoalitionDetector
+from repro.detection.coalitions import MinHashSignature
+from repro.errors import ConfigurationError
+from repro.hashing import derive_constants
+
+
+def make_signature(items, num_hashes=128, seed=1):
+    signature = MinHashSignature(derive_constants(seed, num_hashes))
+    for item in items:
+        signature.observe(item)
+    return signature
+
+
+class TestMinHash:
+    def test_identical_sets_similarity_one(self):
+        a = make_signature(range(50))
+        b = make_signature(range(50))
+        assert a.similarity(b) == 1.0
+
+    def test_disjoint_sets_similarity_near_zero(self):
+        a = make_signature(range(0, 100))
+        b = make_signature(range(1000, 1100))
+        assert a.similarity(b) < 0.1
+
+    def test_estimates_jaccard(self):
+        # |A ∩ B| / |A ∪ B| = 50 / 150.
+        a = make_signature(range(0, 100), num_hashes=256)
+        b = make_signature(range(50, 150), num_hashes=256)
+        assert a.similarity(b) == pytest.approx(50 / 150, abs=0.08)
+
+    def test_empty_signatures_not_similar(self):
+        a = make_signature([])
+        b = make_signature([])
+        assert a.similarity(b) == 0.0
+
+    def test_order_invariant(self):
+        items = list(range(200))
+        shuffled = items.copy()
+        random.Random(3).shuffle(shuffled)
+        assert make_signature(items).similarity(make_signature(shuffled)) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shared=st.sets(st.integers(0, 1000), min_size=1, max_size=40),
+    only_a=st.sets(st.integers(2000, 3000), max_size=40),
+    only_b=st.sets(st.integers(4000, 5000), max_size=40),
+)
+def test_property_minhash_tracks_jaccard(shared, only_a, only_b):
+    set_a = shared | only_a
+    set_b = shared | only_b
+    true_jaccard = len(set_a & set_b) / len(set_a | set_b)
+    a = make_signature(set_a, num_hashes=256, seed=7)
+    b = make_signature(set_b, num_hashes=256, seed=7)
+    # 256 permutations: std <= 0.5/16 ~ 0.031; allow 5 sigma.
+    assert a.similarity(b) == pytest.approx(true_jaccard, abs=0.16)
+
+
+class TestCoalitionDetector:
+    def _feed_coalition(self, detector, sources, ads, clicks_each, rng):
+        for source in sources:
+            for _ in range(clicks_each):
+                detector.observe(source, rng.choice(ads))
+
+    def test_finds_planted_coalition(self):
+        rng = random.Random(5)
+        detector = CoalitionDetector(num_hashes=128, max_sources=256, min_clicks=10, seed=1)
+        # Coalition: 4 sources sharing the same 3 target ads.
+        coalition_sources = [900, 901, 902, 903]
+        self._feed_coalition(detector, coalition_sources, [70, 71, 72], 40, rng)
+        # Background: 60 honest sources over 500 ads.
+        for source in range(60):
+            for _ in range(30):
+                detector.observe(source, rng.randrange(500))
+        pairs = detector.similar_pairs(threshold=0.8)
+        flagged = {pair.source_a for pair in pairs} | {pair.source_b for pair in pairs}
+        assert set(coalition_sources) <= flagged
+        honest_flagged = flagged - set(coalition_sources)
+        assert len(honest_flagged) <= 3
+
+    def test_coalitions_groups_components(self):
+        rng = random.Random(7)
+        detector = CoalitionDetector(num_hashes=128, max_sources=128, min_clicks=5, seed=2)
+        self._feed_coalition(detector, [1, 2, 3], [10, 11], 25, rng)
+        self._feed_coalition(detector, [8, 9], [500, 501, 502], 25, rng)
+        groups = detector.coalitions(threshold=0.9)
+        assert {1, 2, 3} in groups
+        assert {8, 9} in groups
+
+    def test_immature_sources_excluded(self):
+        detector = CoalitionDetector(num_hashes=64, min_clicks=20, seed=3)
+        detector.observe(1, 5)
+        detector.observe(2, 5)
+        assert detector.similar_pairs(threshold=0.1) == []
+
+    def test_pruning_keeps_busy_sources(self):
+        detector = CoalitionDetector(num_hashes=32, max_sources=16, min_clicks=1, seed=4)
+        # Two chatty sources...
+        for _ in range(100):
+            detector.observe(7, 1)
+            detector.observe(8, 1)
+        # ...then a flood of one-click sources forcing pruning.
+        for source in range(1000, 1200):
+            detector.observe(source, 2)
+        pairs = detector.similar_pairs(threshold=0.9)
+        assert any({pair.source_a, pair.source_b} == {7, 8} for pair in pairs)
+
+    def test_memory_bounded(self):
+        detector = CoalitionDetector(num_hashes=32, max_sources=64, seed=5)
+        for source in range(5000):
+            detector.observe(source, source % 17)
+        assert len(detector._signatures) <= 64
+        assert detector.memory_bits <= 64 * 32 * 64 + detector._volume.memory_bits
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoalitionDetector(num_hashes=0)
+        with pytest.raises(ConfigurationError):
+            CoalitionDetector(max_sources=1)
+        with pytest.raises(ConfigurationError):
+            CoalitionDetector(min_clicks=0)
+        with pytest.raises(ConfigurationError):
+            CoalitionDetector().similar_pairs(threshold=0.0)
+
+    def test_observe_click_helper(self):
+        from repro.streams import Click
+
+        detector = CoalitionDetector(num_hashes=16, min_clicks=1, seed=6)
+        detector.observe_click(
+            Click(0.0, source_ip=5, cookie=0, ad_id=9, publisher_id=0, advertiser_id=0)
+        )
+        assert 5 in detector._signatures

@@ -1,0 +1,155 @@
+"""Tests for network dynamics: budget pacing, bid policies, auction rounds."""
+
+import pytest
+
+from repro.adnet import (
+    AdNetwork,
+    BidPolicy,
+    BudgetPacer,
+    DynamicAuctioneer,
+    PacingConfig,
+    TrafficProfile,
+    competitor_botnet,
+    paced_charge,
+)
+from repro.adnet.entities import Advertiser
+from repro.errors import BudgetError, ConfigurationError
+
+
+def make_advertiser(budget=100.0, spent=0.0):
+    advertiser = Advertiser(0, "a", budget, {"w": 1.0})
+    advertiser.spent = spent
+    return advertiser
+
+
+class TestBudgetPacer:
+    def test_early_spending_throttled(self):
+        pacer = BudgetPacer(PacingConfig(horizon=100.0, tolerance=0.0))
+        advertiser = make_advertiser(budget=100.0, spent=10.0)
+        # At t=5 the schedule allows 5% of budget; 10 already spent.
+        assert pacer.allow(advertiser, 1.0, now=5.0) is False
+        assert pacer.throttled[0] == 1
+
+    def test_on_schedule_spending_allowed(self):
+        pacer = BudgetPacer(PacingConfig(horizon=100.0, tolerance=0.0))
+        advertiser = make_advertiser(budget=100.0, spent=10.0)
+        assert pacer.allow(advertiser, 1.0, now=50.0) is True
+
+    def test_after_horizon_only_budget_limits(self):
+        pacer = BudgetPacer(PacingConfig(horizon=100.0))
+        advertiser = make_advertiser(budget=100.0, spent=99.0)
+        assert pacer.allow(advertiser, 0.5, now=500.0) is True
+        assert pacer.allow(advertiser, 2.0, now=500.0) is False  # exceeds budget
+
+    def test_tolerance_loosens_schedule(self):
+        strict = BudgetPacer(PacingConfig(horizon=100.0, tolerance=0.0))
+        loose = BudgetPacer(PacingConfig(horizon=100.0, tolerance=0.5))
+        advertiser = make_advertiser(budget=100.0, spent=12.0)
+        assert strict.allow(advertiser, 1.0, now=10.0) is False
+        assert loose.allow(advertiser, 1.0, now=10.0) is True
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PacingConfig(horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            PacingConfig(tolerance=-0.1)
+        pacer = BudgetPacer()
+        with pytest.raises(ConfigurationError):
+            pacer.allow(make_advertiser(), -1.0, now=0.0)
+
+
+class TestBidPolicy:
+    def test_raises_when_underserved(self):
+        policy = BidPolicy(target_share=0.5, step=0.1)
+        assert policy.adjust(1.00, observed_share=0.2) == pytest.approx(1.10)
+
+    def test_lowers_when_dominating(self):
+        policy = BidPolicy(target_share=0.5, step=0.1)
+        assert policy.adjust(1.00, observed_share=0.9) == pytest.approx(0.90)
+
+    def test_bounds_respected(self):
+        policy = BidPolicy(step=0.5, min_bid=0.10, max_bid=1.0)
+        assert policy.adjust(0.95, observed_share=0.0) == 1.0
+        assert policy.adjust(0.12, observed_share=1.0) == 0.10
+
+
+class TestDynamicAuctioneer:
+    def _network(self):
+        network = AdNetwork(seed=1)
+        network.add_advertiser("a", 1000.0, {"w": 1.00})
+        network.add_advertiser("b", 1000.0, {"w": 0.60})
+        network.add_publisher("p")
+        network.run_auctions(["w"])
+        return network
+
+    def test_losing_bidder_climbs(self):
+        network = self._network()
+        auctioneer = DynamicAuctioneer(
+            network, policies={1: BidPolicy(target_share=0.5, step=0.2)}
+        )
+        # Advertiser 1 saw none of the valid clicks: its bid must rise
+        # and (after enough rounds) overtake advertiser 0's static bid.
+        for _ in range(5):
+            auctioneer.record_round(valid_clicks={0: 100, 1: 0})
+        winner = next(iter(network.ad_links.values()))
+        assert network.advertisers.get(1).bids["w"] > 1.00
+        assert winner.advertiser_id == 1
+
+    def test_prices_recorded_per_round(self):
+        network = self._network()
+        auctioneer = DynamicAuctioneer(network)
+        outcome = auctioneer.record_round(valid_clicks={0: 10, 1: 5})
+        assert outcome.round_index == 0
+        assert "w" in outcome.keyword_prices
+        assert auctioneer.history == [outcome]
+
+    def test_unknown_advertiser_policy_rejected(self):
+        network = self._network()
+        auctioneer = DynamicAuctioneer(network, policies={99: BidPolicy()})
+        with pytest.raises(ConfigurationError):
+            auctioneer.record_round(valid_clicks={})
+
+
+class TestPacedCharge:
+    def test_pacing_slows_budget_drain_under_attack(self):
+        def drain(with_pacing):
+            network = AdNetwork(seed=3)
+            network.add_advertiser("victim", budget=50.0, bids={"w": 1.0})
+            network.add_publisher("p")
+            network.run_auctions(["w"])
+            competitor_botnet(network, num_bots=40, mean_interval=30.0, seed=4)
+            clicks = network.run(
+                duration=3600.0,
+                profile=TrafficProfile(click_rate=0.05, num_visitors=5),
+            )
+            billing = network.make_billing_engine()
+            pacer = BudgetPacer(PacingConfig(horizon=86_400.0, tolerance=0.0))
+            halfway_spent = None
+            for click in clicks:
+                try:
+                    if with_pacing:
+                        paced_charge(billing, pacer, click)
+                    else:
+                        billing.charge(click)
+                except BudgetError:
+                    break
+                if halfway_spent is None and click.timestamp > 1800.0:
+                    halfway_spent = network.advertisers.get(0).spent
+            return halfway_spent if halfway_spent is not None else (
+                network.advertisers.get(0).spent
+            )
+
+        assert drain(with_pacing=True) < drain(with_pacing=False)
+
+    def test_paced_charge_raises_only_when_exhausted(self):
+        network = AdNetwork(seed=5)
+        network.add_advertiser("a", budget=0.5, bids={"w": 1.0})
+        network.add_publisher("p")
+        network.run_auctions(["w"])
+        billing = network.make_billing_engine()
+        pacer = BudgetPacer(PacingConfig(horizon=10.0))
+        clicks = network.run(duration=100.0,
+                             profile=TrafficProfile(click_rate=1.0, num_visitors=3))
+        with pytest.raises(BudgetError):
+            for click in clicks:
+                paced_charge(billing, pacer, click)

@@ -1,0 +1,228 @@
+"""Tests for the experiment harness (figures run here at toy scale;
+the benchmarks run them at the reporting scale)."""
+
+import math
+
+import pytest
+
+from repro.core import TBFDetector
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    FPExperimentConfig,
+    measure_false_positives,
+    run_cbf_width_ablation,
+    run_distinct_stream_fp,
+    run_figure1,
+    run_figure2a,
+    run_figure2b,
+    run_q_crossover_ablation,
+    run_tbf_slack_ablation,
+    scale_factor,
+)
+from repro.experiments.config import (
+    PAPER_WINDOW_SIZE,
+    scaled_fig2a_bits,
+    scaled_fig2b_entries,
+)
+from repro.streams import distinct_stream
+
+TOY_SCALE = 1024  # N = 1024: every figure runs in well under a second
+
+
+class TestConfig:
+    def test_scaled_protocol_ratios(self):
+        config = FPExperimentConfig.scaled(64)
+        assert config.window_size == PAPER_WINDOW_SIZE // 64
+        assert config.stream_length == 20 * config.window_size
+        assert config.stream_length - config.measure_from == 10 * config.window_size
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "128")
+        assert scale_factor() == 128
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ConfigurationError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ConfigurationError):
+            scale_factor()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_factor(default=32) == 32
+
+    def test_scaled_sizes_preserve_ratio(self):
+        for scale in (64, 256, 1024):
+            window = PAPER_WINDOW_SIZE // scale
+            assert scaled_fig2a_bits(scale) / window == pytest.approx(
+                1_876_246 / PAPER_WINDOW_SIZE, rel=0.01
+            )
+            assert scaled_fig2b_entries(scale) / window == pytest.approx(
+                15_112_980 / PAPER_WINDOW_SIZE, rel=0.01
+            )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            FPExperimentConfig.scaled(0)
+
+
+class TestRunner:
+    def test_distinct_stream_protocol(self):
+        config = FPExperimentConfig.scaled(TOY_SCALE, seed=3)
+        detector = TBFDetector(
+            config.window_size, scaled_fig2b_entries(TOY_SCALE), 10, seed=3
+        )
+        measurement = run_distinct_stream_fp(detector, config)
+        assert measurement.queries == 10 * config.window_size
+        assert 0 <= measurement.rate < 0.05
+
+    def test_batch_and_scalar_paths_agree(self):
+        # The process_indices replay must produce identical FP counts to
+        # plain process() calls.
+        config = FPExperimentConfig(window_size=256, stream_length=2048,
+                                    measure_from=1024, seed=5)
+        stream = distinct_stream(config.stream_length, config.seed)
+
+        batched = TBFDetector(256, 1024, 4, seed=7)
+        batched_result = measure_false_positives(batched, stream, config.measure_from)
+
+        class ScalarOnly:
+            def __init__(self):
+                self.inner = TBFDetector(256, 1024, 4, seed=7)
+
+            def process(self, identifier):
+                return self.inner.process(identifier)
+
+        scalar_result = measure_false_positives(
+            ScalarOnly(), stream, config.measure_from
+        )
+        assert batched_result.false_positives == scalar_result.false_positives
+
+
+class TestFigures:
+    def test_figure2a_tracks_query_theory(self):
+        result = run_figure2a(scale=TOY_SCALE, k_values=[4, 8], seed=1)
+        assert result.k_values == [4, 8]
+        for measured, theory in zip(result.measured, result.theory_query):
+            assert measured == pytest.approx(theory, rel=0.5, abs=0.002)
+        # Per-lane curve sits below the query-level curve.
+        for lane, query in zip(result.theory_per_lane, result.theory_query):
+            assert lane < query
+        assert "Figure 2(a)" in result.render()
+
+    def test_figure2b_tracks_theory(self):
+        result = run_figure2b(scale=TOY_SCALE, k_values=[4, 8], seed=1)
+        for measured, theory in zip(result.measured, result.theory):
+            assert measured == pytest.approx(theory, rel=0.5, abs=0.002)
+        assert "Figure 2(b)" in result.render()
+
+    def test_figure1_shape(self):
+        result = run_figure1(scale=TOY_SCALE, log_n_values=[16, 20], num_hashes=2, seed=1)
+        # Paper's claim: previous algorithm degrades much faster with N.
+        assert result.theory_previous[-1] > result.theory_gbf[-1] * 4
+        assert result.measured_previous[-1] > result.measured_gbf[-1] * 2
+        # Both grow with N.
+        assert result.theory_previous[0] < result.theory_previous[-1]
+        assert "Figure 1" in result.render()
+
+    def test_figure1_theory_only_mode(self):
+        result = run_figure1(log_n_values=[15, 20], measure=False)
+        assert all(math.isnan(value) for value in result.measured_gbf)
+        assert len(result.theory_previous) == 2
+
+
+class TestAblations:
+    def test_tbf_slack_tradeoff(self):
+        result = run_tbf_slack_ablation(
+            scale=TOY_SCALE, slack_fractions=(1 / 16, 1.0, 4.0), num_hashes=6
+        )
+        rows = result.rows
+        assert len(rows) == 3
+        # More slack -> wider entries, fewer scans.
+        assert rows[0].entry_bits <= rows[1].entry_bits <= rows[2].entry_bits
+        assert rows[0].scan_per_element >= rows[1].scan_per_element >= rows[2].scan_per_element
+        # FP rate is unaffected by C (within noise).
+        for row in rows:
+            assert row.measured_fp == pytest.approx(rows[0].measured_fp, abs=0.01)
+        assert "Ablation A1" in result.render()
+
+    def test_q_crossover(self):
+        result = run_q_crossover_ablation(
+            window_size=1 << 10,
+            total_memory_bits=1 << 16,
+            q_values=(4, 16, 64, 256),
+            num_hashes=4,
+            word_bits=32,
+        )
+        assert len(result.rows) == 4
+        gbf_ops = [row.gbf_measured for row in result.rows]
+        tbf_ops = [row.tbf_measured for row in result.rows]
+        # GBF cost grows with Q; TBF cost stays roughly flat.
+        assert gbf_ops[-1] > gbf_ops[0]
+        assert tbf_ops[-1] < gbf_ops[-1]
+        assert result.crossover_q is not None
+        # Predictions within 2x of measurements everywhere.
+        for row in result.rows:
+            assert row.gbf_measured == pytest.approx(row.gbf_predicted, rel=1.0)
+        assert "Ablation A2" in result.render()
+
+    def test_cbf_width(self):
+        result = run_cbf_width_ablation(
+            window_size=1 << 10,
+            num_subwindows=4,
+            num_counters=1 << 13,
+            counter_widths=(2, 16),
+            num_hashes=3,
+        )
+        narrow, wide = result.rows
+        # Wide counters never cap; 2-bit counters do even at honest load.
+        assert wide.saturation_events == 0
+        assert narrow.saturation_events > 0
+        # Saturation adds error on top of the FP-cascade baseline both
+        # widths share (an FP suppresses an insert, so a later true
+        # duplicate can be missed — a labeling artifact, not saturation).
+        assert narrow.false_negative_rate >= wide.false_negative_rate
+        assert narrow.memory_bits < wide.memory_bits
+        assert "Ablation A3" in result.render()
+
+
+class TestScalingValidation:
+    def test_ratio_near_one_across_scales(self):
+        from repro.experiments import run_scaling_validation
+
+        result = run_scaling_validation(scales=(2048, 1024), num_hashes=6, seed=3)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.5 <= row.ratio <= 1.6
+        # Window sizes actually differ: this is a multi-scale check.
+        assert result.rows[0].window_size * 2 == result.rows[1].window_size
+        assert "Scale invariance" in result.render()
+
+
+class TestLandmarkBoundaryAblation:
+    def test_miss_rate_matches_lag_over_n(self):
+        from repro.experiments import run_landmark_boundary_ablation
+
+        result = run_landmark_boundary_ablation(
+            window_size=1 << 10, lags=(0.25, 0.75), pairs_per_lag=200, seed=5
+        )
+        quarter, three_quarters = result.rows
+        assert quarter.landmark_miss_rate == pytest.approx(0.25, abs=0.1)
+        assert three_quarters.landmark_miss_rate == pytest.approx(0.75, abs=0.1)
+        assert quarter.tbf_miss_rate == 0.0
+        assert three_quarters.tbf_miss_rate == 0.0
+        assert "Ablation A5" in result.render()
+
+
+class TestLabeledRunner:
+    def test_confusion_against_exact(self):
+        from repro.baselines import ExactDetector
+        from repro.experiments.runner import run_labeled_stream
+        from repro.streams import DuplicateSpec, duplicated_stream
+
+        stream = duplicated_stream(3000, DuplicateSpec(rate=0.3, max_lag=100), seed=4)
+        sketch = TBFDetector(256, 1 << 14, 6, seed=1)
+        exact = ExactDetector.sliding(256)
+        result = run_labeled_stream(sketch, exact, stream)
+        matrix = result.matrix
+        assert matrix.total == 3000
+        assert matrix.true_positives > 0
+        assert matrix.recall > 0.99   # zero-FN (modulo FP cascades)
+        assert matrix.false_positive_rate < 0.01

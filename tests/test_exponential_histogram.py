@@ -1,0 +1,149 @@
+"""Unit and property tests for the Exponential Histogram substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.windows import (
+    ExponentialHistogram,
+    SlidingWindowCounter,
+    exact_window_count,
+)
+
+
+class TestBasics:
+    def test_empty_estimate_zero(self):
+        assert ExponentialHistogram(16).estimate() == 0
+
+    def test_counts_small_exactly(self):
+        histogram = ExponentialHistogram(100, epsilon=0.5)
+        for _ in range(3):
+            histogram.observe(True)
+        # With <= max_per_size singleton buckets no merge occurred: exact.
+        assert histogram.estimate() == 3
+
+    def test_zeros_do_not_count(self):
+        histogram = ExponentialHistogram(100)
+        for _ in range(50):
+            histogram.observe(False)
+        assert histogram.estimate() == 0
+
+    def test_old_ones_expire(self):
+        histogram = ExponentialHistogram(8, epsilon=0.1)
+        histogram.observe(True)
+        for _ in range(20):
+            histogram.observe(False)
+        assert histogram.estimate() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(0)
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(10, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(10, epsilon=2.0)
+
+    def test_bucket_count_logarithmic(self):
+        histogram = ExponentialHistogram(1 << 12, epsilon=0.25)
+        for _ in range(1 << 12):
+            histogram.observe(True)
+        # O((1/eps) * log N) buckets: generous cap of (k+1)(log2 N + 2).
+        assert histogram.num_buckets <= (4 + 1) * (12 + 2)
+        assert histogram.memory_bits < (1 << 12)  # far below one bit/element
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25, 0.1])
+    @pytest.mark.parametrize("density", [0.05, 0.5, 0.95])
+    def test_relative_error_bound(self, epsilon, density):
+        window = 512
+        histogram = ExponentialHistogram(window, epsilon=epsilon)
+        rng = random.Random(42)
+        bits = []
+        worst = 0.0
+        for step in range(6 * window):
+            bit = rng.random() < density
+            bits.append(bit)
+            histogram.observe(bit)
+            true = exact_window_count(bits, window)
+            estimate = histogram.estimate()
+            if true > 0:
+                worst = max(worst, abs(estimate - true) / true)
+        assert worst <= epsilon + 1e-9
+
+    def test_all_ones_estimate(self):
+        window = 256
+        histogram = ExponentialHistogram(window, epsilon=0.1)
+        for _ in range(5 * window):
+            histogram.observe(True)
+        assert histogram.estimate() == pytest.approx(window, rel=0.1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.lists(st.booleans(), min_size=1, max_size=300),
+    window=st.integers(1, 64),
+    epsilon=st.sampled_from([0.5, 0.2, 0.1]),
+)
+def test_property_error_within_epsilon(bits, window, epsilon):
+    histogram = ExponentialHistogram(window, epsilon=epsilon)
+    seen = []
+    for bit in bits:
+        histogram.observe(bit)
+        seen.append(bit)
+        true = exact_window_count(seen, window)
+        estimate = histogram.estimate()
+        if true == 0:
+            assert estimate == 0
+        else:
+            assert abs(estimate - true) <= epsilon * true + 1e-9
+
+
+class TestSlidingWindowCounter:
+    def test_rate_tracks_duplicate_fraction(self):
+        counter = SlidingWindowCounter(1000, epsilon=0.1)
+        rng = random.Random(7)
+        for _ in range(5000):
+            counter.observe(rng.random() < 0.3)
+        assert counter.rate() == pytest.approx(0.3, abs=0.06)
+
+    def test_rate_before_window_full(self):
+        counter = SlidingWindowCounter(1000)
+        counter.observe(True)
+        counter.observe(False)
+        assert counter.rate() == pytest.approx(0.5, abs=0.01)
+
+    def test_empty_rate(self):
+        assert SlidingWindowCounter(10).rate() == 0.0
+
+    def test_memory_sublinear(self):
+        counter = SlidingWindowCounter(1 << 14, epsilon=0.2)
+        for step in range(1 << 14):
+            counter.observe(step % 2 == 0)
+        assert counter.memory_bits < (1 << 14) // 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.lists(st.booleans(), min_size=1, max_size=400),
+    epsilon=st.sampled_from([0.5, 0.25, 0.1]),
+)
+def test_property_structural_invariants(bits, epsilon):
+    # DGIM structure: bucket sizes are powers of two, sizes are
+    # non-decreasing from newest to oldest, each size class holds at
+    # most max_per_size buckets, and total matches the bucket sum.
+    histogram = ExponentialHistogram(64, epsilon=epsilon)
+    for bit in bits:
+        histogram.observe(bit)
+        buckets = list(histogram._buckets)
+        sizes = [size for _, size in buckets]
+        assert all(size & (size - 1) == 0 for size in sizes), "power-of-two sizes"
+        assert sizes == sorted(sizes), "newest-first => sizes non-decreasing"
+        for size in set(sizes):
+            assert sizes.count(size) <= histogram._max_per_size
+        assert histogram._total == sum(sizes)
+        timestamps = [timestamp for timestamp, _ in buckets]
+        assert timestamps == sorted(timestamps, reverse=True), "newest first"

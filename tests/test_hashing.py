@@ -1,0 +1,154 @@
+"""Unit tests for the hash-family substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing import (
+    CarterWegmanFamily,
+    DoubleHashingFamily,
+    MultiplyShiftFamily,
+    SplitMixFamily,
+    TabulationFamily,
+    derive_constants,
+    make_family,
+    precompute_indices,
+    chunked,
+)
+
+ALL_FAMILIES = [
+    CarterWegmanFamily,
+    SplitMixFamily,
+    TabulationFamily,
+    DoubleHashingFamily,
+]
+
+
+@pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+def test_indices_in_range(family_cls):
+    family = family_cls(5, 97, seed=3)
+    for identifier in [0, 1, 2, 10**9, (1 << 64) - 1]:
+        indices = family.indices(identifier)
+        assert len(indices) == 5
+        assert all(0 <= index < 97 for index in indices)
+
+
+@pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+def test_deterministic_given_seed(family_cls):
+    a = family_cls(4, 1024, seed=42)
+    b = family_cls(4, 1024, seed=42)
+    for identifier in range(100):
+        assert a.indices(identifier) == b.indices(identifier)
+
+
+@pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+def test_different_seeds_differ(family_cls):
+    a = family_cls(4, 1 << 20, seed=1)
+    b = family_cls(4, 1 << 20, seed=2)
+    differing = sum(a.indices(i) != b.indices(i) for i in range(50))
+    assert differing > 45
+
+
+@pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+def test_batch_matches_scalar(family_cls):
+    family = family_cls(6, 12345, seed=9)
+    identifiers = np.array([0, 1, 7, 1 << 40, (1 << 64) - 3], dtype=np.uint64)
+    batch = family.indices_batch(identifiers)
+    assert batch.shape == (5, 6)
+    for row, identifier in enumerate(identifiers):
+        assert list(map(int, batch[row])) == family.indices(int(identifier))
+
+
+def test_multiply_shift_matches_scalar_batch():
+    family = MultiplyShiftFamily(4, 1 << 16, seed=5)
+    identifiers = np.arange(1000, dtype=np.uint64) * np.uint64(2654435761)
+    batch = family.indices_batch(identifiers)
+    for row in (0, 500, 999):
+        assert list(map(int, batch[row])) == family.indices(int(identifiers[row]))
+
+
+def test_multiply_shift_requires_power_of_two():
+    with pytest.raises(ConfigurationError):
+        MultiplyShiftFamily(4, 1000, seed=0)
+
+
+def test_multiply_shift_range_one():
+    family = MultiplyShiftFamily(3, 1, seed=0)
+    assert family.indices(123) == [0, 0, 0]
+
+
+@pytest.mark.parametrize("family_cls", [SplitMixFamily, TabulationFamily])
+def test_distribution_roughly_uniform(family_cls):
+    buckets = 64
+    family = family_cls(1, buckets, seed=7)
+    counts = np.zeros(buckets)
+    samples = 64_000
+    for index in map(int, family.indices_batch(np.arange(samples, dtype=np.uint64)).ravel()):
+        counts[index] += 1
+    expected = samples / buckets
+    chi_square = float(((counts - expected) ** 2 / expected).sum())
+    # 63 dof; mean 63, std ~11. Anything under 150 is comfortably uniform.
+    assert chi_square < 150
+
+
+def test_double_hashing_distinct_probes():
+    family = DoubleHashingFamily(8, 101, seed=3)
+    indices = family.indices(42)
+    # Probes follow an arithmetic progression with nonzero step in a
+    # prime-size table, hence all distinct.
+    assert len(set(indices)) == 8
+
+
+def test_double_hashing_even_range_odd_step():
+    family = DoubleHashingFamily(4, 100, seed=3)
+    for identifier in range(200):
+        indices = family.indices(identifier)
+        step = (indices[1] - indices[0]) % 100
+        assert step % 2 == 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        SplitMixFamily(0, 10)
+    with pytest.raises(ConfigurationError):
+        SplitMixFamily(3, 0)
+
+
+def test_derive_constants_nonzero_and_stable():
+    constants = derive_constants(99, 16)
+    assert len(constants) == 16
+    assert all(c != 0 for c in constants)
+    assert constants == derive_constants(99, 16)
+
+
+def test_make_family_by_name():
+    assert isinstance(make_family(3, 64, kind="splitmix"), SplitMixFamily)
+    assert isinstance(make_family(3, 64, kind="carter-wegman"), CarterWegmanFamily)
+    assert isinstance(make_family(3, 64, kind="tabulation"), TabulationFamily)
+    assert isinstance(make_family(3, 64, kind="multiply-shift"), MultiplyShiftFamily)
+    assert isinstance(make_family(3, 64, kind="double"), DoubleHashingFamily)
+    with pytest.raises(ValueError):
+        make_family(3, 64, kind="nope")
+
+
+def test_precompute_indices_matches_family():
+    family = SplitMixFamily(5, 999, seed=1)
+    identifiers = [3, 1 << 50, 17]
+    table = precompute_indices(family, identifiers)
+    for row, identifier in enumerate(identifiers):
+        assert list(map(int, table[row])) == family.indices(identifier)
+
+
+def test_chunked_covers_everything():
+    array = np.arange(10)
+    chunks = list(chunked(array, 3))
+    assert [len(c) for c in chunks] == [3, 3, 3, 1]
+    assert np.concatenate(chunks).tolist() == list(range(10))
+    with pytest.raises(ValueError):
+        list(chunked(array, 0))
+
+
+def test_carter_wegman_handles_huge_identifiers():
+    family = CarterWegmanFamily(2, 1000, seed=0)
+    indices = family.indices((1 << 200) + 12345)
+    assert all(0 <= index < 1000 for index in indices)

@@ -1,0 +1,132 @@
+"""Unit tests for the lane-packed bit matrix (GBF storage layout)."""
+
+import pytest
+
+from repro.bitset.words import OperationCounter
+from repro.core.lanes import LanePackedBitMatrix
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_dense_layout(self):
+        matrix = LanePackedBitMatrix(100, 5, 64)
+        assert matrix.slots_per_word == 12  # 64 // 5
+        assert matrix.words_per_slot == 1
+        assert matrix.num_words == -(-100 // 12)
+
+    def test_exact_fit_layout(self):
+        matrix = LanePackedBitMatrix(64, 32, 32)
+        assert matrix.slots_per_word == 1
+        assert matrix.words_per_slot == 1
+        assert matrix.num_words == 64
+
+    def test_wide_layout(self):
+        matrix = LanePackedBitMatrix(10, 100, 32)
+        assert matrix.slots_per_word == 1
+        assert matrix.words_per_slot == 4  # ceil(100/32)
+        assert matrix.num_words == 40
+
+    def test_memory_bits(self):
+        matrix = LanePackedBitMatrix(100, 5, 64)
+        assert matrix.memory_bits == matrix.num_words * 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LanePackedBitMatrix(0, 4)
+        with pytest.raises(ConfigurationError):
+            LanePackedBitMatrix(4, 0)
+        with pytest.raises(ConfigurationError):
+            LanePackedBitMatrix(4, 4, word_bits=10)
+
+
+class TestProbeSemantics:
+    def test_probe_and_intersects_lanes(self):
+        matrix = LanePackedBitMatrix(30, 6, 64)
+        matrix.set_lane([3, 17], lane=2)
+        matrix.set_lane([3], lane=4)
+        combined = matrix.probe_and([3, 17])
+        assert combined[0] >> 2 & 1       # lane 2 set at both slots
+        assert not combined[0] >> 4 & 1   # lane 4 set only at slot 3
+
+    def test_probe_single_slot(self):
+        matrix = LanePackedBitMatrix(8, 3, 8)  # 2 slots per word
+        matrix.set_lane([5], lane=1)
+        assert matrix.probe_and([5])[0] == 0b010
+
+    def test_neighbours_in_word_do_not_leak(self):
+        # Slots 0 and 1 share a word in the dense layout; lane bits of
+        # slot 1 must never appear in a probe of slot 0.
+        matrix = LanePackedBitMatrix(8, 3, 8)
+        matrix.set_lane([1], lane=0)
+        matrix.set_lane([1], lane=1)
+        matrix.set_lane([1], lane=2)
+        assert matrix.probe_and([0])[0] == 0
+
+    def test_counts_reads(self):
+        counter = OperationCounter()
+        matrix = LanePackedBitMatrix(100, 5, 64, counter)
+        matrix.probe_and([1, 2, 3])
+        assert counter.word_reads == 3
+        wide = LanePackedBitMatrix(10, 100, 32, OperationCounter())
+        wide.probe_and([1, 2])
+        assert wide.counter.word_reads == 2 * 4
+
+
+class TestCleaning:
+    def test_clear_range_counts_word_rmws(self):
+        counter = OperationCounter()
+        matrix = LanePackedBitMatrix(120, 5, 64, counter)  # 12 slots/word
+        for slot in range(120):
+            matrix.set_lane([slot], lane=3)
+        counter.reset()
+        matrix.clear_lane_range(3, 0, 24)  # exactly two words
+        assert counter.word_reads == 2
+        assert counter.word_writes == 2
+        for slot in range(24):
+            assert not matrix.get_bit(slot, 3)
+        assert matrix.get_bit(24, 3)
+
+    def test_clear_skips_untouched_words(self):
+        counter = OperationCounter()
+        matrix = LanePackedBitMatrix(120, 5, 64, counter)
+        counter.reset()
+        matrix.clear_lane_range(3, 0, 120)  # nothing set: reads only
+        assert counter.word_writes == 0
+        assert counter.word_reads == 10
+
+    def test_clear_partial_word_edges(self):
+        matrix = LanePackedBitMatrix(24, 5, 64)  # 12 slots/word
+        for slot in range(24):
+            matrix.set_lane([slot], lane=0)
+        matrix.clear_lane_range(0, 5, 10)  # slots 5..14, spans the seam
+        for slot in range(24):
+            assert matrix.get_bit(slot, 0) == (slot < 5 or slot >= 15)
+
+    def test_clear_zero_length_noop(self):
+        matrix = LanePackedBitMatrix(10, 4)
+        matrix.set_lane([0], 0)
+        matrix.clear_lane_range(0, 0, 0)
+        assert matrix.get_bit(0, 0)
+
+    def test_clear_all(self):
+        matrix = LanePackedBitMatrix(50, 7)
+        for slot in range(50):
+            matrix.set_lane([slot], slot % 7)
+        matrix.clear_all()
+        assert all(
+            not matrix.get_bit(slot, lane)
+            for slot in range(50)
+            for lane in range(7)
+        )
+
+    def test_lane_population(self):
+        matrix = LanePackedBitMatrix(40, 6, 16)
+        for slot in (1, 5, 9):
+            matrix.set_lane([slot], 4)
+        assert matrix.lane_population(4) == 3
+        assert matrix.lane_population(0) == 0
+
+    def test_words_for_slot_range(self):
+        matrix = LanePackedBitMatrix(120, 5, 64)
+        assert matrix.words_for_slot_range(24) == 2
+        assert matrix.words_for_slot_range(25) == 3

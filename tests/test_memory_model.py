@@ -1,0 +1,82 @@
+"""Unit tests for the analytical op-cost models (Theorems 1.3 / 2.3)."""
+
+import pytest
+
+from repro.core import (
+    exact_dict_cost,
+    gbf_cost,
+    gbf_tbf_crossover_subwindows,
+    metwally_cbf_cost,
+    naive_subwindow_bloom_cost,
+    tbf_cost,
+)
+
+
+class TestGBFCost:
+    def test_dense_packing_single_word_probes(self):
+        cost = gbf_cost(1 << 12, 8, 1 << 15, 5, word_bits=64)
+        assert cost.check_reads == 5  # Q+1 = 9 lanes fit one word
+        assert cost.insert_writes == 5
+
+    def test_wide_lanes_multiply_probe_cost(self):
+        cost = gbf_cost(1 << 12, 255, 1 << 15, 5, word_bits=64)
+        assert cost.check_reads == 5 * 4  # ceil(256/64) words per slot
+
+    def test_cleaning_scales_with_q_over_d(self):
+        # Theorem 1.3: doubling Q (roughly) doubles cleaning word ops.
+        small = gbf_cost(1 << 12, 8, 1 << 15, 5, word_bits=64).cleaning_ops
+        large = gbf_cost(1 << 12, 32, 1 << 15, 5, word_bits=64).cleaning_ops
+        assert large > 2.5 * small
+
+    def test_cleaning_benefits_from_wider_words(self):
+        narrow = gbf_cost(1 << 12, 8, 1 << 15, 5, word_bits=8).cleaning_ops
+        wide = gbf_cost(1 << 12, 8, 1 << 15, 5, word_bits=64).cleaning_ops
+        assert wide < narrow
+
+    def test_total_is_sum(self):
+        cost = gbf_cost(1 << 12, 8, 1 << 15, 5)
+        assert cost.total == cost.check_reads + cost.insert_writes + cost.cleaning_ops
+
+
+class TestTBFCost:
+    def test_q_independent(self):
+        assert tbf_cost(1 << 12, 1 << 16, 5).total == tbf_cost(1 << 12, 1 << 16, 5).total
+
+    def test_default_slack_scans_m_over_n(self):
+        cost = tbf_cost(1 << 12, 1 << 16, 5)
+        assert cost.cleaning_ops == 2 * ((1 << 16) // (1 << 12))
+
+    def test_larger_slack_cheaper_cleaning(self):
+        tight = tbf_cost(1 << 12, 1 << 16, 5, cleanup_slack=63)
+        loose = tbf_cost(1 << 12, 1 << 16, 5, cleanup_slack=1 << 14)
+        assert loose.cleaning_ops < tight.cleaning_ops
+
+
+class TestBaselineCosts:
+    def test_naive_scales_with_q(self):
+        small = naive_subwindow_bloom_cost(1 << 12, 4, 1 << 15, 5).check_reads
+        large = naive_subwindow_bloom_cost(1 << 12, 32, 1 << 15, 5).check_reads
+        assert large == 8 * small  # Q * k probes
+
+    def test_naive_worse_than_gbf(self):
+        naive = naive_subwindow_bloom_cost(1 << 12, 16, 1 << 15, 5)
+        gbf = gbf_cost(1 << 12, 16, 1 << 15, 5)
+        assert gbf.total < naive.total
+
+    def test_metwally_double_writes(self):
+        cost = metwally_cbf_cost(1 << 12, 8, 1 << 14, 5)
+        assert cost.insert_writes == 10  # sub-filter + main filter
+
+    def test_exact_constant(self):
+        assert exact_dict_cost().total == 5.0
+
+
+class TestCrossover:
+    def test_crossover_exists_and_moves_with_word_size(self):
+        window, memory, k = 1 << 12, 1 << 19, 6
+        narrow = gbf_tbf_crossover_subwindows(window, memory, k, word_bits=8)
+        wide = gbf_tbf_crossover_subwindows(window, memory, k, word_bits=64)
+        assert 1 <= narrow <= window
+        assert 1 <= wide <= window
+        # Wider words keep GBF competitive to larger Q.
+        assert wide >= narrow

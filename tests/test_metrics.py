@@ -1,0 +1,110 @@
+"""Unit tests for measurement: confusion, op counts, throughput, reporting."""
+
+import pytest
+
+from repro.core import TBFDetector
+from repro.metrics import (
+    ConfusionMatrix,
+    measure_ops,
+    relative_error,
+    render_series,
+    render_table,
+    time_detector,
+    to_csv,
+)
+
+
+class TestConfusionMatrix:
+    def test_update_routing(self):
+        matrix = ConfusionMatrix()
+        matrix.update(True, True)
+        matrix.update(True, False)
+        matrix.update(False, True)
+        matrix.update(False, False)
+        assert (matrix.true_positives, matrix.false_positives,
+                matrix.false_negatives, matrix.true_negatives) == (1, 1, 1, 1)
+        assert matrix.total == 4
+
+    def test_rates(self):
+        matrix = ConfusionMatrix(
+            true_positives=8, false_positives=2, true_negatives=88, false_negatives=2
+        )
+        assert matrix.false_positive_rate == pytest.approx(2 / 90)
+        assert matrix.false_negative_rate == pytest.approx(2 / 10)
+        assert matrix.precision == pytest.approx(0.8)
+        assert matrix.recall == pytest.approx(0.8)
+        assert matrix.f1 == pytest.approx(0.8)
+        assert matrix.accuracy == pytest.approx(0.96)
+
+    def test_degenerate_rates(self):
+        matrix = ConfusionMatrix()
+        assert matrix.false_positive_rate == 0.0
+        assert matrix.false_negative_rate == 0.0
+        assert matrix.precision == 1.0
+        assert matrix.recall == 1.0
+        assert matrix.f1 == 1.0
+        assert matrix.accuracy == 1.0
+
+    def test_merged(self):
+        merged = ConfusionMatrix(true_positives=1).merged_with(
+            ConfusionMatrix(false_negatives=2)
+        )
+        assert merged.true_positives == 1
+        assert merged.false_negatives == 2
+
+
+class TestOpMeasurement:
+    def test_measure_ops_resets_then_counts(self):
+        detector = TBFDetector(64, 1024, 3, seed=1)
+        for identifier in range(50):
+            detector.process(identifier)
+        measurement = measure_ops(detector, range(1000, 1100))
+        assert measurement.elements == 100
+        assert measurement.words_per_element > 0
+        assert measurement.rates.hash_evaluations == pytest.approx(3.0)
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestThroughput:
+    def test_time_detector(self):
+        detector = TBFDetector(64, 1024, 3, seed=1)
+        result = time_detector(detector, list(range(2000)))
+        assert result.elements == 2000
+        assert result.seconds > 0
+        assert result.elements_per_second > 1000  # very conservative
+        assert result.microseconds_per_element > 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 123456]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned widths
+
+    def test_render_table_float_formats(self):
+        text = render_table(["x"], [[0.00001234], [0.5]])
+        assert "1.234e-05" in text
+        assert "0.5" in text
+
+    def test_render_series_shapes(self):
+        text = render_series(
+            "k", [1, 2], [("measured", [0.1, 0.2]), ("theory", [0.15, 0.25])]
+        )
+        assert "measured" in text and "theory" in text
+        assert text.count("\n") == 4  # header, separator, two rows
+
+    def test_to_csv(self):
+        csv_text = to_csv(["a", "b"], [[1, 2.5], ["x", 0]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"

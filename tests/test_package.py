@@ -1,0 +1,102 @@
+"""Package-level integrity: exports resolve, protocols are satisfied."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.types import DuplicateDetector, TimestampedDuplicateDetector
+
+SUBPACKAGES = [
+    "repro.hashing",
+    "repro.bitset",
+    "repro.bloom",
+    "repro.windows",
+    "repro.core",
+    "repro.baselines",
+    "repro.streams",
+    "repro.adnet",
+    "repro.detection",
+    "repro.analysis",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_count_based_detectors_satisfy_protocol():
+    from repro.baselines import (
+        ExactDetector,
+        LandmarkBloomDetector,
+        MetwallyCBFDetector,
+        NaiveSubwindowBloomDetector,
+        StableBloomDetector,
+    )
+    from repro.core import GBFDetector, TBFDetector, TBFJumpingDetector
+
+    detectors = [
+        GBFDetector(16, 4, 256, 2),
+        TBFDetector(16, 256, 2),
+        TBFJumpingDetector(16, 4, 256, 2),
+        ExactDetector.sliding(16),
+        LandmarkBloomDetector(16, 256, 2),
+        NaiveSubwindowBloomDetector(16, 4, 256, 2),
+        MetwallyCBFDetector(16, 4, 256, 2),
+        StableBloomDetector(256, 2),
+    ]
+    for detector in detectors:
+        assert isinstance(detector, DuplicateDetector), type(detector).__name__
+        # The protocol in action: process then query.
+        assert detector.process(1) is False
+        assert isinstance(detector.query(1), bool)
+        assert detector.memory_bits > 0
+
+
+def test_time_based_detectors_satisfy_protocol():
+    from repro.baselines import TimeBasedExactDetector
+    from repro.core import TimeBasedGBFDetector, TimeBasedTBFDetector
+    from repro.windows import TimeBasedSlidingWindow
+
+    detectors = [
+        TimeBasedGBFDetector(8.0, 4, 256, 2),
+        TimeBasedTBFDetector(8.0, 8, 256, 2),
+        TimeBasedExactDetector(TimeBasedSlidingWindow(8.0)),
+    ]
+    for detector in detectors:
+        assert isinstance(detector, TimestampedDuplicateDetector), type(detector).__name__
+        assert detector.process_at(1, 0.5) is False
+        assert detector.memory_bits >= 0
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        BudgetError,
+        CapacityError,
+        ConfigurationError,
+        ReproError,
+        StreamError,
+    )
+
+    for error_cls in (ConfigurationError, CapacityError, StreamError, BudgetError):
+        assert issubclass(error_cls, ReproError)
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(CapacityError, RuntimeError)
+
+    from repro.core import CheckpointError
+
+    assert issubclass(CheckpointError, ReproError)

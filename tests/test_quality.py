@@ -1,0 +1,94 @@
+"""Tests for click-quality tracking and smart pricing."""
+
+import pytest
+
+from repro.detection import ClickQualityTracker, QualityConfig
+from repro.errors import ConfigurationError
+from repro.streams import Click
+
+
+def click_for(publisher_id: int, step: int = 0) -> Click:
+    return Click(
+        timestamp=float(step),
+        source_ip=step,
+        cookie=step,
+        ad_id=0,
+        publisher_id=publisher_id,
+        advertiser_id=0,
+    )
+
+
+class TestQualityConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QualityConfig(window=0)
+        with pytest.raises(ConfigurationError):
+            QualityConfig(floor=1.5)
+        with pytest.raises(ConfigurationError):
+            QualityConfig(grace_clicks=-1)
+
+
+class TestClickQualityTracker:
+    def test_unknown_publisher_has_full_quality(self):
+        tracker = ClickQualityTracker()
+        assert tracker.quality(99) == 1.0
+        assert tracker.price_multiplier(99) == 1.0
+
+    def test_quality_tracks_valid_ratio(self):
+        tracker = ClickQualityTracker(QualityConfig(window=1000, grace_clicks=0))
+        for step in range(1000):
+            tracker.observe(click_for(1, step), duplicate=(step % 4 == 0))
+        assert tracker.quality(1) == pytest.approx(0.75, abs=0.08)
+
+    def test_grace_period_bills_full_price(self):
+        tracker = ClickQualityTracker(QualityConfig(grace_clicks=50))
+        for step in range(20):
+            tracker.observe(click_for(2, step), duplicate=True)  # terrible traffic
+        assert tracker.price_multiplier(2) == 1.0  # still in grace
+        for step in range(20, 80):
+            tracker.observe(click_for(2, step), duplicate=True)
+        assert tracker.price_multiplier(2) < 0.5  # grace over
+
+    def test_floor_limits_discount(self):
+        tracker = ClickQualityTracker(QualityConfig(floor=0.25, grace_clicks=0))
+        for step in range(500):
+            tracker.observe(click_for(3, step), duplicate=True)
+        assert tracker.price_multiplier(3) == pytest.approx(0.25)
+
+    def test_smart_price_applies_multiplier(self):
+        tracker = ClickQualityTracker(QualityConfig(grace_clicks=0, floor=0.0))
+        for step in range(400):
+            tracker.observe(click_for(4, step), duplicate=(step % 2 == 0))
+        price = tracker.smart_price(click_for(4), cpc=1.0)
+        assert price == pytest.approx(0.5, abs=0.08)
+        with pytest.raises(ConfigurationError):
+            tracker.smart_price(click_for(4), cpc=-1.0)
+
+    def test_publishers_tracked_independently(self):
+        tracker = ClickQualityTracker(QualityConfig(grace_clicks=0))
+        for step in range(300):
+            tracker.observe(click_for(5, step), duplicate=False)   # clean
+            tracker.observe(click_for(6, step), duplicate=True)    # dirty
+        assert tracker.quality(5) > 0.9
+        assert tracker.quality(6) < 0.2
+
+    def test_quality_recovers_after_attack_ends(self):
+        # Windowed, not cumulative: a publisher whose bot traffic stops
+        # regains full pricing once the dirty window slides out.
+        tracker = ClickQualityTracker(QualityConfig(window=500, grace_clicks=0))
+        for step in range(500):
+            tracker.observe(click_for(7, step), duplicate=True)
+        assert tracker.quality(7) < 0.1
+        for step in range(500, 1500):
+            tracker.observe(click_for(7, step), duplicate=False)
+        assert tracker.quality(7) > 0.85
+
+    def test_report_and_memory(self):
+        tracker = ClickQualityTracker(QualityConfig(window=1 << 12, grace_clicks=0))
+        for step in range(5000):
+            tracker.observe(click_for(8, step), duplicate=(step % 3 == 0))
+        report = tracker.report()
+        assert report[8]["clicks"] == 5000
+        assert 0.55 < report[8]["quality"] < 0.8
+        # Sketch-sized, not history-sized.
+        assert tracker.memory_bits < 5000

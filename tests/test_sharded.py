@@ -1,0 +1,105 @@
+"""Tests for sharded (distributed) duplicate detection."""
+
+import random
+
+import pytest
+
+from repro.baselines import TimeBasedExactDetector
+from repro.core import TBFDetector, TimeBasedTBFDetector
+from repro.detection import ShardedDetector, TimeShardedDetector, default_router
+from repro.errors import ConfigurationError
+from repro.windows import TimeBasedSlidingWindow
+
+
+class TestRouter:
+    def test_stable_and_in_range(self):
+        route = default_router(7)
+        for identifier in range(1000):
+            shard = route(identifier)
+            assert 0 <= shard < 7
+            assert route(identifier) == shard
+
+    def test_roughly_balanced(self):
+        route = default_router(8)
+        counts = [0] * 8
+        for identifier in range(80_000):
+            counts[route(identifier)] += 1
+        assert max(counts) < 1.1 * min(counts)
+
+
+class TestShardedDetector:
+    def test_needs_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardedDetector([])
+        with pytest.raises(ConfigurationError):
+            ShardedDetector.of_tbf(1024, 0, 1 << 14)
+
+    def test_immediate_repeat_detected(self):
+        sharded = ShardedDetector.of_tbf(1024, 4, 1 << 16, seed=1)
+        assert sharded.process(42) is False
+        assert sharded.process(42) is True
+        assert sharded.query(42) is True
+
+    def test_repeats_route_to_same_shard(self):
+        sharded = ShardedDetector.of_tbf(1024, 8, 1 << 16, seed=1)
+        rng = random.Random(3)
+        for _ in range(2000):
+            sharded.process(rng.randrange(500))
+        # Every identifier's state lives in exactly one shard: a repeat
+        # is found regardless of what other shards saw.
+        assert sharded.process(12345) is False
+        for filler in range(10_000, 10_050):
+            sharded.process(filler)
+        assert sharded.process(12345) is True
+
+    def test_memory_and_shard_accounting(self):
+        sharded = ShardedDetector.of_tbf(1024, 4, 1 << 16, seed=1)
+        for identifier in range(4000):
+            sharded.process(identifier)
+        assert sharded.num_shards == 4
+        assert sum(sharded.shard_arrivals()) == 4000
+        assert 1.0 <= sharded.load_imbalance() < 1.3
+        assert sharded.memory_bits <= TBFDetector(1024, 1 << 16).memory_bits * 1.1
+
+    def test_local_window_approximates_global(self):
+        # A duplicate at small global lag is always caught; only lags
+        # near the window boundary are subject to shard-local skew.
+        sharded = ShardedDetector.of_tbf(1024, 4, 1 << 18, seed=2)
+        rng = random.Random(5)
+        sharded.process(777)
+        for _ in range(100):  # global lag 100 << N=1024
+            sharded.process(rng.randrange(10**9, 2 * 10**9))
+        assert sharded.process(777) is True
+
+    def test_empty_imbalance(self):
+        assert ShardedDetector.of_tbf(64, 2, 1024).load_imbalance() == 1.0
+
+
+class TestTimeShardedDetector:
+    def test_matches_exact_semantics(self):
+        # Time-based sharding is exact: compare against the exact
+        # labeler at unit-aligned timestamps.
+        duration, resolution = 16.0, 16
+        sharded = TimeShardedDetector.of_tbf(
+            duration, resolution, 4, 1 << 18, num_hashes=8, seed=3
+        )
+        exact = TimeBasedExactDetector(TimeBasedSlidingWindow(duration))
+        rng = random.Random(7)
+        now = 0.0
+        for _ in range(1500):
+            now += float(rng.choice([0.0, 1.0, 2.0]))
+            identifier = rng.randrange(80)
+            assert sharded.process_at(identifier, now) == exact.process_at(
+                identifier, now
+            )
+
+    def test_memory_split_across_shards(self):
+        sharded = TimeShardedDetector.of_tbf(10.0, 10, 4, 1 << 16, seed=1)
+        single = TimeBasedTBFDetector(10.0, 10, 1 << 16, seed=1)
+        assert sharded.memory_bits <= single.memory_bits * 1.1
+
+    def test_needs_shards(self):
+        with pytest.raises(ConfigurationError):
+            TimeShardedDetector([])
+        with pytest.raises(ConfigurationError):
+            TimeShardedDetector.of_tbf(10.0, 10, 0, 1024)

@@ -1,0 +1,325 @@
+"""Unit tests for click streams: generators, attacks, arrivals, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamError
+from repro.streams import (
+    BotnetCampaign,
+    BurstyArrivals,
+    Click,
+    CrawlerTraffic,
+    DiurnalArrivals,
+    DuplicateSpec,
+    HitInflationCampaign,
+    IdentifierScheme,
+    PoissonArrivals,
+    SingleAttackerCampaign,
+    TrafficClass,
+    ZipfSampler,
+    adversarial_burst_stream,
+    combine_fields,
+    distinct_stream,
+    duplicated_stream,
+    interleave_batches,
+    load_clicks,
+    merge_streams,
+    read_clicks_csv,
+    write_clicks_csv,
+    write_clicks_jsonl,
+    read_clicks_jsonl,
+)
+
+
+class TestGenerators:
+    def test_distinct_stream_is_distinct(self):
+        stream = distinct_stream(100_000, seed=1)
+        assert len(np.unique(stream)) == 100_000
+
+    def test_distinct_stream_seeded(self):
+        assert (distinct_stream(100, 5) == distinct_stream(100, 5)).all()
+        assert (distinct_stream(100, 5) != distinct_stream(100, 6)).any()
+
+    def test_distinct_stream_empty(self):
+        assert len(distinct_stream(0)) == 0
+        with pytest.raises(ConfigurationError):
+            distinct_stream(-1)
+
+    def test_duplicated_stream_rate(self):
+        spec = DuplicateSpec(rate=0.3, max_lag=50)
+        stream = duplicated_stream(20_000, spec, seed=2)
+        distinct = len(np.unique(stream))
+        duplicates = 20_000 - distinct
+        assert duplicates == pytest.approx(0.3 * 20_000, rel=0.1)
+
+    def test_duplicated_stream_lag_bound(self):
+        spec = DuplicateSpec(rate=0.5, max_lag=8)
+        stream = duplicated_stream(5000, spec, seed=3)
+        last_seen = {}
+        for position, identifier in enumerate(map(int, stream)):
+            if identifier in last_seen:
+                assert position - last_seen[identifier] <= 8
+            last_seen[identifier] = position
+
+    def test_duplicate_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            DuplicateSpec(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            DuplicateSpec(max_lag=0)
+
+    def test_adversarial_burst(self):
+        stream = adversarial_burst_stream(100, burst_identifier=7, burst_every=10, seed=1)
+        assert all(int(stream[i]) == 7 for i in range(0, 100, 10))
+        others = [int(x) for i, x in enumerate(stream) if i % 10 != 0]
+        assert 7 not in others
+
+
+class TestIdentifiers:
+    def test_combine_fields_stable(self):
+        assert combine_fields(1, 2, 3) == combine_fields(1, 2, 3)
+        assert combine_fields(1, 2, 3) != combine_fields(3, 2, 1)
+
+    def test_schemes_distinguish_policies(self):
+        a = Click(0.0, source_ip=1, cookie=2, ad_id=3, publisher_id=0, advertiser_id=0)
+        b = Click(0.0, source_ip=1, cookie=2, ad_id=4, publisher_id=0, advertiser_id=0)
+        assert IdentifierScheme.IP.identify(a) == IdentifierScheme.IP.identify(b)
+        assert IdentifierScheme.IP_AD.identify(a) != IdentifierScheme.IP_AD.identify(b)
+        assert IdentifierScheme.IP_COOKIE_AD.identify(a) != IdentifierScheme.COOKIE_AD.identify(b)
+
+    def test_traffic_class_fraud_labels(self):
+        assert TrafficClass.BOTNET.is_fraud
+        assert TrafficClass.HIT_INFLATION.is_fraud
+        assert not TrafficClass.LEGITIMATE.is_fraud
+        assert not TrafficClass.REPEAT_VISITOR.is_fraud
+        assert not TrafficClass.CRAWLER.is_fraud
+
+
+class TestZipf:
+    def test_uniform_degenerate(self):
+        sampler = ZipfSampler(10, exponent=0.0, seed=1)
+        samples = sampler.sample(50_000)
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 4000
+
+    def test_skew_concentrates_low_ranks(self):
+        sampler = ZipfSampler(1000, exponent=1.2, seed=2)
+        samples = sampler.sample(20_000)
+        top_share = (samples < 10).mean()
+        assert top_share > 0.3
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50, exponent=1.0)
+        total = sum(sampler.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, exponent=-1)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10).probability(10)
+
+
+class TestArrivals:
+    def test_poisson_monotone_and_rate(self):
+        timestamps = PoissonArrivals(rate=100.0, seed=1).take(10_000)
+        assert (np.diff(timestamps) >= 0).all()
+        assert timestamps[-1] == pytest.approx(100.0, rel=0.1)
+
+    def test_bursty_monotone(self):
+        arrivals = BurstyArrivals(1.0, 100.0, mean_quiet=5.0, mean_burst=1.0, seed=2)
+        timestamps = arrivals.take(5000)
+        assert (np.diff(timestamps) >= 0).all()
+
+    def test_diurnal_monotone_and_modulated(self):
+        arrivals = DiurnalArrivals(mean_rate=10.0, amplitude=0.9, period=100.0, seed=3)
+        timestamps = arrivals.take(20_000)
+        assert (np.diff(timestamps) >= 0).all()
+        # Peak quarter of the cycle should collect visibly more arrivals
+        # than the trough quarter.
+        phases = (timestamps % 100.0) / 100.0
+        peak = ((phases > 0.15) & (phases < 0.35)).sum()   # sin peak ~0.25
+        trough = ((phases > 0.65) & (phases < 0.85)).sum()  # sin trough ~0.75
+        assert peak > trough * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(1.0, amplitude=1.5)
+
+
+class TestAttacks:
+    def test_botnet_shape(self):
+        campaign = BotnetCampaign([1, 2], publisher_id=0, advertiser_id=0,
+                                  num_bots=5, mean_interval=10.0, seed=1)
+        clicks = campaign.generate(0.0, 500.0)
+        assert clicks
+        assert all(click.traffic_class is TrafficClass.BOTNET for click in clicks)
+        assert all(0.0 <= click.timestamp < 500.0 for click in clicks)
+        timestamps = [click.timestamp for click in clicks]
+        assert timestamps == sorted(timestamps)
+        ips = {click.source_ip for click in clicks}
+        assert len(ips) == 5  # one identity per bot
+
+    def test_botnet_repeats_per_bot(self):
+        campaign = BotnetCampaign([1], publisher_id=0, advertiser_id=0,
+                                  num_bots=2, mean_interval=5.0, seed=2)
+        clicks = campaign.generate(0.0, 200.0)
+        per_bot = {}
+        for click in clicks:
+            per_bot.setdefault(click.source_ip, 0)
+            per_bot[click.source_ip] += 1
+        assert all(count > 5 for count in per_bot.values())
+
+    def test_single_attacker(self):
+        campaign = SingleAttackerCampaign(1, 0, 0, source_ip=9, cookie=9,
+                                          mean_interval=2.0, seed=3)
+        clicks = campaign.generate(0.0, 100.0)
+        assert len(clicks) > 10
+        assert len({click.source_ip for click in clicks}) == 1
+
+    def test_hit_inflation_identities_all_fresh(self):
+        campaign = HitInflationCampaign([1, 2], 0, 0, rate=5.0, seed=4)
+        clicks = campaign.generate(0.0, 100.0)
+        identities = [(click.source_ip, click.cookie) for click in clicks]
+        assert len(set(identities)) == len(identities)
+
+    def test_crawler_refetches_every_ad(self):
+        campaign = CrawlerTraffic([1, 2, 3], 0, 0, source_ip=5,
+                                  revisit_interval=10.0, seed=5)
+        clicks = campaign.generate(0.0, 95.0)
+        per_ad = {}
+        for click in clicks:
+            per_ad.setdefault(click.ad_id, 0)
+            per_ad[click.ad_id] += 1
+        assert set(per_ad) == {1, 2, 3}
+        assert all(count >= 9 for count in per_ad.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BotnetCampaign([], 0, 0, num_bots=5, mean_interval=1.0)
+        with pytest.raises(ConfigurationError):
+            BotnetCampaign([1], 0, 0, num_bots=0, mean_interval=1.0)
+        with pytest.raises(ConfigurationError):
+            SingleAttackerCampaign(1, 0, 0, 1, 1, mean_interval=0.0)
+
+
+class TestIOAndMerge:
+    def _sample_clicks(self):
+        return [
+            Click(1.0, 10, 20, 3, 0, 1, cost=0.5,
+                  traffic_class=TrafficClass.LEGITIMATE),
+            Click(2.5, 11, 21, 4, 1, 0, cost=1.25,
+                  traffic_class=TrafficClass.BOTNET),
+        ]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "clicks.csv"
+        originals = self._sample_clicks()
+        assert write_clicks_csv(path, originals) == 2
+        loaded = list(read_clicks_csv(path))
+        assert loaded == originals
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "clicks.jsonl"
+        originals = self._sample_clicks()
+        assert write_clicks_jsonl(path, originals) == 2
+        assert list(read_clicks_jsonl(path)) == originals
+
+    def test_load_clicks_dispatch(self, tmp_path):
+        path = tmp_path / "clicks.csv"
+        write_clicks_csv(path, self._sample_clicks())
+        assert len(load_clicks(path)) == 2
+        with pytest.raises(StreamError):
+            load_clicks(tmp_path / "clicks.parquet")
+
+    def test_csv_rejects_corrupt_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        write_clicks_csv(path, self._sample_clicks())
+        with open(path, "a") as handle:
+            handle.write("not,a,click\n")
+        with pytest.raises(StreamError):
+            list(read_clicks_csv(path))
+
+    def test_merge_streams_ordered(self):
+        a = [Click(t, 1, 1, 1, 0, 0) for t in (1.0, 3.0, 5.0)]
+        b = [Click(t, 2, 2, 2, 0, 0) for t in (2.0, 4.0)]
+        merged = list(merge_streams(a, b))
+        assert [click.timestamp for click in merged] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_merge_streams_detects_disorder(self):
+        bad = [Click(5.0, 1, 1, 1, 0, 0), Click(1.0, 1, 1, 1, 0, 0)]
+        good = [Click(2.0, 2, 2, 2, 0, 0)]
+        with pytest.raises(StreamError):
+            list(merge_streams(bad, good))
+
+    def test_interleave_batches(self):
+        a = [Click(3.0, 1, 1, 1, 0, 0)]
+        b = [Click(1.0, 2, 2, 2, 0, 0), Click(2.0, 2, 2, 2, 0, 0)]
+        merged = interleave_batches([a, b])
+        assert [click.timestamp for click in merged] == [1.0, 2.0, 3.0]
+
+
+class TestRotatingIdentityCampaign:
+    def test_identities_cycle_through_pool(self):
+        from repro.streams import RotatingIdentityCampaign
+
+        campaign = RotatingIdentityCampaign(
+            ad_ids=[1], publisher_id=0, advertiser_id=0,
+            pool_size=10, rate=5.0, seed=1,
+        )
+        clicks = campaign.generate(0.0, 100.0)
+        assert len(clicks) > 100
+        identities = [click.source_ip for click in clicks]
+        assert len(set(identities)) == 10
+        # Round-robin: any identity's consecutive uses are exactly
+        # pool_size clicks apart.
+        positions = [i for i, ip in enumerate(identities) if ip == identities[0]]
+        assert all(b - a == 10 for a, b in zip(positions, positions[1:]))
+
+    def test_validation(self):
+        from repro.streams import RotatingIdentityCampaign
+
+        with pytest.raises(ConfigurationError):
+            RotatingIdentityCampaign([1], 0, 0, pool_size=0, rate=1.0)
+        with pytest.raises(ConfigurationError):
+            RotatingIdentityCampaign([], 0, 0, pool_size=5, rate=1.0)
+        with pytest.raises(ConfigurationError):
+            RotatingIdentityCampaign([1], 0, 0, pool_size=5, rate=0.0)
+
+    def test_evades_dedup_when_pool_exceeds_window(self):
+        from repro.core import TBFDetector
+        from repro.streams import RotatingIdentityCampaign
+        from repro.streams.click import IdentifierScheme
+
+        campaign = RotatingIdentityCampaign(
+            ad_ids=[1], publisher_id=0, advertiser_id=0,
+            pool_size=200, rate=10.0, seed=2,
+        )
+        clicks = campaign.generate(0.0, 200.0)
+        detector = TBFDetector(128, 1 << 14, 6, seed=1)  # window < pool
+        rejected = sum(
+            detector.process(IdentifierScheme.IP_COOKIE_AD.identify(click))
+            for click in clicks
+        )
+        assert rejected < len(clicks) * 0.02
+
+    def test_caught_when_pool_fits_window(self):
+        from repro.core import TBFDetector
+        from repro.streams import RotatingIdentityCampaign
+        from repro.streams.click import IdentifierScheme
+
+        campaign = RotatingIdentityCampaign(
+            ad_ids=[1], publisher_id=0, advertiser_id=0,
+            pool_size=20, rate=10.0, seed=2,
+        )
+        clicks = campaign.generate(0.0, 200.0)
+        detector = TBFDetector(512, 1 << 14, 6, seed=1)  # window >> pool
+        rejected = sum(
+            detector.process(IdentifierScheme.IP_COOKIE_AD.identify(click))
+            for click in clicks
+        )
+        # All but ~one click per identity per window rejected.
+        assert rejected > len(clicks) * 0.9

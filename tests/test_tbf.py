@@ -1,0 +1,201 @@
+"""Unit tests for the TBF algorithm (§4)."""
+
+import pytest
+
+from repro.core import TBFDetector, entry_bits_required, tbf_cost
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixFamily
+from repro.streams import distinct_stream
+from repro.windows import SlidingWindow
+
+
+def make_tbf(window=64, entries=4096, k=4, seed=1, **kwargs):
+    return TBFDetector(window, entries, k, seed=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TBFDetector(0, 100)
+        with pytest.raises(ConfigurationError):
+            TBFDetector(10, 0)
+        with pytest.raises(ConfigurationError):
+            TBFDetector(10, 100, cleanup_slack=-1)
+
+    def test_family_range_checked(self):
+        family = SplitMixFamily(4, 50, seed=0)
+        with pytest.raises(ConfigurationError):
+            TBFDetector(10, 100, family=family)
+
+    def test_entry_bits_hold_period_plus_sentinel(self):
+        # N = 64, default C = 63 -> W = 128 values + sentinel -> 8 bits.
+        detector = make_tbf(window=64)
+        assert detector.timestamp_period == 128
+        assert detector.entry_bits == 8
+        assert detector.empty_value == 255
+        assert detector.empty_value >= detector.timestamp_period
+
+    def test_entry_bits_required_function(self):
+        assert entry_bits_required(64, 63) == 8
+        assert entry_bits_required(1, 0) == 2  # W=2 plus sentinel -> 2 bits
+        # Sentinel never collides: 2^bits - 1 >= W for a range of cases.
+        for window in (1, 2, 3, 64, 1000, 1 << 14):
+            for slack in (0, 1, window - 1, 2 * window):
+                bits = entry_bits_required(window, max(slack, 0))
+                assert (1 << bits) - 1 >= window + max(slack, 0) + 1
+
+    def test_memory_bits(self):
+        detector = make_tbf(window=64, entries=1000)
+        assert detector.memory_bits == 1000 * detector.entry_bits
+
+    def test_scan_quota(self):
+        # C = N - 1 -> scan ceil(m / N) entries per element.
+        detector = TBFDetector(64, 4096, 4, cleanup_slack=63)
+        assert detector.scan_per_element == 64
+        full_scan = TBFDetector(64, 4096, 4, cleanup_slack=0)
+        assert full_scan.scan_per_element == 4096
+
+
+class TestDuplicateSemantics:
+    def test_immediate_repeat_is_duplicate(self):
+        detector = make_tbf()
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_repeat_at_window_edge(self):
+        # Sliding window of N: a repeat N-1 arrivals later is a duplicate;
+        # a repeat N arrivals later is not.
+        window = 32
+        inside = make_tbf(window=window, entries=1 << 14, k=6)
+        inside.process(42)
+        for filler in range(1000, 1000 + window - 2):
+            inside.process(filler)
+        assert inside.process(42) is True  # lag = N - 1
+
+        outside = make_tbf(window=window, entries=1 << 14, k=6)
+        outside.process(42)
+        for filler in range(1000, 1000 + window - 1):
+            outside.process(filler)
+        assert outside.process(42) is False  # lag = N: expired
+
+    def test_duplicate_not_reinserted(self):
+        # §4.1: a duplicate is ignored, so its timestamp is NOT refreshed;
+        # the window anchors on the original valid click (Definition 1).
+        window = 16
+        detector = make_tbf(window=window, entries=1 << 14, k=6)
+        detector.process(42)                      # position 0, valid
+        for filler in range(100, 100 + 8):
+            detector.process(filler)
+        assert detector.process(42) is True       # position 9, duplicate
+        for filler in range(200, 200 + 6):
+            detector.process(filler)              # positions 10..15
+        # Position 16: the valid click at 0 has expired; the duplicate at
+        # 9 did not refresh it, so 42 is fresh again.
+        assert detector.process(42) is False
+
+    def test_query_is_side_effect_free(self):
+        detector = make_tbf()
+        detector.process(7)
+        assert detector.query(7) is True
+        assert detector.query(8) is False
+        assert detector.process(8) is False
+
+    def test_query_before_any_element(self):
+        assert make_tbf().query(5) is False
+
+    def test_zero_false_negatives_self_consistent(self):
+        import random
+
+        rng = random.Random(5)
+        detector = make_tbf(window=32, entries=256, k=2)  # tiny: many FPs
+        window = SlidingWindow(32)
+        last_valid = {}
+        for _ in range(5000):
+            identifier = rng.randrange(64)
+            window.observe()
+            predicted = detector.process(identifier)
+            previous = last_valid.get(identifier)
+            if previous is not None and window.is_active(previous):
+                assert predicted, "missed a duplicate of an accepted click"
+            if not predicted:
+                last_valid[identifier] = window.position
+
+
+class TestWraparoundAndCleaning:
+    @pytest.mark.parametrize("slack_name,slack", [("default", None), ("zero", 0), ("small", 7)])
+    def test_long_run_wraparound_correctness(self, slack_name, slack):
+        # Run for many timestamp periods; expired elements must never be
+        # resurrected by counter wraparound (the W = N + C + 1 refinement).
+        window = 16
+        detector = TBFDetector(window, 512, 3, cleanup_slack=slack, seed=2)
+        sliding = SlidingWindow(window)
+        last_valid = {}
+        import random
+
+        rng = random.Random(7)
+        resurrection_candidates = 0
+        for _ in range(20 * detector.timestamp_period):
+            identifier = rng.randrange(40)
+            sliding.observe()
+            predicted = detector.process(identifier)
+            previous = last_valid.get(identifier)
+            active = previous is not None and sliding.is_active(previous)
+            if active and not predicted:
+                pytest.fail("false negative after wraparound")
+            if not predicted:
+                last_valid[identifier] = sliding.position
+            elif not active:
+                resurrection_candidates += 1
+        # Stale reports do occur as ordinary FPs, but must stay rare; a
+        # wraparound bug makes them systematic (every expired repeat).
+        assert resurrection_candidates < 200
+
+    def test_wraparound_ambiguity_window(self):
+        # Construct the exact off-by-one scenario from DESIGN.md §3.1:
+        # an entry verified active at age N-1 then revisited C+1 later.
+        # With W = N + C + 1 the age N + C is still distinguishable.
+        window, slack = 8, 3
+        detector = TBFDetector(window, 4096, 1, cleanup_slack=slack, seed=0)
+        assert detector.timestamp_period == window + slack + 1
+        detector.process(99)
+        for filler in range(1000, 1000 + window + slack):
+            detector.process(filler)
+        # Age of 99's entry is now N + C = 11 < W = 12: must be expired,
+        # not wrapped to "fresh".
+        assert detector.query(99) is False
+
+    def test_stale_entries_are_bounded(self):
+        detector = make_tbf(window=32, entries=2048, k=4)
+        for identifier in map(int, distinct_stream(2000, seed=4)):
+            detector.process(identifier)
+        # Entries older than N await the cursor for at most C+1 arrivals;
+        # in steady state the stale population stays well under the
+        # active population.
+        assert detector.stale_entries() <= detector.num_entries
+        assert detector.active_entries() > 0
+        # After a full cursor lap with no insertions... (can't pause the
+        # stream, but stale counts must not grow without bound)
+        before = detector.stale_entries()
+        for identifier in map(int, distinct_stream(2000, seed=5)):
+            detector.process(identifier)
+        after = detector.stale_entries()
+        assert after <= max(before * 2, detector.scan_per_element * (detector.cleanup_slack + 2))
+
+
+class TestOperationCounts:
+    def test_ops_match_model(self):
+        window, entries, k = 128, 4096, 5
+        detector = make_tbf(window=window, entries=entries, k=k)
+        for identifier in map(int, distinct_stream(window * 3, seed=2)):
+            detector.process(identifier)
+        detector.counter.reset()
+        for identifier in map(int, distinct_stream(window, seed=3)):
+            detector.process(identifier)
+        rates = detector.counter.per_element()
+        predicted = tbf_cost(window, entries, k)
+        # Reads: k checks + scan quota.
+        assert rates.word_reads == pytest.approx(
+            predicted.check_reads + predicted.cleaning_ops / 2, rel=0.2
+        )
+        assert rates.word_writes == pytest.approx(2 * k, rel=0.5)
+        assert rates.hash_evaluations == pytest.approx(k)

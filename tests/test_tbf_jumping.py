@@ -1,0 +1,119 @@
+"""Unit tests for the TBF over jumping windows (§4.1 extension)."""
+
+import random
+
+import pytest
+
+from repro.baselines import ExactDetector
+from repro.core import TBFJumpingDetector
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixFamily
+from repro.windows import JumpingWindow
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TBFJumpingDetector(0, 1, 100)
+        with pytest.raises(ConfigurationError):
+            TBFJumpingDetector(10, 3, 100)  # not divisible
+        with pytest.raises(ConfigurationError):
+            TBFJumpingDetector(10, 0, 100)
+        with pytest.raises(ConfigurationError):
+            TBFJumpingDetector(10, 2, 0)
+
+    def test_entry_bits_scale_with_q_not_n(self):
+        # The whole point of sub-window timestamps: entries need
+        # log2(~2Q) bits, independent of N.
+        small_q = TBFJumpingDetector(1 << 16, 8, 1024, 2)
+        assert small_q.entry_bits <= 5
+        big_n = TBFJumpingDetector(1 << 18, 8, 1024, 2)
+        assert big_n.entry_bits == small_q.entry_bits
+
+    def test_family_range_checked(self):
+        family = SplitMixFamily(2, 64, seed=0)
+        with pytest.raises(ConfigurationError):
+            TBFJumpingDetector(16, 4, 128, family=family)
+
+
+class TestSemantics:
+    def test_same_subwindow_repeat_is_duplicate(self):
+        detector = TBFJumpingDetector(64, 4, 1 << 14, 5, seed=1)
+        assert detector.process(42) is False
+        assert detector.process(42) is True
+
+    def test_block_expiry(self):
+        # Repeat exactly when the first sub-window expires: fresh again.
+        window, subwindows = 64, 4
+        detector = TBFJumpingDetector(window, subwindows, 1 << 14, 5, seed=1)
+        detector.process(42)
+        for filler in range(1000, 1000 + window - 1):
+            detector.process(filler)
+        assert detector.process(42) is False  # position 64 = block Q start
+
+    def test_repeat_in_last_active_block_is_duplicate(self):
+        window, subwindows = 64, 4
+        block = window // subwindows
+        detector = TBFJumpingDetector(window, subwindows, 1 << 14, 5, seed=1)
+        detector.process(42)
+        for filler in range(1000, 1000 + window - block):
+            detector.process(filler)
+        # Position N - block + 1: sub-window 0 is still the oldest active.
+        assert detector.process(42) is True
+
+    def test_zero_false_negatives_self_consistent(self):
+        rng = random.Random(5)
+        detector = TBFJumpingDetector(32, 8, 256, 2, seed=3)  # tiny, FP-rich
+        window = JumpingWindow(32, 8)
+        last_valid = {}
+        for _ in range(5000):
+            identifier = rng.randrange(64)
+            window.observe()
+            predicted = detector.process(identifier)
+            previous = last_valid.get(identifier)
+            if previous is not None and window.is_active(previous):
+                assert predicted, "missed a duplicate of an accepted click"
+            if not predicted:
+                last_valid[identifier] = window.position
+
+    def test_agrees_with_exact_on_clean_streams(self):
+        # With a filter large enough that FPs are ~impossible, verdicts
+        # must match the exact jumping-window labeler everywhere.
+        rng = random.Random(11)
+        detector = TBFJumpingDetector(48, 6, 1 << 16, 8, seed=2)
+        exact = ExactDetector.jumping(48, 6)
+        for _ in range(3000):
+            identifier = rng.randrange(90)
+            assert detector.process(identifier) == exact.process(identifier)
+
+    def test_query_side_effect_free(self):
+        detector = TBFJumpingDetector(16, 4, 1024, 3, seed=1)
+        detector.process(5)
+        assert detector.query(5) is True
+        assert detector.query(6) is False
+        assert detector.process(6) is False
+
+    def test_long_run_wraparound(self):
+        rng = random.Random(13)
+        detector = TBFJumpingDetector(16, 4, 2048, 3, seed=4)
+        exact = ExactDetector.jumping(16, 4)
+        period_arrivals = detector.timestamp_period * detector.subwindow_size
+        mismatches = 0
+        for _ in range(15 * period_arrivals):
+            identifier = rng.randrange(40)
+            if detector.process(identifier) != exact.process(identifier):
+                mismatches += 1
+        assert mismatches < 20  # only rare FPs, no systematic drift
+
+
+class TestCleaning:
+    def test_scan_quota_spreads_over_slack_subwindows(self):
+        window, subwindows, entries = 64, 4, 4096
+        detector = TBFJumpingDetector(window, subwindows, entries, 2)
+        # Default C = Q - 1 = 3: lap the filter within 4 sub-windows
+        # (= 64 arrivals): ceil(4096 / 64) = 64 per element.
+        assert detector.scan_per_element == 64
+
+    def test_memory_bits(self):
+        detector = TBFJumpingDetector(64, 4, 1000, 2)
+        assert detector.memory_bits == 1000 * detector.entry_bits

@@ -1,0 +1,148 @@
+"""Unit tests for the decaying-window models (§1.2 semantics)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StreamError
+from repro.windows import (
+    JumpingWindow,
+    LandmarkWindow,
+    SlidingWindow,
+    TimeBasedJumpingWindow,
+    TimeBasedLandmarkWindow,
+    TimeBasedSlidingWindow,
+)
+
+
+class TestSlidingWindow:
+    def test_contains_exactly_last_n(self):
+        window = SlidingWindow(4)
+        for _ in range(10):
+            window.observe()
+        # position is 9; active positions are 6..9
+        assert not window.is_active(5)
+        assert window.is_active(6)
+        assert window.is_active(9)
+
+    def test_expiry_position(self):
+        window = SlidingWindow(4)
+        assert window.expiry_position(10) == 14
+
+    def test_active_span_grows_then_caps(self):
+        window = SlidingWindow(3)
+        assert window.active_span() == 0
+        window.observe()
+        assert window.active_span() == 1
+        for _ in range(5):
+            window.observe()
+        assert window.active_span() == 3
+
+    def test_future_and_negative_positions_inactive(self):
+        window = SlidingWindow(4)
+        window.observe()
+        assert not window.is_active(-1)
+        assert not window.is_active(5)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(0)
+
+
+class TestJumpingWindow:
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            JumpingWindow(10, 3)
+
+    def test_blocks_expire_together(self):
+        window = JumpingWindow(8, 4)  # sub-windows of 2
+        for _ in range(9):
+            window.observe()  # position 8 -> sub-window 4
+        # Sub-window 0 (positions 0-1) expired when sub-window 4 began.
+        assert not window.is_active(0)
+        assert not window.is_active(1)
+        assert window.is_active(2)
+        assert window.is_active(8)
+
+    def test_expiry_position_block_aligned(self):
+        window = JumpingWindow(8, 4)
+        assert window.expiry_position(0) == 8
+        assert window.expiry_position(1) == 8
+        assert window.expiry_position(2) == 10
+
+    def test_boundary_detection(self):
+        window = JumpingWindow(8, 4)
+        boundaries = []
+        for _ in range(9):
+            window.observe()
+            boundaries.append(window.at_subwindow_boundary())
+        assert boundaries == [True, False, True, False, True, False, True, False, True]
+
+    def test_active_span_varies_between_limits(self):
+        window = JumpingWindow(12, 3)  # blocks of 4
+        spans = []
+        for _ in range(24):
+            window.observe()
+            spans.append(window.active_span())
+        assert max(spans) == 12
+        assert min(spans[12:]) == 9  # (Q-1)*block + 1
+
+    def test_q_equal_one_is_landmark_like(self):
+        window = JumpingWindow(4, 1)
+        for _ in range(5):
+            window.observe()
+        assert not window.is_active(3)
+        assert window.is_active(4)
+
+
+class TestLandmarkWindow:
+    def test_epoch_expiry(self):
+        window = LandmarkWindow(5)
+        for _ in range(7):
+            window.observe()
+        assert not window.is_active(4)   # previous epoch
+        assert window.is_active(5)
+        assert window.is_active(6)
+
+    def test_epoch_boundary_flag(self):
+        window = LandmarkWindow(3)
+        flags = []
+        for _ in range(7):
+            window.observe()
+            flags.append(window.at_epoch_boundary())
+        assert flags == [True, False, False, True, False, False, True]
+
+
+class TestTimeBasedWindows:
+    def test_sliding_half_open_expiry(self):
+        window = TimeBasedSlidingWindow(10.0)
+        window.observe_at(100.0)
+        assert window.is_active(95.0)
+        assert window.is_active(90.0 + 1e-9)
+        assert not window.is_active(90.0)  # exactly duration old: expired
+
+    def test_timestamps_must_be_monotone(self):
+        window = TimeBasedSlidingWindow(10.0)
+        window.observe_at(5.0)
+        with pytest.raises(StreamError):
+            window.observe_at(4.0)
+
+    def test_jumping_blocks(self):
+        window = TimeBasedJumpingWindow(10.0, 5)  # 2-unit blocks
+        window.observe_at(11.0)  # block 5; active blocks 1..5
+        assert not window.is_active(1.9)   # block 0
+        assert window.is_active(2.1)       # block 1
+        assert window.is_active(11.0)
+
+    def test_landmark_epochs(self):
+        window = TimeBasedLandmarkWindow(10.0)
+        window.observe_at(25.0)  # epoch 2 = [20, 30)
+        assert not window.is_active(19.0)
+        assert window.is_active(21.0)
+
+    def test_future_timestamps_inactive(self):
+        window = TimeBasedSlidingWindow(10.0)
+        window.observe_at(100.0)
+        assert not window.is_active(101.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            TimeBasedSlidingWindow(0.0)
