@@ -59,9 +59,18 @@ from .detection import (
 from .errors import (
     BudgetError,
     CapacityError,
+    CheckpointError,
     ConfigurationError,
+    RecoveryError,
     ReproError,
     StreamError,
+)
+from .resilience import (
+    CheckpointStore,
+    DeadLetterSink,
+    FaultInjector,
+    ReorderBuffer,
+    SupervisedPipeline,
 )
 from .streams import (
     BotnetCampaign,
@@ -115,10 +124,18 @@ __all__ = [
     "plan_gbf_for_target",
     "plan_tbf_from_memory",
     "plan_tbf_for_target",
+    # resilience
+    "SupervisedPipeline",
+    "CheckpointStore",
+    "DeadLetterSink",
+    "ReorderBuffer",
+    "FaultInjector",
     # errors
     "ReproError",
     "ConfigurationError",
     "CapacityError",
     "StreamError",
     "BudgetError",
+    "CheckpointError",
+    "RecoveryError",
 ]

@@ -1,6 +1,13 @@
 """The paper's contribution: GBF and TBF duplicate-click detectors."""
 
-from .checkpoint import CheckpointError, load_detector, save_detector
+from .checkpoint import (
+    CheckpointError,
+    load_detector,
+    pack_frame,
+    register_checkpoint_kind,
+    save_detector,
+    unpack_frame,
+)
 from .gbf import GBFDetector
 from .gbf_timebased import TimeBasedGBFDetector
 from .memory_model import (
@@ -19,6 +26,9 @@ from .tbf_timebased import TimeBasedTBFDetector
 __all__ = [
     "save_detector",
     "load_detector",
+    "pack_frame",
+    "unpack_frame",
+    "register_checkpoint_kind",
     "CheckpointError",
     "GBFDetector",
     "TBFDetector",

@@ -3,9 +3,10 @@
 A production click-stream processor restarts — deploys, crashes,
 rebalances.  Losing a detector's state silently un-flags every click of
 the last window (the attacker's dream), so the sketch must checkpoint.
-This module snapshots GBF / TBF / TBF-jumping detectors to bytes and
-restores them to bit-identical state: the restored detector makes
-exactly the decisions the original would have (tested).
+This module snapshots GBF / TBF detectors — count-based and time-based
+variants — to bytes and restores them to bit-identical state: the
+restored detector makes exactly the decisions the original would have
+(tested).
 
 Format: an 8-byte magic, a length-prefixed JSON header carrying the
 configuration and scalar state, then the raw little-endian array
@@ -18,6 +19,12 @@ restores with the identical family.  Checkpoints of detectors built on
 externally supplied ``family`` objects record the family's class name
 and parameters and rebuild it; exotic custom families are rejected at
 save time rather than mis-restored at load time.
+
+Dispatch is an open registry: :func:`register_checkpoint_kind` binds a
+``kind`` tag to a (class, save, load) triple, so higher layers — the
+sharded detectors in :mod:`repro.detection.sharded`, the supervised
+pipeline in :mod:`repro.resilience` — add their own frame kinds without
+this module importing them (no upward dependency).
 """
 
 from __future__ import annotations
@@ -25,11 +32,11 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from typing import Any, Dict
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import CheckpointError
 from ..hashing import (
     CarterWegmanFamily,
     DoubleHashingFamily,
@@ -38,8 +45,19 @@ from ..hashing import (
     TabulationFamily,
 )
 from .gbf import GBFDetector
+from .gbf_timebased import TimeBasedGBFDetector
 from .tbf import TBFDetector
 from .tbf_jumping import TBFJumpingDetector
+from .tbf_timebased import TimeBasedTBFDetector
+
+__all__ = [
+    "CheckpointError",
+    "save_detector",
+    "load_detector",
+    "pack_frame",
+    "unpack_frame",
+    "register_checkpoint_kind",
+]
 
 _MAGIC = b"RPROCKP1"
 
@@ -53,10 +71,6 @@ _FAMILY_CLASSES = {
         DoubleHashingFamily,
     )
 }
-
-
-class CheckpointError(ReproError, RuntimeError):
-    """A checkpoint is corrupt, truncated, or does not match the config."""
 
 
 def _family_spec(family) -> Dict[str, Any]:
@@ -82,7 +96,13 @@ def _rebuild_family(spec: Dict[str, Any]):
         raise CheckpointError(f"bad hash-family spec in checkpoint: {error}") from error
 
 
-def _pack(header: Dict[str, Any], payload: bytes) -> bytes:
+# ----------------------------------------------------------------------
+# Frame format (shared by every checkpoint kind, including pipeline-level
+# checkpoints in repro.resilience)
+# ----------------------------------------------------------------------
+
+def pack_frame(header: Dict[str, Any], payload: bytes) -> bytes:
+    """Frame ``header`` (JSON) + ``payload`` with magic and CRC32."""
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
     body = (
         _MAGIC
@@ -94,7 +114,8 @@ def _pack(header: Dict[str, Any], payload: bytes) -> bytes:
     return body + struct.pack("<I", zlib.crc32(body))
 
 
-def _unpack(blob: bytes) -> tuple:
+def unpack_frame(blob: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Inverse of :func:`pack_frame`; raises :class:`CheckpointError`."""
     if len(blob) < len(_MAGIC) + 4 + 8 + 4:
         raise CheckpointError("checkpoint truncated")
     if blob[: len(_MAGIC)] != _MAGIC:
@@ -118,18 +139,47 @@ def _unpack(blob: bytes) -> tuple:
     return header, payload
 
 
+# Backwards-compatible private aliases.
+_pack = pack_frame
+_unpack = unpack_frame
+
+
 # ----------------------------------------------------------------------
-# Per-detector handlers
+# Open kind registry
 # ----------------------------------------------------------------------
 
+_SAVERS: List[Tuple[type, str, Callable[[Any], bytes]]] = []
+_LOADERS: Dict[str, Callable[[Dict[str, Any], bytes], Any]] = {}
+
+
+def register_checkpoint_kind(
+    kind: str,
+    cls: type,
+    save: Callable[[Any], bytes],
+    load: Callable[[Dict[str, Any], bytes], Any],
+) -> None:
+    """Bind a checkpoint ``kind`` tag to a detector class.
+
+    ``save(detector) -> bytes`` must produce a :func:`pack_frame` blob
+    whose header carries ``{"kind": kind}``; ``load(header, payload)``
+    must rebuild the detector.  Registering a kind again replaces the
+    previous binding (latest wins) — instances are matched by exact
+    type first, then by ``isinstance`` in registration order.
+    """
+    global _SAVERS
+    _SAVERS = [entry for entry in _SAVERS if entry[1] != kind]
+    _SAVERS.append((cls, kind, save))
+    _LOADERS[kind] = load
+
+
 def save_detector(detector) -> bytes:
-    """Serialize a GBF / TBF / TBF-jumping detector to bytes."""
-    if isinstance(detector, GBFDetector):
-        return _save_gbf(detector)
-    if isinstance(detector, TBFDetector):
-        return _save_tbf(detector)
-    if isinstance(detector, TBFJumpingDetector):
-        return _save_tbf_jumping(detector)
+    """Serialize any registered detector kind to bytes."""
+    for cls, _, save in _SAVERS:
+        if type(detector) is cls:
+            return save(detector)
+    for cls, _, save in _SAVERS:
+        if isinstance(detector, cls):
+            return save(detector)
     raise CheckpointError(
         f"unsupported detector type {type(detector).__name__}"
     )
@@ -137,16 +187,17 @@ def save_detector(detector) -> bytes:
 
 def load_detector(blob: bytes):
     """Restore a detector from :func:`save_detector` output."""
-    header, payload = _unpack(blob)
+    header, payload = unpack_frame(blob)
     kind = header.get("kind")
-    if kind == "gbf":
-        return _load_gbf(header, payload)
-    if kind == "tbf":
-        return _load_tbf(header, payload)
-    if kind == "tbf-jumping":
-        return _load_tbf_jumping(header, payload)
-    raise CheckpointError(f"unknown detector kind {kind!r} in checkpoint")
+    loader = _LOADERS.get(kind)
+    if loader is None:
+        raise CheckpointError(f"unknown detector kind {kind!r} in checkpoint")
+    return loader(header, payload)
 
+
+# ----------------------------------------------------------------------
+# Per-detector handlers
+# ----------------------------------------------------------------------
 
 def _save_gbf(detector: GBFDetector) -> bytes:
     header = {
@@ -163,7 +214,7 @@ def _save_gbf(detector: GBFDetector) -> bytes:
         "active_masks": [str(mask) for mask in detector._active_masks],
     }
     payload = detector._matrix._words.tobytes()
-    return _pack(header, payload)
+    return pack_frame(header, payload)
 
 
 def _load_gbf(header: Dict[str, Any], payload: bytes) -> GBFDetector:
@@ -201,7 +252,7 @@ def _save_tbf(detector: TBFDetector) -> bytes:
         "clean_cursor": detector._clean_cursor,
         "dtype": detector._entries.dtype.name,
     }
-    return _pack(header, detector._entries.tobytes())
+    return pack_frame(header, detector._entries.tobytes())
 
 
 def _load_tbf(header: Dict[str, Any], payload: bytes) -> TBFDetector:
@@ -238,7 +289,7 @@ def _save_tbf_jumping(detector: TBFJumpingDetector) -> bytes:
         "clean_cursor": detector._clean_cursor,
         "dtype": detector._entries.dtype.name,
     }
-    return _pack(header, detector._entries.tobytes())
+    return pack_frame(header, detector._entries.tobytes())
 
 
 def _load_tbf_jumping(header: Dict[str, Any], payload: bytes) -> TBFJumpingDetector:
@@ -264,3 +315,112 @@ def _load_tbf_jumping(header: Dict[str, Any], payload: bytes) -> TBFJumpingDetec
             f"missing TBF-jumping checkpoint field: {error}"
         ) from error
     return detector
+
+
+def _save_tbf_timebased(detector: TimeBasedTBFDetector) -> bytes:
+    header = {
+        "kind": "tbf-time",
+        "duration": detector.duration,
+        "resolution": detector.resolution,
+        "num_entries": detector.num_entries,
+        "cleanup_slack": detector.cleanup_slack,
+        "family": _family_spec(detector.family),
+        "clean_cursor": detector._clean_cursor,
+        "last_unit": detector._last_unit,
+        "last_time": detector._last_time,
+        "dtype": detector._entries.dtype.name,
+    }
+    return pack_frame(header, detector._entries.tobytes())
+
+
+def _load_tbf_timebased(header: Dict[str, Any], payload: bytes) -> TimeBasedTBFDetector:
+    family = _rebuild_family(header["family"])
+    try:
+        detector = TimeBasedTBFDetector(
+            header["duration"],
+            header["resolution"],
+            header["num_entries"],
+            cleanup_slack=header["cleanup_slack"],
+            family=family,
+        )
+        entries = np.frombuffer(payload, dtype=np.dtype(header["dtype"])).copy()
+        if entries.shape != detector._entries.shape:
+            raise CheckpointError(
+                "time-based TBF payload size does not match configuration"
+            )
+        if entries.dtype != detector._entries.dtype:
+            raise CheckpointError(
+                "time-based TBF payload dtype does not match configuration"
+            )
+        detector._entries = entries
+        detector._clean_cursor = header["clean_cursor"]
+        detector._last_unit = header["last_unit"]
+        detector._last_time = header["last_time"]
+    except KeyError as error:
+        raise CheckpointError(
+            f"missing time-based TBF checkpoint field: {error}"
+        ) from error
+    return detector
+
+
+def _save_gbf_timebased(detector: TimeBasedGBFDetector) -> bytes:
+    header = {
+        "kind": "gbf-time",
+        "duration": detector.duration,
+        "num_subwindows": detector.num_subwindows,
+        "units_per_subwindow": detector.units_per_subwindow,
+        "bits_per_filter": detector.bits_per_filter,
+        "word_bits": detector.word_bits,
+        "family": _family_spec(detector.family),
+        "current_lane": detector._current_lane,
+        "cleaning_lane": detector._cleaning_lane,
+        "clean_cursor": detector._clean_cursor,
+        "last_unit": detector._last_unit,
+        "last_time": detector._last_time,
+        "active_masks": [str(mask) for mask in detector._active_masks],
+    }
+    payload = detector._matrix._words.tobytes()
+    return pack_frame(header, payload)
+
+
+def _load_gbf_timebased(header: Dict[str, Any], payload: bytes) -> TimeBasedGBFDetector:
+    family = _rebuild_family(header["family"])
+    try:
+        detector = TimeBasedGBFDetector(
+            header["duration"],
+            header["num_subwindows"],
+            header["bits_per_filter"],
+            units_per_subwindow=header["units_per_subwindow"],
+            word_bits=header["word_bits"],
+            family=family,
+        )
+        words = np.frombuffer(payload, dtype=np.uint64).copy()
+        if words.shape != detector._matrix._words.shape:
+            raise CheckpointError(
+                "time-based GBF payload size does not match configuration"
+            )
+        detector._matrix._words = words
+        detector._current_lane = header["current_lane"]
+        detector._cleaning_lane = header["cleaning_lane"]
+        detector._clean_cursor = header["clean_cursor"]
+        detector._last_unit = header["last_unit"]
+        detector._last_time = header["last_time"]
+        detector._active_masks = [int(mask) for mask in header["active_masks"]]
+    except KeyError as error:
+        raise CheckpointError(
+            f"missing time-based GBF checkpoint field: {error}"
+        ) from error
+    return detector
+
+
+register_checkpoint_kind("gbf", GBFDetector, _save_gbf, _load_gbf)
+register_checkpoint_kind("tbf", TBFDetector, _save_tbf, _load_tbf)
+register_checkpoint_kind(
+    "tbf-jumping", TBFJumpingDetector, _save_tbf_jumping, _load_tbf_jumping
+)
+register_checkpoint_kind(
+    "tbf-time", TimeBasedTBFDetector, _save_tbf_timebased, _load_tbf_timebased
+)
+register_checkpoint_kind(
+    "gbf-time", TimeBasedGBFDetector, _save_gbf_timebased, _load_gbf_timebased
+)

@@ -7,11 +7,17 @@ from .heavy_hitters import HeavyHitter, SkewMonitor, SpaceSaving
 from .pipeline import DetectionPipeline, PipelineResult, classify_stream
 from .quality import ClickQualityTracker, QualityConfig
 from .scoring import SourceScoreboard, SourceStats
-from .sharded import ShardedDetector, TimeShardedDetector, default_router
+from .sharded import (
+    FailoverPolicy,
+    ShardedDetector,
+    TimeShardedDetector,
+    default_router,
+)
 
 __all__ = [
     "ShardedDetector",
     "TimeShardedDetector",
+    "FailoverPolicy",
     "default_router",
     "ClickQualityTracker",
     "QualityConfig",

@@ -13,9 +13,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..adnet.billing import BillingEngine
-from ..errors import BudgetError
+from ..errors import BudgetError, ConfigurationError
 from ..streams.click import Click, DEFAULT_SCHEME, IdentifierScheme
 from .scoring import SourceScoreboard
+
+
+def _classifier(detector):
+    """One callable ``(identifier, timestamp) -> duplicate?`` for either
+    detector protocol: count-based ``process`` or time-based ``process_at``."""
+    process = getattr(detector, "process", None)
+    if process is not None:
+        return lambda identifier, timestamp: process(identifier)
+    process_at = getattr(detector, "process_at", None)
+    if process_at is not None:
+        return process_at
+    raise ConfigurationError(
+        f"{type(detector).__name__} exposes neither process() nor process_at()"
+    )
 
 
 @dataclass
@@ -40,7 +54,9 @@ class DetectionPipeline:
     Parameters
     ----------
     detector:
-        Any object with ``process(identifier) -> bool``.
+        Any object with ``process(identifier) -> bool`` (count-based) or
+        ``process_at(identifier, timestamp) -> bool`` (time-based; the
+        click's timestamp drives the window clock).
     billing:
         Optional :class:`~repro.adnet.billing.BillingEngine`; without
         it the pipeline only classifies (the auditing-side use case).
@@ -57,15 +73,20 @@ class DetectionPipeline:
         scheme: IdentifierScheme = DEFAULT_SCHEME,
         score_sources: bool = True,
     ) -> None:
-        self.detector = detector
         self.billing = billing
         self.scheme = scheme
         self.scoreboard = SourceScoreboard() if score_sources else None
+        self.set_detector(detector)
+
+    def set_detector(self, detector) -> None:
+        """Swap in a (restored) detector, rebinding the verdict dispatch."""
+        self.detector = detector
+        self._classify = _classifier(detector)
 
     def process_click(self, click: Click) -> bool:
         """Handle one click; returns True when rejected as duplicate."""
         identifier = self.scheme.identify(click)
-        duplicate = self.detector.process(identifier)
+        duplicate = self._classify(identifier, click.timestamp)
         if self.scoreboard is not None:
             self.scoreboard.record(click, duplicate)
         if self.billing is not None:
@@ -101,5 +122,5 @@ def classify_stream(
 ) -> List[bool]:
     """Bare classification: the detector's verdict per click, in order."""
     identify = scheme.identify
-    process = detector.process
-    return [process(identify(click)) for click in clicks]
+    classify = _classifier(detector)
+    return [classify(identify(click), click.timestamp) for click in clicks]

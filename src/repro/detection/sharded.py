@@ -19,12 +19,30 @@ Window semantics under sharding:
   window expires identifiers after ~N global arrivals, with deviation
   proportional to the shard-load imbalance (measured by
   :meth:`ShardedDetector.load_imbalance`).
+
+Failover semantics: a worker dies and its sketch is gone.  While the
+shard rebuilds from its checkpoint (:meth:`checkpoint_shard` /
+:meth:`restore_shard`) the operator picks an explicit policy for the
+clicks routed to it — **fail-open** accepts everything (duplicates bill;
+the attacker's window) or **fail-closed** rejects everything (no fraud
+billed; legitimate revenue forfeited).  Neither is free, which is why
+the choice is per-shard and the degraded window is surfaced in stats
+rather than decided silently.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import enum
+from typing import Callable, Dict, List, Optional, Union
 
+from ..core.checkpoint import (
+    CheckpointError,
+    load_detector,
+    pack_frame,
+    register_checkpoint_kind,
+    save_detector,
+    unpack_frame,
+)
 from ..errors import ConfigurationError
 from ..hashing.family import _splitmix64
 
@@ -45,7 +63,103 @@ def default_router(num_shards: int) -> Callable[[int], int]:
     return route
 
 
-class ShardedDetector:
+class FailoverPolicy(enum.Enum):
+    """What a degraded shard answers while its sketch is rebuilding.
+
+    ``FAIL_OPEN`` accepts every click (verdict: not a duplicate) — no
+    legitimate revenue is lost, but every duplicate routed to the shard
+    bills.  ``FAIL_CLOSED`` rejects every click (verdict: duplicate) —
+    no fraud bills, but every legitimate click's revenue is forfeited.
+    """
+
+    FAIL_OPEN = "fail-open"
+    FAIL_CLOSED = "fail-closed"
+
+
+class _ShardFailover:
+    """Degraded-shard bookkeeping shared by both sharded detectors."""
+
+    shards: List
+
+    def _init_failover(self) -> None:
+        #: shard index -> {"policy": FailoverPolicy, "clicks": int}
+        self._degraded: Dict[int, Dict[str, object]] = {}
+
+    def _check_shard_index(self, shard: int) -> None:
+        if not 0 <= shard < len(self.shards):
+            raise ConfigurationError(
+                f"shard index {shard} out of range [0, {len(self.shards)})"
+            )
+
+    def checkpoint_shard(self, shard: int) -> bytes:
+        """Snapshot one shard's sketch (see :func:`repro.core.save_detector`)."""
+        self._check_shard_index(shard)
+        return save_detector(self.shards[shard])
+
+    def fail_shard(
+        self, shard: int, policy: Union[FailoverPolicy, str] = FailoverPolicy.FAIL_CLOSED
+    ) -> None:
+        """Declare a shard's sketch lost; answer with ``policy`` until restored."""
+        self._check_shard_index(shard)
+        self._degraded[shard] = {"policy": FailoverPolicy(policy), "clicks": 0}
+
+    def restore_shard(self, shard: int, blob: bytes) -> int:
+        """Rebuild a shard from a checkpoint blob and end its degraded window.
+
+        Returns the number of clicks answered by policy while degraded.
+        The restored detector must be the same type as the shard it
+        replaces — a mismatched sketch must never take over a route.
+        """
+        self._check_shard_index(shard)
+        restored = load_detector(blob)
+        current = self.shards[shard]
+        if type(restored) is not type(current):
+            raise CheckpointError(
+                f"checkpoint holds a {type(restored).__name__}, shard {shard} "
+                f"runs a {type(current).__name__}"
+            )
+        self.shards[shard] = restored
+        entry = self._degraded.pop(shard, None)
+        return int(entry["clicks"]) if entry is not None else 0
+
+    def degraded_shards(self) -> Dict[int, Dict[str, object]]:
+        """Currently degraded shards: ``{shard: {"policy", "clicks"}}``."""
+        return {
+            shard: {"policy": entry["policy"].value, "clicks": entry["clicks"]}
+            for shard, entry in self._degraded.items()
+        }
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self._degraded)
+
+    def _degraded_verdict(self, shard: int, count: bool = True) -> Optional[bool]:
+        entry = self._degraded.get(shard)
+        if entry is None:
+            return None
+        if count:
+            entry["clicks"] = int(entry["clicks"]) + 1
+        return entry["policy"] is FailoverPolicy.FAIL_CLOSED
+
+    # -- checkpoint plumbing ------------------------------------------
+
+    def _failover_header(self) -> Dict[str, Dict[str, object]]:
+        return {
+            str(shard): {"policy": entry["policy"].value, "clicks": entry["clicks"]}
+            for shard, entry in self._degraded.items()
+        }
+
+    def _restore_failover(self, spec: Dict[str, Dict[str, object]]) -> None:
+        self._degraded = {
+            int(shard): {
+                "policy": FailoverPolicy(entry["policy"]),
+                "clicks": int(entry["clicks"]),
+            }
+            for shard, entry in spec.items()
+        }
+
+
+class ShardedDetector(_ShardFailover):
     """Count-based sharded duplicate detector.
 
     Parameters
@@ -66,8 +180,10 @@ class ShardedDetector:
         if not shards:
             raise ConfigurationError("need at least one shard")
         self.shards = list(shards)
+        self._router_is_default = router is None
         self.router = router or default_router(len(shards))
         self._per_shard_arrivals = [0] * len(shards)
+        self._init_failover()
 
     @classmethod
     def of_tbf(
@@ -94,10 +210,17 @@ class ShardedDetector:
     def process(self, identifier: int) -> bool:
         shard = self.router(identifier)
         self._per_shard_arrivals[shard] += 1
+        verdict = self._degraded_verdict(shard)
+        if verdict is not None:
+            return verdict
         return self.shards[shard].process(identifier)
 
     def query(self, identifier: int) -> bool:
-        return self.shards[self.router(identifier)].query(identifier)
+        shard = self.router(identifier)
+        verdict = self._degraded_verdict(shard, count=False)
+        if verdict is not None:
+            return verdict
+        return self.shards[shard].query(identifier)
 
     @property
     def num_shards(self) -> int:
@@ -119,7 +242,7 @@ class ShardedDetector:
         return list(self._per_shard_arrivals)
 
 
-class TimeShardedDetector:
+class TimeShardedDetector(_ShardFailover):
     """Time-based sharded duplicate detector (exact window semantics).
 
     Every shard runs a :class:`~repro.core.TimeBasedTBFDetector` over
@@ -136,7 +259,9 @@ class TimeShardedDetector:
         if not shards:
             raise ConfigurationError("need at least one shard")
         self.shards = list(shards)
+        self._router_is_default = router is None
         self.router = router or default_router(len(shards))
+        self._init_failover()
 
     @classmethod
     def of_tbf(
@@ -162,7 +287,11 @@ class TimeShardedDetector:
         return cls(shards)
 
     def process_at(self, identifier: int, timestamp: float) -> bool:
-        return self.shards[self.router(identifier)].process_at(identifier, timestamp)
+        shard = self.router(identifier)
+        verdict = self._degraded_verdict(shard)
+        if verdict is not None:
+            return verdict
+        return self.shards[shard].process_at(identifier, timestamp)
 
     @property
     def num_shards(self) -> int:
@@ -171,3 +300,83 @@ class TimeShardedDetector:
     @property
     def memory_bits(self) -> int:
         return sum(shard.memory_bits for shard in self.shards)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint kinds: a sharded detector serializes as its shards' frames
+# concatenated, so SupervisedPipeline checkpoints sharded deployments
+# exactly like single detectors.  Custom routers are closures and cannot
+# round-trip; only the default router is accepted.
+# ----------------------------------------------------------------------
+
+def _save_shards(detector, kind: str, extra: Dict[str, object]) -> bytes:
+    if not detector._router_is_default:
+        raise CheckpointError(
+            "cannot checkpoint a sharded detector with a custom router; "
+            "checkpoint the shards individually with checkpoint_shard()"
+        )
+    blobs = [save_detector(shard) for shard in detector.shards]
+    header = {
+        "kind": kind,
+        "lengths": [len(blob) for blob in blobs],
+        "degraded": detector._failover_header(),
+    }
+    header.update(extra)
+    return pack_frame(header, b"".join(blobs))
+
+
+def _split_shard_blobs(header: Dict[str, object], payload: bytes) -> List[bytes]:
+    try:
+        lengths = [int(length) for length in header["lengths"]]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"bad sharded checkpoint header: {error}") from error
+    if sum(lengths) != len(payload):
+        raise CheckpointError("sharded checkpoint payload size mismatch")
+    blobs, offset = [], 0
+    for length in lengths:
+        blobs.append(payload[offset : offset + length])
+        offset += length
+    return blobs
+
+
+def _save_sharded(detector: ShardedDetector) -> bytes:
+    return _save_shards(
+        detector, "sharded", {"per_shard_arrivals": detector._per_shard_arrivals}
+    )
+
+
+def _load_sharded(header: Dict[str, object], payload: bytes) -> ShardedDetector:
+    blobs = _split_shard_blobs(header, payload)
+    detector = ShardedDetector([load_detector(blob) for blob in blobs])
+    arrivals = header.get("per_shard_arrivals")
+    if not isinstance(arrivals, list) or len(arrivals) != len(blobs):
+        raise CheckpointError("sharded checkpoint arrivals do not match shards")
+    detector._per_shard_arrivals = [int(count) for count in arrivals]
+    detector._restore_failover(header.get("degraded", {}))
+    return detector
+
+
+def _save_time_sharded(detector: TimeShardedDetector) -> bytes:
+    return _save_shards(detector, "time-sharded", {})
+
+
+def _load_time_sharded(header: Dict[str, object], payload: bytes) -> TimeShardedDetector:
+    blobs = _split_shard_blobs(header, payload)
+    detector = TimeShardedDetector([load_detector(blob) for blob in blobs])
+    detector._restore_failover(header.get("degraded", {}))
+    return detector
+
+
+register_checkpoint_kind("sharded", ShardedDetector, _save_sharded, _load_sharded)
+register_checkpoint_kind(
+    "time-sharded", TimeShardedDetector, _save_time_sharded, _load_time_sharded
+)
+
+# unpack_frame is re-exported for tools that inspect shard blobs directly.
+__all__ = [
+    "default_router",
+    "FailoverPolicy",
+    "ShardedDetector",
+    "TimeShardedDetector",
+    "unpack_frame",
+]

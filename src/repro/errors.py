@@ -4,6 +4,31 @@ All library-raised exceptions derive from :class:`ReproError` so callers
 can catch everything from this package with a single ``except`` clause,
 while configuration problems and runtime-state problems stay
 distinguishable.
+
+Recovery taxonomy
+-----------------
+
+Three exception classes partition restart/recovery failures, and an
+operator's response differs for each:
+
+* :class:`StreamError` — the *input* is at fault: a malformed record or
+  a non-monotonic timestamp.  The detector state is intact; quarantine
+  the record (see ``repro.resilience.DeadLetterSink``) or widen the
+  reorder buffer and keep going.  Retrying the same record will fail
+  the same way.
+* :class:`CheckpointError` — one *artifact* is at fault: a checkpoint
+  blob is corrupt, truncated, or belongs to a different configuration.
+  This is recoverable by fallback: discard that blob and load the
+  previous generation (``repro.resilience.CheckpointStore`` does this
+  automatically).
+* :class:`RecoveryError` — the *resume itself* is impossible: every
+  checkpoint generation is unreadable, or the surviving state
+  contradicts the running configuration (wrong identifier scheme,
+  unknown billing entities).  There is no older artifact to fall back
+  to; a human must decide between a cold start (forgetting the window —
+  the attacker's free pass) and restoring infrastructure.  Raised
+  instead of a generic ``RuntimeError`` so supervisors can tell "retry
+  with the previous checkpoint" apart from "page somebody".
 """
 
 from __future__ import annotations
@@ -40,3 +65,23 @@ class StreamError(ReproError, RuntimeError):
 
 class BudgetError(ReproError, RuntimeError):
     """An advertiser budget was exhausted or a charge was invalid."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint is corrupt, truncated, or does not match the config.
+
+    Recoverable by fallback: discard the offending blob and restore the
+    previous good generation (see the recovery taxonomy in the module
+    docstring).
+    """
+
+
+class RecoveryError(CheckpointError):
+    """A resume is impossible: no usable checkpoint, or state that
+    contradicts the running configuration.
+
+    Unlike a plain :class:`CheckpointError` there is nothing left to
+    fall back to — continuing requires a human decision (cold start vs.
+    restoring the checkpoint store), so supervisors must not swallow
+    this.
+    """

@@ -1,0 +1,55 @@
+"""Fault-tolerant stream processing: supervision, hardening, fault injection.
+
+The detection pipeline as the paper frames it is one perfect pass over
+one well-formed stream.  Production is neither: processes die
+mid-window, checkpoint files rot, collectors deliver clicks late and
+out of order, and producers emit garbage.  This subsystem makes the
+reproduction restartable under all of it:
+
+* :class:`SupervisedPipeline` + :class:`CheckpointStore` — journaled
+  checkpoints (detector sketch, stream offset, billing watermark,
+  reorder buffer) with atomic writes and corrupt-generation fallback.
+* :class:`DeadLetterSink` / :class:`ReorderBuffer` — input hardening at
+  the pipeline boundary: quarantine instead of crash, bounded
+  re-sorting with an explicit clock-skew tolerance.
+* :class:`FaultInjector` — seeded crash / corruption / disorder
+  faults so tests prove the recovery invariants instead of assuming
+  them.
+
+The recovery taxonomy (which errors mean retry, fall back, or page a
+human) is documented in :mod:`repro.errors`; the operational
+trade-offs (checkpoint cadence, fail-open vs fail-closed shards) in
+``docs/operations.md``.
+"""
+
+from .faults import (
+    CORRUPTION_MODES,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+)
+from .hardening import (
+    DeadLetter,
+    DeadLetterSink,
+    ReorderBuffer,
+    ReorderStats,
+)
+from .supervisor import (
+    CheckpointStore,
+    SupervisedPipeline,
+    SupervisedResult,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "SupervisedPipeline",
+    "SupervisedResult",
+    "DeadLetter",
+    "DeadLetterSink",
+    "ReorderBuffer",
+    "ReorderStats",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedFault",
+    "CORRUPTION_MODES",
+]

@@ -22,6 +22,9 @@ from .generators import (
     duplicated_stream,
 )
 from .io import (
+    MalformedRecord,
+    click_from_record,
+    click_to_record,
     load_clicks,
     read_clicks_csv,
     read_clicks_jsonl,
@@ -50,6 +53,9 @@ __all__ = [
     "BotnetCampaign",
     "HitInflationCampaign",
     "CrawlerTraffic",
+    "MalformedRecord",
+    "click_to_record",
+    "click_from_record",
     "write_clicks_csv",
     "read_clicks_csv",
     "write_clicks_jsonl",

@@ -4,14 +4,24 @@ Streams written by one process replay bit-identically in another: all
 identifier math is seed-stable (:func:`repro.streams.click.combine_fields`)
 and these writers round-trip every :class:`Click` field including the
 ground-truth traffic class.
+
+Both readers run in one of two modes.  By default the first bad record
+raises :class:`~repro.errors.StreamError` naming the file and line — the
+right behavior for replaying archives that must be intact.  Passing
+``on_malformed`` switches to skip-and-count: each bad record is handed
+to the callback as a :class:`MalformedRecord` (line number, raw
+content, parse error) and reading continues — the right behavior for a
+live ingest feed, where one producer's garbage must not stall billing.
+``repro.resilience.DeadLetterSink`` is such a callback.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from ..errors import StreamError
 from .click import Click, TrafficClass
@@ -26,6 +36,63 @@ _CSV_FIELDS = [
     "cost",
     "traffic_class",
 ]
+
+
+@dataclass
+class MalformedRecord:
+    """One unparseable stream record, with enough context to triage it."""
+
+    path: str
+    line_number: int
+    content: str
+    error: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}:{self.line_number}: {self.error}"
+
+
+#: Callback type for skip-and-count mode.
+MalformedHandler = Callable[[MalformedRecord], None]
+
+
+def click_to_record(click: Click) -> Dict[str, Any]:
+    """Project a click onto the plain-JSON dict the writers persist."""
+    return {
+        "timestamp": click.timestamp,
+        "source_ip": click.source_ip,
+        "cookie": click.cookie,
+        "ad_id": click.ad_id,
+        "publisher_id": click.publisher_id,
+        "advertiser_id": click.advertiser_id,
+        "cost": click.cost,
+        "traffic_class": click.traffic_class.value,
+    }
+
+
+def click_from_record(record: Dict[str, Any]) -> Click:
+    """Inverse of :func:`click_to_record`; raises ``ValueError``/``KeyError``."""
+    return Click(
+        timestamp=float(record["timestamp"]),
+        source_ip=int(record["source_ip"]),
+        cookie=int(record["cookie"]),
+        ad_id=int(record["ad_id"]),
+        publisher_id=int(record["publisher_id"]),
+        advertiser_id=int(record["advertiser_id"]),
+        cost=float(record.get("cost", 0.0)),
+        traffic_class=TrafficClass(record.get("traffic_class", "legitimate")),
+    )
+
+
+def _handle_malformed(
+    on_malformed: Optional[MalformedHandler],
+    path: Union[str, Path],
+    line_number: int,
+    content: str,
+    error: Exception,
+) -> None:
+    if on_malformed is None:
+        raise StreamError(f"{path}:{line_number}: {error}") from error
+    on_malformed(MalformedRecord(str(path), line_number, content, str(error)))
 
 
 def write_clicks_csv(path: Union[str, Path], clicks: Iterable[Click]) -> int:
@@ -51,8 +118,17 @@ def write_clicks_csv(path: Union[str, Path], clicks: Iterable[Click]) -> int:
     return count
 
 
-def read_clicks_csv(path: Union[str, Path]) -> Iterator[Click]:
-    """Stream clicks back from a CSV written by :func:`write_clicks_csv`."""
+def read_clicks_csv(
+    path: Union[str, Path],
+    on_malformed: Optional[MalformedHandler] = None,
+) -> Iterator[Click]:
+    """Stream clicks back from a CSV written by :func:`write_clicks_csv`.
+
+    A malformed row raises :class:`StreamError` naming the line, or — with
+    ``on_malformed`` — is reported to the callback and skipped.  A wrong
+    *header* always raises: that is a wrong-file problem, not a bad-record
+    problem.
+    """
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -60,21 +136,17 @@ def read_clicks_csv(path: Union[str, Path]) -> Iterator[Click]:
             raise StreamError(f"unexpected CSV header in {path}: {header}")
         for line_number, row in enumerate(reader, start=2):
             if len(row) != len(_CSV_FIELDS):
-                raise StreamError(f"{path}:{line_number}: expected "
-                                  f"{len(_CSV_FIELDS)} fields, got {len(row)}")
-            try:
-                yield Click(
-                    timestamp=float(row[0]),
-                    source_ip=int(row[1]),
-                    cookie=int(row[2]),
-                    ad_id=int(row[3]),
-                    publisher_id=int(row[4]),
-                    advertiser_id=int(row[5]),
-                    cost=float(row[6]),
-                    traffic_class=TrafficClass(row[7]),
+                error = ValueError(
+                    f"expected {len(_CSV_FIELDS)} fields, got {len(row)}"
                 )
+                _handle_malformed(on_malformed, path, line_number, ",".join(row), error)
+                continue
+            try:
+                click = click_from_record(dict(zip(_CSV_FIELDS, row)))
             except (ValueError, KeyError) as error:
-                raise StreamError(f"{path}:{line_number}: {error}") from error
+                _handle_malformed(on_malformed, path, line_number, ",".join(row), error)
+                continue
+            yield click
 
 
 def write_clicks_jsonl(path: Union[str, Path], clicks: Iterable[Click]) -> int:
@@ -82,51 +154,43 @@ def write_clicks_jsonl(path: Union[str, Path], clicks: Iterable[Click]) -> int:
     count = 0
     with open(path, "w") as handle:
         for click in clicks:
-            record = {
-                "timestamp": click.timestamp,
-                "source_ip": click.source_ip,
-                "cookie": click.cookie,
-                "ad_id": click.ad_id,
-                "publisher_id": click.publisher_id,
-                "advertiser_id": click.advertiser_id,
-                "cost": click.cost,
-                "traffic_class": click.traffic_class.value,
-            }
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.write(
+                json.dumps(click_to_record(click), separators=(",", ":")) + "\n"
+            )
             count += 1
     return count
 
 
-def read_clicks_jsonl(path: Union[str, Path]) -> Iterator[Click]:
-    """Stream clicks back from a JSONL file."""
+def read_clicks_jsonl(
+    path: Union[str, Path],
+    on_malformed: Optional[MalformedHandler] = None,
+) -> Iterator[Click]:
+    """Stream clicks back from a JSONL file.
+
+    Malformed lines raise :class:`StreamError` with the line number, or —
+    with ``on_malformed`` — are reported to the callback and skipped.
+    """
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                record = json.loads(line)
-                yield Click(
-                    timestamp=float(record["timestamp"]),
-                    source_ip=int(record["source_ip"]),
-                    cookie=int(record["cookie"]),
-                    ad_id=int(record["ad_id"]),
-                    publisher_id=int(record["publisher_id"]),
-                    advertiser_id=int(record["advertiser_id"]),
-                    cost=float(record.get("cost", 0.0)),
-                    traffic_class=TrafficClass(
-                        record.get("traffic_class", "legitimate")
-                    ),
-                )
-            except (ValueError, KeyError) as error:
-                raise StreamError(f"{path}:{line_number}: {error}") from error
+                click = click_from_record(json.loads(line))
+            except (ValueError, KeyError, TypeError) as error:
+                _handle_malformed(on_malformed, path, line_number, line, error)
+                continue
+            yield click
 
 
-def load_clicks(path: Union[str, Path]) -> List[Click]:
+def load_clicks(
+    path: Union[str, Path],
+    on_malformed: Optional[MalformedHandler] = None,
+) -> List[Click]:
     """Load a whole stream file, dispatching on extension (.csv / .jsonl)."""
     path = Path(path)
     if path.suffix == ".csv":
-        return list(read_clicks_csv(path))
+        return list(read_clicks_csv(path, on_malformed))
     if path.suffix in (".jsonl", ".ndjson"):
-        return list(read_clicks_jsonl(path))
+        return list(read_clicks_jsonl(path, on_malformed))
     raise StreamError(f"unknown stream format: {path.suffix!r}")

@@ -10,6 +10,8 @@ from repro.core import (
     GBFDetector,
     TBFDetector,
     TBFJumpingDetector,
+    TimeBasedGBFDetector,
+    TimeBasedTBFDetector,
     load_detector,
     save_detector,
 )
@@ -42,6 +44,70 @@ def test_restore_is_bit_identical(name, factory):
         x = rng_a.randrange(200)
         y = rng_b.randrange(200)
         assert original.process(x) == restored.process(y)
+
+
+TIMEBASED_FACTORIES = [
+    ("gbf-time", lambda: TimeBasedGBFDetector(24.0, 4, 1024, 4,
+                                              units_per_subwindow=4, seed=3)),
+    (
+        "gbf-time-wide",
+        lambda: TimeBasedGBFDetector(24.0, 12, 512, 3, units_per_subwindow=2,
+                                     word_bits=8, seed=3),
+    ),
+    ("tbf-time", lambda: TimeBasedTBFDetector(24.0, 8, 2048, 4, seed=3)),
+    (
+        "tbf-time-small-slack",
+        lambda: TimeBasedTBFDetector(24.0, 8, 2048, 4, cleanup_slack=2, seed=3),
+    ),
+]
+
+
+def _drive_timed(detector, count, seed, start=0.0, step=0.3):
+    rng = random.Random(seed)
+    timestamp, verdicts = start, []
+    for _ in range(count):
+        timestamp += rng.random() * step
+        verdicts.append(detector.process_at(rng.randrange(200), timestamp))
+    return timestamp
+
+
+@pytest.mark.parametrize("name,factory", TIMEBASED_FACTORIES)
+def test_timebased_restore_is_bit_identical(name, factory):
+    original = factory()
+    resume_at = _drive_timed(original, 500, seed=1)
+    restored = load_detector(save_detector(original))
+    # From here both must make IDENTICAL decisions on any continuation —
+    # including across lane rotations, cleaning sweeps, and idle gaps.
+    rng = random.Random(9)
+    timestamp = resume_at
+    for index in range(800):
+        timestamp += rng.random() * 0.3
+        if index == 400:
+            timestamp += 1000.0  # idle gap: exercises the fast-forward wipe
+        x = rng.randrange(200)
+        assert original.process_at(x, timestamp) == restored.process_at(x, timestamp)
+
+
+@pytest.mark.parametrize("name,factory", TIMEBASED_FACTORIES)
+def test_timebased_fresh_detector_roundtrips(name, factory):
+    # A checkpoint of a detector that never saw a click (clock unset).
+    restored = load_detector(save_detector(factory()))
+    original = factory()
+    timestamp = 0.0
+    rng = random.Random(2)
+    for _ in range(300):
+        timestamp += rng.random() * 0.3
+        x = rng.randrange(200)
+        assert original.process_at(x, timestamp) == restored.process_at(x, timestamp)
+
+
+def test_timebased_tbf_corrupt_payload_rejected():
+    detector = TimeBasedTBFDetector(24.0, 8, 512, 3, seed=1)
+    _drive_timed(detector, 100, seed=2)
+    blob = bytearray(save_detector(detector))
+    blob[len(blob) // 2] ^= 0xFF
+    with pytest.raises(CheckpointError, match="CRC"):
+        load_detector(bytes(blob))
 
 
 def test_restore_mid_cleaning_cycle():

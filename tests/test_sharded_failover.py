@@ -1,0 +1,157 @@
+"""Tests for shard failover: fail-open/fail-closed policies, rebuild from
+checkpoint, degraded-window stats, and whole-sharded-detector checkpoints."""
+
+import random
+
+import pytest
+
+from repro.core import CheckpointError, load_detector, save_detector
+from repro.detection import (
+    DetectionPipeline,
+    FailoverPolicy,
+    ShardedDetector,
+    TimeShardedDetector,
+)
+from repro.errors import ConfigurationError
+from repro.resilience import SupervisedPipeline
+
+
+def drive(detector, count, seed, universe=80):
+    rng = random.Random(seed)
+    return [detector.process(rng.randrange(universe)) for _ in range(count)]
+
+
+def test_fail_open_accepts_and_fail_closed_rejects_everything():
+    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    drive(detector, 200, seed=2)
+
+    detector.fail_shard(1, FailoverPolicy.FAIL_OPEN)
+    detector.fail_shard(2, "fail-closed")  # strings accepted too
+    rng = random.Random(3)
+    for _ in range(300):
+        identifier = rng.randrange(80)
+        shard = detector.router(identifier)
+        verdict = detector.process(identifier)
+        if shard == 1:
+            assert verdict is False  # fail-open: everything accepted
+        elif shard == 2:
+            assert verdict is True  # fail-closed: everything rejected
+
+    stats = detector.degraded_shards()
+    assert set(stats) == {1, 2}
+    assert stats[1]["policy"] == "fail-open"
+    assert stats[2]["policy"] == "fail-closed"
+    assert stats[1]["clicks"] > 0 and stats[2]["clicks"] > 0
+    assert detector.is_degraded
+
+
+def test_restore_shard_resumes_exact_verdicts():
+    # Two detectors fed identically; one loses a shard and rebuilds it
+    # from a checkpoint taken at that instant.  With no clicks processed
+    # during the degraded window, verdicts must stay identical forever.
+    healthy = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    failing = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    assert drive(healthy, 300, seed=5) == drive(failing, 300, seed=5)
+
+    blob = failing.checkpoint_shard(2)
+    failing.fail_shard(2)
+    degraded_clicks = failing.restore_shard(2, blob)
+    assert degraded_clicks == 0
+    assert not failing.is_degraded
+    assert drive(healthy, 400, seed=6) == drive(failing, 400, seed=6)
+
+
+def test_degraded_window_damage_is_bounded_to_one_shard():
+    healthy = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    failing = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    drive(healthy, 300, seed=5)
+    drive(failing, 300, seed=5)
+
+    blob = failing.checkpoint_shard(2)
+    failing.fail_shard(2, FailoverPolicy.FAIL_OPEN)
+    rng_a, rng_b = random.Random(7), random.Random(7)
+    disagreements = 0
+    for _ in range(200):
+        x = rng_a.randrange(80)
+        if healthy.process(x) != failing.process(rng_b.randrange(80)):
+            assert failing.router(x) == 2  # only the degraded shard differs
+            disagreements += 1
+    assert disagreements > 0
+    assert failing.restore_shard(2, blob) > 0  # degraded clicks were counted
+
+
+def test_restore_shard_type_mismatch_rejected():
+    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    from repro.core import GBFDetector
+
+    wrong = save_detector(GBFDetector(64, 8, 1024, 4, seed=3))
+    with pytest.raises(CheckpointError, match="GBFDetector"):
+        detector.restore_shard(1, wrong)
+
+
+def test_shard_index_validated():
+    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    with pytest.raises(ConfigurationError):
+        detector.fail_shard(4)
+    with pytest.raises(ConfigurationError):
+        detector.checkpoint_shard(-1)
+
+
+def test_time_sharded_failover():
+    detector = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
+    rng = random.Random(2)
+    timestamp = 0.0
+    for _ in range(300):
+        timestamp += rng.random() * 0.2
+        detector.process_at(rng.randrange(80), timestamp)
+
+    blob = detector.checkpoint_shard(0)
+    detector.fail_shard(0, FailoverPolicy.FAIL_CLOSED)
+    for _ in range(50):
+        timestamp += rng.random() * 0.2
+        identifier = rng.randrange(80)
+        verdict = detector.process_at(identifier, timestamp)
+        if detector.router(identifier) == 0:
+            assert verdict is True
+    assert detector.restore_shard(0, blob) > 0
+    assert not detector.is_degraded
+
+
+def test_whole_sharded_detector_checkpoint_preserves_degradation():
+    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    drive(detector, 300, seed=5)
+    detector.fail_shard(3, FailoverPolicy.FAIL_OPEN)
+    drive(detector, 50, seed=6)
+
+    restored = load_detector(save_detector(detector))
+    assert restored.degraded_shards() == detector.degraded_shards()
+    assert restored.shard_arrivals() == detector.shard_arrivals()
+    assert drive(detector, 300, seed=7) == drive(restored, 300, seed=7)
+
+
+def test_custom_router_refused_for_whole_detector_checkpoint():
+    from repro.core import TBFDetector
+
+    detector = ShardedDetector(
+        [TBFDetector(16, 512, 4, seed=s) for s in range(2)],
+        router=lambda identifier: identifier % 2,
+    )
+    with pytest.raises(CheckpointError, match="router"):
+        save_detector(detector)
+    # Per-shard checkpoints still work — that is the escape hatch.
+    load_detector(detector.checkpoint_shard(0))
+
+
+def test_supervised_pipeline_surfaces_degraded_window(tmp_path):
+    from tests.test_resilience import make_billing, make_stream
+
+    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector.fail_shard(1, FailoverPolicy.FAIL_CLOSED)
+    pipeline = DetectionPipeline(detector, billing=make_billing())
+    supervisor = SupervisedPipeline(pipeline, tmp_path, checkpoint_every=50)
+    result = supervisor.run(make_stream(120))
+    assert 1 in result.degraded
+    assert result.degraded[1]["policy"] == "fail-closed"
+    assert result.degraded[1]["clicks"] > 0
+    # Fail-closed means those clicks were rejected, not billed.
+    assert result.duplicates >= result.degraded[1]["clicks"]
