@@ -1,0 +1,91 @@
+"""Record scalar vs batch detector throughput to BENCH_throughput.json.
+
+Runs the same comparison as ``test_batch_throughput.py`` — warm-up, one
+timed window sweep per path, bit-identity checks — for every detector,
+and writes the clicks/sec numbers to a JSON file at the repo root so the
+current machine's numbers are versioned alongside the code:
+
+    PYTHONPATH=src python benchmarks/record.py            # full run
+    PYTHONPATH=src python benchmarks/record.py --quick    # CI smoke
+
+See docs/performance.md for how to read and refresh the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from test_batch_throughput import (  # noqa: E402
+    CHUNK,
+    MEMORY_BITS,
+    NAMES,
+    NUM_HASHES,
+    SUBWINDOWS,
+    WINDOW,
+    compare_paths,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="time one window instead of four (CI smoke; numbers are noisier)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    timed = WINDOW if args.quick else 4 * WINDOW
+    detectors = {}
+    for name in NAMES:
+        scalar_result, batch_result = compare_paths(name, timed=timed)
+        detectors[name] = {
+            "scalar_clicks_per_sec": round(scalar_result.elements_per_second, 1),
+            "batch_clicks_per_sec": round(batch_result.elements_per_second, 1),
+            "speedup": round(
+                scalar_result.seconds / batch_result.seconds, 2
+            ),
+        }
+        print(
+            f"{name:>12}: scalar {scalar_result.elements_per_second:>12,.0f}"
+            f"  batch {batch_result.elements_per_second:>12,.0f}"
+            f"  ({detectors[name]['speedup']}x)"
+        )
+
+    payload = {
+        "config": {
+            "window": WINDOW,
+            "subwindows": SUBWINDOWS,
+            "memory_bits": MEMORY_BITS,
+            "num_hashes": NUM_HASHES,
+            "chunk_size": CHUNK,
+            "timed_elements": timed,
+            "quick": args.quick,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "detectors": detectors,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

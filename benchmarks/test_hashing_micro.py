@@ -30,3 +30,17 @@ def test_batch_hashing(benchmark, kind):
 
     result = benchmark(family.indices_batch, identifiers)
     assert result.shape == (1 << 14, NUM_HASHES)
+
+
+def test_precompute_from_lazy_iterable(benchmark):
+    # The chunk-at-a-time iterable path: hashes a one-shot generator
+    # without materializing it, at near array-input throughput.
+    from repro.hashing import precompute_indices
+
+    family = make_family(NUM_HASHES, RANGE, seed=1, kind="splitmix")
+    n = 1 << 14
+
+    result = benchmark(
+        lambda: precompute_indices(family, iter(range(n)), chunk_size=4096)
+    )
+    assert result.shape == (n, NUM_HASHES)

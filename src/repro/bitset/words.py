@@ -12,7 +12,7 @@ words-per-element costs the theorems claim instead of asserting them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,7 +21,6 @@ from ..errors import ConfigurationError
 SUPPORTED_WORD_BITS = (8, 16, 32, 64)
 
 
-@dataclass
 class OperationCounter:
     """Tallies of the primitive operations a detector performs.
 
@@ -29,18 +28,59 @@ class OperationCounter:
     ``hash_evaluations`` counts hash-function evaluations (each is O(1)
     arithmetic).  ``elements`` counts processed stream elements so
     per-element averages are one division away.
+
+    ``__slots__`` keeps instances small and attribute access fast — the
+    counter sits on the hot path of every detector, scalar and batch.
     """
 
-    word_reads: int = 0
-    word_writes: int = 0
-    hash_evaluations: int = 0
-    elements: int = 0
+    __slots__ = ("word_reads", "word_writes", "hash_evaluations", "elements")
+
+    def __init__(
+        self,
+        word_reads: int = 0,
+        word_writes: int = 0,
+        hash_evaluations: int = 0,
+        elements: int = 0,
+    ) -> None:
+        self.word_reads = word_reads
+        self.word_writes = word_writes
+        self.hash_evaluations = hash_evaluations
+        self.elements = elements
+
+    def add(self, word_reads: int, word_writes: int = 0) -> None:
+        """Bulk-tally word operations from a batched step.
+
+        The batch paths compute whole-segment read/write totals with
+        array arithmetic and report them here in one call; the totals
+        must equal what the scalar path would have tallied one
+        ``+= 1`` at a time (asserted in tests/test_memory_model.py).
+        """
+        self.word_reads += word_reads
+        self.word_writes += word_writes
 
     def reset(self) -> None:
         self.word_reads = 0
         self.word_writes = 0
         self.hash_evaluations = 0
         self.elements = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationCounter(word_reads={self.word_reads}, "
+            f"word_writes={self.word_writes}, "
+            f"hash_evaluations={self.hash_evaluations}, "
+            f"elements={self.elements})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperationCounter):
+            return NotImplemented
+        return (
+            self.word_reads == other.word_reads
+            and self.word_writes == other.word_writes
+            and self.hash_evaluations == other.hash_evaluations
+            and self.elements == other.elements
+        )
 
     @property
     def total_word_ops(self) -> int:

@@ -1,0 +1,144 @@
+"""Shared machinery for the vectorized batch detection paths.
+
+Every detector's ``process_batch`` follows the same plan: probe the
+whole chunk against the *pre-chunk* state with array ops, then resolve
+the interactions *between* elements of the chunk — an element that
+inserts makes its slots look occupied to every later element — without
+falling back to full scalar processing.
+
+The resolution problem is ordered: element ``i``'s verdict depends on
+which earlier elements inserted, and whether they insert depends on
+*their* earlier elements.  :func:`resolve_inserts` handles it exactly:
+
+* An element already duplicate against the pre-chunk state stays a
+  duplicate no matter what the chunk does (inserts only add coverage),
+  and it never inserts.
+* Optimistic pre-pass: assume every non-duplicate inserts and build a
+  dense first-writer table with one ``np.minimum.at`` scatter (its
+  duplicate-index semantics are defined, unlike fancy assignment).
+  Real writers are a subset of the assumed ones, so any element some
+  uncovered slot of which is *not* optimistically covered can never
+  flip — it is a definite inserter, decided without any per-element
+  work.
+* Only the (typically few) remaining elements are walked in arrival
+  order over plain Python ints, checking each still-uncertain slot
+  against the definite writers' table and a byte-per-entry written
+  flag.  Even a fully-colliding chunk costs a handful of list/bytearray
+  operations per element — far below the scalar path's hashing +
+  probing + cleaning.
+
+The returned first-writer table answers "which element first wrote
+entry ``e``" by direct indexing (``fw[entries]``), which the detectors
+use for read-count and cleaning-sweep accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: First-writer value for entries nobody writes; larger than any row.
+NO_WRITER = np.iinfo(np.int64).max
+
+
+def resolve_inserts(
+    dup0: "np.ndarray", cov0: "np.ndarray", idx: "np.ndarray", num_entries: int
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Resolve intra-chunk insert dependencies exactly.
+
+    Parameters
+    ----------
+    dup0:
+        ``(n,)`` bool — element is a duplicate against the pre-chunk
+        state alone.
+    cov0:
+        ``(n, k)`` bool — slot already covered pre-chunk *in the
+        dimension inserts write to* (current lane for GBF, active
+        timestamp for TBF).  ``dup0`` may be wider than
+        ``cov0.all(axis=1)`` (GBF: any active lane suffices), but
+        ``cov0.all(axis=1)`` must imply ``dup0``.
+    idx:
+        ``(n, k)`` int64 hash indices into ``[0, num_entries)``.
+    num_entries:
+        Size of the hashed table (slots for GBF, entries for TBF).
+
+    Returns ``(duplicate, inserters, first_writer)`` where
+    ``first_writer`` is a dense ``(num_entries,)`` int64 table holding
+    the earliest *actually inserting* element per entry
+    (:data:`NO_WRITER` where none).
+    """
+    n, k = idx.shape
+    duplicate = dup0.copy()
+    inserters = ~dup0
+    first_writer = np.full(num_entries, NO_WRITER, dtype=np.int64)
+    cand_rows = np.nonzero(inserters)[0]
+    if cand_rows.size == 0:
+        return duplicate, inserters, first_writer
+
+    cand_idx = idx[cand_rows]
+    np.minimum.at(first_writer, cand_idx.ravel(), np.repeat(cand_rows, k))
+    cand_cov = cov0[cand_rows]
+    rows_col = cand_rows[:, None]
+    # A verdict can flip only if every uncovered slot is covered even
+    # under the *optimistic* writer set (all candidates).
+    maybe = (cand_cov | (first_writer[cand_idx] < rows_col)).all(axis=1)
+    if not maybe.any():
+        # Nobody flips: every candidate inserts, the optimistic table
+        # is the real one.
+        return duplicate, inserters, first_writer
+
+    # Definite inserters' writes are real under every resolution; bake
+    # them into a certain-writer table the walk can consult.
+    definite_rows = cand_rows[~maybe]
+    certain = np.full(num_entries, NO_WRITER, dtype=np.int64)
+    if definite_rows.size:
+        np.minimum.at(
+            certain, idx[definite_rows].ravel(), np.repeat(definite_rows, k)
+        )
+    walk_rows = cand_rows[maybe]
+    walk_idx = cand_idx[maybe]
+    # Slots needing the in-order check: not covered pre-chunk and not
+    # covered by an earlier definite inserter.
+    need = ~(cand_cov[maybe] | (certain[walk_idx] < walk_rows[:, None]))
+
+    written = bytearray(num_entries)
+    slots_list = walk_idx.tolist()
+    need_list = need.tolist()
+    flipped = False
+    for i, row in enumerate(walk_rows.tolist()):
+        slots = slots_list[i]
+        needs = need_list[i]
+        flips = True
+        for j in range(k):
+            if needs[j] and not written[slots[j]]:
+                flips = False
+                break
+        if flips:
+            duplicate[row] = True
+            inserters[row] = False
+            flipped = True
+        else:
+            for j in range(k):
+                written[slots[j]] = 1
+
+    if flipped:
+        # Rebuild over the actual inserters only.
+        first_writer.fill(NO_WRITER)
+        ins_rows = np.nonzero(inserters)[0]
+        if ins_rows.size:
+            np.minimum.at(
+                first_writer, idx[ins_rows].ravel(), np.repeat(ins_rows, k)
+            )
+    return duplicate, inserters, first_writer
+
+
+def check_reads(duplicate: "np.ndarray", active: "np.ndarray") -> int:
+    """Total probe reads for a chunk, matching the scalar early-break.
+
+    The scalar check reads slots in hash order until the first inactive
+    one: ``k`` reads for a duplicate, ``first_inactive + 1`` otherwise.
+    """
+    k = active.shape[1]
+    first_inactive = np.argmax(~active, axis=1)
+    return int(np.where(duplicate, k, first_inactive + 1).sum())

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..bitset.words import OperationCounter
 from ..errors import ConfigurationError, StreamError
 from ..hashing import HashFamily, SplitMixFamily
+from .batch import resolve_inserts
 from .lanes import LanePackedBitMatrix
 
 
@@ -209,6 +212,88 @@ class TimeBasedGBFDetector:
                 return True
         self._matrix.set_lane(indices, self._current_lane)
         return False
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+
+    def process_batch_at(
+        self, identifiers: "np.ndarray", timestamps: "np.ndarray"
+    ) -> "np.ndarray":
+        """Observe a batch of clicks with timestamps; bit-identical to a
+        scalar :meth:`process_at` loop.
+
+        The clock (lane rotation, cleaning, idle wipe) advances
+        scalar-style at each time-unit boundary; within a unit probes
+        and inserts are array operations.  Regressing timestamps raise
+        :class:`~repro.errors.StreamError` after the valid prefix is
+        processed, matching the scalar loop.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        if timestamps.shape != identifiers.shape:
+            raise ValueError(
+                f"timestamps shape {timestamps.shape} != identifiers "
+                f"shape {identifiers.shape}"
+            )
+        n = identifiers.shape[0]
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        if self._matrix.words_per_slot != 1:
+            # Wide layout: keep the scalar path (see GBFDetector).
+            for row in range(n):
+                out[row] = self.process_at(
+                    int(identifiers[row]), float(timestamps[row])
+                )
+            return out
+        previous = np.empty(n, dtype=np.float64)
+        previous[0] = self._last_time if self._last_time is not None else -np.inf
+        previous[1:] = timestamps[:-1]
+        regressions = np.nonzero(timestamps < previous)[0]
+        limit = int(regressions[0]) if regressions.size else n
+        k = self.family.num_hashes
+        self.counter.hash_evaluations += k * min(limit + 1, n)
+        if limit:
+            idx = self.family.indices_batch(identifiers[:limit]).astype(
+                np.int64, copy=False
+            )
+            units = np.floor_divide(timestamps[:limit], self.unit_duration).astype(
+                np.int64
+            )
+            start = 0
+            while start < limit:
+                stop = int(np.searchsorted(units, units[start], side="right"))
+                # Cap the slice; re-entering the same unit is a no-op
+                # for the clock, so oversized units split exactly.
+                stop = min(stop, start + 65536)
+                self._advance_clock(float(timestamps[start]))
+                self._unit_group(idx[start:stop], out[start:stop])
+                self._last_time = float(timestamps[stop - 1])
+                start = stop
+        if limit < n:
+            raise StreamError(
+                f"timestamp regressed: {float(timestamps[limit])} "
+                f"after {float(previous[limit])}"
+            )
+        return out
+
+    def _unit_group(self, idx: "np.ndarray", out: "np.ndarray") -> None:
+        """Vectorized probe/insert for arrivals sharing one time unit."""
+        n, _ = idx.shape
+        matrix = self._matrix
+        fields = matrix.probe_fields_batch(idx)
+        self.counter.elements += n
+        mask = np.uint64(self._active_masks[0])
+        dup0 = (np.bitwise_and.reduce(fields, axis=1) & mask) != 0
+        cov0 = ((fields >> np.uint64(self._current_lane)) & np.uint64(1)).astype(bool)
+        duplicate, inserters, _ = resolve_inserts(dup0, cov0, idx, matrix.num_slots)
+        ins = np.nonzero(inserters)[0]
+        if ins.size:
+            matrix.or_lane_batch(idx[ins], self._current_lane)
+        out[:] = duplicate
 
     def query_at(self, identifier: int, timestamp: float) -> bool:
         """Duplicate check at ``timestamp`` without recording the element."""

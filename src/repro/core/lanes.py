@@ -136,6 +136,47 @@ class LanePackedBitMatrix:
         self.counter.word_writes += len(indices)
 
     # ------------------------------------------------------------------
+    # Batch probing and insertion (dense layout)
+    # ------------------------------------------------------------------
+
+    def probe_fields_batch(self, idx: "np.ndarray") -> "np.ndarray":
+        """Gather the ``num_lanes``-bit field at every slot of ``idx``.
+
+        ``idx`` is ``(n, k)``; the result is ``(n, k)`` uint64 fields.
+        Counts one read per probed slot, exactly like ``n`` scalar
+        :meth:`probe_and` calls.  Dense layout only — the wide layout
+        keeps the scalar path (it is the regime §4 hands over to TBF).
+        """
+        if self.words_per_slot != 1:
+            raise ConfigurationError("probe_fields_batch requires the dense layout")
+        words = self._words
+        self.counter.word_reads += idx.size
+        if self.slots_per_word == 1:
+            return words[idx] & np.uint64(self.field_mask)
+        word_idx, slot_in_word = np.divmod(idx, self.slots_per_word)
+        shifts = (slot_in_word * self.num_lanes).astype(np.uint64)
+        return (words[word_idx] >> shifts) & np.uint64(self.field_mask)
+
+    def or_lane_batch(self, idx: "np.ndarray", lane: int) -> None:
+        """Set ``lane``'s bit at every slot of ``idx`` (any shape).
+
+        Counts one write per slot, like scalar :meth:`set_lane` over
+        each row.  ``np.bitwise_or.at`` handles duplicate indices.
+        """
+        if self.words_per_slot != 1:
+            raise ConfigurationError("or_lane_batch requires the dense layout")
+        words = self._words
+        if self.slots_per_word == 1:
+            np.bitwise_or.at(words, idx, np.uint64(1 << lane))
+        else:
+            word_idx, slot_in_word = np.divmod(idx, self.slots_per_word)
+            bits = np.uint64(1) << (
+                slot_in_word * self.num_lanes + lane
+            ).astype(np.uint64)
+            np.bitwise_or.at(words, word_idx, bits)
+        self.counter.word_writes += idx.size
+
+    # ------------------------------------------------------------------
     # Lane cleaning
     # ------------------------------------------------------------------
 
@@ -187,6 +228,85 @@ class LanePackedBitMatrix:
                 if word & ~keep:
                     words[index] = word & keep
                     writes += 1
+        self.counter.word_reads += reads
+        self.counter.word_writes += writes
+
+    def clear_lane_segments(
+        self, lane: int, start_slot: int, per_element: int, num_elements: int
+    ) -> None:
+        """Replay ``num_elements`` consecutive :meth:`clear_lane_range` calls.
+
+        Call ``i`` covers ``[start_slot + i * per_element,
+        start_slot + (i + 1) * per_element)`` clamped to the slot count —
+        the cursor-advancing sweep the GBF runs once per arrival.  Bit
+        mutations *and* read/write tallies are identical to the scalar
+        calls: each (call, word) intersection is one read, and a write
+        whenever the lane has a set bit among the intersection's slots.
+        Intersections are disjoint in (slot, lane) space, so pre-sweep
+        bit values decide every write even though earlier calls may
+        touch the same word.
+        """
+        if num_elements <= 0 or per_element <= 0:
+            return
+        stop_slot = min(start_slot + per_element * num_elements, self.num_slots)
+        if start_slot >= stop_slot:
+            return
+        words = self._words
+        if self.words_per_slot == 1:
+            lanes = self.num_lanes
+            spw = self.slots_per_word
+            # Reads: one per (call, word) intersection, by arithmetic.
+            call_starts = np.arange(start_slot, stop_slot, per_element, dtype=np.int64)
+            call_ends = np.minimum(call_starts + per_element, stop_slot)
+            reads = int(((call_ends - 1) // spw - call_starts // spw + 1).sum())
+            # Writes: intersections holding >= 1 set lane bit.  Expand
+            # only the words with set lane bits into slot positions and
+            # count distinct (call, word) keys — slots come out sorted,
+            # so counting boundaries suffices.
+            pattern = 0
+            for slot_in_word in range(spw):
+                pattern |= 1 << (slot_in_word * lanes + lane)
+            pattern = np.uint64(pattern)
+            w0 = start_slot // spw
+            w1 = (stop_slot - 1) // spw + 1
+            hits = words[w0:w1] & pattern
+            nz = np.nonzero(hits)[0]
+            writes = 0
+            if nz.size:
+                shifts = np.arange(spw, dtype=np.uint64) * np.uint64(lanes)
+                bitmat = (hits[nz, None] >> (shifts + np.uint64(lane))) & np.uint64(1)
+                rel_word, slot_in_word = np.nonzero(bitmat)
+                slots = (w0 + nz[rel_word]) * spw + slot_in_word
+                slots = slots[(slots >= start_slot) & (slots < stop_slot)]
+                if slots.size:
+                    key = ((slots - start_slot) // per_element) * (w1 - w0 + 1) + (
+                        slots // spw - w0
+                    )
+                    writes = int(np.count_nonzero(np.diff(key))) + 1
+            # Mutate: the full-word middle is one in-place slice op; the
+            # (at most two) partially-covered edge words get exact masks.
+            full0 = -(-start_slot // spw)
+            full1 = stop_slot // spw
+            if full0 < full1:
+                words[full0:full1] &= ~pattern
+            for edge_word in {w0, w1 - 1}:
+                if full0 <= edge_word < full1:
+                    continue
+                lo = max(start_slot, edge_word * spw)
+                hi = min(stop_slot, (edge_word + 1) * spw)
+                mask = 0
+                for slot in range(lo, hi):
+                    mask |= 1 << ((slot % spw) * lanes + lane)
+                words[edge_word] &= ~np.uint64(mask)
+        else:
+            stride = self.words_per_slot
+            offset, bit_position = divmod(lane, self.word_bits)
+            indices = np.arange(start_slot, stop_slot, dtype=np.int64) * stride + offset
+            values = words[indices]
+            bit = np.uint64(1 << bit_position)
+            reads = int(indices.size)
+            writes = int(np.count_nonzero(values & bit))
+            words[indices] = values & ~bit
         self.counter.word_reads += reads
         self.counter.word_writes += writes
 

@@ -44,6 +44,7 @@ import numpy as np
 from ..bitset.words import OperationCounter
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
+from .batch import check_reads, resolve_inserts
 
 
 def entry_bits_required(window_size: int, cleanup_slack: int) -> int:
@@ -202,6 +203,122 @@ class TBFDetector:
             entries[index] = stamp
         self.counter.word_writes += len(indices)
         return False
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+
+    #: Upper bound on one vectorized chunk (bounds temp-array memory).
+    _MAX_CHUNK = 1 << 16
+
+    def process_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
+        """Observe a batch of clicks; returns the per-click verdicts.
+
+        Bit-identical to calling :meth:`process` in a loop — verdicts,
+        entry array, cursor, and operation counts all match exactly —
+        with hashing, the activity check, timestamp stores, and the
+        cleaning sweep vectorized.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        self.counter.hash_evaluations += self.family.num_hashes * int(
+            identifiers.shape[0]
+        )
+        return self.process_indices_batch(self.family.indices_batch(identifiers))
+
+    def process_indices_batch(self, indices: "np.ndarray") -> "np.ndarray":
+        """Batch variant of :meth:`process_indices` (``(n, k)`` index array)."""
+        idx = np.asarray(indices)
+        if idx.ndim != 2:
+            raise ValueError(f"indices must be (n, k), got {idx.ndim}-D")
+        n = idx.shape[0]
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        idx = idx.astype(np.int64, copy=False)
+        # Chunk bounds that keep the vectorized step exact: within one
+        # chunk every in-chunk insert must stay active (<= window
+        # arrivals old) and the cleaning cursor must not lap any entry
+        # (<= m swept slots), so pre-chunk values plus first-writer
+        # resolution decide everything.
+        limit = max(
+            1,
+            min(
+                self.window_size,
+                self.num_entries // self._scan_per_element,
+                self._MAX_CHUNK,
+            ),
+        )
+        for start in range(0, n, limit):
+            stop = min(start + limit, n)
+            self._process_chunk(idx[start:stop], out[start:stop])
+        return out
+
+    def _process_chunk(self, idx: "np.ndarray", out: "np.ndarray") -> None:
+        n, k = idx.shape
+        entries = self._entries
+        m = self.num_entries
+        period = self.timestamp_period
+        window = self.window_size
+        empty = self.empty_value
+        scan = self._scan_per_element
+        first_position = self._position + 1
+        now0 = first_position % period
+        rows = np.arange(n, dtype=np.int64)
+
+        # Activity against the pre-chunk state, evaluated per element
+        # via the *unwrapped* age: base_age + i.  The cursor invariant
+        # (an expired entry is erased within C+1 arrivals, i.e. at age
+        # <= N + C = period - 1) guarantees the true age of any entry
+        # still holding a value is < period, so the unwrapped form
+        # equals the scalar modular compare at every element — without
+        # it, an age wrapping past the period mid-chunk would misread
+        # as fresh.
+        values = entries[idx].astype(np.int64)
+        base_age = (np.int64(now0) - values) % period
+        active0 = (values != empty) & (base_age + rows[:, None] < window)
+        dup0 = active0.all(axis=1)
+        duplicate, inserters, first_writer = resolve_inserts(dup0, active0, idx, m)
+        # Probe reads: in-chunk inserts are < window arrivals old, so a
+        # covered slot is active at probe time.
+        active = active0 | (first_writer[idx] < rows[:, None])
+        reads = check_reads(duplicate, active)
+        ins = np.nonzero(inserters)[0]
+
+        # Cleaning sweep: n * scan cursor slots, each visited at most
+        # once (chunk limit), judged against pre-chunk values at the
+        # sweeping element's clock — except entries an earlier element
+        # re-inserted, which are fresh and must survive.
+        sweep = (self._clean_cursor + np.arange(n * scan, dtype=np.int64)) % m
+        sweep_values = entries[sweep].astype(np.int64)
+        sweep_element = np.repeat(rows, scan)
+        sweep_age = (np.int64(now0) - sweep_values) % period + sweep_element
+        erase = (sweep_values != empty) & (sweep_age >= window)
+        if ins.size:
+            erase &= ~(first_writer[sweep] < sweep_element)
+        clean_writes = int(np.count_nonzero(erase))
+
+        # Mutate: erasures first, then inserts (an entry erased by one
+        # element and re-written by a later one ends up written).
+        if clean_writes:
+            entries[sweep[erase]] = empty
+        if ins.size:
+            # The final stamp per entry is its *last* writer's position
+            # (fancy assignment has no duplicate-order guarantee, so the
+            # last writer is made explicit with a maximum scatter).
+            last_writer = np.full(m, -1, dtype=np.int64)
+            np.maximum.at(last_writer, idx[ins].ravel(), np.repeat(ins, k))
+            upd = np.nonzero(last_writer >= 0)[0]
+            entries[upd] = (
+                (first_position + last_writer[upd]) % period
+            ).astype(entries.dtype)
+
+        self._clean_cursor = int((self._clean_cursor + n * scan) % m)
+        self._position += n
+        self.counter.add(n * scan + reads, clean_writes + k * int(ins.size))
+        self.counter.elements += n
+        out[:] = duplicate
 
     def query(self, identifier: int) -> bool:
         """Side-effect-free duplicate check against the current window."""

@@ -22,6 +22,7 @@ import numpy as np
 from ..bitset.words import OperationCounter
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
+from .batch import check_reads, resolve_inserts
 from .tbf import _dtype_for_bits
 
 
@@ -143,6 +144,97 @@ class TBFJumpingDetector:
             entries[index] = stamp
         self.counter.word_writes += len(indices)
         return False
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+
+    #: Upper bound on one vectorized segment (bounds temp-array memory).
+    _MAX_SEGMENT = 1 << 16
+
+    def process_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
+        """Observe a batch of clicks; bit-identical to a scalar loop."""
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        self.counter.hash_evaluations += self.family.num_hashes * int(
+            identifiers.shape[0]
+        )
+        return self.process_indices_batch(self.family.indices_batch(identifiers))
+
+    def process_indices_batch(self, indices: "np.ndarray") -> "np.ndarray":
+        """Batch variant of :meth:`process_indices`.
+
+        Segments end at sub-window boundaries (the timestamp ``now`` is
+        constant inside a sub-window) and after ``m // scan`` arrivals
+        (so the cleaning cursor visits each entry at most once).
+        """
+        idx = np.asarray(indices)
+        if idx.ndim != 2:
+            raise ValueError(f"indices must be (n, k), got {idx.ndim}-D")
+        n = idx.shape[0]
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        idx = idx.astype(np.int64, copy=False)
+        sub = self.subwindow_size
+        cursor_limit = max(1, self.num_entries // self._scan_per_element)
+        start = 0
+        while start < n:
+            first_pos = self._position + 1
+            into_sub = first_pos % sub
+            seg = min(
+                n - start,
+                sub - into_sub if into_sub else sub,
+                cursor_limit,
+                self._MAX_SEGMENT,
+            )
+            self._process_segment(idx[start : start + seg], out[start : start + seg])
+            start += seg
+        return out
+
+    def _process_segment(self, idx: "np.ndarray", out: "np.ndarray") -> None:
+        n, k = idx.shape
+        entries = self._entries
+        m = self.num_entries
+        period = self.timestamp_period
+        active_span = self.num_subwindows
+        empty = self.empty_value
+        scan = self._scan_per_element
+        first_position = self._position + 1
+        now = (first_position // self.subwindow_size) % period
+        rows = np.arange(n, dtype=np.int64)
+
+        values = entries[idx].astype(np.int64)
+        active0 = (values != empty) & ((np.int64(now) - values) % period < active_span)
+        dup0 = active0.all(axis=1)
+        duplicate, inserters, first_writer = resolve_inserts(dup0, active0, idx, m)
+        active = active0 | (first_writer[idx] < rows[:, None])
+        reads = check_reads(duplicate, active)
+        ins = np.nonzero(inserters)[0]
+
+        sweep = (self._clean_cursor + np.arange(n * scan, dtype=np.int64)) % m
+        sweep_values = entries[sweep].astype(np.int64)
+        erase = (sweep_values != empty) & (
+            (np.int64(now) - sweep_values) % period >= active_span
+        )
+        if ins.size:
+            sweep_element = np.repeat(rows, scan)
+            erase &= ~(first_writer[sweep] < sweep_element)
+        clean_writes = int(np.count_nonzero(erase))
+
+        if clean_writes:
+            entries[sweep[erase]] = empty
+        if ins.size:
+            # Every in-segment insert stamps the same value, so the
+            # duplicate-index assignment order cannot matter.
+            entries[idx[ins].ravel()] = entries.dtype.type(now)
+
+        self._clean_cursor = int((self._clean_cursor + n * scan) % m)
+        self._position += n
+        self.counter.add(n * scan + reads, clean_writes + k * int(ins.size))
+        self.counter.elements += n
+        out[:] = duplicate
 
     def query(self, identifier: int) -> bool:
         return self.query_indices(self.family.indices(identifier))

@@ -25,6 +25,7 @@ import numpy as np
 from ..bitset.words import OperationCounter
 from ..errors import ConfigurationError, StreamError
 from ..hashing import HashFamily, SplitMixFamily
+from .batch import check_reads, resolve_inserts
 from .tbf import _dtype_for_bits
 
 
@@ -189,6 +190,99 @@ class TimeBasedTBFDetector:
             entries[index] = stamp
         self.counter.word_writes += len(indices)
         return False
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+
+    def process_batch_at(
+        self, identifiers: "np.ndarray", timestamps: "np.ndarray"
+    ) -> "np.ndarray":
+        """Observe a batch of clicks with timestamps; bit-identical to a
+        scalar :meth:`process_at` loop.
+
+        Elements are grouped by time unit: the clock (cleaning, idle
+        wipe) advances scalar-style at each unit boundary, and within a
+        unit — where ``now`` is constant and no cleaning runs — probes
+        and timestamp stores are single array operations.  A regressing
+        timestamp raises :class:`~repro.errors.StreamError` exactly as
+        the scalar loop would: the elements before it are fully
+        processed, the regressing element is not.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        if timestamps.shape != identifiers.shape:
+            raise ValueError(
+                f"timestamps shape {timestamps.shape} != identifiers "
+                f"shape {identifiers.shape}"
+            )
+        n = identifiers.shape[0]
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        # Find the first regression (against the pre-batch clock and
+        # between consecutive batch elements); everything before it is
+        # processed, then the scalar path's error is raised.
+        previous = np.empty(n, dtype=np.float64)
+        previous[0] = self._last_time if self._last_time is not None else -np.inf
+        previous[1:] = timestamps[:-1]
+        regressions = np.nonzero(timestamps < previous)[0]
+        limit = int(regressions[0]) if regressions.size else n
+        k = self.family.num_hashes
+        # The scalar loop hashes the regressing element before its
+        # _advance_clock raises, so it is included in the tally.
+        self.counter.hash_evaluations += k * min(limit + 1, n)
+        if limit:
+            idx = self.family.indices_batch(identifiers[:limit]).astype(
+                np.int64, copy=False
+            )
+            units = np.floor_divide(timestamps[:limit], self.unit_duration).astype(
+                np.int64
+            )
+            start = 0
+            while start < limit:
+                stop = int(np.searchsorted(units, units[start], side="right"))
+                # Cap the slice; re-entering the same unit is a no-op
+                # for the clock, so oversized units split exactly.
+                stop = min(stop, start + 65536)
+                now = self._advance_clock(float(timestamps[start]))
+                self._unit_group(idx[start:stop], now, out[start:stop])
+                self._last_time = float(timestamps[stop - 1])
+                start = stop
+        if limit < n:
+            raise StreamError(
+                f"timestamp regressed: {float(timestamps[limit])} "
+                f"after {float(previous[limit])}"
+            )
+        return out
+
+    def _unit_group(self, idx: "np.ndarray", now: int, out: "np.ndarray") -> None:
+        """Vectorized processing of arrivals sharing one time unit."""
+        n, k = idx.shape
+        entries = self._entries
+        period = self.timestamp_period
+        active_span = self.resolution
+        empty = self.empty_value
+        rows = np.arange(n, dtype=np.int64)
+
+        values = entries[idx].astype(np.int64)
+        active0 = (values != empty) & ((np.int64(now) - values) % period < active_span)
+        dup0 = active0.all(axis=1)
+        duplicate, inserters, first_writer = resolve_inserts(
+            dup0, active0, idx, self.num_entries
+        )
+        active = active0 | (first_writer[idx] < rows[:, None])
+        reads = check_reads(duplicate, active)
+
+        ins = np.nonzero(inserters)[0]
+        if ins.size:
+            # Constant stamp: duplicate-index assignment order is moot.
+            entries[idx[ins].ravel()] = entries.dtype.type(now)
+        self.counter.add(reads, k * int(ins.size))
+        self.counter.elements += n
+        out[:] = duplicate
 
     def query_at(self, identifier: int, timestamp: float) -> bool:
         """Duplicate check at ``timestamp`` without recording the element.

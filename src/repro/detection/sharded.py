@@ -35,6 +35,8 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, List, Optional, Union
 
+import numpy as np
+
 from ..core.checkpoint import (
     CheckpointError,
     load_detector,
@@ -44,7 +46,7 @@ from ..core.checkpoint import (
     unpack_frame,
 )
 from ..errors import ConfigurationError
-from ..hashing.family import _splitmix64
+from ..hashing.family import _splitmix64, splitmix64_batch
 
 _MASK64 = (1 << 64) - 1
 
@@ -61,6 +63,41 @@ def default_router(num_shards: int) -> Callable[[int], int]:
         return _splitmix64((identifier ^ 0xA5A5A5A5A5A5A5A5) & _MASK64) % num_shards
 
     return route
+
+
+def _route_batch(detector, identifiers: "np.ndarray") -> "np.ndarray":
+    """Shard index per identifier, vectorized for the default router.
+
+    The numpy path replays :func:`default_router` exactly
+    (:func:`~repro.hashing.family.splitmix64_batch` is bit-identical to
+    the scalar finalizer); custom routers fall back to a Python loop.
+    """
+    if detector._router_is_default:
+        mixed = splitmix64_batch(identifiers ^ np.uint64(0xA5A5A5A5A5A5A5A5))
+        return (mixed % np.uint64(len(detector.shards))).astype(np.int64)
+    router = detector.router
+    return np.fromiter(
+        (router(int(identifier)) for identifier in identifiers),
+        dtype=np.int64,
+        count=identifiers.shape[0],
+    )
+
+
+def _shard_groups(shard_of: "np.ndarray"):
+    """Yield ``(shard, positions)`` per shard with one stable argsort.
+
+    ``positions`` are the original batch offsets in arrival order (the
+    stable sort preserves it), so each shard sees exactly the
+    subsequence the scalar loop would have fed it.
+    """
+    n = shard_of.shape[0]
+    order = np.argsort(shard_of, kind="stable")
+    sorted_shards = shard_of[order]
+    boundaries = np.nonzero(sorted_shards[1:] != sorted_shards[:-1])[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    for group_start, group_end in zip(starts, ends):
+        yield int(sorted_shards[group_start]), order[group_start:group_end]
 
 
 class FailoverPolicy(enum.Enum):
@@ -215,6 +252,39 @@ class ShardedDetector(_ShardFailover):
             return verdict
         return self.shards[shard].process(identifier)
 
+    def process_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
+        """Process a batch, partitioned across shards with one argsort.
+
+        Verdicts, per-shard state, arrival counts, and degraded-click
+        tallies are identical to a scalar :meth:`process` loop: every
+        shard receives its clicks in arrival order, and degraded shards
+        answer by policy without touching their (lost) sketch.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        out = np.empty(identifiers.shape[0], dtype=bool)
+        if identifiers.shape[0] == 0:
+            return out
+        for shard, positions in _shard_groups(_route_batch(self, identifiers)):
+            count = int(positions.shape[0])
+            self._per_shard_arrivals[shard] += count
+            entry = self._degraded.get(shard)
+            if entry is not None:
+                entry["clicks"] = int(entry["clicks"]) + count
+                out[positions] = entry["policy"] is FailoverPolicy.FAIL_CLOSED
+                continue
+            detector = self.shards[shard]
+            batch = getattr(detector, "process_batch", None)
+            if batch is not None:
+                out[positions] = batch(identifiers[positions])
+            else:
+                process = detector.process
+                out[positions] = [
+                    process(int(identifier)) for identifier in identifiers[positions]
+                ]
+        return out
+
     def query(self, identifier: int) -> bool:
         shard = self.router(identifier)
         verdict = self._degraded_verdict(shard, count=False)
@@ -292,6 +362,49 @@ class TimeShardedDetector(_ShardFailover):
         if verdict is not None:
             return verdict
         return self.shards[shard].process_at(identifier, timestamp)
+
+    def process_batch_at(
+        self, identifiers: "np.ndarray", timestamps: "np.ndarray"
+    ) -> "np.ndarray":
+        """Batch variant of :meth:`process_at` (one argsort partition).
+
+        Equivalent to the scalar loop for non-decreasing timestamps
+        (each shard sees its subsequence in arrival order).  A
+        regressing timestamp raises from the owning shard; unlike the
+        scalar loop, sibling shards may have advanced past it by then —
+        keep streams time-ordered, as the window semantics require.
+        """
+        identifiers = np.asarray(identifiers, dtype=np.uint64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if identifiers.ndim != 1:
+            raise ValueError(f"identifiers must be 1-D, got {identifiers.ndim}-D")
+        if timestamps.shape != identifiers.shape:
+            raise ValueError(
+                f"timestamps shape {timestamps.shape} != identifiers "
+                f"shape {identifiers.shape}"
+            )
+        out = np.empty(identifiers.shape[0], dtype=bool)
+        if identifiers.shape[0] == 0:
+            return out
+        for shard, positions in _shard_groups(_route_batch(self, identifiers)):
+            entry = self._degraded.get(shard)
+            if entry is not None:
+                entry["clicks"] = int(entry["clicks"]) + int(positions.shape[0])
+                out[positions] = entry["policy"] is FailoverPolicy.FAIL_CLOSED
+                continue
+            detector = self.shards[shard]
+            batch = getattr(detector, "process_batch_at", None)
+            if batch is not None:
+                out[positions] = batch(identifiers[positions], timestamps[positions])
+            else:
+                process_at = detector.process_at
+                out[positions] = [
+                    process_at(int(identifier), float(timestamp))
+                    for identifier, timestamp in zip(
+                        identifiers[positions], timestamps[positions]
+                    )
+                ]
+        return out
 
     @property
     def num_shards(self) -> int:

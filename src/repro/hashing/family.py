@@ -37,6 +37,20 @@ def _splitmix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
+def splitmix64_batch(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`_splitmix64` over a uint64 array.
+
+    Bit-identical to the scalar finalizer element by element (uint64
+    arithmetic wraps exactly like the masked Python-int version).
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        values = values + np.uint64(0x9E3779B97F4A7C15)
+        values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return values ^ (values >> np.uint64(31))
+
+
 def derive_constants(seed: int, count: int) -> List[int]:
     """Derive ``count`` 64-bit constants from ``seed``, never zero."""
     constants = []

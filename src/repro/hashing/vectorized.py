@@ -6,18 +6,29 @@ runner pre-computes all hash indices for a whole stream with one call to
 :func:`precompute_indices` and then replays the one-pass algorithm with
 plain array reads.  The algorithms themselves remain strictly one-pass;
 only the hash arithmetic is hoisted.
+
+Both helpers accept arbitrary iterables — arrays, sequences, or lazy
+generators.  Lazy inputs are consumed chunk-at-a-time (``np.fromiter``
+with a ``count`` hint whenever the length is known), so a
+multi-million-element stream never has to be materialized as a Python
+list just to be hashed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import itertools
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from .family import HashFamily
 
 
-def precompute_indices(family: HashFamily, identifiers: Iterable[int]) -> "np.ndarray":
+def precompute_indices(
+    family: HashFamily,
+    identifiers: Iterable[int],
+    chunk_size: Optional[int] = None,
+) -> "np.ndarray":
     """Hash every identifier with every function of ``family``.
 
     Returns an ``(n, k)`` array where row ``i`` holds the ``k`` bucket
@@ -25,18 +36,58 @@ def precompute_indices(family: HashFamily, identifiers: Iterable[int]) -> "np.nd
     bitwise identical to what ``family.indices`` would return element by
     element (verified by tests), so replaying from this table is exactly
     equivalent to hashing online.
+
+    ``identifiers`` may be any iterable, including a one-shot generator.
+    With ``chunk_size`` set, the input is hashed ``chunk_size`` elements
+    at a time and only the (much smaller) identifier chunks are ever
+    buffered; the full ``(n, k)`` result is still returned.
     """
-    array = np.fromiter(identifiers, dtype=np.uint64)
+    if chunk_size is not None:
+        blocks = [
+            family.indices_batch(block) for block in chunked(identifiers, chunk_size)
+        ]
+        if not blocks:
+            return np.empty((0, family.num_hashes), dtype=np.uint64)
+        return np.concatenate(blocks, axis=0)
+    if isinstance(identifiers, np.ndarray):
+        return family.indices_batch(np.asarray(identifiers, dtype=np.uint64))
+    try:
+        count = len(identifiers)  # type: ignore[arg-type]
+    except TypeError:
+        count = -1
+    array = np.fromiter(identifiers, dtype=np.uint64, count=count)
     return family.indices_batch(array)
 
 
-def chunked(array: "np.ndarray", chunk_size: int) -> Iterable["np.ndarray"]:
-    """Yield successive ``chunk_size`` slices of ``array``.
+def chunked(values: Iterable[int], chunk_size: int) -> Iterator["np.ndarray"]:
+    """Yield successive ``chunk_size``-element uint64 arrays of ``values``.
 
     Used to bound peak memory when precomputing indices for very long
-    streams (each chunk is ``chunk_size * k * 8`` bytes).
+    streams (each chunk is ``chunk_size * k * 8`` bytes).  Arrays are
+    sliced (zero-copy views); other iterables — lists, generators — are
+    consumed lazily, one ``np.fromiter`` per chunk, with an exact
+    ``count`` hint when the input's length is known.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    for start in range(0, len(array), chunk_size):
-        yield array[start : start + chunk_size]
+    if isinstance(values, np.ndarray):
+        for start in range(0, len(values), chunk_size):
+            yield values[start : start + chunk_size]
+        return
+    try:
+        total = len(values)  # type: ignore[arg-type]
+    except TypeError:
+        total = None
+    iterator = iter(values)
+    if total is not None:
+        for start in range(0, total, chunk_size):
+            count = min(chunk_size, total - start)
+            yield np.fromiter(
+                itertools.islice(iterator, count), dtype=np.uint64, count=count
+            )
+        return
+    while True:
+        block = np.fromiter(itertools.islice(iterator, chunk_size), dtype=np.uint64)
+        if block.size == 0:
+            return
+        yield block

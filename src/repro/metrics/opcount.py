@@ -9,7 +9,9 @@ of :mod:`repro.core.memory_model` (the Theorem 1.3 / 2.3 claims).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
+
+import numpy as np
 
 from ..bitset.words import OperationCounter, OperationRates
 
@@ -26,17 +28,31 @@ class OpMeasurement:
         return self.rates.total_word_ops
 
 
-def measure_ops(detector, identifiers: Iterable[int]) -> OpMeasurement:
+def measure_ops(
+    detector, identifiers: Iterable[int], batch_size: Optional[int] = None
+) -> OpMeasurement:
     """Process ``identifiers`` and return per-element operation rates.
 
     Resets the detector's counter first so the measurement covers only
-    this segment (feed any warm-up stream before calling).
+    this segment (feed any warm-up stream before calling).  With
+    ``batch_size`` set, the stream runs through the detector's
+    vectorized ``process_batch`` path instead of the scalar loop; the
+    batch path reports the same word-operation totals as the scalar one
+    (asserted by tests), so the measurement is unchanged — only faster.
     """
     counter: OperationCounter = detector.counter
     counter.reset()
-    process = detector.process
-    for identifier in identifiers:
-        process(identifier)
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        array = np.fromiter(identifiers, dtype=np.uint64)
+        process_batch = detector.process_batch
+        for start in range(0, array.shape[0], batch_size):
+            process_batch(array[start : start + batch_size])
+    else:
+        process = detector.process
+        for identifier in identifiers:
+            process(identifier)
     return OpMeasurement(elements=counter.elements, rates=counter.per_element())
 
 

@@ -1,0 +1,172 @@
+"""Property tests: batch verdicts and state are bit-identical to scalar.
+
+The non-negotiable invariant of the vectorized path: for ANY stream and
+ANY chunking, ``process_batch`` / ``process_batch_at`` must produce the
+same verdicts as a scalar loop AND leave the detector in the same state
+(checkpoint bytes and operation counters equal).  Streams are drawn
+from a small identifier universe so duplicates are dense, straddle
+chunk boundaries, and interleave with window jumps; chunk sizes span 1
+(degenerate) through larger than the window.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    GBFDetector,
+    TBFDetector,
+    TBFJumpingDetector,
+    TimeBasedGBFDetector,
+    TimeBasedTBFDetector,
+    save_detector,
+)
+from repro.detection import ShardedDetector
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+identifiers = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=300
+)
+# Chunk-size sequence: cycled to slice the stream; includes 1 and
+# values larger than every window used below.
+chunkings = st.lists(st.integers(min_value=1, max_value=80), min_size=1, max_size=6)
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=6.0, allow_nan=False), min_size=1, max_size=300
+)
+
+
+def _slices(n, chunking):
+    start = 0
+    i = 0
+    while start < n:
+        stop = min(start + chunking[i % len(chunking)], n)
+        yield start, stop
+        start = stop
+        i += 1
+
+
+def _assert_count_equivalence(build, ids, chunking):
+    scalar = build()
+    batch = build()
+    array = np.array(ids, dtype=np.uint64)
+    expected = np.array([scalar.process(int(x)) for x in ids], dtype=bool)
+    got = np.empty(len(ids), dtype=bool)
+    for start, stop in _slices(len(ids), chunking):
+        got[start:stop] = batch.process_batch(array[start:stop])
+    assert np.array_equal(expected, got)
+    assert save_detector(scalar) == save_detector(batch)
+    assert scalar.counter == batch.counter
+
+
+def _assert_time_equivalence(build, ids, gaps, chunking):
+    scalar = build()
+    batch = build()
+    n = min(len(ids), len(gaps))
+    array = np.array(ids[:n], dtype=np.uint64)
+    stamps = np.cumsum(np.array(gaps[:n], dtype=np.float64))
+    expected = np.array(
+        [scalar.process_at(int(x), float(t)) for x, t in zip(array, stamps)],
+        dtype=bool,
+    )
+    got = np.empty(n, dtype=bool)
+    for start, stop in _slices(n, chunking):
+        got[start:stop] = batch.process_batch_at(
+            array[start:stop], stamps[start:stop]
+        )
+    assert np.array_equal(expected, got)
+    assert save_detector(scalar) == save_detector(batch)
+    assert scalar.counter == batch.counter
+
+
+class TestCountBasedEquivalence:
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_gbf(self, ids, chunking):
+        _assert_count_equivalence(
+            lambda: GBFDetector(32, 4, 97, 3, seed=5), ids, chunking
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_gbf_odd_geometry(self, ids, chunking):
+        # Slot count not divisible by slots-per-word; rotation mid-chunk.
+        _assert_count_equivalence(
+            lambda: GBFDetector(48, 6, 61, 4, seed=2), ids, chunking
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_gbf_wide_layout(self, ids, chunking):
+        # Q + 1 > word bits: the scalar-fallback regime.
+        _assert_count_equivalence(
+            lambda: GBFDetector(140, 70, 97, 3, word_bits=8, seed=5), ids, chunking
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_tbf(self, ids, chunking):
+        _assert_count_equivalence(
+            lambda: TBFDetector(24, 53, 3, seed=5), ids, chunking
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_tbf_tight_slack(self, ids, chunking):
+        # Small C: cleaning sweeps several entries per arrival and the
+        # cursor wraps mid-chunk.
+        _assert_count_equivalence(
+            lambda: TBFDetector(32, 40, 4, cleanup_slack=5, seed=3), ids, chunking
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_tbf_jumping(self, ids, chunking):
+        _assert_count_equivalence(
+            lambda: TBFJumpingDetector(24, 4, 61, 3, seed=5), ids, chunking
+        )
+
+
+class TestTimeBasedEquivalence:
+    @SETTINGS
+    @given(ids=identifiers, gaps=gaps, chunking=chunkings)
+    def test_time_gbf(self, ids, gaps, chunking):
+        _assert_time_equivalence(
+            lambda: TimeBasedGBFDetector(16.0, 4, 97, 3, seed=5),
+            ids,
+            gaps,
+            chunking,
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, gaps=gaps, chunking=chunkings)
+    def test_time_tbf(self, ids, gaps, chunking):
+        _assert_time_equivalence(
+            lambda: TimeBasedTBFDetector(16.0, 8, 53, 3, seed=5),
+            ids,
+            gaps,
+            chunking,
+        )
+
+
+class TestShardedEquivalence:
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_sharded_tbf(self, ids, chunking):
+        def build():
+            return ShardedDetector(
+                [TBFDetector(24, 53, 3, seed=shard) for shard in range(3)]
+            )
+
+        scalar = build()
+        batch = build()
+        array = np.array(ids, dtype=np.uint64)
+        expected = np.array([scalar.process(int(x)) for x in ids], dtype=bool)
+        got = np.empty(len(ids), dtype=bool)
+        for start, stop in _slices(len(ids), chunking):
+            got[start:stop] = batch.process_batch(array[start:stop])
+        assert np.array_equal(expected, got)
+        assert save_detector(scalar) == save_detector(batch)
+        assert scalar.shard_arrivals() == batch.shard_arrivals()

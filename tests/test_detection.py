@@ -170,6 +170,44 @@ class TestPipeline:
         verdicts = classify_stream(clicks, detector)
         assert verdicts == [False, True, False]
 
+    def test_empty_stream_duplicate_rate(self):
+        detector = create_detector(
+            "tbf", WindowSpec("sliding", 64), memory_bits=1 << 14
+        )
+        result = DetectionPipeline(detector).run([])
+        assert result.processed == 0
+        assert result.duplicate_rate == 0.0
+        assert DetectionPipeline(detector).run_batch([]).duplicate_rate == 0.0
+
+    @pytest.mark.parametrize("chunk_size", [1, 97, 4096])
+    def test_run_batch_matches_run(self, chunk_size):
+        network = demo_network(seed=0)
+        clicks = network.run(
+            duration=600.0,
+            profile=TrafficProfile(click_rate=1.5, num_visitors=40),
+        )
+
+        def make_pipeline():
+            detector = create_detector(
+                "tbf", WindowSpec("sliding", 2048), memory_bits=1 << 18
+            )
+            return DetectionPipeline(detector, billing=network.make_billing_engine())
+
+        scalar = make_pipeline().run(clicks)
+        batched = make_pipeline().run_batch(clicks, chunk_size=chunk_size)
+        assert batched.processed == scalar.processed
+        assert batched.valid == scalar.valid
+        assert batched.duplicates == scalar.duplicates
+        assert batched.budget_exhausted == scalar.budget_exhausted
+        assert batched.billing_summary == scalar.billing_summary
+
+    def test_run_batch_rejects_bad_chunk_size(self):
+        detector = create_detector(
+            "tbf", WindowSpec("sliding", 64), memory_bits=1 << 14
+        )
+        with pytest.raises(ConfigurationError):
+            DetectionPipeline(detector).run_batch([], chunk_size=0)
+
 
 class TestAlerts:
     def test_rule_validation(self):

@@ -148,6 +148,32 @@ def test_chunked_covers_everything():
         list(chunked(array, 0))
 
 
+def test_chunked_accepts_lazy_iterables():
+    # Sequences (known length) and one-shot generators both chunk
+    # without materializing the whole stream; arrays keep slicing.
+    for source in (list(range(10)), iter(range(10)), (x for x in range(10))):
+        chunks = list(chunked(source, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert all(c.dtype == np.uint64 for c in chunks)
+        assert np.concatenate(chunks).tolist() == list(range(10))
+    assert list(chunked([], 3)) == []
+    assert list(chunked(iter([]), 3)) == []
+
+
+def test_precompute_indices_from_generator_and_chunks():
+    family = SplitMixFamily(4, 513, seed=2)
+    identifiers = list(range(50, 120))
+    reference = precompute_indices(family, np.array(identifiers, dtype=np.uint64))
+    assert np.array_equal(
+        precompute_indices(family, (x for x in identifiers)), reference
+    )
+    assert np.array_equal(
+        precompute_indices(family, iter(identifiers), chunk_size=7), reference
+    )
+    empty = precompute_indices(family, iter([]), chunk_size=7)
+    assert empty.shape == (0, 4)
+
+
 def test_carter_wegman_handles_huge_identifiers():
     family = CarterWegmanFamily(2, 1000, seed=0)
     indices = family.indices((1 << 200) + 12345)

@@ -2,7 +2,11 @@
 
 import pytest
 
+from repro.bitset.words import OperationCounter
 from repro.core import (
+    GBFDetector,
+    TBFDetector,
+    TBFJumpingDetector,
     exact_dict_cost,
     gbf_cost,
     gbf_tbf_crossover_subwindows,
@@ -10,6 +14,8 @@ from repro.core import (
     naive_subwindow_bloom_cost,
     tbf_cost,
 )
+from repro.metrics import measure_ops
+from repro.streams import duplicated_stream
 
 
 class TestGBFCost:
@@ -80,3 +86,59 @@ class TestCrossover:
         assert 1 <= wide <= window
         # Wider words keep GBF competitive to larger Q.
         assert wide >= narrow
+
+
+class TestBatchOpParity:
+    """The batch path must report the SAME word-op totals as scalar.
+
+    The memory model's claims are stated per element over the scalar
+    flow; the vectorized path is only a faster implementation of that
+    flow, so its counters — reads, writes, hash evaluations — must be
+    bit-identical, not merely close.
+    """
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: GBFDetector(64, 4, 257, 4, seed=9),
+            lambda: TBFDetector(48, 97, 4, seed=9),
+            lambda: TBFJumpingDetector(48, 4, 97, 4, seed=9),
+        ],
+        ids=["gbf", "tbf", "tbf-jumping"],
+    )
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 500])
+    def test_batch_counts_equal_scalar(self, build, batch_size):
+        stream = duplicated_stream(400, seed=3)
+        scalar = build()
+        batch = build()
+        for identifier in stream:
+            scalar.process(int(identifier))
+        batch.process_batch(stream[:batch_size])
+        batch.process_batch(stream[batch_size:])
+        assert batch.counter == scalar.counter
+
+    def test_measure_ops_batch_path_matches(self):
+        stream = [int(x) for x in duplicated_stream(300, seed=5)]
+        scalar = measure_ops(TBFDetector(48, 97, 4, seed=9), stream)
+        batched = measure_ops(TBFDetector(48, 97, 4, seed=9), stream, batch_size=50)
+        assert batched.elements == scalar.elements
+        assert batched.rates == scalar.rates
+
+    def test_measure_ops_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            measure_ops(TBFDetector(48, 97, 4, seed=9), [1, 2, 3], batch_size=0)
+
+
+class TestOperationCounterBulk:
+    def test_add_accumulates_reads_and_writes(self):
+        counter = OperationCounter()
+        counter.add(10)
+        counter.add(5, 7)
+        assert counter.word_reads == 15
+        assert counter.word_writes == 7
+        assert counter.total_word_ops == 22
+
+    def test_slots_reject_stray_attributes(self):
+        counter = OperationCounter()
+        with pytest.raises(AttributeError):
+            counter.typo_attribute = 1
