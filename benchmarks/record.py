@@ -32,6 +32,7 @@ from test_batch_throughput import (  # noqa: E402
     WINDOW,
     compare_paths,
 )
+from test_telemetry_overhead import measure_overheads  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -66,6 +67,22 @@ def main(argv=None) -> int:
             f"  ({detectors[name]['speedup']}x)"
         )
 
+    telemetry = {}
+    for name in ("gbf", "tbf"):
+        best = measure_overheads(name)
+        telemetry[name] = {
+            "bare_clicks_per_sec": round(WINDOW * 4 / best["bare"], 1),
+            "noop_overhead_pct": round(100 * (best["noop"] / best["bare"] - 1), 2),
+            "enabled_overhead_pct": round(
+                100 * (best["enabled"] / best["bare"] - 1), 2
+            ),
+        }
+        print(
+            f"{name:>12}: telemetry noop "
+            f"{telemetry[name]['noop_overhead_pct']:+.2f}%"
+            f"  enabled {telemetry[name]['enabled_overhead_pct']:+.2f}%"
+        )
+
     payload = {
         "config": {
             "window": WINDOW,
@@ -81,6 +98,7 @@ def main(argv=None) -> int:
             "machine": platform.machine(),
         },
         "detectors": detectors,
+        "telemetry": telemetry,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -72,6 +72,15 @@ from .resilience import (
     ReorderBuffer,
     SupervisedPipeline,
 )
+from .telemetry import (
+    DetectorInstrument,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetrySession,
+    Tracer,
+    render_dashboard,
+    theoretical_fp_bound,
+)
 from .streams import (
     BotnetCampaign,
     Click,
@@ -130,6 +139,14 @@ __all__ = [
     "DeadLetterSink",
     "ReorderBuffer",
     "FaultInjector",
+    # telemetry
+    "TelemetrySession",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DetectorInstrument",
+    "Tracer",
+    "render_dashboard",
+    "theoretical_fp_bound",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -8,6 +8,7 @@ from .params import (
     expected_fill_fraction,
     false_positive_rate,
     false_positive_rate_asymptotic,
+    false_positive_rate_from_fill,
     min_false_positive_rate,
     optimal_num_hashes,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "StableBloomFilter",
     "false_positive_rate",
     "false_positive_rate_asymptotic",
+    "false_positive_rate_from_fill",
     "optimal_num_hashes",
     "min_false_positive_rate",
     "bits_for_target_rate",

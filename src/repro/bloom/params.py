@@ -18,6 +18,23 @@ import math
 from ..errors import ConfigurationError
 
 
+def false_positive_rate_from_fill(fill: float, num_hashes: int) -> float:
+    """FP rate of a Bloom filter whose *observed* fill fraction is ``fill``.
+
+    A query is a false positive exactly when all ``k`` probed positions
+    are set, so for a filter with a fraction ``fill`` of its positions
+    set the rate is ``fill ** k``.  This is the closed form the live
+    telemetry gauges evaluate against a detector's measured fill state
+    (see :mod:`repro.telemetry.instruments`); the a-priori formulas
+    below are this same function composed with the expected fill.
+    """
+    if not 0.0 <= fill <= 1.0:
+        raise ConfigurationError(f"fill must be in [0, 1], got {fill}")
+    if num_hashes < 1:
+        raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
+    return fill**num_hashes
+
+
 def false_positive_rate(num_bits: int, num_elements: int, num_hashes: int) -> float:
     """Exact FP rate of a classical Bloom filter.
 
@@ -30,7 +47,7 @@ def false_positive_rate(num_bits: int, num_elements: int, num_hashes: int) -> fl
         return 0.0
     # (1 - 1/m)^{kn} = exp(kn * log(1 - 1/m))
     fill = -math.expm1(num_hashes * num_elements * math.log1p(-1.0 / num_bits))
-    return fill**num_hashes
+    return false_positive_rate_from_fill(fill, num_hashes)
 
 
 def false_positive_rate_asymptotic(

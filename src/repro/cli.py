@@ -9,6 +9,9 @@ Commands
 ``plan``       size a detector for a window and FP target / memory budget
 ``figures``    regenerate the paper's figures (same output as the
                benchmark harness, without pytest)
+``monitor``    run a detector over a stream with live telemetry: periodic
+               dashboard refreshes, optional Prometheus exposition and
+               Chrome-trace export (see docs/observability.md)
 
 Examples
 --------
@@ -18,6 +21,7 @@ Examples
     python -m repro detect --algorithm tbf --window 8192 --target-fp 1e-3 out.jsonl
     python -m repro plan --window 1048576 --target-fp 0.001
     python -m repro figures --which 2b --scale 256
+    python -m repro monitor --algorithm gbf --every 2048 out.jsonl
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from .detection import (
 )
 from .metrics import render_table
 from .streams import load_clicks, write_clicks_csv, write_clicks_jsonl
+from .telemetry import TelemetrySession, render_dashboard
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,18 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
 
     detect = commands.add_parser("detect", help="run a detector over a stream file")
-    detect.add_argument("input", help="stream file from `repro generate`")
-    detect.add_argument("--algorithm", default="tbf",
-                        choices=["tbf", "gbf", "tbf-jumping", "exact",
-                                 "metwally-cbf", "stable-bloom"])
-    detect.add_argument("--window", type=int, default=8192,
-                        help="window size in clicks (default 8192)")
-    detect.add_argument("--subwindows", type=int, default=8,
-                        help="Q for jumping-window algorithms")
-    detect.add_argument("--target-fp", type=float, default=None)
-    detect.add_argument("--memory-kib", type=float, default=None,
-                        help="memory budget in KiB (alternative to --target-fp)")
-    detect.add_argument("--seed", type=int, default=0)
+    _add_detector_args(detect)
     detect.add_argument("--quality", action="store_true",
                         help="also report per-publisher click quality")
 
@@ -90,7 +84,50 @@ def _build_parser() -> argparse.ArgumentParser:
                          "(default: REPRO_SCALE or 64)")
     figures.add_argument("--seed", type=int, default=42)
 
+    monitor = commands.add_parser(
+        "monitor", help="run a detector with a live telemetry dashboard")
+    _add_detector_args(monitor)
+    monitor.add_argument("--every", type=int, default=2048,
+                         help="clicks between dashboard refreshes (default 2048)")
+    monitor.add_argument("--chunk-size", type=int, default=1024,
+                         help="batch size for the vectorized path (default 1024)")
+    monitor.add_argument("--prometheus", action="store_true",
+                         help="print Prometheus text exposition at the end")
+    monitor.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write Chrome-trace JSON of pipeline spans")
+
     return parser
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    """Stream + detector-sizing arguments shared by detect/monitor."""
+    parser.add_argument("input", help="stream file from `repro generate`")
+    parser.add_argument("--algorithm", default="tbf",
+                        choices=["tbf", "gbf", "tbf-jumping", "exact",
+                                 "metwally-cbf", "stable-bloom"])
+    parser.add_argument("--window", type=int, default=8192,
+                        help="window size in clicks (default 8192)")
+    parser.add_argument("--subwindows", type=int, default=8,
+                        help="Q for jumping-window algorithms")
+    parser.add_argument("--target-fp", type=float, default=None)
+    parser.add_argument("--memory-kib", type=float, default=None,
+                        help="memory budget in KiB (alternative to --target-fp)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _detector_from_args(args: argparse.Namespace):
+    """Build the detector `detect`/`monitor` both describe."""
+    kind = "jumping" if args.algorithm in ("gbf", "tbf-jumping", "metwally-cbf") else "sliding"
+    subwindows = args.subwindows if kind == "jumping" else 1
+    window = args.window - args.window % subwindows if subwindows > 1 else args.window
+    spec = WindowSpec(kind, window, subwindows)
+    sizing = {}
+    if args.algorithm != "exact":
+        if args.memory_kib is not None:
+            sizing["memory_bits"] = int(args.memory_kib * 8 * 1024)
+        else:
+            sizing["target_fp"] = args.target_fp if args.target_fp else 0.001
+    return create_detector(args.algorithm, spec, seed=args.seed, **sizing), window
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -125,17 +162,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_detect(args: argparse.Namespace) -> int:
     clicks = load_clicks(args.input)
-    kind = "jumping" if args.algorithm in ("gbf", "tbf-jumping", "metwally-cbf") else "sliding"
-    subwindows = args.subwindows if kind == "jumping" else 1
-    window = args.window - args.window % subwindows if subwindows > 1 else args.window
-    spec = WindowSpec(kind, window, subwindows)
-    sizing = {}
-    if args.algorithm != "exact":
-        if args.memory_kib is not None:
-            sizing["memory_bits"] = int(args.memory_kib * 8 * 1024)
-        else:
-            sizing["target_fp"] = args.target_fp if args.target_fp else 0.001
-    detector = create_detector(args.algorithm, spec, seed=args.seed, **sizing)
+    detector, window = _detector_from_args(args)
 
     quality = ClickQualityTracker(QualityConfig(window=window, grace_clicks=0))
     engine = AlertEngine(default_rules())
@@ -200,6 +227,31 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_monitor(args: argparse.Namespace) -> int:
+    clicks = load_clicks(args.input)
+    detector, _ = _detector_from_args(args)
+
+    session = TelemetrySession(snapshot_every=args.every)
+    session.on_snapshot(
+        lambda snapshot: print(render_dashboard(snapshot, title=args.algorithm))
+    )
+    pipeline = DetectionPipeline(detector, telemetry=session)
+    result = pipeline.run_batch(clicks, chunk_size=max(1, args.chunk_size))
+
+    # Final snapshot so short streams still render at least one dashboard.
+    session.emit()
+    print(f"\n{result.processed} clicks; {result.duplicates} duplicates "
+          f"({100 * result.duplicate_rate:.2f}%)")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(session.tracer.to_json())
+        print(f"wrote {len(session.tracer.spans())} spans to {args.trace_out}")
+    if args.prometheus:
+        print()
+        print(session.registry.to_prometheus(), end="")
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from .experiments import run_figure1, run_figure2a, run_figure2b
 
@@ -219,6 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "detect": _command_detect,
         "plan": _command_plan,
         "figures": _command_figures,
+        "monitor": _command_monitor,
     }
     return handlers[args.command](args)
 

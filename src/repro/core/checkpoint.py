@@ -212,6 +212,7 @@ def _save_gbf(detector: GBFDetector) -> bytes:
         "cleaning_lane": detector._cleaning_lane,
         "clean_cursor": detector._clean_cursor,
         "active_masks": [str(mask) for mask in detector._active_masks],
+        "duplicates": detector.duplicates,
     }
     payload = detector._matrix._words.tobytes()
     return pack_frame(header, payload)
@@ -236,6 +237,7 @@ def _load_gbf(header: Dict[str, Any], payload: bytes) -> GBFDetector:
         detector._cleaning_lane = header["cleaning_lane"]
         detector._clean_cursor = header["clean_cursor"]
         detector._active_masks = [int(mask) for mask in header["active_masks"]]
+        detector.duplicates = int(header.get("duplicates", 0))
     except KeyError as error:
         raise CheckpointError(f"missing GBF checkpoint field: {error}") from error
     return detector
@@ -251,6 +253,7 @@ def _save_tbf(detector: TBFDetector) -> bytes:
         "position": detector._position,
         "clean_cursor": detector._clean_cursor,
         "dtype": detector._entries.dtype.name,
+        "duplicates": detector.duplicates,
     }
     return pack_frame(header, detector._entries.tobytes())
 
@@ -272,6 +275,7 @@ def _load_tbf(header: Dict[str, Any], payload: bytes) -> TBFDetector:
         detector._entries = entries
         detector._position = header["position"]
         detector._clean_cursor = header["clean_cursor"]
+        detector.duplicates = int(header.get("duplicates", 0))
     except KeyError as error:
         raise CheckpointError(f"missing TBF checkpoint field: {error}") from error
     return detector
@@ -288,6 +292,7 @@ def _save_tbf_jumping(detector: TBFJumpingDetector) -> bytes:
         "position": detector._position,
         "clean_cursor": detector._clean_cursor,
         "dtype": detector._entries.dtype.name,
+        "duplicates": detector.duplicates,
     }
     return pack_frame(header, detector._entries.tobytes())
 
@@ -310,6 +315,7 @@ def _load_tbf_jumping(header: Dict[str, Any], payload: bytes) -> TBFJumpingDetec
         detector._entries = entries
         detector._position = header["position"]
         detector._clean_cursor = header["clean_cursor"]
+        detector.duplicates = int(header.get("duplicates", 0))
     except KeyError as error:
         raise CheckpointError(
             f"missing TBF-jumping checkpoint field: {error}"
@@ -329,6 +335,7 @@ def _save_tbf_timebased(detector: TimeBasedTBFDetector) -> bytes:
         "last_unit": detector._last_unit,
         "last_time": detector._last_time,
         "dtype": detector._entries.dtype.name,
+        "duplicates": detector.duplicates,
     }
     return pack_frame(header, detector._entries.tobytes())
 
@@ -356,6 +363,7 @@ def _load_tbf_timebased(header: Dict[str, Any], payload: bytes) -> TimeBasedTBFD
         detector._clean_cursor = header["clean_cursor"]
         detector._last_unit = header["last_unit"]
         detector._last_time = header["last_time"]
+        detector.duplicates = int(header.get("duplicates", 0))
     except KeyError as error:
         raise CheckpointError(
             f"missing time-based TBF checkpoint field: {error}"
@@ -378,6 +386,7 @@ def _save_gbf_timebased(detector: TimeBasedGBFDetector) -> bytes:
         "last_unit": detector._last_unit,
         "last_time": detector._last_time,
         "active_masks": [str(mask) for mask in detector._active_masks],
+        "duplicates": detector.duplicates,
     }
     payload = detector._matrix._words.tobytes()
     return pack_frame(header, payload)
@@ -406,6 +415,7 @@ def _load_gbf_timebased(header: Dict[str, Any], payload: bytes) -> TimeBasedGBFD
         detector._last_unit = header["last_unit"]
         detector._last_time = header["last_time"]
         detector._active_masks = [int(mask) for mask in header["active_masks"]]
+        detector.duplicates = int(header.get("duplicates", 0))
     except KeyError as error:
         raise CheckpointError(
             f"missing time-based GBF checkpoint field: {error}"

@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..bitset.words import OperationCounter
+from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
 from .batch import resolve_inserts
@@ -112,6 +113,9 @@ class GBFDetector:
         self.num_lanes = num_subwindows + 1
 
         self.counter = OperationCounter()
+        #: Duplicate verdicts issued so far (telemetry; not part of
+        #: :class:`OperationCounter` so its equality semantics stay put).
+        self.duplicates = 0
         self._matrix = LanePackedBitMatrix(
             bits_per_filter, self.num_lanes, word_bits, self.counter
         )
@@ -212,6 +216,7 @@ class GBFDetector:
         masks = self._active_masks
         for offset, field in enumerate(combined):
             if field & masks[offset]:
+                self.duplicates += 1
                 return True
         self._matrix.set_lane(indices, self._current_lane)
         return False
@@ -299,6 +304,7 @@ class GBFDetector:
         if ins.size:
             matrix.or_lane_batch(idx[ins], self._current_lane)
         self._position += n
+        self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate
 
     def query(self, identifier: int) -> bool:
@@ -352,6 +358,65 @@ class GBFDetector:
     def lane_bits_set(self, lane: int) -> int:
         """Population count of one lane (testing/diagnostics)."""
         return self._matrix.lane_population(lane)
+
+    @property
+    def observed_duplicate_rate(self) -> float:
+        """Fraction of processed clicks flagged duplicate so far."""
+        return self.duplicates / self.counter.elements if self.counter.elements else 0.0
+
+    def estimated_fp_rate(self) -> float:
+        """Live FP estimate from the lanes' *measured* fill.
+
+        A query is a false positive when at least one active lane has
+        all ``k`` probed bits set, so with per-lane fills ``f_i`` the
+        rate is ``1 - prod_i (1 - f_i^k)`` — the union bound of §3 made
+        exact for the current fill state.
+        """
+        product = 1.0
+        m = self.bits_per_filter
+        k = self.num_hashes
+        for lane in self.active_lanes():
+            fill = self._matrix.lane_population(lane) / m
+            product *= 1.0 - false_positive_rate_from_fill(fill, k)
+        return 1.0 - product
+
+    def telemetry_snapshot(self) -> dict:
+        """Health metrics for :mod:`repro.telemetry.instruments`."""
+        counter = self.counter
+        cleaning = (
+            self._cleaning_lane is not None
+            and self._clean_cursor < self.bits_per_filter
+        )
+        # One population count per lane, shared by the fill gauges and
+        # the FP estimate (same floats as estimated_fp_rate()).
+        m = self.bits_per_filter
+        k = self.num_hashes
+        pops = [self._matrix.lane_population(lane) for lane in range(self.num_lanes)]
+        active = self.active_lanes()
+        product = 1.0
+        for lane in active:
+            product *= 1.0 - false_positive_rate_from_fill(pops[lane] / m, k)
+        return {
+            "gauges": {
+                "position": self._position,
+                "estimated_fp_rate": 1.0 - product,
+                "observed_duplicate_rate": self.observed_duplicate_rate,
+                "clean_cursor": self._clean_cursor if cleaning else 0,
+                "active_lanes": len(active),
+            },
+            "counters": {
+                "elements": counter.elements,
+                "duplicates": self.duplicates,
+                "hash_evaluations": counter.hash_evaluations,
+                "word_reads": counter.word_reads,
+                "word_writes": counter.word_writes,
+                "rotations": self.current_subwindow,
+            },
+            "fills": {
+                f"lane{lane}": pops[lane] / m
+                for lane in range(self.num_lanes)
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

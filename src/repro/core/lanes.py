@@ -337,13 +337,17 @@ class LanePackedBitMatrix:
         """Set-bit count of one lane (diagnostics and tests)."""
         words = self._words
         if self.words_per_slot == 1:
-            count = 0
+            # Lane-packed layout: the lane's bit recurs every num_lanes
+            # bits within each word.  One vectorized mask-and-sum per
+            # slot position beats a per-slot Python loop by orders of
+            # magnitude; padding bits past num_slots are never set, so
+            # counting whole words is exact.
             lanes = self.num_lanes
-            spw = self.slots_per_word
-            for slot in range(self.num_slots):
-                word_index, slot_in_word = divmod(slot, spw)
-                if int(words[word_index]) >> (slot_in_word * lanes + lane) & 1:
-                    count += 1
+            one = np.uint64(1)
+            count = 0
+            for slot_in_word in range(self.slots_per_word):
+                shift = np.uint64(slot_in_word * lanes + lane)
+                count += int(((words >> shift) & one).sum())
             return count
         stride = self.words_per_slot
         offset, bit_position = divmod(lane, self.word_bits)

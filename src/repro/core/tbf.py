@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..bitset.words import OperationCounter
+from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
 from .batch import check_reads, resolve_inserts
@@ -134,6 +135,9 @@ class TBFDetector:
         self._position = -1
 
         self.counter = OperationCounter()
+        #: Duplicate verdicts issued so far (telemetry; kept off the
+        #: :class:`OperationCounter` to preserve its equality semantics).
+        self.duplicates = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -197,6 +201,7 @@ class TBFDetector:
         self.counter.word_reads += reads
         self.counter.elements += 1
         if duplicate:
+            self.duplicates += 1
             return True
         stamp = entries.dtype.type(now)
         for index in indices:
@@ -318,6 +323,7 @@ class TBFDetector:
         self._position += n
         self.counter.add(n * scan + reads, clean_writes + k * int(ins.size))
         self.counter.elements += n
+        self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate
 
     def query(self, identifier: int) -> bool:
@@ -377,6 +383,58 @@ class TBFDetector:
         values = self._entries.astype(np.int64)
         ages = (now - values) % self.timestamp_period
         return int(((values != self.empty_value) & (ages >= self.window_size)).sum())
+
+    @property
+    def observed_duplicate_rate(self) -> float:
+        """Fraction of processed clicks flagged duplicate so far."""
+        return self.duplicates / self.counter.elements if self.counter.elements else 0.0
+
+    def estimated_fp_rate(self) -> float:
+        """Live FP estimate from the *measured* active fill (Theorem 2).
+
+        A query is a false positive when all ``k`` probed entries hold
+        active timestamps, so the rate is ``(active / m) ** k``.
+        """
+        return false_positive_rate_from_fill(
+            self.active_entries() / self.num_entries, self.num_hashes
+        )
+
+    def telemetry_snapshot(self) -> dict:
+        """Health metrics for :mod:`repro.telemetry.instruments`."""
+        counter = self.counter
+        # One sweep of the entry array feeds active count, stale count,
+        # fill, and the FP estimate (same floats as estimated_fp_rate()).
+        if self._position < 0:
+            active = stale = 0
+        else:
+            now = self._position % self.timestamp_period
+            values = self._entries.astype(np.int64)
+            occupied = values != self.empty_value
+            in_window = (now - values) % self.timestamp_period < self.window_size
+            active = int((occupied & in_window).sum())
+            stale = int((occupied & ~in_window).sum())
+        fill = active / self.num_entries
+        return {
+            "gauges": {
+                "position": self._position,
+                "estimated_fp_rate": false_positive_rate_from_fill(
+                    fill, self.num_hashes
+                ),
+                "observed_duplicate_rate": self.observed_duplicate_rate,
+                "clean_cursor": self._clean_cursor,
+                "stale_entries": stale,
+            },
+            "counters": {
+                "elements": counter.elements,
+                "duplicates": self.duplicates,
+                "hash_evaluations": counter.hash_evaluations,
+                "word_reads": counter.word_reads,
+                "word_writes": counter.word_writes,
+            },
+            "fills": {
+                "entries": fill,
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

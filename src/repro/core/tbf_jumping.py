@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..bitset.words import OperationCounter
+from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
 from .batch import check_reads, resolve_inserts
@@ -89,6 +90,9 @@ class TBFJumpingDetector:
         self._position = -1
 
         self.counter = OperationCounter()
+        #: Duplicate verdicts issued so far (telemetry; kept off the
+        #: :class:`OperationCounter` to preserve its equality semantics).
+        self.duplicates = 0
 
     def _clean_step(self, now: int) -> None:
         entries = self._entries
@@ -138,6 +142,7 @@ class TBFJumpingDetector:
         self.counter.word_reads += reads
         self.counter.elements += 1
         if duplicate:
+            self.duplicates += 1
             return True
         stamp = entries.dtype.type(now)
         for index in indices:
@@ -234,6 +239,7 @@ class TBFJumpingDetector:
         self._position += n
         self.counter.add(n * scan + reads, clean_writes + k * int(ins.size))
         self.counter.elements += n
+        self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate
 
     def query(self, identifier: int) -> bool:
@@ -267,6 +273,79 @@ class TBFJumpingDetector:
     @property
     def memory_bits(self) -> int:
         return self.num_entries * self.entry_bits
+
+    def active_entries(self) -> int:
+        """Number of entries currently holding an active timestamp."""
+        if self._position < 0:
+            return 0
+        now = (self._position // self.subwindow_size) % self.timestamp_period
+        values = self._entries.astype(np.int64)
+        ages = (now - values) % self.timestamp_period
+        return int(
+            ((values != self.empty_value) & (ages < self.num_subwindows)).sum()
+        )
+
+    def stale_entries(self) -> int:
+        """Entries holding an expired timestamp not yet swept (diagnostic)."""
+        if self._position < 0:
+            return 0
+        now = (self._position // self.subwindow_size) % self.timestamp_period
+        values = self._entries.astype(np.int64)
+        ages = (now - values) % self.timestamp_period
+        return int(
+            ((values != self.empty_value) & (ages >= self.num_subwindows)).sum()
+        )
+
+    @property
+    def observed_duplicate_rate(self) -> float:
+        """Fraction of processed clicks flagged duplicate so far."""
+        return self.duplicates / self.counter.elements if self.counter.elements else 0.0
+
+    def estimated_fp_rate(self) -> float:
+        """Live FP estimate ``(active / m) ** k`` from the measured fill."""
+        return false_positive_rate_from_fill(
+            self.active_entries() / self.num_entries, self.num_hashes
+        )
+
+    def telemetry_snapshot(self) -> dict:
+        """Health metrics for :mod:`repro.telemetry.instruments`."""
+        counter = self.counter
+        # One sweep of the entry array feeds active count, stale count,
+        # fill, and the FP estimate (same floats as estimated_fp_rate()).
+        if self._position < 0:
+            active = stale = 0
+        else:
+            now = (self._position // self.subwindow_size) % self.timestamp_period
+            values = self._entries.astype(np.int64)
+            occupied = values != self.empty_value
+            in_window = (
+                (now - values) % self.timestamp_period < self.num_subwindows
+            )
+            active = int((occupied & in_window).sum())
+            stale = int((occupied & ~in_window).sum())
+        fill = active / self.num_entries
+        return {
+            "gauges": {
+                "position": self._position,
+                "estimated_fp_rate": false_positive_rate_from_fill(
+                    fill, self.num_hashes
+                ),
+                "observed_duplicate_rate": self.observed_duplicate_rate,
+                "clean_cursor": self._clean_cursor,
+                "stale_entries": stale,
+            },
+            "counters": {
+                "elements": counter.elements,
+                "duplicates": self.duplicates,
+                "hash_evaluations": counter.hash_evaluations,
+                "word_reads": counter.word_reads,
+                "word_writes": counter.word_writes,
+                "rotations": max(self._position, 0) // self.subwindow_size,
+            },
+            "fills": {
+                "entries": fill,
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..bitset.words import OperationCounter
+from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError, StreamError
 from ..hashing import HashFamily, SplitMixFamily
 from .batch import check_reads, resolve_inserts
@@ -99,6 +100,9 @@ class TimeBasedTBFDetector:
         self._last_time: Optional[float] = None
 
         self.counter = OperationCounter()
+        #: Duplicate verdicts issued so far (telemetry; kept off the
+        #: :class:`OperationCounter` to preserve its equality semantics).
+        self.duplicates = 0
 
     # ------------------------------------------------------------------
     # Clock handling
@@ -184,6 +188,7 @@ class TimeBasedTBFDetector:
         self.counter.word_reads += reads
         self.counter.elements += 1
         if duplicate:
+            self.duplicates += 1
             return True
         stamp = entries.dtype.type(now)
         for index in indices:
@@ -282,6 +287,7 @@ class TimeBasedTBFDetector:
             entries[idx[ins].ravel()] = entries.dtype.type(now)
         self.counter.add(reads, k * int(ins.size))
         self.counter.elements += n
+        self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate
 
     def query_at(self, identifier: int, timestamp: float) -> bool:
@@ -308,6 +314,72 @@ class TimeBasedTBFDetector:
     @property
     def memory_bits(self) -> int:
         return self.num_entries * self.entry_bits
+
+    def active_entries(self) -> int:
+        """Number of entries currently holding an active timestamp."""
+        if self._last_unit is None:
+            return 0
+        now = self._last_unit % self.timestamp_period
+        values = self._entries.astype(np.int64)
+        ages = (now - values) % self.timestamp_period
+        return int(((values != self.empty_value) & (ages < self.resolution)).sum())
+
+    def stale_entries(self) -> int:
+        """Entries holding an expired timestamp not yet swept (diagnostic)."""
+        if self._last_unit is None:
+            return 0
+        now = self._last_unit % self.timestamp_period
+        values = self._entries.astype(np.int64)
+        ages = (now - values) % self.timestamp_period
+        return int(((values != self.empty_value) & (ages >= self.resolution)).sum())
+
+    @property
+    def observed_duplicate_rate(self) -> float:
+        """Fraction of processed clicks flagged duplicate so far."""
+        return self.duplicates / self.counter.elements if self.counter.elements else 0.0
+
+    def estimated_fp_rate(self) -> float:
+        """Live FP estimate ``(active / m) ** k`` from the measured fill."""
+        return false_positive_rate_from_fill(
+            self.active_entries() / self.num_entries, self.num_hashes
+        )
+
+    def telemetry_snapshot(self) -> dict:
+        """Health metrics for :mod:`repro.telemetry.instruments`."""
+        counter = self.counter
+        # One sweep of the entry array feeds active count, stale count,
+        # fill, and the FP estimate (same floats as estimated_fp_rate()).
+        if self._last_unit is None:
+            active = stale = 0
+        else:
+            now = self._last_unit % self.timestamp_period
+            values = self._entries.astype(np.int64)
+            occupied = values != self.empty_value
+            in_window = (now - values) % self.timestamp_period < self.resolution
+            active = int((occupied & in_window).sum())
+            stale = int((occupied & ~in_window).sum())
+        fill = active / self.num_entries
+        return {
+            "gauges": {
+                "time_unit": self._last_unit if self._last_unit is not None else -1,
+                "estimated_fp_rate": false_positive_rate_from_fill(
+                    fill, self.num_hashes
+                ),
+                "observed_duplicate_rate": self.observed_duplicate_rate,
+                "clean_cursor": self._clean_cursor,
+                "stale_entries": stale,
+            },
+            "counters": {
+                "elements": counter.elements,
+                "duplicates": self.duplicates,
+                "hash_evaluations": counter.hash_evaluations,
+                "word_reads": counter.word_reads,
+                "word_writes": counter.word_writes,
+            },
+            "fills": {
+                "entries": fill,
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -54,13 +54,27 @@ class Alert:
 
 
 class AlertEngine:
-    """Evaluates alert rules as verdicts stream in."""
+    """Evaluates alert rules as verdicts stream in.
 
-    def __init__(self, rules: List[AlertRule]) -> None:
+    Pass a :class:`~repro.telemetry.MetricsRegistry` to make alert
+    volume scrapeable: every fired alert increments
+    ``repro_alerts_fired_total{rule,scope}``.
+    """
+
+    def __init__(self, rules: List[AlertRule], registry=None) -> None:
         self.rules = list(rules)
         self.scoreboard = SourceScoreboard()
         self.alerts: List[Alert] = []
         self._fired: Set[Tuple[str, int]] = set()
+        self._fired_counter = (
+            registry.counter(
+                "repro_alerts_fired_total",
+                "Threshold-breach alerts fired, by rule and scope",
+                labels=("rule", "scope"),
+            )
+            if registry is not None
+            else None
+        )
 
     def observe(self, click: Click, duplicate: bool) -> List[Alert]:
         """Record one verdict; returns any alerts that just fired."""
@@ -91,6 +105,8 @@ class AlertEngine:
             )
             self.alerts.append(alert)
             fired_now.append(alert)
+            if self._fired_counter is not None:
+                self._fired_counter.labels(rule=rule.name, scope=rule.scope).inc()
         return fired_now
 
     def reset_key(self, rule_name: str, key: int) -> None:

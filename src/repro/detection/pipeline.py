@@ -18,6 +18,7 @@ import numpy as np
 from ..adnet.billing import BillingEngine
 from ..errors import BudgetError, ConfigurationError
 from ..streams.click import Click, DEFAULT_SCHEME, IdentifierScheme
+from ..telemetry import TelemetrySession
 from .scoring import SourceScoreboard
 
 
@@ -67,6 +68,10 @@ class DetectionPipeline:
         How clicks map to duplicate-detection identifiers.
     score_sources:
         Track per-source duplicate ratios for fraud scoring.
+    telemetry:
+        A :class:`~repro.telemetry.TelemetrySession`.  Defaults to the
+        disabled session, whose registry and tracer are no-op twins —
+        the instrumented paths below then cost single dead calls.
     """
 
     def __init__(
@@ -75,16 +80,53 @@ class DetectionPipeline:
         billing: Optional[BillingEngine] = None,
         scheme: IdentifierScheme = DEFAULT_SCHEME,
         score_sources: bool = True,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
         self.billing = billing
         self.scheme = scheme
         self.scoreboard = SourceScoreboard() if score_sources else None
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetrySession.disabled()
+        )
+        registry = self.telemetry.registry
+        self._clicks_total = registry.counter(
+            "repro_pipeline_clicks_total", "Clicks processed by the pipeline"
+        )
+        self._duplicates_total = registry.counter(
+            "repro_pipeline_duplicates_total", "Clicks rejected as duplicates"
+        )
+        self._valid_total = registry.counter(
+            "repro_pipeline_valid_total", "Clicks accepted (and billed, if billing)"
+        )
+        self._budget_exhausted_total = registry.counter(
+            "repro_pipeline_budget_exhausted_total",
+            "Clicks dropped because an advertiser budget was exhausted",
+        )
         self.set_detector(detector)
 
     def set_detector(self, detector) -> None:
         """Swap in a (restored) detector, rebinding the verdict dispatch."""
         self.detector = detector
         self._classify = _classifier(detector)
+        if self.telemetry.enabled:
+            # Re-instrument so gauges track the detector now in service;
+            # registry counters keep their running totals (the new
+            # instrument baselines at the detector's current counters).
+            self.telemetry.drop_instruments()
+            self.telemetry.instrument_detector(detector)
+
+    def _record_totals(
+        self, processed: int, duplicates: int, valid: int, budget_exhausted: int
+    ) -> None:
+        """Fold one run/chunk's tallies into the pipeline counters."""
+        if processed:
+            self._clicks_total.inc(processed)
+        if duplicates:
+            self._duplicates_total.inc(duplicates)
+        if valid:
+            self._valid_total.inc(valid)
+        if budget_exhausted:
+            self._budget_exhausted_total.inc(budget_exhausted)
 
     def process_click(self, click: Click) -> bool:
         """Handle one click; returns True when rejected as duplicate."""
@@ -105,17 +147,26 @@ class DetectionPipeline:
         # The verdict dispatch is bound once (set_detector), not
         # re-wrapped per click; hoist the remaining lookups too.
         process_click = self.process_click
-        for click in clicks:
-            result.processed += 1
-            try:
-                duplicate = process_click(click)
-            except BudgetError:
-                result.budget_exhausted += 1
-                continue
-            if duplicate:
-                result.duplicates += 1
-            else:
-                result.valid += 1
+        with self.telemetry.tracer.span("pipeline.run") as span:
+            for click in clicks:
+                result.processed += 1
+                try:
+                    duplicate = process_click(click)
+                except BudgetError:
+                    result.budget_exhausted += 1
+                    continue
+                if duplicate:
+                    result.duplicates += 1
+                else:
+                    result.valid += 1
+            span.annotate(
+                processed=result.processed, duplicates=result.duplicates
+            )
+        self._record_totals(
+            result.processed, result.duplicates, result.valid,
+            result.budget_exhausted,
+        )
+        self.telemetry.advance(result.processed)
         if self.billing is not None:
             result.billing_summary = self.billing.summary()
         return result
@@ -143,35 +194,41 @@ class DetectionPipeline:
         identify = self.scheme.identify
         scoreboard = self.scoreboard
         billing = self.billing
+        telemetry = self.telemetry
         iterator = iter(clicks)
         while True:
             chunk = list(itertools.islice(iterator, chunk_size))
             if not chunk:
                 break
-            if batch is not None:
-                identifiers = np.fromiter(
-                    (identify(click) for click in chunk),
-                    dtype=np.uint64,
-                    count=len(chunk),
-                )
-                verdicts = batch(identifiers)
-            elif batch_at is not None:
-                identifiers = np.fromiter(
-                    (identify(click) for click in chunk),
-                    dtype=np.uint64,
-                    count=len(chunk),
-                )
-                timestamps = np.fromiter(
-                    (click.timestamp for click in chunk),
-                    dtype=np.float64,
-                    count=len(chunk),
-                )
-                verdicts = batch_at(identifiers, timestamps)
-            else:
-                verdicts = [
-                    self._classify(identify(click), click.timestamp)
-                    for click in chunk
-                ]
+            before = (
+                result.processed, result.duplicates, result.valid,
+                result.budget_exhausted,
+            )
+            with telemetry.tracer.span("pipeline.run_batch.chunk", size=len(chunk)):
+                if batch is not None:
+                    identifiers = np.fromiter(
+                        (identify(click) for click in chunk),
+                        dtype=np.uint64,
+                        count=len(chunk),
+                    )
+                    verdicts = batch(identifiers)
+                elif batch_at is not None:
+                    identifiers = np.fromiter(
+                        (identify(click) for click in chunk),
+                        dtype=np.uint64,
+                        count=len(chunk),
+                    )
+                    timestamps = np.fromiter(
+                        (click.timestamp for click in chunk),
+                        dtype=np.float64,
+                        count=len(chunk),
+                    )
+                    verdicts = batch_at(identifiers, timestamps)
+                else:
+                    verdicts = [
+                        self._classify(identify(click), click.timestamp)
+                        for click in chunk
+                    ]
             for click, verdict in zip(chunk, verdicts):
                 duplicate = bool(verdict)
                 result.processed += 1
@@ -190,6 +247,13 @@ class DetectionPipeline:
                     result.duplicates += 1
                 else:
                     result.valid += 1
+            self._record_totals(
+                result.processed - before[0],
+                result.duplicates - before[1],
+                result.valid - before[2],
+                result.budget_exhausted - before[3],
+            )
+            telemetry.advance(len(chunk))
         if self.billing is not None:
             result.billing_summary = self.billing.summary()
         return result

@@ -121,6 +121,25 @@ class _ShardFailover:
     def _init_failover(self) -> None:
         #: shard index -> {"policy": FailoverPolicy, "clicks": int}
         self._degraded: Dict[int, Dict[str, object]] = {}
+        self._failover_counter = None
+        self._restore_counter = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Route failover transitions through a metrics registry.
+
+        Registers ``repro_shard_failovers_total{policy}`` and
+        ``repro_shard_restores_total``.  Without a registry attached
+        (the default) failover stays untouched — zero overhead.
+        """
+        self._failover_counter = registry.counter(
+            "repro_shard_failovers_total",
+            "Shards declared lost, by failover policy",
+            labels=("policy",),
+        )
+        self._restore_counter = registry.counter(
+            "repro_shard_restores_total",
+            "Degraded shards rebuilt from a checkpoint",
+        )
 
     def _check_shard_index(self, shard: int) -> None:
         if not 0 <= shard < len(self.shards):
@@ -138,7 +157,10 @@ class _ShardFailover:
     ) -> None:
         """Declare a shard's sketch lost; answer with ``policy`` until restored."""
         self._check_shard_index(shard)
-        self._degraded[shard] = {"policy": FailoverPolicy(policy), "clicks": 0}
+        policy = FailoverPolicy(policy)
+        self._degraded[shard] = {"policy": policy, "clicks": 0}
+        if self._failover_counter is not None:
+            self._failover_counter.labels(policy=policy.value).inc()
 
     def restore_shard(self, shard: int, blob: bytes) -> int:
         """Rebuild a shard from a checkpoint blob and end its degraded window.
@@ -157,6 +179,8 @@ class _ShardFailover:
             )
         self.shards[shard] = restored
         entry = self._degraded.pop(shard, None)
+        if self._restore_counter is not None:
+            self._restore_counter.inc()
         return int(entry["clicks"]) if entry is not None else 0
 
     def degraded_shards(self) -> Dict[int, Dict[str, object]]:
@@ -177,6 +201,48 @@ class _ShardFailover:
         if count:
             entry["clicks"] = int(entry["clicks"]) + 1
         return entry["policy"] is FailoverPolicy.FAIL_CLOSED
+
+    # -- telemetry ----------------------------------------------------
+
+    def _shard_health(self) -> Dict[str, Dict[str, float]]:
+        """Per-shard gauge map for the telemetry instrument."""
+        health: Dict[str, Dict[str, float]] = {}
+        for index, shard in enumerate(self.shards):
+            snapshot = getattr(shard, "telemetry_snapshot", None)
+            gauges = dict(snapshot().get("gauges", {})) if snapshot else {}
+            gauges["degraded"] = 1.0 if index in self._degraded else 0.0
+            health[str(index)] = gauges
+        return health
+
+    def _aggregate_telemetry(self) -> Dict[str, object]:
+        """Fleet-wide rollup: totals plus the worst shard's FP estimate."""
+        elements = 0
+        duplicates = 0
+        worst_fp = 0.0
+        for shard in self.shards:
+            elements += shard.counter.elements
+            duplicates += getattr(shard, "duplicates", 0)
+            estimate = getattr(shard, "estimated_fp_rate", None)
+            if estimate is not None:
+                worst_fp = max(worst_fp, estimate())
+        return {
+            "gauges": {
+                "estimated_fp_rate": worst_fp,
+                "observed_duplicate_rate": duplicates / elements if elements else 0.0,
+                "degraded_shards": len(self._degraded),
+            },
+            "counters": {"elements": elements, "duplicates": duplicates},
+            "shards": self._shard_health(),
+        }
+
+    def estimated_fp_rate(self) -> float:
+        """Worst (maximum) live FP estimate across healthy shards."""
+        worst = 0.0
+        for shard in self.shards:
+            estimate = getattr(shard, "estimated_fp_rate", None)
+            if estimate is not None:
+                worst = max(worst, estimate())
+        return worst
 
     # -- checkpoint plumbing ------------------------------------------
 
@@ -311,6 +377,12 @@ class ShardedDetector(_ShardFailover):
     def shard_arrivals(self) -> List[int]:
         return list(self._per_shard_arrivals)
 
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Fleet health metrics for :mod:`repro.telemetry.instruments`."""
+        snapshot = self._aggregate_telemetry()
+        snapshot["gauges"]["load_imbalance"] = self.load_imbalance()
+        return snapshot
+
 
 class TimeShardedDetector(_ShardFailover):
     """Time-based sharded duplicate detector (exact window semantics).
@@ -413,6 +485,10 @@ class TimeShardedDetector(_ShardFailover):
     @property
     def memory_bits(self) -> int:
         return sum(shard.memory_bits for shard in self.shards)
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Fleet health metrics for :mod:`repro.telemetry.instruments`."""
+        return self._aggregate_telemetry()
 
 
 # ----------------------------------------------------------------------

@@ -43,8 +43,21 @@ class FaultInjector:
     the same faults — determinism is the whole point.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, registry=None) -> None:
         self.seed = seed
+        self._fault_counter = (
+            registry.counter(
+                "repro_faults_injected_total",
+                "Faults manufactured by the injector, by kind",
+                labels=("kind",),
+            )
+            if registry is not None
+            else None
+        )
+
+    def _count_fault(self, kind: str) -> None:
+        if self._fault_counter is not None:
+            self._fault_counter.labels(kind=kind).inc()
 
     def _rng(self, *salt: object) -> random.Random:
         return random.Random((self.seed, *salt).__repr__())
@@ -66,6 +79,7 @@ class FaultInjector:
             raise ConfigurationError(f"crash_at must be >= 0, got {crash_at}")
         for index, click in enumerate(clicks):
             if index == crash_at:
+                self._count_fault("crash")
                 raise InjectedCrash(f"injected crash before click {crash_at}")
             yield click
 
@@ -88,6 +102,7 @@ class FaultInjector:
             )
         if not blob:
             return blob
+        self._count_fault("corrupt")
         rng = self._rng("corrupt", mode, len(blob))
         if mode == "flip-byte":
             damaged = bytearray(blob)
@@ -130,11 +145,13 @@ class FaultInjector:
             block.append(click)
             if len(block) > max_displacement:
                 self._rng("reorder", block_index).shuffle(block)
+                self._count_fault("reorder")
                 yield from block
                 block = []
                 block_index += 1
         if block:
             self._rng("reorder", block_index).shuffle(block)
+            self._count_fault("reorder")
             yield from block
 
     def delay_stream(
@@ -162,6 +179,7 @@ class FaultInjector:
         for click in clicks:
             if rng.random() < probability:
                 held.append([hold_back, click])
+                self._count_fault("delay")
                 continue
             yield click
             ready: List[Click] = []

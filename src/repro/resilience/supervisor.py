@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
@@ -198,6 +199,30 @@ class SupervisedPipeline:
         self.skew_tolerance = skew_tolerance
         self.dead_letters = dead_letters if dead_letters is not None else DeadLetterSink()
         self.record_verdicts = record_verdicts
+        # Telemetry rides on the wrapped pipeline's session (no-op by
+        # default); checkpoint latency is the supervisor's key SLO.
+        self.telemetry = pipeline.telemetry
+        registry = self.telemetry.registry
+        self._checkpoint_write_seconds = registry.histogram(
+            "repro_checkpoint_write_seconds",
+            "Durable checkpoint write latency (pack + fsync + rename)",
+        )
+        self._checkpoint_restore_seconds = registry.histogram(
+            "repro_checkpoint_restore_seconds",
+            "Checkpoint restore latency (parse + validate + apply)",
+        )
+        self._checkpoints_total = registry.counter(
+            "repro_checkpoints_written_total", "Checkpoint generations written"
+        )
+        self._fallbacks_total = registry.counter(
+            "repro_checkpoint_fallbacks_total",
+            "Resume attempts that fell back past an unusable generation",
+        )
+        self._dead_letters_total = registry.counter(
+            "repro_dead_letters_total",
+            "Clicks quarantined to the dead-letter sink, by reason",
+            labels=("reason",),
+        )
 
     # ------------------------------------------------------------------
     # The run loop
@@ -255,6 +280,7 @@ class SupervisedPipeline:
         if reason is not None:
             self.dead_letters.record(click, reason)
             result.quarantined += 1
+            self._dead_letters_total.labels(reason=reason).inc()
             return
         if buffer is None:
             self._settle(click, result)
@@ -282,13 +308,18 @@ class SupervisedPipeline:
             duplicate = self.pipeline.process_click(click)
         except BudgetError:
             result.budget_exhausted += 1
+            self.pipeline._record_totals(1, 0, 0, 1)
+            self.telemetry.advance(1)
             if result.verdicts is not None:
                 result.verdicts.append(None)
             return
         if duplicate:
             result.duplicates += 1
+            self.pipeline._record_totals(1, 1, 0, 0)
         else:
             result.valid += 1
+            self.pipeline._record_totals(1, 0, 1, 0)
+        self.telemetry.advance(1)
         if result.verdicts is not None:
             result.verdicts.append(duplicate)
 
@@ -336,8 +367,17 @@ class SupervisedPipeline:
                     "dropped": buffer.stats.dropped,
                 },
             }
-        blob = pack_frame(header, save_detector(self.pipeline.detector))
-        self.store.save(blob)
+        if self.telemetry.enabled:
+            # Journal the metric values with the state they describe, so
+            # a resumed process continues the same counters (crash-
+            # consistent observability).
+            header["telemetry"] = self.telemetry.state_dict()
+        with self.telemetry.tracer.span("supervisor.checkpoint.write", offset=offset):
+            started = time.perf_counter()
+            blob = pack_frame(header, save_detector(self.pipeline.detector))
+            self.store.save(blob)
+            self._checkpoint_write_seconds.observe(time.perf_counter() - started)
+        self._checkpoints_total.inc()
         result.checkpoints_written += 1
 
     def _billing_snapshot(self) -> Optional[Dict[str, Any]]:
@@ -392,6 +432,7 @@ class SupervisedPipeline:
         for path, blob in entries:
             if blob is None:
                 result.fallbacks += 1
+                self._fallbacks_total.inc()
                 last_error = CheckpointError(f"unreadable checkpoint file {path}")
                 continue
             try:
@@ -400,6 +441,7 @@ class SupervisedPipeline:
                 raise
             except CheckpointError as error:
                 result.fallbacks += 1
+                self._fallbacks_total.inc()
                 last_error = error
                 continue
             result.resumed = True
@@ -416,6 +458,7 @@ class SupervisedPipeline:
         result: SupervisedResult,
         buffer: Optional[ReorderBuffer],
     ) -> int:
+        restore_started = time.perf_counter()
         header, payload = unpack_frame(blob)
         if header.get("kind") != _PIPELINE_KIND:
             raise CheckpointError(
@@ -480,6 +523,17 @@ class SupervisedPipeline:
         result.duplicates = int(counters.get("duplicates", 0))
         result.budget_exhausted = int(counters.get("budget_exhausted", 0))
         result.quarantined = int(counters.get("quarantined", 0))
+        if self.telemetry.enabled:
+            # Restore the journaled metric values, then re-instrument so
+            # gauges track the restored detector.  The restore-duration
+            # observation lands after load_state on purpose: the
+            # journaled values stay bit-identical to what was saved.
+            telemetry_state = header.get("telemetry")
+            if telemetry_state:
+                self.telemetry.load_state(telemetry_state)
+            self._checkpoint_restore_seconds.observe(
+                time.perf_counter() - restore_started
+            )
         return offset
 
     def _restore_billing(self, snapshot: Optional[Dict[str, Any]]) -> None:

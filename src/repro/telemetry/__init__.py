@@ -1,0 +1,42 @@
+"""Runtime telemetry: metrics registry, tracing, detector instruments.
+
+The observability layer of the reproduction (see docs/observability.md):
+
+* :mod:`.registry` — zero-dependency counters / gauges / histograms
+  with Prometheus-text and JSON exposition, plus a crash-consistent
+  ``state_dict``/``load_state`` round-trip.
+* :mod:`.tracing` — span-based timing with Chrome-trace JSON export.
+* :mod:`.instruments` — projects detector health snapshots (fill
+  ratios, live FP estimates vs. the paper's theoretical bounds,
+  rotation/cleaning progress) into the registry.
+* :mod:`.session` — the bundle pipelines accept; disabled by default
+  via no-op twins so the hot path pays a single dead call.
+* :mod:`.monitor` — terminal dashboard rendering for ``repro monitor``.
+"""
+
+from .instruments import DetectorInstrument, theoretical_fp_bound
+from .monitor import render_dashboard
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .session import TelemetrySession
+from .tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DetectorInstrument",
+    "theoretical_fp_bound",
+    "TelemetrySession",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "render_dashboard",
+]

@@ -1,0 +1,71 @@
+"""Terminal dashboard rendering for ``repro monitor``.
+
+Turns a :meth:`MetricsRegistry.snapshot` dict into the aligned text
+tables of :mod:`repro.metrics.reporting`, so the live view matches the
+offline experiment reports in look and alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..metrics.reporting import render_table
+
+__all__ = ["render_dashboard"]
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+def render_dashboard(snapshot: Dict[str, Any], title: str = "telemetry") -> str:
+    """Render one snapshot as counter / gauge / histogram tables."""
+    sections: List[str] = []
+
+    counters = snapshot.get("counters", [])
+    if counters:
+        rows = [
+            [entry["name"], _label_text(entry["labels"]), entry["value"]]
+            for entry in counters
+        ]
+        sections.append(
+            render_table(
+                ["counter", "labels", "value"], rows, title=f"{title}: counters"
+            )
+        )
+
+    gauges = snapshot.get("gauges", [])
+    if gauges:
+        rows = [
+            [entry["name"], _label_text(entry["labels"]), entry["value"]]
+            for entry in gauges
+        ]
+        sections.append(
+            render_table(["gauge", "labels", "value"], rows, title=f"{title}: gauges")
+        )
+
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        rows = [
+            [
+                entry["name"],
+                _label_text(entry["labels"]),
+                entry["count"],
+                entry["mean"],
+                entry["p50"],
+                entry["p99"],
+                entry["max"] if entry["max"] is not None else "",
+            ]
+            for entry in histograms
+        ]
+        sections.append(
+            render_table(
+                ["histogram", "labels", "count", "mean", "p50", "p99", "max"],
+                rows,
+                title=f"{title}: histograms",
+            )
+        )
+
+    if not sections:
+        return f"{title}: no metrics recorded\n"
+    return "\n".join(sections)

@@ -1,0 +1,114 @@
+"""TelemetrySession: one handle bundling registry, tracer, instruments.
+
+The session is what pipelines accept: it owns the metrics registry and
+the tracer, tracks detector instruments, and drives the periodic
+snapshot cadence (``advance(n)`` counts processed clicks and fires
+:meth:`emit` every ``snapshot_every`` of them — collecting every
+instrument and invoking subscriber callbacks with the fresh snapshot).
+
+``TelemetrySession.disabled()`` wires the null registry and null tracer
+together; pipelines hold that by default, so instrumented code paths
+run with single no-op calls instead of branches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .instruments import DetectorInstrument
+from .registry import MetricsRegistry, NullRegistry
+from .tracing import NullTracer, Tracer
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Bundle of registry + tracer + instruments + snapshot cadence."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        snapshot_every: int = 10_000,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.snapshot_every = max(1, int(snapshot_every))
+        self.instruments: List[DetectorInstrument] = []
+        self._callbacks: List[Callable[[Dict[str, Any]], None]] = []
+        self._since_snapshot = 0
+
+    @classmethod
+    def disabled(cls) -> "TelemetrySession":
+        """A no-op session: every recording call is a dead method call."""
+        return cls(NullRegistry(), NullTracer())
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    # -- instruments ---------------------------------------------------
+
+    def instrument_detector(
+        self, detector, name: Optional[str] = None, fp_margin: float = 2.0
+    ) -> Optional[DetectorInstrument]:
+        """Attach a :class:`DetectorInstrument`; no-op when disabled."""
+        if not self.enabled:
+            return None
+        instrument = DetectorInstrument(
+            detector, self.registry, name=name, fp_margin=fp_margin
+        )
+        self.instruments.append(instrument)
+        return instrument
+
+    def drop_instruments(self) -> None:
+        self.instruments.clear()
+
+    # -- snapshot cadence ----------------------------------------------
+
+    def on_snapshot(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        """Subscribe to periodic snapshots (the monitor CLI hook)."""
+        self._callbacks.append(callback)
+
+    def advance(self, count: int) -> None:
+        """Count processed clicks; emit when the cadence threshold trips."""
+        if not self.enabled:
+            return
+        self._since_snapshot += count
+        if self._since_snapshot >= self.snapshot_every:
+            self._since_snapshot = 0
+            if self._callbacks:
+                self.emit()
+            else:
+                # No subscribers: refresh gauges (FP estimate, fills)
+                # without materializing the snapshot dict nobody reads.
+                for instrument in self.instruments:
+                    instrument.collect()
+
+    def emit(self) -> Optional[Dict[str, Any]]:
+        """Collect every instrument, snapshot, and notify subscribers."""
+        if not self.enabled:
+            return None
+        for instrument in self.instruments:
+            instrument.collect()
+        snapshot = self.registry.snapshot()
+        for callback in self._callbacks:
+            callback(snapshot)
+        return snapshot
+
+    def collect(self) -> None:
+        """Refresh every instrument's gauges/counters right now."""
+        for instrument in self.instruments:
+            instrument.collect()
+
+    # -- crash-consistent state ----------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        # Refresh instruments first: a checkpoint journal must carry the
+        # detector's counters *at the journaled offset*, not at the last
+        # snapshot cadence (which can lag by up to ``snapshot_every``).
+        self.collect()
+        return self.registry.state_dict()
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.registry.load_state(state)

@@ -1,0 +1,151 @@
+"""Span-based tracing with a context-manager API and JSON export.
+
+Spans record wall-clock durations of pipeline phases (a batch chunk, a
+checkpoint write, a shard failover) into a bounded ring buffer.  The
+export format is the Chrome trace-event JSON (``"ph": "X"`` complete
+events), which loads directly into ``chrome://tracing`` / Perfetto and
+is trivially greppable.
+
+Like the registry, tracing has a null twin: :class:`NullTracer` hands
+out one shared inert span, so traced code pays a single dead method
+call when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+
+class Span:
+    """One timed phase.  Use as a context manager::
+
+        with tracer.span("checkpoint.write", offset=1024) as span:
+            ...
+            span.annotate(bytes=len(blob))
+
+    Duration is measured with ``perf_counter``; the start timestamp for
+    export uses the tracer's epoch so events line up on one timeline.
+    """
+
+    __slots__ = ("name", "attributes", "start", "duration", "parent", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.duration = 0.0
+        self.parent: Optional[str] = None
+        self._tracer = tracer
+
+    def annotate(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._exit(self)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans in a bounded ring (oldest dropped first)."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._stack: List[Span] = []
+        self._epoch = time.perf_counter()
+        self.dropped = 0
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        return Span(self, name, attributes)
+
+    def _enter(self, span: Span) -> None:
+        if self._stack:
+            span.parent = self._stack[-1].name
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if len(self._spans) == self._spans.maxlen:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Chrome trace-event dicts (timestamps/durations in microseconds)."""
+        events = []
+        for span in self._spans:
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start - self._epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(span.attributes),
+            }
+            if span.parent is not None:
+                event["args"]["parent"] = span.parent
+            events.append(event)
+        return events
+
+    def to_json(self) -> str:
+        return json.dumps({"traceEvents": self.to_events()}, default=str)
+
+
+class NullTracer(Tracer):
+    """Tracing disabled: one shared inert span, nothing recorded."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # skip ring allocation
+        self.dropped = 0
+
+    def span(self, name: str, **attributes: Any):
+        return NULL_SPAN
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        return []
+
+    def to_json(self) -> str:
+        return json.dumps({"traceEvents": []})

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import TBFDetector
+from repro.metrics.throughput import ThroughputResult
 from repro.metrics import (
     ConfusionMatrix,
     measure_ops,
@@ -77,6 +78,23 @@ class TestThroughput:
         assert result.seconds > 0
         assert result.elements_per_second > 1000  # very conservative
         assert result.microseconds_per_element > 0
+
+    def test_zero_seconds_is_infinite_rate(self):
+        # Timer resolution can legitimately produce 0.0 on tiny runs;
+        # the rate must not raise ZeroDivisionError.
+        result = ThroughputResult(elements=10, seconds=0.0)
+        assert result.elements_per_second == float("inf")
+        assert result.microseconds_per_element == 0.0
+
+    def test_zero_elements(self):
+        result = ThroughputResult(elements=0, seconds=1.0)
+        assert result.microseconds_per_element == 0.0
+        assert result.elements_per_second == 0.0
+
+    def test_zero_both(self):
+        result = ThroughputResult(elements=0, seconds=0.0)
+        assert result.elements_per_second == float("inf")
+        assert result.microseconds_per_element == 0.0
 
 
 class TestReporting:

@@ -1,0 +1,93 @@
+"""Edge-case coverage for the plain-text reporting helpers.
+
+The happy paths are exercised constantly by the experiment harness; what
+breaks in practice is the degenerate input — no rows, mixed cell types,
+ragged value magnitudes — so those cases get explicit tests here.
+"""
+
+import pytest
+
+from repro.metrics.reporting import (
+    format_cell,
+    render_series,
+    render_table,
+    to_csv,
+)
+
+
+class TestFormatCell:
+    def test_bool_is_not_formatted_as_int(self):
+        assert format_cell(True) == "True"
+        assert format_cell(False) == "False"
+
+    def test_int_passthrough(self):
+        assert format_cell(123456789) == "123456789"
+
+    def test_small_float_switches_to_scientific(self):
+        assert format_cell(0.00001234) == "1.234e-05"
+
+    def test_large_float_switches_to_scientific(self):
+        assert format_cell(12345678.0) == "1.235e+07"
+
+    def test_zero_stays_plain(self):
+        assert format_cell(0.0) == "0"
+
+    def test_precision_respected(self):
+        assert format_cell(0.123456789, precision=3) == "0.123"
+
+    def test_string_passthrough(self):
+        assert format_cell("n/a") == "n/a"
+
+
+class TestRenderTableEdges:
+    def test_empty_rows_renders_header_and_separator_only(self):
+        text = render_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].split(" | ") == ["a", "bb"]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_empty_rows_with_title(self):
+        text = render_table(["x"], [], title="Empty")
+        assert text.splitlines()[0] == "Empty"
+        assert len(text.splitlines()) == 3
+
+    def test_mixed_cell_types_align(self):
+        text = render_table(
+            ["name", "count", "rate", "ok"],
+            [["alpha", 10, 0.5, True], ["b", 123456, 1.25e-9, False]],
+        )
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+        assert "1.250e-09" in text
+        assert "True" in text and "False" in text
+
+    def test_wide_cell_grows_column(self):
+        text = render_table(["x"], [["wider-than-header"]])
+        header, _, row = text.splitlines()
+        assert len(header) == len(row) == len("wider-than-header")
+
+
+class TestRenderSeriesEdges:
+    def test_empty_x_values(self):
+        text = render_series("k", [], [("fp", [])])
+        assert len(text.splitlines()) == 2  # header + separator, no rows
+
+    def test_mismatched_series_length_raises(self):
+        with pytest.raises(IndexError):
+            render_series("k", [1, 2], [("fp", [0.1])])
+
+
+class TestToCsvEdges:
+    def test_empty_rows(self):
+        assert to_csv(["a", "b"], []) == "a,b\n"
+
+    def test_mixed_types(self):
+        csv_text = to_csv(["n", "v", "flag"], [["x", 2.5, True], [0, 1e-12, False]])
+        lines = csv_text.splitlines()
+        assert lines[1] == "x,2.5,True"
+        assert lines[2] == "0,1.000e-12,False"
+
+    def test_trailing_newline(self):
+        assert to_csv(["a"], [[1]]).endswith("\n")
