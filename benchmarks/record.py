@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -31,6 +32,10 @@ from test_batch_throughput import (  # noqa: E402
     SUBWINDOWS,
     WINDOW,
     compare_paths,
+)
+from test_parallel_throughput import (  # noqa: E402
+    WORKER_COUNTS,
+    run_parallel_sweep,
 )
 from test_telemetry_overhead import measure_overheads  # noqa: E402
 
@@ -83,6 +88,22 @@ def main(argv=None) -> int:
             f"  enabled {telemetry[name]['enabled_overhead_pct']:+.2f}%"
         )
 
+    sweep = run_parallel_sweep(WORKER_COUNTS)
+    base_seconds = sweep[WORKER_COUNTS[0]].seconds
+    parallel = {"cpu_count": os.cpu_count(), "workers": {}}
+    for workers, result in sweep.items():
+        speedup = base_seconds / result.seconds
+        parallel["workers"][str(workers)] = {
+            "clicks_per_sec": round(result.elements_per_second, 1),
+            "speedup_vs_1_worker": round(speedup, 2),
+            "scaling_efficiency": round(speedup / workers, 2),
+        }
+        print(
+            f"{'parallel x' + str(workers):>12}:"
+            f" {result.elements_per_second:>12,.0f} clicks/s"
+            f"  ({speedup:.2f}x vs 1 worker)"
+        )
+
     payload = {
         "config": {
             "window": WINDOW,
@@ -99,6 +120,7 @@ def main(argv=None) -> int:
         },
         "detectors": detectors,
         "telemetry": telemetry,
+        "parallel": parallel,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

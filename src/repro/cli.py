@@ -42,7 +42,7 @@ from .detection import (
     default_rules,
 )
 from .metrics import render_table
-from .streams import load_clicks, write_clicks_csv, write_clicks_jsonl
+from .streams import load_clicks, read_batches, write_clicks_csv, write_clicks_jsonl
 from .telemetry import TelemetrySession, render_dashboard
 
 
@@ -71,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_detector_args(detect)
     detect.add_argument("--quality", action="store_true",
                         help="also report per-publisher click quality")
+    detect.add_argument("--workers", type=int, default=1,
+                        help="run the detector sharded across this many "
+                        "worker processes (requires --algorithm tbf; "
+                        "default 1 = in-process)")
+    detect.add_argument("--chunk-size", type=int, default=4096,
+                        help="clicks per batch on the multi-process path "
+                        "(default 4096)")
 
     plan = commands.add_parser("plan", help="size a detector")
     plan.add_argument("--window", type=int, required=True)
@@ -161,6 +168,8 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_detect(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _detect_parallel(args)
     clicks = load_clicks(args.input)
     detector, window = _detector_from_args(args)
 
@@ -178,6 +187,86 @@ def _command_detect(args: argparse.Namespace) -> int:
     print(f"{total} clicks; {duplicates} duplicates "
           f"({100 * duplicates / max(total, 1):.2f}%)")
     fraud_total = sum(1 for c in clicks if c.is_fraud)
+    if fraud_total:
+        print(f"(stream ground truth: {fraud_total} clicks from fraud campaigns)")
+    top = pipeline.scoreboard.top_sources(count=5, min_clicks=10)
+    if top:
+        print("\ntop suspicious sources:")
+        for key, stats in top:
+            print(f"  {key:#014x}  {stats.clicks:6d} clicks  "
+                  f"{100 * stats.duplicate_rate:5.1f}% duplicates")
+    if args.quality:
+        print("\nper-publisher click quality:")
+        rows = [
+            [publisher, data["clicks"], data["quality"], data["multiplier"]]
+            for publisher, data in sorted(quality.report().items())
+        ]
+        print(render_table(["publisher", "clicks", "quality", "smart-price x"], rows))
+    if engine.alerts:
+        print(f"\n{len(engine.alerts)} alerts (first 5):")
+        for alert in engine.alerts[:5]:
+            print(f"  [{alert.rule_name}] {alert.scope} {alert.key:#x}: "
+                  f"{100 * alert.duplicate_rate:.0f}% duplicates over "
+                  f"{alert.clicks} clicks")
+    return 0
+
+
+def _detect_parallel(args: argparse.Namespace) -> int:
+    """``detect --workers N``: sharded detection across worker processes.
+
+    The stream is consumed in batches (``read_batches``), routed once in
+    this process, and probed in ``N`` workers through shared-memory
+    rings.  Scoring, quality, and alerting consume the exact stream-order
+    verdicts, so the report matches the single-process command.
+    """
+    import numpy as np
+
+    from .detection.sharded import ShardedDetector
+    from .parallel import lift_sharded
+
+    if args.algorithm != "tbf":
+        print(f"error: --workers requires --algorithm tbf "
+              f"(got {args.algorithm!r}); only count-based TBF shards are "
+              f"wired into the CLI", file=sys.stderr)
+        return 2
+    # Size a single TBF for the window/FP budget, then spread the same
+    # total memory across one shard per worker.
+    tbf, window = _detector_from_args(args)
+    sharded = ShardedDetector.of_tbf(
+        window,
+        args.workers,
+        total_entries=tbf.num_entries,
+        num_hashes=tbf.num_hashes,
+        seed=args.seed,
+    )
+    quality = ClickQualityTracker(QualityConfig(window=window, grace_clicks=0))
+    engine = AlertEngine(default_rules())
+    pipeline = DetectionPipeline(sharded)
+    identify = pipeline.scheme.identify
+    parallel = lift_sharded(sharded, args.workers)
+    total = duplicates = fraud_total = 0
+    try:
+        for batch in read_batches(args.input, max(1, args.chunk_size)):
+            identifiers = np.fromiter(
+                (identify(click) for click in batch),
+                dtype=np.uint64,
+                count=len(batch),
+            )
+            verdicts = parallel.process_batch(identifiers)
+            for click, verdict in zip(batch, verdicts):
+                is_duplicate = bool(verdict)
+                total += 1
+                duplicates += is_duplicate
+                fraud_total += click.is_fraud
+                pipeline.scoreboard.record(click, is_duplicate)
+                quality.observe(click, is_duplicate)
+                engine.observe(click, is_duplicate)
+    finally:
+        parallel.close(sync=True)
+
+    print(f"{total} clicks; {duplicates} duplicates "
+          f"({100 * duplicates / max(total, 1):.2f}%)  "
+          f"[{args.workers} workers]")
     if fraud_total:
         print(f"(stream ground truth: {fraud_total} clicks from fraud campaigns)")
     top = pipeline.scoreboard.top_sources(count=5, min_clicks=10)

@@ -172,7 +172,10 @@ class DetectionPipeline:
         return result
 
     def run_batch(
-        self, clicks: Iterable[Click], chunk_size: int = 4096
+        self,
+        clicks: Iterable[Click],
+        chunk_size: int = 4096,
+        workers: Optional[int] = None,
     ) -> PipelineResult:
         """Process a stream through the detector's vectorized batch path.
 
@@ -184,7 +187,35 @@ class DetectionPipeline:
         batch path fall back to the bound scalar classifier — results
         are identical either way, batch verdicts being bit-identical by
         construction.
+
+        With ``workers=N`` the detector (which must be a
+        ``ShardedDetector`` / ``TimeShardedDetector`` with ``N`` shards,
+        or an already-parallel engine) is lifted into a multi-process
+        engine for the duration of the run: each shard executes in its
+        own worker process fed through shared-memory rings.  Afterwards
+        the workers' final state is written back into the original
+        detector, so the run is observationally identical to ``workers
+        = None`` — just faster on multi-core hosts.
         """
+        if workers is not None:
+            # Deferred import: repro.parallel builds on this module.
+            from ..parallel import lift_sharded
+
+            original = self.detector
+            engine = lift_sharded(original, workers)
+            owned = engine is not original
+            self.set_detector(engine)
+            try:
+                return self._run_batch_chunks(clicks, chunk_size)
+            finally:
+                if owned:
+                    engine.close(sync=True)
+                self.set_detector(original)
+        return self._run_batch_chunks(clicks, chunk_size)
+
+    def _run_batch_chunks(
+        self, clicks: Iterable[Click], chunk_size: int
+    ) -> PipelineResult:
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         result = PipelineResult(scoreboard=self.scoreboard)

@@ -65,17 +65,22 @@ def default_router(num_shards: int) -> Callable[[int], int]:
     return route
 
 
-def _route_batch(detector, identifiers: "np.ndarray") -> "np.ndarray":
+def route_batch(
+    identifiers: "np.ndarray",
+    num_shards: int,
+    router: Optional[Callable[[int], int]] = None,
+) -> "np.ndarray":
     """Shard index per identifier, vectorized for the default router.
 
-    The numpy path replays :func:`default_router` exactly
-    (:func:`~repro.hashing.family.splitmix64_batch` is bit-identical to
-    the scalar finalizer); custom routers fall back to a Python loop.
+    With ``router=None`` the numpy path replays :func:`default_router`
+    exactly (:func:`~repro.hashing.family.splitmix64_batch` is
+    bit-identical to the scalar finalizer); custom routers fall back to
+    a Python loop.  Shared by the in-process sharded detectors and the
+    multi-process router in :mod:`repro.parallel`.
     """
-    if detector._router_is_default:
+    if router is None:
         mixed = splitmix64_batch(identifiers ^ np.uint64(0xA5A5A5A5A5A5A5A5))
-        return (mixed % np.uint64(len(detector.shards))).astype(np.int64)
-    router = detector.router
+        return (mixed % np.uint64(num_shards)).astype(np.int64)
     return np.fromiter(
         (router(int(identifier)) for identifier in identifiers),
         dtype=np.int64,
@@ -83,7 +88,15 @@ def _route_batch(detector, identifiers: "np.ndarray") -> "np.ndarray":
     )
 
 
-def _shard_groups(shard_of: "np.ndarray"):
+def _route_batch(detector, identifiers: "np.ndarray") -> "np.ndarray":
+    return route_batch(
+        identifiers,
+        len(detector.shards),
+        None if detector._router_is_default else detector.router,
+    )
+
+
+def shard_groups(shard_of: "np.ndarray"):
     """Yield ``(shard, positions)`` per shard with one stable argsort.
 
     ``positions`` are the original batch offsets in arrival order (the
@@ -332,7 +345,7 @@ class ShardedDetector(_ShardFailover):
         out = np.empty(identifiers.shape[0], dtype=bool)
         if identifiers.shape[0] == 0:
             return out
-        for shard, positions in _shard_groups(_route_batch(self, identifiers)):
+        for shard, positions in shard_groups(_route_batch(self, identifiers)):
             count = int(positions.shape[0])
             self._per_shard_arrivals[shard] += count
             entry = self._degraded.get(shard)
@@ -458,7 +471,7 @@ class TimeShardedDetector(_ShardFailover):
         out = np.empty(identifiers.shape[0], dtype=bool)
         if identifiers.shape[0] == 0:
             return out
-        for shard, positions in _shard_groups(_route_batch(self, identifiers)):
+        for shard, positions in shard_groups(_route_batch(self, identifiers)):
             entry = self._degraded.get(shard)
             if entry is not None:
                 entry["clicks"] = int(entry["clicks"]) + int(positions.shape[0])
@@ -564,6 +577,8 @@ register_checkpoint_kind(
 # unpack_frame is re-exported for tools that inspect shard blobs directly.
 __all__ = [
     "default_router",
+    "route_batch",
+    "shard_groups",
     "FailoverPolicy",
     "ShardedDetector",
     "TimeShardedDetector",

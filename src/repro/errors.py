@@ -67,6 +67,18 @@ class BudgetError(ReproError, RuntimeError):
     """An advertiser budget was exhausted or a charge was invalid."""
 
 
+class ParallelError(ReproError, RuntimeError):
+    """The multi-process detection engine lost a worker or a transport.
+
+    Raised when a worker process reports an unrecoverable error, when a
+    shared-memory ring times out (the deadlock guard), or when a dead
+    worker cannot be respawned and no failover policy is configured.
+    Unclean worker deaths are normally *handled* — respawn from the last
+    checkpoint, or degrade the shard under its failover policy — so this
+    surfacing means supervision itself has run out of options.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint is corrupt, truncated, or does not match the config.
 

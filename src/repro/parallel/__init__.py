@@ -1,0 +1,33 @@
+"""Multi-core parallel detection: process-backed shards over shared memory.
+
+The package splits into three layers:
+
+* :mod:`repro.parallel.ring` — the SPSC shared-memory batch transport
+  (no pickling on the hot path, semaphore-paced bounded buffers).
+* :mod:`repro.parallel.worker` — the worker-process main loop serving
+  one shard from its rings (pre-hashed probes, checkpoint/telemetry
+  control commands).
+* :mod:`repro.parallel.engine` — the router-side engines
+  (:class:`ParallelShardedDetector` / :class:`ParallelTimeShardedDetector`)
+  with bit-identical semantics to the single-process sharded detectors,
+  journaled respawn-from-checkpoint on worker death, and two-phase
+  fleet checkpoints.
+
+Importing this package registers the ``parallel-sharded`` and
+``parallel-time-sharded`` checkpoint kinds.
+"""
+
+from .engine import (
+    ParallelShardedDetector,
+    ParallelTimeShardedDetector,
+    lift_sharded,
+)
+from .ring import BatchRing, RingSpec
+
+__all__ = [
+    "BatchRing",
+    "RingSpec",
+    "ParallelShardedDetector",
+    "ParallelTimeShardedDetector",
+    "lift_sharded",
+]

@@ -1,0 +1,216 @@
+"""Shared-memory batch rings: the hot-path transport between router and workers.
+
+A :class:`BatchRing` is a single-producer / single-consumer ring of
+fixed-size slots living in one :class:`multiprocessing.shared_memory`
+segment.  The router writes pre-hashed click batches into request-ring
+slots; a worker reads them in place (``np.frombuffer`` over the slot —
+no pickling, no copies on the way in) and writes verdict batches into a
+response ring flowing the other way.  Slot hand-off uses one pair of
+semaphores per ring — the classic bounded-buffer discipline — so both
+sides *block* instead of spinning, which matters when workers outnumber
+cores.
+
+Each slot carries a small header (op code, element count, hash count,
+payload length) followed by a raw payload area.  The ring itself is
+payload-agnostic: op codes are defined by :mod:`repro.parallel.worker`.
+
+Why a ring and not a :class:`multiprocessing.Queue`: a queue pickles
+every batch and copies it through a pipe — per-batch cost grows with
+batch size.  The ring's per-batch cost is one memcpy into shared memory
+plus two semaphore operations, independent of pickling, and the slot
+count bounds memory regardless of stream length.
+
+Ordering doubles as a quiescence barrier: because control commands
+(checkpoint, telemetry) travel through the *same* request ring as click
+batches, a worker reaching a checkpoint command has necessarily finished
+every batch sent before it.  The engine's two-phase checkpoint leans on
+this (see :meth:`repro.parallel.engine.ParallelShardedDetector.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["BatchRing", "RingSpec"]
+
+#: Per-slot header: ``[op, count, num_hashes, payload_bytes]`` as uint64.
+_HEADER_WORDS = 4
+_HEADER_BYTES = _HEADER_WORDS * 8
+
+
+@dataclass
+class RingSpec:
+    """Everything a child process needs to attach to an existing ring.
+
+    The shared-memory segment travels by *name*; the semaphores travel by
+    inheritance (they are picklable only as :class:`multiprocessing.Process`
+    arguments, which is exactly how specs are shipped).
+    """
+
+    name: str
+    slots: int
+    slot_bytes: int
+    space: object  # multiprocessing semaphore: free slots remaining
+    items: object  # multiprocessing semaphore: filled slots pending
+
+
+class BatchRing:
+    """SPSC ring over one shared-memory segment.
+
+    Exactly one producer calls :meth:`push`; exactly one consumer calls
+    :meth:`pop` / :meth:`release_slot`.  Both sides keep private slot
+    cursors, so no shared head/tail indices are needed — the semaphores
+    carry both the counting and the memory-ordering.
+    """
+
+    def __init__(self, spec: RingSpec, shm: SharedMemory, owner: bool) -> None:
+        self.spec = spec
+        self.slots = spec.slots
+        self.slot_bytes = spec.slot_bytes
+        self._space = spec.space
+        self._items = spec.items
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        buffer = shm.buf
+        header_region = spec.slots * _HEADER_BYTES
+        self._headers = np.frombuffer(
+            buffer, dtype=np.uint64, count=spec.slots * _HEADER_WORDS
+        ).reshape(spec.slots, _HEADER_WORDS)
+        self._payload = buffer[header_region : header_region + spec.slots * spec.slot_bytes]
+        self._push_cursor = 0
+        self._pop_cursor = 0
+        self._held_slot: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, ctx, slots: int, slot_bytes: int) -> "BatchRing":
+        """Allocate a fresh ring (parent side) under start context ``ctx``."""
+        if slots < 1:
+            raise ConfigurationError(f"ring slots must be >= 1, got {slots}")
+        if slot_bytes < 8:
+            raise ConfigurationError(f"slot_bytes must be >= 8, got {slot_bytes}")
+        size = slots * (_HEADER_BYTES + slot_bytes)
+        shm = SharedMemory(create=True, size=size)
+        spec = RingSpec(
+            name=shm.name,
+            slots=slots,
+            slot_bytes=slot_bytes,
+            space=ctx.Semaphore(slots),
+            items=ctx.Semaphore(0),
+        )
+        return cls(spec, shm, owner=True)
+
+    @classmethod
+    def attach(cls, spec: RingSpec) -> "BatchRing":
+        """Attach to an existing ring (worker side)."""
+        return cls(spec, SharedMemory(name=spec.name), owner=False)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        op: int,
+        parts: Iterable[bytes] = (),
+        count: int = 0,
+        num_hashes: int = 0,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Write one slot; returns False if no slot freed up in ``timeout``.
+
+        ``parts`` are concatenated into the slot's payload area; their
+        total size must fit ``slot_bytes`` (enforced — a silent overrun
+        would corrupt the neighbouring slot).
+        """
+        if not self._space.acquire(timeout=timeout):
+            return False
+        slot = self._push_cursor % self.slots
+        base = slot * self.slot_bytes
+        offset = 0
+        for part in parts:
+            view = memoryview(part).cast("B")
+            end = offset + view.nbytes
+            if end > self.slot_bytes:
+                self._space.release()
+                raise ConfigurationError(
+                    f"batch payload ({end} bytes) exceeds ring slot "
+                    f"({self.slot_bytes} bytes)"
+                )
+            self._payload[base + offset : base + end] = view
+            offset = end
+        self._headers[slot, 0] = op
+        self._headers[slot, 1] = count
+        self._headers[slot, 2] = num_hashes
+        self._headers[slot, 3] = offset
+        self._push_cursor += 1
+        self._items.release()
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Tuple[int, int, int, memoryview]]:
+        """Take the next slot; ``(op, count, num_hashes, payload_view)``.
+
+        The returned payload is a zero-copy view into shared memory —
+        valid until :meth:`release_slot`, which the consumer must call
+        once it has finished reading (that is what frees the slot for
+        the producer).  Returns ``None`` on timeout.
+        """
+        if self._held_slot is not None:
+            raise RuntimeError("previous slot not released")
+        if not self._items.acquire(timeout=timeout):
+            return None
+        slot = self._pop_cursor % self.slots
+        self._pop_cursor += 1
+        self._held_slot = slot
+        op, count, num_hashes, payload_bytes = (int(v) for v in self._headers[slot])
+        base = slot * self.slot_bytes
+        return op, count, num_hashes, self._payload[base : base + payload_bytes]
+
+    def release_slot(self) -> None:
+        """Hand the last popped slot back to the producer."""
+        if self._held_slot is None:
+            raise RuntimeError("no slot held")
+        self._held_slot = None
+        self._space.release()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach (both sides); the creating side also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views pin the exported buffer; drop them before closing.
+        self._headers = None
+        self._payload = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirks
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -372,9 +372,17 @@ class SupervisedPipeline:
             # a resumed process continues the same counters (crash-
             # consistent observability).
             header["telemetry"] = self.telemetry.state_dict()
+        detector = self.pipeline.detector
+        quiesce = getattr(detector, "quiesce", None)
+        if callable(quiesce):
+            # Multi-process engines drain their rings first, so the
+            # detector blob below (their two-phase fleet manifest) never
+            # races an in-flight batch.
+            with self.telemetry.tracer.span("supervisor.checkpoint.quiesce"):
+                quiesce()
         with self.telemetry.tracer.span("supervisor.checkpoint.write", offset=offset):
             started = time.perf_counter()
-            blob = pack_frame(header, save_detector(self.pipeline.detector))
+            blob = pack_frame(header, save_detector(detector))
             self.store.save(blob)
             self._checkpoint_write_seconds.observe(time.perf_counter() - started)
         self._checkpoints_total.inc()

@@ -26,6 +26,7 @@ from .io import (
     click_from_record,
     click_to_record,
     load_clicks,
+    read_batches,
     read_clicks_csv,
     read_clicks_jsonl,
     write_clicks_csv,
@@ -61,6 +62,7 @@ __all__ = [
     "write_clicks_jsonl",
     "read_clicks_jsonl",
     "load_clicks",
+    "read_batches",
     "merge_streams",
     "interleave_batches",
 ]

@@ -194,3 +194,38 @@ def load_clicks(
     if path.suffix in (".jsonl", ".ndjson"):
         return list(read_clicks_jsonl(path, on_malformed))
     raise StreamError(f"unknown stream format: {path.suffix!r}")
+
+
+def read_batches(
+    path: Union[str, Path],
+    batch_size: int,
+    on_malformed: Optional[MalformedHandler] = None,
+) -> Iterator[List[Click]]:
+    """Stream a file as lists of at most ``batch_size`` clicks.
+
+    The natural feed for the vectorized and multi-process detection
+    paths (``process_batch`` wants arrays, not single clicks) without
+    loading the whole file like :func:`load_clicks`.  Dispatches on
+    extension like :func:`load_clicks` and inherits the readers'
+    malformed-record handling: strict by default (:class:`StreamError`
+    naming file and line), skip-and-count with ``on_malformed`` —
+    skipped records simply never appear, so batches stay full-sized
+    until the final partial one.
+    """
+    if batch_size < 1:
+        raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+    path = Path(path)
+    if path.suffix == ".csv":
+        clicks = read_clicks_csv(path, on_malformed)
+    elif path.suffix in (".jsonl", ".ndjson"):
+        clicks = read_clicks_jsonl(path, on_malformed)
+    else:
+        raise StreamError(f"unknown stream format: {path.suffix!r}")
+    batch: List[Click] = []
+    for click in clicks:
+        batch.append(click)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -68,6 +68,10 @@ def theoretical_fp_bound(detector) -> Optional[float]:
         bounds = [theoretical_fp_bound(shard) for shard in detector.shards]
         bounds = [bound for bound in bounds if bound is not None]
         return max(bounds) if bounds else None
+    if kind in ("ParallelShardedDetector", "ParallelTimeShardedDetector"):
+        # The workers run copies of base's shards; the bound is sizing
+        # math only, so base answers for the fleet.
+        return theoretical_fp_bound(detector.base)
     return None
 
 

@@ -155,3 +155,99 @@ def test_supervised_pipeline_surfaces_degraded_window(tmp_path):
     assert result.degraded[1]["clicks"] > 0
     # Fail-closed means those clicks were rejected, not billed.
     assert result.duplicates >= result.degraded[1]["clicks"]
+
+
+# ----------------------------------------------------------------------
+# Failover under the vectorized batch path: a shard lost mid-stream must
+# produce exactly the verdicts, degraded-click accounting, and telemetry
+# that the scalar path produces.
+# ----------------------------------------------------------------------
+
+def _stream_arrays(count, seed, universe=80):
+    import numpy as np
+
+    rng = random.Random(seed)
+    return np.array(
+        [rng.randrange(universe) for _ in range(count)], dtype=np.uint64
+    )
+
+
+def test_batch_failover_matches_scalar_path():
+    import numpy as np
+
+    scalar = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    batched = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    warmup = _stream_arrays(300, seed=5)
+    assert [scalar.process(int(x)) for x in warmup] == list(
+        batched.process_batch(warmup)
+    )
+
+    # Lose the shard "mid-run": both detectors degrade identically.
+    scalar.fail_shard(2, FailoverPolicy.FAIL_OPEN)
+    batched.fail_shard(2, FailoverPolicy.FAIL_OPEN)
+    after = _stream_arrays(400, seed=6)
+    scalar_verdicts = [scalar.process(int(x)) for x in after]
+    batch_verdicts = batched.process_batch(after)
+    assert scalar_verdicts == [bool(v) for v in batch_verdicts]
+
+    # Degraded-window accounting and telemetry agree between the paths.
+    assert scalar.degraded_shards() == batched.degraded_shards()
+    assert scalar.shard_arrivals() == batched.shard_arrivals()
+    scalar_snap = scalar.telemetry_snapshot()
+    batch_snap = batched.telemetry_snapshot()
+    assert scalar_snap["counters"] == batch_snap["counters"]
+    assert scalar_snap["gauges"]["degraded_shards"] == 1
+    assert batch_snap["gauges"]["degraded_shards"] == 1
+    assert batch_snap["shards"]["2"]["degraded"] == 1.0
+
+
+def test_batch_failover_kill_between_chunks_and_restore():
+    import numpy as np
+
+    scalar = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    batched = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    chunks = [_stream_arrays(150, seed=s) for s in range(8)]
+    blob = None
+    for index, chunk in enumerate(chunks):
+        if index == 3:  # kill the shard mid-stream, checkpoint first
+            blob = batched.checkpoint_shard(1)
+            scalar.fail_shard(1, FailoverPolicy.FAIL_CLOSED)
+            batched.fail_shard(1, FailoverPolicy.FAIL_CLOSED)
+        if index == 6:  # rebuild from the pre-failure checkpoint
+            missed_scalar = scalar.restore_shard(1, blob)
+            missed_batched = batched.restore_shard(1, blob)
+            assert missed_scalar == missed_batched > 0
+        expected = [scalar.process(int(x)) for x in chunk]
+        assert expected == [bool(v) for v in batched.process_batch(chunk)]
+    assert not batched.is_degraded
+    assert scalar.telemetry_snapshot()["counters"] == (
+        batched.telemetry_snapshot()["counters"]
+    )
+
+
+def test_time_sharded_batch_failover_matches_scalar_path():
+    import numpy as np
+
+    scalar = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
+    batched = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
+    rng = random.Random(9)
+    timestamp, ids, stamps = 0.0, [], []
+    for _ in range(500):
+        timestamp += rng.random() * 0.2
+        ids.append(rng.randrange(80))
+        stamps.append(timestamp)
+    ids = np.array(ids, dtype=np.uint64)
+    stamps = np.array(stamps, dtype=np.float64)
+
+    half = 250
+    for a, b in ((0, half), (half, len(ids))):
+        if a == half:
+            scalar.fail_shard(0, FailoverPolicy.FAIL_CLOSED)
+            batched.fail_shard(0, FailoverPolicy.FAIL_CLOSED)
+        expected = [
+            scalar.process_at(int(i), float(t))
+            for i, t in zip(ids[a:b], stamps[a:b])
+        ]
+        got = batched.process_batch_at(ids[a:b], stamps[a:b])
+        assert expected == [bool(v) for v in got]
+    assert scalar.degraded_shards() == batched.degraded_shards()
