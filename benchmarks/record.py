@@ -37,6 +37,11 @@ from test_parallel_throughput import (  # noqa: E402
     WORKER_COUNTS,
     run_parallel_sweep,
 )
+from test_serve_throughput import (  # noqa: E402
+    BATCH,
+    WINDOW_DEPTH,
+    run_serve_bench,
+)
 from test_telemetry_overhead import measure_overheads  # noqa: E402
 
 
@@ -104,6 +109,18 @@ def main(argv=None) -> int:
             f"  ({speedup:.2f}x vs 1 worker)"
         )
 
+    serve_result = run_serve_bench(clicks=(1 << 16) if args.quick else (1 << 18))
+    serve = {
+        "clicks_per_sec": round(serve_result.elements_per_second, 1),
+        "batch": BATCH,
+        "pipeline_depth": WINDOW_DEPTH,
+        "clicks": serve_result.elements,
+    }
+    print(
+        f"{'serve':>12}: {serve_result.elements_per_second:>12,.0f} clicks/s"
+        f"  (TCP, batch={BATCH}, depth={WINDOW_DEPTH})"
+    )
+
     payload = {
         "config": {
             "window": WINDOW,
@@ -121,6 +138,7 @@ def main(argv=None) -> int:
         "detectors": detectors,
         "telemetry": telemetry,
         "parallel": parallel,
+        "serve": serve,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

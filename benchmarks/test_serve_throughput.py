@@ -1,0 +1,90 @@
+"""Network ingest throughput: the TCP serve path must sustain the floor.
+
+Streams one synthetic click stream through a live ``ClickIngestServer``
+over a real TCP socket — batches pipelined ``WINDOW_DEPTH`` deep, the
+way the load generator drives it — and verifies on the exact stream it
+timed that the served verdicts are bit-identical to the offline
+``DetectionPipeline`` run.  The throughput floor defaults to 100k
+clicks/s end-to-end (framing, socket hops, coalescing, detection, and
+verdict decode all included) and can be tuned for weaker hosts via
+``REPRO_BENCH_SERVE_FLOOR``.
+"""
+
+import os
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.detection import DetectorSpec, WindowSpec, create_detector
+from repro.detection.pipeline import DetectionPipeline
+from repro.metrics.throughput import ThroughputResult
+from repro.serve import ServeClient, ServerThread
+
+WINDOW = 1 << 14
+TOTAL_CLICKS = 1 << 18
+BATCH = 4096
+WINDOW_DEPTH = 32
+SERVE_FLOOR = float(os.environ.get("REPRO_BENCH_SERVE_FLOOR", "100000"))
+
+SPEC = DetectorSpec(
+    algorithm="tbf", window=WindowSpec("sliding", WINDOW), target_fp=0.001
+)
+
+
+def _stream(count, seed=13):
+    rng = np.random.default_rng(seed)
+    # Universe sized to the window so a realistic share of clicks are
+    # duplicates and the detector does real insert + expiry work.
+    return rng.integers(0, WINDOW, size=count, dtype=np.uint64)
+
+
+def run_serve_bench(clicks=TOTAL_CLICKS, batch=BATCH, depth=WINDOW_DEPTH):
+    """Time one pipelined TCP run; verify bit-identity against offline.
+
+    Returns a ``ThroughputResult``.  Shared with ``benchmarks/record.py``
+    so BENCH_throughput.json quotes the same measurement this bench
+    asserts on.
+    """
+    identifiers = _stream(clicks)
+    expected = DetectionPipeline(
+        create_detector(SPEC), score_sources=False
+    ).run_identified_batch(identifiers)
+
+    chunks = [
+        identifiers[offset : offset + batch]
+        for offset in range(0, clicks, batch)
+    ]
+    verdicts = [None] * len(chunks)
+    with ServerThread(create_detector(SPEC)) as thread:
+        with ServeClient("127.0.0.1", thread.port) as client:
+            inflight = deque()
+            start = time.perf_counter()
+            for index, chunk in enumerate(chunks):
+                while len(inflight) >= depth:
+                    verdicts[inflight.popleft()] = client.collect()
+                client.submit(chunk)
+                inflight.append(index)
+            while inflight:
+                verdicts[inflight.popleft()] = client.collect()
+            elapsed = time.perf_counter() - start
+    served = np.concatenate(verdicts)
+    assert served.shape[0] == clicks
+    assert np.array_equal(served, expected)
+    return ThroughputResult(elements=clicks, seconds=elapsed)
+
+
+def test_serve_throughput(benchmark, report):
+    result = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+    benchmark.extra_info["serve_cps"] = result.elements_per_second
+    report(
+        "serve_throughput",
+        f"serve (TCP, batch={BATCH}, depth={WINDOW_DEPTH}):"
+        f" {result.elements_per_second:>12,.0f} clicks/s"
+        f"  ({result.elements:,} clicks in {result.seconds:.2f}s,"
+        " verdicts bit-identical to offline)\n",
+    )
+    assert result.elements_per_second >= SERVE_FLOOR, (
+        f"serve path sustained {result.elements_per_second:,.0f} clicks/s "
+        f"(floor {SERVE_FLOOR:,.0f}; override REPRO_BENCH_SERVE_FLOOR)"
+    )

@@ -37,15 +37,8 @@ def main() -> None:
     window = 8192
     rows = []
     for advertiser_kib in (4, 16, 64, 256):
-        advertiser = create_detector(
-            "gbf",
-            WindowSpec("jumping", window, 8),
-            memory_bits=advertiser_kib * 8 * 1024,
-            seed=1,
-        )
-        publisher = create_detector(
-            "tbf", WindowSpec("sliding", window), memory_bits=256 * 8 * 1024, seed=2
-        )
+        advertiser = create_detector(DetectorSpec(algorithm="gbf", window=WindowSpec("jumping", window, 8), memory_bits=advertiser_kib * 8 * 1024, seed=1))
+        publisher = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", window), memory_bits=256 * 8 * 1024, seed=2))
         report = run_audit(clicks, advertiser, publisher,
                            price_of=lambda click: click.cost)
         rows.append(

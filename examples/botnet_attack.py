@@ -47,9 +47,7 @@ def run_once(with_detection: bool, seed: int = 11):
                                revisit_probability=0.04, revisit_mean_delay=1800.0),
     )
     if with_detection:
-        detector = create_detector(
-            "tbf", WindowSpec("sliding", 16_384), target_fp=0.001, seed=seed
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 16_384), target_fp=0.001, seed=seed))
     else:
         class AcceptEverything:
             def process(self, identifier: int) -> bool:
@@ -98,8 +96,7 @@ def main() -> None:
           f"  vs defended ${victim.remaining_budget:.2f}\n")
 
     # Fraud scoring + alerting on the defended run.
-    detector = create_detector("tbf", WindowSpec("sliding", 16_384),
-                               target_fp=0.001, seed=99)
+    detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 16_384), target_fp=0.001, seed=99))
     engine = AlertEngine(default_rules())
     for click in clicks:
         engine.observe(click, detector.process(DEFAULT_SCHEME.identify(click)))

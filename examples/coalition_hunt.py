@@ -66,7 +66,7 @@ def main() -> None:
           f"rotation attack on ads {target_ads}\n")
 
     # 1. Duplicate detection: the attack sails through.
-    dedup = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    dedup = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.001))
     monitor = SkewMonitor(capacity=128)
     coalition = CoalitionDetector(num_hashes=64, max_sources=512,
                                   min_clicks=5, seed=33)

@@ -48,8 +48,7 @@ def main() -> None:
                                revisit_probability=0.03),
     )
 
-    detector = create_detector("tbf", WindowSpec("sliding", 8192),
-                               target_fp=0.001, seed=3)
+    detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 8192), target_fp=0.001, seed=3))
     quality = ClickQualityTracker(QualityConfig(window=4096, grace_clicks=50))
     billing = network.make_billing_engine()
     pacer = BudgetPacer(PacingConfig(horizon=24 * 3600.0))

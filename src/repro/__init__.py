@@ -53,14 +53,20 @@ from .core import (
 from .detection import (
     AlertEngine,
     DetectionPipeline,
+    Detector,
+    DetectorSpec,
+    TimedDetector,
     WindowSpec,
     create_detector,
+    wrap_timed,
 )
 from .errors import (
     BudgetError,
     CapacityError,
     CheckpointError,
     ConfigurationError,
+    OverloadedError,
+    ProtocolError,
     RecoveryError,
     ReproError,
     StreamError,
@@ -126,6 +132,10 @@ __all__ = [
     "run_audit",
     # detection & planning
     "create_detector",
+    "DetectorSpec",
+    "Detector",
+    "TimedDetector",
+    "wrap_timed",
     "WindowSpec",
     "DetectionPipeline",
     "AlertEngine",
@@ -155,4 +165,6 @@ __all__ = [
     "BudgetError",
     "CheckpointError",
     "RecoveryError",
+    "ProtocolError",
+    "OverloadedError",
 ]

@@ -12,6 +12,9 @@ Commands
 ``monitor``    run a detector over a stream with live telemetry: periodic
                dashboard refreshes, optional Prometheus exposition and
                Chrome-trace export (see docs/observability.md)
+``serve``      run the network click-ingest server: TCP batches in,
+               verdicts out, graceful drain on SIGTERM
+               (see docs/serving.md)
 
 Examples
 --------
@@ -22,6 +25,7 @@ Examples
     python -m repro plan --window 1048576 --target-fp 0.001
     python -m repro figures --which 2b --scale 256
     python -m repro monitor --algorithm gbf --every 2048 out.jsonl
+    python -m repro serve --algorithm tbf --window 65536 --port 9000
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from .detection import (
     AlertEngine,
     ClickQualityTracker,
     DetectionPipeline,
+    DetectorSpec,
     QualityConfig,
     WindowSpec,
     create_detector,
@@ -103,12 +108,34 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write Chrome-trace JSON of pipeline spans")
 
+    serve = commands.add_parser(
+        "serve", help="run the network click-ingest server")
+    _add_detector_args(serve, with_input=False)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed at boot)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard the detector across this many worker "
+                       "processes (requires --algorithm tbf; default 1 = "
+                       "in-process)")
+    serve.add_argument("--max-batch", type=int, default=8192,
+                       help="coalescer target clicks per engine batch")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="max milliseconds a request waits for coalescing")
+    serve.add_argument("--max-inflight-mib", type=float, default=32.0,
+                       help="global admission-control budget in MiB")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="drain checkpoints + resume-on-start directory")
+
     return parser
 
 
-def _add_detector_args(parser: argparse.ArgumentParser) -> None:
-    """Stream + detector-sizing arguments shared by detect/monitor."""
-    parser.add_argument("input", help="stream file from `repro generate`")
+def _add_detector_args(
+    parser: argparse.ArgumentParser, with_input: bool = True
+) -> None:
+    """Stream + detector-sizing arguments shared by detect/monitor/serve."""
+    if with_input:
+        parser.add_argument("input", help="stream file from `repro generate`")
     parser.add_argument("--algorithm", default="tbf",
                         choices=["tbf", "gbf", "tbf-jumping", "exact",
                                  "metwally-cbf", "stable-bloom"])
@@ -122,19 +149,30 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _detector_from_args(args: argparse.Namespace):
-    """Build the detector `detect`/`monitor` both describe."""
+def _spec_from_args(args: argparse.Namespace, shards: int = 1) -> DetectorSpec:
+    """The :class:`DetectorSpec` the sizing flags describe."""
     kind = "jumping" if args.algorithm in ("gbf", "tbf-jumping", "metwally-cbf") else "sliding"
     subwindows = args.subwindows if kind == "jumping" else 1
     window = args.window - args.window % subwindows if subwindows > 1 else args.window
-    spec = WindowSpec(kind, window, subwindows)
     sizing = {}
     if args.algorithm != "exact":
         if args.memory_kib is not None:
             sizing["memory_bits"] = int(args.memory_kib * 8 * 1024)
         else:
             sizing["target_fp"] = args.target_fp if args.target_fp else 0.001
-    return create_detector(args.algorithm, spec, seed=args.seed, **sizing), window
+    return DetectorSpec(
+        algorithm=args.algorithm,
+        window=WindowSpec(kind, window, subwindows),
+        seed=args.seed,
+        shards=shards,
+        **sizing,
+    )
+
+
+def _detector_from_args(args: argparse.Namespace):
+    """Build the detector `detect`/`monitor`/`serve` all describe."""
+    spec = _spec_from_args(args)
+    return create_detector(spec), spec.window.size
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -221,7 +259,6 @@ def _detect_parallel(args: argparse.Namespace) -> int:
     """
     import numpy as np
 
-    from .detection.sharded import ShardedDetector
     from .parallel import lift_sharded
 
     if args.algorithm != "tbf":
@@ -229,16 +266,12 @@ def _detect_parallel(args: argparse.Namespace) -> int:
               f"(got {args.algorithm!r}); only count-based TBF shards are "
               f"wired into the CLI", file=sys.stderr)
         return 2
-    # Size a single TBF for the window/FP budget, then spread the same
-    # total memory across one shard per worker.
-    tbf, window = _detector_from_args(args)
-    sharded = ShardedDetector.of_tbf(
-        window,
-        args.workers,
-        total_entries=tbf.num_entries,
-        num_hashes=tbf.num_hashes,
-        seed=args.seed,
-    )
+    # One spec, sharded: the factory sizes a single TBF for the
+    # window/FP budget and spreads the same total memory across one
+    # shard per worker.
+    spec = _spec_from_args(args, shards=args.workers)
+    sharded = create_detector(spec)
+    window = spec.window.size
     quality = ClickQualityTracker(QualityConfig(window=window, grace_clicks=0))
     engine = AlertEngine(default_rules())
     pipeline = DetectionPipeline(sharded)
@@ -341,6 +374,57 @@ def _command_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the network ingest server, drained on SIGTERM."""
+    import asyncio
+    import signal
+
+    from .resilience import DeadLetterSink
+    from .serve import ClickIngestServer, ServeConfig
+
+    if args.workers > 1 and args.algorithm != "tbf":
+        print(f"error: --workers requires --algorithm tbf "
+              f"(got {args.algorithm!r})", file=sys.stderr)
+        return 2
+    spec = _spec_from_args(args, shards=max(1, args.workers))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=max(1, args.max_batch),
+        max_delay=max(0.0, args.max_delay_ms) / 1000.0,
+        workers=args.workers if args.workers > 1 else None,
+        max_inflight_bytes=int(args.max_inflight_mib * 1024 * 1024),
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    session = TelemetrySession()
+    dead_letters = DeadLetterSink()
+
+    async def _serve_main() -> ClickIngestServer:
+        # Constructed inside the running loop: the server binds its
+        # asyncio primitives at construction time.
+        server = ClickIngestServer(
+            create_detector(spec),
+            config=config,
+            telemetry=session,
+            dead_letters=dead_letters,
+        )
+        await server.start()
+        print(f"serving {args.algorithm} (window {spec.window.size}) "
+              f"on {config.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.drain())
+            )
+        await server.wait_drained()
+        return server
+
+    server = asyncio.run(_serve_main())
+    print(f"drained: {server.processed_clicks} clicks classified, "
+          f"{dead_letters.total} frames dead-lettered")
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from .experiments import run_figure1, run_figure2a, run_figure2b
 
@@ -361,6 +445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _command_plan,
         "figures": _command_figures,
         "monitor": _command_monitor,
+        "serve": _command_serve,
     }
     return handlers[args.command](args)
 

@@ -399,6 +399,17 @@ class TBFDetector:
             self.active_entries() / self.num_entries, self.num_hashes
         )
 
+    def checkpoint_state(self) -> bytes:
+        """Serialized sketch state (invert with :func:`repro.core.load_detector`).
+
+        Part of the unified :class:`~repro.detection.api.Detector` /
+        :class:`~repro.detection.api.TimedDetector` protocol; delegates
+        to the checkpoint registry (:func:`repro.core.save_detector`).
+        """
+        from .checkpoint import save_detector
+
+        return save_detector(self)
+
     def telemetry_snapshot(self) -> dict:
         """Health metrics for :mod:`repro.telemetry.instruments`."""
         counter = self.counter

@@ -1,8 +1,16 @@
-"""High-level detection: unified factory, pipeline, scoring, alerting."""
+"""High-level detection: unified protocol + factory, pipeline, scoring, alerting."""
 
 from .alerts import Alert, AlertEngine, AlertRule, default_rules
+from .api import Detector, TimedAdapter, TimedDetector, is_timed, wrap_timed
 from .coalitions import CoalitionDetector, CoalitionPair, MinHashSignature
-from .detector import ALGORITHMS, WindowSpec, create_detector
+from .detector import (
+    ALGORITHMS,
+    SHARDABLE_ALGORITHMS,
+    TIME_BASED_ALGORITHMS,
+    DetectorSpec,
+    WindowSpec,
+    create_detector,
+)
 from .heavy_hitters import HeavyHitter, SkewMonitor, SpaceSaving
 from .pipeline import DetectionPipeline, PipelineResult, classify_stream
 from .quality import ClickQualityTracker, QualityConfig
@@ -15,10 +23,29 @@ from .sharded import (
 )
 
 __all__ = [
+    # The blessed public surface: protocol + spec + factory first.
+    "Detector",
+    "TimedDetector",
+    "TimedAdapter",
+    "wrap_timed",
+    "is_timed",
+    "DetectorSpec",
+    "WindowSpec",
+    "create_detector",
+    "ALGORITHMS",
+    "TIME_BASED_ALGORITHMS",
+    "SHARDABLE_ALGORITHMS",
+    # Pipelines and sharding.
+    "DetectionPipeline",
+    "PipelineResult",
+    "classify_stream",
     "ShardedDetector",
     "TimeShardedDetector",
     "FailoverPolicy",
     "default_router",
+    # Scoring, quality, alerting, coalition analysis.
+    "SourceScoreboard",
+    "SourceStats",
     "ClickQualityTracker",
     "QualityConfig",
     "SpaceSaving",
@@ -27,14 +54,6 @@ __all__ = [
     "CoalitionDetector",
     "CoalitionPair",
     "MinHashSignature",
-    "create_detector",
-    "WindowSpec",
-    "ALGORITHMS",
-    "DetectionPipeline",
-    "PipelineResult",
-    "classify_stream",
-    "SourceScoreboard",
-    "SourceStats",
     "AlertEngine",
     "AlertRule",
     "Alert",

@@ -1,13 +1,39 @@
 """Unified construction of duplicate-click detectors.
 
-One factory, every algorithm in the library, with auto-sizing: give it
-a window specification plus either explicit filter parameters or a
-memory budget / FP target and it returns a ready detector implementing
-the :class:`~repro.types.DuplicateDetector` protocol.
+One factory, every algorithm in the library, with auto-sizing: describe
+the detector you need as a :class:`DetectorSpec` — window shape plus
+either explicit filter parameters or a memory budget / FP target — and
+:func:`create_detector` returns a ready detector satisfying the
+:class:`~repro.detection.api.Detector` /
+:class:`~repro.detection.api.TimedDetector` protocol.
+
+The spec covers all seven runtime variants from one surface::
+
+    create_detector(DetectorSpec("gbf", WindowSpec("jumping", 4096, 8),
+                                 target_fp=1e-3))
+    create_detector(DetectorSpec("tbf-time", WindowSpec("sliding", 4096),
+                                 duration=60.0, resolution=64,
+                                 memory_bits=1 << 18))
+    create_detector(DetectorSpec("tbf", WindowSpec("sliding", 65536),
+                                 target_fp=1e-3, shards=4))
+    create_detector(DetectorSpec("tbf", WindowSpec("sliding", 65536),
+                                 target_fp=1e-3, shards=4,
+                                 engine="parallel"))
+
+For time-based algorithms (``gbf-time`` / ``tbf-time``) the window spec
+sizes the sketch — ``window.size`` is the expected number of arrivals
+per window — while ``duration`` sets the wall-clock window length the
+detector actually enforces.
+
+The pre-spec calling convention ``create_detector(algorithm, window,
+memory_bits=..., ...)`` still works but is deprecated: it emits a
+:class:`DeprecationWarning` and forwards to the spec path.  See the
+README migration note.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -24,12 +50,20 @@ from ..baselines import (
     NaiveSubwindowBloomDetector,
     StableBloomDetector,
 )
-from ..core import GBFDetector, TBFDetector, TBFJumpingDetector
+from ..core import (
+    GBFDetector,
+    TBFDetector,
+    TBFJumpingDetector,
+    TimeBasedGBFDetector,
+    TimeBasedTBFDetector,
+)
 from ..errors import ConfigurationError
 
 ALGORITHMS = (
     "gbf",
+    "gbf-time",
     "tbf",
+    "tbf-time",
     "tbf-jumping",
     "exact",
     "landmark-bloom",
@@ -37,6 +71,14 @@ ALGORITHMS = (
     "metwally-cbf",
     "stable-bloom",
 )
+
+#: Algorithms driven by an explicit clock (``process_at`` surface).
+TIME_BASED_ALGORITHMS = ("gbf-time", "tbf-time")
+
+#: Algorithms that can be hash-partitioned across shards / workers.
+SHARDABLE_ALGORITHMS = ("tbf", "tbf-time")
+
+ENGINES = ("inline", "parallel")
 
 
 @dataclass(frozen=True)
@@ -68,143 +110,300 @@ class WindowSpec:
                 )
 
 
-def create_detector(
-    algorithm: str,
-    window: WindowSpec,
-    memory_bits: Optional[int] = None,
-    target_fp: Optional[float] = None,
-    num_hashes: Optional[int] = None,
-    seed: int = 0,
-):
-    """Build a detector for ``window`` using ``algorithm``.
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Everything :func:`create_detector` needs, in one value.
 
-    Exactly one of ``memory_bits`` / ``target_fp`` sizes the sketch
-    (the exact baseline needs neither).  ``num_hashes`` overrides the
-    auto-chosen optimum.
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    window:
+        The :class:`WindowSpec`.  For time-based algorithms this sizes
+        the sketch (``window.size`` = expected arrivals per window);
+        ``duration`` sets the enforced wall-clock length.
+    memory_bits / target_fp:
+        Exactly one sizes the sketch (``exact`` needs neither).
+    num_hashes:
+        Overrides the auto-chosen optimum ``k``.
+    seed:
+        Hash-family seed; shards derive per-shard seeds from it.
+    duration:
+        Wall-clock window length; required for ``gbf-time``/``tbf-time``.
+    resolution:
+        Time units per window (``tbf-time``) or cleaning units per
+        sub-window (``gbf-time``).
+    shards:
+        Hash-partition the detector across this many shards (> 1 needs
+        a :data:`SHARDABLE_ALGORITHMS` member); memory splits evenly.
+    engine:
+        ``"inline"`` (default) runs shards in-process; ``"parallel"``
+        runs one worker process per shard over shared-memory rings
+        (:mod:`repro.parallel`).
     """
-    if algorithm not in ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
+
+    algorithm: str
+    window: Optional[WindowSpec] = None
+    memory_bits: Optional[int] = None
+    target_fp: Optional[float] = None
+    num_hashes: Optional[int] = None
+    seed: int = 0
+    duration: Optional[float] = None
+    resolution: int = 16
+    shards: int = 1
+    engine: str = "inline"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+        if self.window is None:
+            raise ConfigurationError(
+                f"{self.algorithm} needs a WindowSpec (for time-based "
+                "algorithms it sizes the sketch)"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.resolution < 1:
+            raise ConfigurationError(
+                f"resolution must be >= 1, got {self.resolution}"
+            )
+        sharded = self.shards > 1 or self.engine == "parallel"
+        if sharded and self.algorithm not in SHARDABLE_ALGORITHMS:
+            raise ConfigurationError(
+                f"{self.algorithm} cannot shard; sharding supports "
+                f"{SHARDABLE_ALGORITHMS}"
+            )
+        if self.algorithm in TIME_BASED_ALGORITHMS:
+            if self.duration is None or self.duration <= 0:
+                raise ConfigurationError(
+                    f"{self.algorithm} needs duration > 0 (wall-clock window "
+                    f"length), got {self.duration}"
+                )
+        elif self.duration is not None:
+            raise ConfigurationError(
+                f"{self.algorithm} is count-based; duration does not apply"
+            )
+        if self.algorithm != "exact":
+            if self.memory_bits is None and self.target_fp is None:
+                raise ConfigurationError(
+                    f"{self.algorithm} needs memory_bits or target_fp for sizing"
+                )
+            if self.memory_bits is not None and self.target_fp is not None:
+                raise ConfigurationError(
+                    "pass memory_bits or target_fp, not both"
+                )
+
+
+def create_detector(spec, window: Optional[WindowSpec] = None, **kwargs):
+    """Build the detector a :class:`DetectorSpec` describes.
+
+    The blessed call shape is ``create_detector(spec)``.  The legacy
+    shape ``create_detector(algorithm, window, memory_bits=...,
+    target_fp=..., num_hashes=..., seed=...)`` is deprecated — it warns
+    and forwards to the spec path, building the identical detector.
+    """
+    if isinstance(spec, DetectorSpec):
+        if window is not None or kwargs:
+            raise ConfigurationError(
+                "create_detector(DetectorSpec) takes no extra arguments; "
+                "put them in the spec"
+            )
+        return _build(spec)
+    warnings.warn(
+        "create_detector(algorithm, window, **kwargs) is deprecated; "
+        "pass a DetectorSpec instead: "
+        "create_detector(DetectorSpec(algorithm, window, ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build(DetectorSpec(spec, window, **kwargs))
+
+
+def _build(spec: DetectorSpec):
+    window = spec.window
+    algorithm = spec.algorithm
     if algorithm == "exact":
         return _create_exact(window)
-    if memory_bits is None and target_fp is None:
-        raise ConfigurationError(
-            f"{algorithm} needs memory_bits or target_fp for sizing"
-        )
-    if memory_bits is not None and target_fp is not None:
-        raise ConfigurationError("pass memory_bits or target_fp, not both")
 
     if algorithm == "gbf":
         _require(window, "jumping", algorithm)
-        if memory_bits is not None:
-            plan = plan_gbf_from_memory(
-                window.size, window.num_subwindows, memory_bits, num_hashes
-            )
-        else:
-            plan = plan_gbf_for_target(window.size, window.num_subwindows, target_fp)
+        plan = _gbf_plan(spec)
         return GBFDetector(
             window.size,
             window.num_subwindows,
             plan.bits_per_filter,
-            num_hashes or plan.num_hashes,
-            seed=seed,
+            spec.num_hashes or plan.num_hashes,
+            seed=spec.seed,
+        )
+
+    if algorithm == "gbf-time":
+        _require(window, "jumping", algorithm)
+        plan = _gbf_plan(spec)
+        return TimeBasedGBFDetector(
+            spec.duration,
+            window.num_subwindows,
+            plan.bits_per_filter,
+            spec.num_hashes or plan.num_hashes,
+            units_per_subwindow=spec.resolution,
+            seed=spec.seed,
         )
 
     if algorithm == "tbf":
         _require(window, "sliding", algorithm)
-        if memory_bits is not None:
-            plan = plan_tbf_from_memory(window.size, memory_bits, num_hashes)
-        else:
-            plan = plan_tbf_for_target(window.size, target_fp)
+        plan = _tbf_plan(spec)
+        k = spec.num_hashes or plan.num_hashes
+        if spec.shards > 1 or spec.engine == "parallel":
+            return _sharded_tbf(spec, plan.num_entries, k)
         return TBFDetector(
             window.size,
             plan.num_entries,
-            num_hashes or plan.num_hashes,
+            k,
             cleanup_slack=plan.cleanup_slack,
-            seed=seed,
+            seed=spec.seed,
+        )
+
+    if algorithm == "tbf-time":
+        _require(window, "sliding", algorithm)
+        plan = _tbf_plan(spec)
+        k = spec.num_hashes or plan.num_hashes
+        if spec.shards > 1 or spec.engine == "parallel":
+            return _sharded_tbf_time(spec, plan.num_entries, k)
+        return TimeBasedTBFDetector(
+            spec.duration,
+            spec.resolution,
+            plan.num_entries,
+            k,
+            seed=spec.seed,
         )
 
     if algorithm == "tbf-jumping":
         _require(window, "jumping", algorithm)
         # Size like a sliding-window TBF but with sub-window timestamps
         # (entries need only ceil(log2(2Q + 1)) bits).
-        if memory_bits is not None:
+        if spec.memory_bits is not None:
             import math
 
             entry_bits = max(
                 1, math.ceil(math.log2(2 * window.num_subwindows + 2))
             )
-            num_entries = max(1, memory_bits // entry_bits)
+            num_entries = max(1, spec.memory_bits // entry_bits)
         else:
-            plan = plan_tbf_for_target(window.size, target_fp)
-            num_entries = plan.num_entries
+            num_entries = plan_tbf_for_target(window.size, spec.target_fp).num_entries
         from ..bloom.params import optimal_num_hashes
 
-        k = num_hashes or optimal_num_hashes(num_entries, window.size)
+        k = spec.num_hashes or optimal_num_hashes(num_entries, window.size)
         return TBFJumpingDetector(
-            window.size, window.num_subwindows, num_entries, k, seed=seed
+            window.size, window.num_subwindows, num_entries, k, seed=spec.seed
         )
 
     if algorithm == "landmark-bloom":
         _require(window, "landmark", algorithm)
-        num_bits, k = _plain_bloom_size(window.size, memory_bits, target_fp)
+        num_bits, k = _plain_bloom_size(window.size, spec.memory_bits, spec.target_fp)
         return LandmarkBloomDetector(
-            window.size, num_bits, num_hashes or k, seed=seed
+            window.size, num_bits, spec.num_hashes or k, seed=spec.seed
         )
 
     if algorithm == "naive-bloom":
         _require(window, "jumping", algorithm)
-        if memory_bits is not None:
-            plan = plan_gbf_from_memory(
-                window.size, window.num_subwindows, memory_bits, num_hashes
-            )
-        else:
-            plan = plan_gbf_for_target(window.size, window.num_subwindows, target_fp)
+        plan = _gbf_plan(spec)
         return NaiveSubwindowBloomDetector(
             window.size,
             window.num_subwindows,
             plan.bits_per_filter,
-            num_hashes or plan.num_hashes,
-            seed=seed,
+            spec.num_hashes or plan.num_hashes,
+            seed=spec.seed,
         )
 
     if algorithm == "metwally-cbf":
         _require(window, "jumping", algorithm)
         counter_bits = 8
-        if memory_bits is not None:
+        if spec.memory_bits is not None:
             num_counters = max(
-                1, memory_bits // ((window.num_subwindows + 1) * counter_bits)
+                1, spec.memory_bits // ((window.num_subwindows + 1) * counter_bits)
             )
         else:
             # Main filter carries the full window load; size it for that.
             from ..bloom.params import bits_for_target_rate
 
-            num_counters = bits_for_target_rate(window.size, target_fp)
+            num_counters = bits_for_target_rate(window.size, spec.target_fp)
         from ..bloom.params import optimal_num_hashes
 
-        k = num_hashes or optimal_num_hashes(num_counters, window.size)
+        k = spec.num_hashes or optimal_num_hashes(num_counters, window.size)
         return MetwallyCBFDetector(
             window.size,
             window.num_subwindows,
             num_counters,
             k,
             counter_bits=counter_bits,
-            seed=seed,
+            seed=spec.seed,
         )
 
     # stable-bloom
     if window.kind != "sliding":
         raise ConfigurationError("stable-bloom approximates sliding windows only")
     cell_bits = 3
-    if memory_bits is not None:
-        num_cells = max(1, memory_bits // cell_bits)
+    if spec.memory_bits is not None:
+        num_cells = max(1, spec.memory_bits // cell_bits)
     else:
         from ..bloom.params import bits_for_target_rate
 
-        num_cells = bits_for_target_rate(window.size, target_fp)
+        num_cells = bits_for_target_rate(window.size, spec.target_fp)
     return StableBloomDetector.with_tuned_decay(
-        window.size, num_cells, num_hashes or 4, cell_bits=cell_bits, seed=seed
+        window.size, num_cells, spec.num_hashes or 4,
+        cell_bits=cell_bits, seed=spec.seed,
+    )
+
+
+def _gbf_plan(spec: DetectorSpec):
+    window = spec.window
+    if spec.memory_bits is not None:
+        return plan_gbf_from_memory(
+            window.size, window.num_subwindows, spec.memory_bits, spec.num_hashes
+        )
+    return plan_gbf_for_target(window.size, window.num_subwindows, spec.target_fp)
+
+
+def _tbf_plan(spec: DetectorSpec):
+    if spec.memory_bits is not None:
+        return plan_tbf_from_memory(spec.window.size, spec.memory_bits, spec.num_hashes)
+    return plan_tbf_for_target(spec.window.size, spec.target_fp)
+
+
+def _sharded_tbf(spec: DetectorSpec, total_entries: int, num_hashes: int):
+    """Count-based sharded/parallel TBF from one spec (memory split evenly)."""
+    if spec.engine == "parallel":
+        from ..parallel import ParallelShardedDetector
+
+        return ParallelShardedDetector.of_tbf(
+            spec.window.size, spec.shards, total_entries, num_hashes, seed=spec.seed
+        )
+    from .sharded import ShardedDetector
+
+    return ShardedDetector.of_tbf(
+        spec.window.size, spec.shards, total_entries, num_hashes, seed=spec.seed
+    )
+
+
+def _sharded_tbf_time(spec: DetectorSpec, total_entries: int, num_hashes: int):
+    """Time-based sharded/parallel TBF (exact window semantics per shard)."""
+    if spec.engine == "parallel":
+        from ..parallel import ParallelTimeShardedDetector
+
+        return ParallelTimeShardedDetector.of_tbf(
+            spec.duration, spec.resolution, spec.shards, total_entries,
+            num_hashes, seed=spec.seed,
+        )
+    from .sharded import TimeShardedDetector
+
+    return TimeShardedDetector.of_tbf(
+        spec.duration, spec.resolution, spec.shards, total_entries,
+        num_hashes, seed=spec.seed,
     )
 
 

@@ -19,21 +19,8 @@ from ..adnet.billing import BillingEngine
 from ..errors import BudgetError, ConfigurationError
 from ..streams.click import Click, DEFAULT_SCHEME, IdentifierScheme
 from ..telemetry import TelemetrySession
+from .api import wrap_timed
 from .scoring import SourceScoreboard
-
-
-def _classifier(detector):
-    """One callable ``(identifier, timestamp) -> duplicate?`` for either
-    detector protocol: count-based ``process`` or time-based ``process_at``."""
-    process = getattr(detector, "process", None)
-    if process is not None:
-        return lambda identifier, timestamp: process(identifier)
-    process_at = getattr(detector, "process_at", None)
-    if process_at is not None:
-        return process_at
-    raise ConfigurationError(
-        f"{type(detector).__name__} exposes neither process() nor process_at()"
-    )
 
 
 @dataclass
@@ -105,9 +92,17 @@ class DetectionPipeline:
         self.set_detector(detector)
 
     def set_detector(self, detector) -> None:
-        """Swap in a (restored) detector, rebinding the verdict dispatch."""
+        """Swap in a (restored) detector, rebinding the verdict dispatch.
+
+        The pipeline talks to the detector exclusively through the
+        unified protocol adapter (:func:`repro.detection.api.wrap_timed`),
+        so any :class:`~repro.detection.api.Detector` /
+        :class:`~repro.detection.api.TimedDetector` — or legacy object
+        with just ``process``/``process_at`` — plugs in.
+        """
         self.detector = detector
-        self._classify = _classifier(detector)
+        self._observer = wrap_timed(detector)
+        self._classify = self._observer.observe
         if self.telemetry.enabled:
             # Re-instrument so gauges track the detector now in service;
             # registry counters keep their running totals (the new
@@ -219,9 +214,8 @@ class DetectionPipeline:
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         result = PipelineResult(scoreboard=self.scoreboard)
-        detector = self.detector
-        batch = getattr(detector, "process_batch", None)
-        batch_at = getattr(detector, "process_batch_at", None)
+        observer = self._observer
+        timed = observer.timed
         identify = self.scheme.identify
         scoreboard = self.scoreboard
         billing = self.billing
@@ -236,30 +230,21 @@ class DetectionPipeline:
                 result.budget_exhausted,
             )
             with telemetry.tracer.span("pipeline.run_batch.chunk", size=len(chunk)):
-                if batch is not None:
-                    identifiers = np.fromiter(
-                        (identify(click) for click in chunk),
-                        dtype=np.uint64,
-                        count=len(chunk),
-                    )
-                    verdicts = batch(identifiers)
-                elif batch_at is not None:
-                    identifiers = np.fromiter(
-                        (identify(click) for click in chunk),
-                        dtype=np.uint64,
-                        count=len(chunk),
-                    )
-                    timestamps = np.fromiter(
+                identifiers = np.fromiter(
+                    (identify(click) for click in chunk),
+                    dtype=np.uint64,
+                    count=len(chunk),
+                )
+                timestamps = (
+                    np.fromiter(
                         (click.timestamp for click in chunk),
                         dtype=np.float64,
                         count=len(chunk),
                     )
-                    verdicts = batch_at(identifiers, timestamps)
-                else:
-                    verdicts = [
-                        self._classify(identify(click), click.timestamp)
-                        for click in chunk
-                    ]
+                    if timed
+                    else None
+                )
+                verdicts = observer.observe_batch(identifiers, timestamps)
             for click, verdict in zip(chunk, verdicts):
                 duplicate = bool(verdict)
                 result.processed += 1
@@ -289,6 +274,45 @@ class DetectionPipeline:
             result.billing_summary = self.billing.summary()
         return result
 
+    def run_identified_batch(
+        self,
+        identifiers: "np.ndarray",
+        timestamps: Optional["np.ndarray"] = None,
+    ) -> "np.ndarray":
+        """Classify pre-projected identifiers; the network-serving hot path.
+
+        The wire protocol of :mod:`repro.serve` ships ``(identifier,
+        timestamp)`` pairs — the identifier scheme runs client-side, as
+        the paper assumes ("each click has a predefined identifier") —
+        so this path skips :class:`Click` materialization entirely and
+        drives the detector through the same protocol adapter as
+        :meth:`run_batch`.  Verdicts are bit-identical to
+        :meth:`run_batch` over clicks projecting to the same
+        identifiers, because detector state depends only on
+        ``(identifier, timestamp)``.
+
+        Pipeline click/duplicate counters and telemetry advance as
+        usual; the scoreboard is *not* updated (it needs full clicks) and
+        billing is refused outright — settling money against clicks
+        that were never shipped would silently diverge from :meth:`run`.
+        """
+        if self.billing is not None:
+            raise ConfigurationError(
+                "run_identified_batch cannot settle billing; bill through "
+                "run()/run_batch() with full clicks"
+            )
+        with self.telemetry.tracer.span(
+            "pipeline.run_identified_batch", size=int(len(identifiers))
+        ):
+            verdicts = np.asarray(
+                self._observer.observe_batch(identifiers, timestamps), dtype=bool
+            )
+        processed = int(verdicts.shape[0])
+        duplicates = int(np.count_nonzero(verdicts))
+        self._record_totals(processed, duplicates, processed - duplicates, 0)
+        self.telemetry.advance(processed)
+        return verdicts
+
 
 def classify_stream(
     clicks: Iterable[Click],
@@ -297,5 +321,5 @@ def classify_stream(
 ) -> List[bool]:
     """Bare classification: the detector's verdict per click, in order."""
     identify = scheme.identify
-    classify = _classifier(detector)
-    return [classify(identify(click), click.timestamp) for click in clicks]
+    observe = wrap_timed(detector).observe
+    return [observe(identify(click), click.timestamp) for click in clicks]

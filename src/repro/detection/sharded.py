@@ -165,6 +165,15 @@ class _ShardFailover:
         self._check_shard_index(shard)
         return save_detector(self.shards[shard])
 
+    def checkpoint_state(self) -> bytes:
+        """Serialized fleet state (invert with :func:`repro.core.load_detector`).
+
+        Part of the unified :class:`~repro.detection.api.Detector` /
+        :class:`~repro.detection.api.TimedDetector` protocol; the blob
+        holds every shard's frame plus the degraded-shard map.
+        """
+        return save_detector(self)
+
     def fail_shard(
         self, shard: int, policy: Union[FailoverPolicy, str] = FailoverPolicy.FAIL_CLOSED
     ) -> None:

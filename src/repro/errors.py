@@ -79,6 +79,23 @@ class ParallelError(ReproError, RuntimeError):
     """
 
 
+class ProtocolError(ReproError, RuntimeError):
+    """A malformed frame or message on the click-ingest wire protocol.
+
+    Raised by :mod:`repro.serve.protocol` codecs; the server dead-letters
+    the offending frame instead of crashing the connection loop.
+    """
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The ingest server refused a batch under admission control.
+
+    Client-side surfacing of an ``OVERLOADED`` response: the server's
+    inflight budget was full, the batch was *not* processed, and the
+    caller should back off and retry.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint is corrupt, truncated, or does not match the config.
 

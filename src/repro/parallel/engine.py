@@ -740,6 +740,16 @@ class _ParallelEngine:
             header["per_shard_arrivals"] = list(self._per_shard_arrivals)
         return pack_frame(header, b"".join(blobs))
 
+    def checkpoint_state(self) -> bytes:
+        """Serialized fleet state (unified Detector-protocol spelling).
+
+        Alias of :meth:`checkpoint`, so the parallel engines satisfy
+        :class:`~repro.detection.api.Detector` /
+        :class:`~repro.detection.api.TimedDetector` like every
+        in-process variant.
+        """
+        return self.checkpoint()
+
     @classmethod
     def _from_checkpoint(cls, header: Dict[str, object], payload: bytes):
         blobs = _split_shard_blobs(header, payload)

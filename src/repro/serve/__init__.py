@@ -1,0 +1,41 @@
+"""Network click-ingest: serve any duplicate detector over TCP.
+
+The online deployment shape of the reproduction (see docs/serving.md):
+an asyncio server (:class:`ClickIngestServer`) accepts length-prefixed
+binary click batches — or line-delimited JSON for debugging — coalesces
+them under time/size bounds (:class:`Coalescer`), classifies them
+through :meth:`~repro.detection.pipeline.DetectionPipeline
+.run_identified_batch`, and streams verdicts back in request order.
+Admission control keeps inflight bytes bounded (explicit ``OVERLOADED``
+instead of unbounded buffering), malformed frames are dead-lettered
+instead of crashing, and ``SIGTERM`` drains gracefully with a detector
+checkpoint — zero accepted-click loss.
+
+The server is generic over every detector variant via the unified
+protocol of :mod:`repro.detection.api`.  :class:`ServeClient` is the
+synchronous client library; ``python -m repro.serve.client`` is a load
+generator; ``repro serve`` is the CLI entry point.
+"""
+
+from .client import ServeClient, run_load
+from .coalescer import Coalescer
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MAGIC,
+    ProtocolError,
+    RECORD_DTYPE,
+)
+from .server import ClickIngestServer, ServeConfig, ServerThread
+
+__all__ = [
+    "ClickIngestServer",
+    "ServeConfig",
+    "ServerThread",
+    "ServeClient",
+    "run_load",
+    "Coalescer",
+    "ProtocolError",
+    "MAGIC",
+    "RECORD_DTYPE",
+    "DEFAULT_MAX_FRAME_BYTES",
+]

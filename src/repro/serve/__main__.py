@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — the load generator (see .client)."""
+
+from .client import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

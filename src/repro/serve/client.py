@@ -1,0 +1,327 @@
+"""Synchronous client for the click-ingest server, plus a load generator.
+
+:class:`ServeClient` speaks the binary protocol over a plain blocking
+socket.  The API is deliberately two-phase so callers can *pipeline*:
+
+>>> client = ServeClient("127.0.0.1", port)
+>>> first = client.submit(identifiers_a, timestamps_a)
+>>> second = client.submit(identifiers_b, timestamps_b)   # in flight together
+>>> verdicts_a = client.collect(first)
+>>> verdicts_b = client.collect(second)
+
+``send`` is submit+collect for the simple case, and ``classify``
+projects full :class:`~repro.streams.click.Click` objects through an
+identifier scheme first (the vectorized
+:meth:`~repro.streams.click.IdentifierScheme.identify_batch`, so the
+projection adds no per-click Python work).
+
+Responses arrive in request order (a server guarantee), so ``collect``
+just reads the next frame; an ``OVERLOADED`` response surfaces as
+:class:`~repro.errors.OverloadedError` (back off and resubmit — the
+server did *not* process the batch) and an ``ERROR`` response as
+:class:`~repro.errors.ProtocolError`.
+
+Run the module for a load generator::
+
+    python -m repro.serve.client --port 9000 --clicks 1000000
+
+It drives a bounded pipeline of synthetic batches (or a stream file via
+``--input``), retries overloads with exponential backoff, and reports
+sustained clicks/s.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, OverloadedError, ProtocolError
+from ..streams.click import DEFAULT_SCHEME, IdentifierScheme
+from .protocol import (
+    FRAME_ERROR,
+    FRAME_OVERLOADED,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_VERDICTS,
+    HEADER,
+    MAGIC,
+    decode_header,
+    decode_verdicts_payload,
+    encode_batch,
+    encode_frame,
+)
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking binary-protocol client; one TCP connection."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.sendall(MAGIC)
+        self._next_id = 1
+        #: Request ids submitted but not yet collected, FIFO.
+        self._pending: Deque[int] = deque()
+        self._closed = False
+
+    # -- wire helpers --------------------------------------------------
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ProtocolError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> Tuple[int, int, bytes]:
+        frame_type, request_id, payload_len = decode_header(
+            self._recv_exactly(HEADER.size), expect_response=True
+        )
+        return frame_type, request_id, self._recv_exactly(payload_len)
+
+    # -- API -----------------------------------------------------------
+
+    def submit(
+        self,
+        identifiers: "np.ndarray",
+        timestamps: Optional["np.ndarray"] = None,
+    ) -> int:
+        """Ship one batch without waiting; returns its request id."""
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_batch(request_id, identifiers, timestamps))
+        self._pending.append(request_id)
+        return request_id
+
+    @property
+    def pending(self) -> int:
+        """Batches submitted but not yet collected."""
+        return len(self._pending)
+
+    def collect(self, request_id: Optional[int] = None) -> "np.ndarray":
+        """Read the next response (which must match ``request_id`` if given).
+
+        Returns the verdict array for the oldest pending submit; raises
+        :class:`OverloadedError` if the server refused that batch and
+        :class:`ProtocolError` if it reported the frame malformed.
+        """
+        if not self._pending:
+            raise ConfigurationError("collect() with no pending submit")
+        expected = self._pending.popleft()
+        if request_id is not None and request_id != expected:
+            raise ConfigurationError(
+                f"collect out of order: next pending is {expected}, "
+                f"asked for {request_id}"
+            )
+        frame_type, echoed, payload = self._read_frame()
+        if echoed != expected:
+            raise ProtocolError(
+                f"response id {echoed} does not match pending request {expected}"
+            )
+        if frame_type == FRAME_VERDICTS:
+            return decode_verdicts_payload(payload)
+        if frame_type == FRAME_OVERLOADED:
+            raise OverloadedError(payload.decode("utf-8", "replace"))
+        if frame_type == FRAME_ERROR:
+            raise ProtocolError(payload.decode("utf-8", "replace"))
+        raise ProtocolError(f"unexpected response frame 0x{frame_type:02X}")
+
+    def send(
+        self,
+        identifiers: "np.ndarray",
+        timestamps: Optional["np.ndarray"] = None,
+    ) -> "np.ndarray":
+        """Submit one batch and wait for its verdicts."""
+        return self.collect(self.submit(identifiers, timestamps))
+
+    def classify(
+        self, clicks, scheme: IdentifierScheme = DEFAULT_SCHEME
+    ) -> "np.ndarray":
+        """Project clicks client-side and classify them remotely.
+
+        Equivalent (bit-identically) to running the offline pipeline
+        with the same detector and scheme.
+        """
+        clicks = list(clicks)
+        if not clicks:
+            return np.empty(0, dtype=bool)
+        identifiers = scheme.identify_batch(clicks)
+        timestamps = np.fromiter(
+            (click.timestamp for click in clicks),
+            dtype=np.float64,
+            count=len(clicks),
+        )
+        return self.send(identifiers, timestamps)
+
+    def ping(self) -> bool:
+        """Round-trip a health probe (requires no pending submits)."""
+        if self._pending:
+            raise ConfigurationError("ping() while submits are pending")
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_frame(FRAME_PING, request_id))
+        frame_type, echoed, _payload = self._read_frame()
+        return frame_type == FRAME_PONG and echoed == request_id
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+def _synthetic_batches(clicks: int, batch: int, seed: int, duplicate_rate: float):
+    """Pre-built (identifiers, timestamps) batches with planted repeats."""
+    rng = np.random.default_rng(seed)
+    universe = max(16, int(clicks * (1.0 - duplicate_rate)))
+    identifiers = rng.integers(0, universe, size=clicks, dtype=np.uint64)
+    timestamps = np.cumsum(rng.exponential(0.001, size=clicks))
+    return [
+        (identifiers[start : start + batch], timestamps[start : start + batch])
+        for start in range(0, clicks, batch)
+    ]
+
+
+def _file_batches(path: str, batch: int, scheme: IdentifierScheme):
+    from ..streams.io import read_batches
+
+    out = []
+    for chunk in read_batches(path, batch):
+        identifiers = scheme.identify_batch(chunk)
+        timestamps = np.fromiter(
+            (click.timestamp for click in chunk),
+            dtype=np.float64,
+            count=len(chunk),
+        )
+        out.append((identifiers, timestamps))
+    return out
+
+
+def run_load(
+    host: str,
+    port: int,
+    batches,
+    window: int = 32,
+    max_consecutive_overloads: int = 1000,
+) -> dict:
+    """Drive a bounded pipeline of batches; returns a stats dict.
+
+    ``window`` bounds outstanding submits (the client-side mirror of the
+    server's admission control).  An ``OVERLOADED`` verdict puts the
+    batch back on the work queue and backs off exponentially, so every
+    click is eventually classified exactly once — note this means an
+    overloaded batch replays *later* than its original stream position,
+    which is fine for count-based detectors and for disjoint batches.
+    """
+    client = ServeClient(host, port)
+    total = 0
+    duplicates = 0
+    overloads = 0
+    consecutive = 0
+    work: Deque[int] = deque(range(len(batches)))
+    inflight: Deque[Tuple[int, int]] = deque()  # (request_id, batch index)
+    started = time.perf_counter()
+    try:
+        while work or inflight:
+            while work and len(inflight) < window:
+                index = work.popleft()
+                identifiers, timestamps = batches[index]
+                inflight.append((client.submit(identifiers, timestamps), index))
+            request_id, index = inflight.popleft()
+            try:
+                verdicts = client.collect(request_id)
+            except OverloadedError:
+                overloads += 1
+                consecutive += 1
+                if consecutive > max_consecutive_overloads:
+                    raise
+                work.append(index)
+                time.sleep(min(0.001 * (2 ** min(consecutive, 9)), 0.5))
+                continue
+            consecutive = 0
+            total += int(verdicts.shape[0])
+            duplicates += int(np.count_nonzero(verdicts))
+    finally:
+        client.close()
+    elapsed = time.perf_counter() - started
+    return {
+        "clicks": total,
+        "duplicates": duplicates,
+        "overloads": overloads,
+        "seconds": elapsed,
+        "clicks_per_second": total / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Load generator for the repro click-ingest server"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--clicks", type=int, default=1_000_000, help="synthetic clicks to send"
+    )
+    parser.add_argument("--batch", type=int, default=4096)
+    parser.add_argument("--window", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--duplicate-rate", type=float, default=0.2,
+        help="fraction of synthetic clicks drawn as repeats",
+    )
+    parser.add_argument(
+        "--input", default=None, help="replay a .csv/.jsonl stream file instead"
+    )
+    parser.add_argument(
+        "--scheme",
+        default=DEFAULT_SCHEME.value,
+        choices=[scheme.value for scheme in IdentifierScheme],
+    )
+    args = parser.parse_args(argv)
+
+    if args.input is not None:
+        batches = _file_batches(
+            args.input, args.batch, IdentifierScheme(args.scheme)
+        )
+    else:
+        batches = _synthetic_batches(
+            args.clicks, args.batch, args.seed, args.duplicate_rate
+        )
+    stats = run_load(args.host, args.port, batches, window=args.window)
+    print(
+        f"{stats['clicks']} clicks in {stats['seconds']:.2f}s "
+        f"({stats['clicks_per_second']:,.0f} clicks/s), "
+        f"{stats['duplicates']} duplicates, {stats['overloads']} overloads"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke job
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""The click-ingest wire protocol: length-prefixed binary frames + JSONL.
+
+Binary mode (the production path)
+---------------------------------
+A connection opens with the 4-byte magic ``RPK1``; everything after is
+a stream of frames in both directions::
+
+    header  : little-endian struct <BBHQI  (16 bytes)
+              type u8 | flags u8 | reserved u16 | request_id u64 |
+              payload_len u32
+    payload : payload_len bytes
+
+Client → server frame types:
+
+``BATCH`` (0x01)
+    ``payload_len // 16`` click records, each ``identifier u64 le |
+    timestamp f64 le``.  The identifier scheme runs *client-side*
+    (:meth:`repro.streams.click.IdentifierScheme.identify_batch`) — the
+    paper's model where "each click has a predefined identifier" — so
+    the server's hot path goes straight from bytes to arrays with no
+    per-click Python work.  Timestamps must be non-decreasing within
+    and across batches of one connection when the detector is
+    time-based.
+``PING`` (0x02)
+    Health probe; empty payload.
+
+Server → client frame types (``request_id`` always echoes the request):
+
+``VERDICTS`` (0x81)
+    One byte per click, ``1`` = duplicate (do not bill), ``0`` = valid,
+    in the exact order of the batch's records.
+``PONG`` (0x82)
+    Ping reply.
+``OVERLOADED`` (0xE0)
+    Admission control refused the batch — it was *not* processed; the
+    payload is a human-readable reason.  Back off and resend.
+``ERROR`` (0xE1)
+    The frame was malformed and has been dead-lettered; payload is the
+    reason.  Framed errors (bad type, bad payload shape) keep the
+    connection alive; an unparseable *header* forces a close, since
+    stream sync is lost.
+
+JSONL mode (debugging)
+----------------------
+A connection whose first byte is ``{`` speaks newline-delimited JSON
+instead: requests ``{"id": n, "clicks": [<click records>]}`` with the
+same click fields the stream files use (:func:`repro.streams.io
+.click_to_record`), responses ``{"id": n, "verdicts": [0, 1, ...]}``,
+``{"id": n, "overloaded": reason}`` or ``{"id": n, "error": reason}``.
+Full clicks on the wire mean the server runs the identifier scheme —
+convenient for ``nc``/``telnet`` poking, an order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "MAGIC",
+    "HEADER",
+    "RECORD_BYTES",
+    "RECORD_DTYPE",
+    "FRAME_BATCH",
+    "FRAME_PING",
+    "FRAME_VERDICTS",
+    "FRAME_PONG",
+    "FRAME_OVERLOADED",
+    "FRAME_ERROR",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_header",
+    "encode_batch",
+    "decode_batch_payload",
+    "encode_verdicts",
+    "decode_verdicts_payload",
+    "ProtocolError",
+]
+
+MAGIC = b"RPK1"
+
+#: type u8 | flags u8 | reserved u16 | request_id u64 | payload_len u32
+HEADER = struct.Struct("<BBHQI")
+
+#: One click record: identifier u64 le + timestamp f64 le.
+RECORD_DTYPE = np.dtype([("identifier", "<u8"), ("timestamp", "<f8")])
+RECORD_BYTES = RECORD_DTYPE.itemsize  # 16
+
+FRAME_BATCH = 0x01
+FRAME_PING = 0x02
+FRAME_VERDICTS = 0x81
+FRAME_PONG = 0x82
+FRAME_OVERLOADED = 0xE0
+FRAME_ERROR = 0xE1
+
+_REQUEST_TYPES = frozenset({FRAME_BATCH, FRAME_PING})
+_RESPONSE_TYPES = frozenset(
+    {FRAME_VERDICTS, FRAME_PONG, FRAME_OVERLOADED, FRAME_ERROR}
+)
+
+#: Hard per-frame ceiling; an honest client never needs more, a broken
+#: one must not make the server buffer without bound.
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+def encode_frame(frame_type: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload."""
+    return HEADER.pack(frame_type, 0, 0, request_id, len(payload)) + payload
+
+
+def decode_header(
+    raw: bytes,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    expect_response: bool = False,
+) -> Tuple[int, int, int]:
+    """Parse and validate a 16-byte frame header.
+
+    Returns ``(type, request_id, payload_len)``.  Raises
+    :class:`ProtocolError` for a short header, unknown type, or a
+    payload length over ``max_frame_bytes`` — the caller decides
+    whether stream sync survives (known length → yes).
+    """
+    if len(raw) != HEADER.size:
+        raise ProtocolError(f"short frame header: {len(raw)} of {HEADER.size} bytes")
+    frame_type, _flags, _reserved, request_id, payload_len = HEADER.unpack(raw)
+    allowed = _RESPONSE_TYPES if expect_response else _REQUEST_TYPES
+    if frame_type not in allowed:
+        raise ProtocolError(f"unknown frame type 0x{frame_type:02X}")
+    if payload_len > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload {payload_len} bytes exceeds cap {max_frame_bytes}"
+        )
+    return frame_type, request_id, payload_len
+
+
+def encode_batch(
+    request_id: int,
+    identifiers: "np.ndarray",
+    timestamps: Optional["np.ndarray"] = None,
+) -> bytes:
+    """A ``BATCH`` frame from parallel identifier/timestamp arrays.
+
+    ``timestamps`` defaults to zeros (count-based detectors never read
+    them, and the record layout is fixed either way).
+    """
+    identifiers = np.ascontiguousarray(identifiers, dtype=np.uint64)
+    records = np.empty(identifiers.shape[0], dtype=RECORD_DTYPE)
+    records["identifier"] = identifiers
+    if timestamps is None:
+        records["timestamp"] = 0.0
+    else:
+        records["timestamp"] = np.asarray(timestamps, dtype=np.float64)
+    return encode_frame(FRAME_BATCH, request_id, records.tobytes())
+
+
+def decode_batch_payload(payload: bytes) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Split a ``BATCH`` payload into (identifiers, timestamps) arrays."""
+    if len(payload) % RECORD_BYTES != 0:
+        raise ProtocolError(
+            f"batch payload of {len(payload)} bytes is not a multiple of "
+            f"the {RECORD_BYTES}-byte record size"
+        )
+    records = np.frombuffer(payload, dtype=RECORD_DTYPE)
+    identifiers = np.ascontiguousarray(records["identifier"])
+    timestamps = np.ascontiguousarray(records["timestamp"])
+    if timestamps.shape[0] > 1 and bool((np.diff(timestamps) < 0).any()):
+        raise ProtocolError("batch timestamps regress; streams must be time-ordered")
+    return identifiers, timestamps
+
+
+def encode_verdicts(request_id: int, verdicts: "np.ndarray") -> bytes:
+    """A ``VERDICTS`` frame: one byte per click, batch order."""
+    payload = np.asarray(verdicts, dtype=bool).astype(np.uint8).tobytes()
+    return encode_frame(FRAME_VERDICTS, request_id, payload)
+
+
+def decode_verdicts_payload(payload: bytes) -> "np.ndarray":
+    """Invert :func:`encode_verdicts` into a bool array."""
+    return np.frombuffer(payload, dtype=np.uint8).astype(bool)
+
+
+# ----------------------------------------------------------------------
+# JSONL mode
+# ----------------------------------------------------------------------
+
+def encode_jsonl_line(message: dict) -> bytes:
+    """One newline-delimited JSON message."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_jsonl_line(line: bytes) -> dict:
+    """Parse one JSONL message; :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"bad JSON line: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"JSONL message must be an object, got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,712 @@
+"""The asyncio click-ingest server.
+
+Architecture (one process, one event loop)::
+
+    conn reader ──┐                                  ┌── conn sender
+    conn reader ──┼─▶ admission ─▶ queue ─▶ engine ──┼── conn sender
+    conn reader ──┘   control              task      └── conn sender
+
+* **Readers** parse frames (binary or JSONL, sniffed from the first
+  bytes) and apply *admission control*: every batch charges its payload
+  bytes against a per-connection and a global inflight budget; a batch
+  that would exceed either is refused with an explicit ``OVERLOADED``
+  response — never buffered unboundedly.  Malformed frames are
+  dead-lettered and answered with ``ERROR``; the connection survives
+  unless stream sync itself is lost.
+* **The engine task** is the single consumer: it runs the
+  :class:`~repro.serve.coalescer.Coalescer` (size/time-bounded
+  grouping), classifies each group with one
+  :meth:`~repro.detection.pipeline.DetectionPipeline.run_identified_batch`
+  call, and resolves each request's response future.  One consumer
+  means detector state advances in a single total order — the same
+  guarantee the offline pipeline gives.
+* **Senders** write responses strictly in each connection's request
+  order: every request (verdicts, pong, overloaded, error alike)
+  enqueues a future at read time, and the sender awaits and writes them
+  FIFO.  Inflight bytes are released only after the response hits the
+  socket.
+
+Graceful drain (``SIGTERM`` → :meth:`ClickIngestServer.drain`): stop
+accepting, cancel the readers (un-acknowledged frames are the client's
+to resend), flush the coalescer through the engine, write every pending
+response, checkpoint the detector, exit.  Every accepted click is
+classified and answered — zero click loss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Set, Union
+
+import numpy as np
+
+from ..detection.api import is_timed
+from ..detection.pipeline import DetectionPipeline
+from ..errors import CheckpointError, ConfigurationError, ProtocolError
+from ..core.checkpoint import load_detector, pack_frame, unpack_frame
+from ..resilience.hardening import DeadLetterSink
+from ..resilience.supervisor import CheckpointStore
+from ..streams.click import DEFAULT_SCHEME, IdentifierScheme
+from ..streams.io import click_from_record
+from ..telemetry import TelemetrySession
+from .coalescer import Coalescer
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_BATCH,
+    FRAME_ERROR,
+    FRAME_OVERLOADED,
+    FRAME_PING,
+    FRAME_PONG,
+    HEADER,
+    MAGIC,
+    decode_batch_payload,
+    decode_jsonl_line,
+    encode_frame,
+    encode_jsonl_line,
+    encode_verdicts,
+)
+
+__all__ = ["ServeConfig", "ClickIngestServer", "ServerThread"]
+
+#: Checkpoint frame kind for the server's own wrapper (the payload is a
+#: regular ``save_detector`` blob).
+_CHECKPOINT_KIND = "serve"
+
+_BATCH_BUCKETS = (1.0, 64.0, 256.0, 1024.0, 4096.0, 8192.0, 16384.0, 65536.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`ClickIngestServer` deployment."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port; read it back from ``server.port``.
+    port: int = 0
+    #: Coalescer bounds: target engine-batch clicks and the max seconds
+    #: the oldest pending request may wait.
+    max_batch: int = 8192
+    max_delay: float = 0.005
+    #: ``N`` lifts the detector into the multi-process engine
+    #: (:func:`repro.parallel.lift_sharded`); requires a sharded
+    #: detector with ``N`` shards.  ``None`` stays in-process.
+    workers: Optional[int] = None
+    #: Admission-control budgets: total queued-but-unanswered payload
+    #: bytes, globally and per connection.
+    max_inflight_bytes: int = 32 * 1024 * 1024
+    connection_inflight_bytes: int = 4 * 1024 * 1024
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Directory for drain checkpoints (and resume-on-start).  ``None``
+    #: disables checkpointing.
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    checkpoint_keep: int = 2
+    #: Identifier scheme for JSONL-mode requests (binary mode ships
+    #: pre-projected identifiers, so the scheme never runs server-side).
+    scheme: IdentifierScheme = DEFAULT_SCHEME
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_bytes < 1:
+            raise ConfigurationError(
+                f"max_inflight_bytes must be >= 1, got {self.max_inflight_bytes}"
+            )
+        if self.connection_inflight_bytes < 1:
+            raise ConfigurationError(
+                "connection_inflight_bytes must be >= 1, got "
+                f"{self.connection_inflight_bytes}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class _Request:
+    """One admitted batch awaiting the engine."""
+
+    __slots__ = (
+        "connection",
+        "request_id",
+        "identifiers",
+        "timestamps",
+        "count",
+        "wire_bytes",
+        "jsonl",
+        "future",
+        "enqueued_at",
+    )
+
+    connection: "_Connection"
+    request_id: int
+    identifiers: "np.ndarray"
+    timestamps: "np.ndarray"
+    count: int
+    wire_bytes: int
+    jsonl: bool
+    future: "asyncio.Future"
+    enqueued_at: float
+
+
+@dataclass
+class _Connection:
+    """Per-connection state shared by its reader and sender tasks."""
+
+    writer: asyncio.StreamWriter
+    #: FIFO of ``(future-of-bytes, release_bytes)``; ``None`` ends the
+    #: sender.  Request order in == response order out.
+    responses: "asyncio.Queue" = field(default_factory=asyncio.Queue)
+    inflight_bytes: int = 0
+    peer: str = ""
+
+
+class ClickIngestServer:
+    """Serve a duplicate detector over TCP (binary frames or JSONL).
+
+    Generic over every detector variant via the unified protocol
+    (:mod:`repro.detection.api`): anything :func:`wrap_timed` accepts —
+    GBF/TBF, their time-based twins, jumping, sharded, parallel — plugs
+    in unchanged.
+    """
+
+    def __init__(
+        self,
+        detector,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[TelemetrySession] = None,
+        dead_letters: Optional[DeadLetterSink] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetrySession.disabled()
+        )
+        self.dead_letters = dead_letters
+        self._store = (
+            CheckpointStore(self.config.checkpoint_dir, keep=self.config.checkpoint_keep)
+            if self.config.checkpoint_dir is not None
+            else None
+        )
+        self._base_detector = detector
+        self._resumed_clicks = 0
+        self._try_resume()
+        self._engine_owned = False
+        engine = self._base_detector
+        if self.config.workers is not None:
+            from ..parallel import lift_sharded
+
+            engine = lift_sharded(self._base_detector, self.config.workers)
+            self._engine_owned = engine is not self._base_detector
+        self._engine_detector = engine
+        self._timed = is_timed(engine)
+        self.pipeline = DetectionPipeline(
+            engine,
+            billing=None,
+            scheme=self.config.scheme,
+            score_sources=False,
+            telemetry=self.telemetry,
+        )
+        registry = self.telemetry.registry
+        self._connections_total = registry.counter(
+            "repro_serve_connections_total", "Connections accepted"
+        )
+        self._connections_active = registry.gauge(
+            "repro_serve_connections_active", "Connections currently open"
+        )
+        self._inflight_gauge = registry.gauge(
+            "repro_serve_inflight_bytes", "Admitted-but-unanswered payload bytes"
+        )
+        self._clicks_total = registry.counter(
+            "repro_serve_clicks_total", "Clicks classified by the server"
+        )
+        self._overloaded_total = registry.counter(
+            "repro_serve_overloaded_total", "Batches refused by admission control"
+        )
+        self._dead_letters_total = registry.counter(
+            "repro_serve_dead_letters_total", "Malformed frames dead-lettered"
+        )
+        self._checkpoints_total = registry.counter(
+            "repro_serve_checkpoints_total", "Drain checkpoints written"
+        )
+        self._batch_clicks = registry.histogram(
+            "repro_serve_batch_clicks",
+            "Clicks per coalesced engine batch",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._queue_wait = registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Seconds a request waited between admission and classification",
+        )
+        self._inflight_bytes = 0
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._coalescer = Coalescer(self.config.max_batch, self.config.max_delay)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._engine_task: Optional[asyncio.Task] = None
+        self._handlers: Set[asyncio.Task] = set()
+        self._drained = asyncio.Event()
+        self._draining = False
+        self._engine_clicks = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def processed_clicks(self) -> int:
+        """Clicks classified by this server, including resumed history."""
+        return self._resumed_clicks + self._engine_clicks
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise ConfigurationError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind, spawn the engine task, and begin accepting."""
+        if self._server is not None:
+            raise ConfigurationError("server already started")
+        self._engine_task = asyncio.create_task(self._engine_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+
+    async def wait_drained(self) -> None:
+        """Block until :meth:`drain` has completed."""
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: classify everything accepted, then stop.
+
+        Stops accepting, cancels the readers, flushes the coalescer
+        through the engine, writes every pending response, syncs a
+        parallel fleet back into the base detector, and checkpoints.
+        Idempotent; concurrent callers all wait for the one drain.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Cancel readers only: their handler tasks swallow the
+        # cancellation and keep flushing responses.
+        for task in list(self._handlers):
+            task.cancel()
+        await self._queue.put(None)  # drain sentinel: flush + exit
+        if self._engine_task is not None:
+            await self._engine_task
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        if self._engine_owned:
+            # Write the workers' final state back into the base
+            # detector so the checkpoint reflects every click served.
+            self._engine_detector.close(sync=True)
+        self._checkpoint()
+        self._drained.set()
+
+    def _try_resume(self) -> None:
+        """Restore the newest readable drain checkpoint, if any."""
+        if self._store is None:
+            return
+        for _path, blob in self._store.blobs():
+            if blob is None:
+                continue
+            try:
+                header, payload = unpack_frame(blob)
+                if header.get("kind") != _CHECKPOINT_KIND:
+                    raise CheckpointError(
+                        f"not a serve checkpoint: {header.get('kind')!r}"
+                    )
+                detector = load_detector(payload)
+            except CheckpointError:
+                continue  # fall back to the previous generation
+            self._base_detector = detector
+            self._resumed_clicks = int(header.get("processed", 0))
+            return
+
+    def _checkpoint(self) -> None:
+        if self._store is None:
+            return
+        from ..detection.api import wrap_timed
+
+        blob = pack_frame(
+            {"kind": _CHECKPOINT_KIND, "processed": self.processed_clicks},
+            wrap_timed(self._base_detector).checkpoint_state(),
+        )
+        self._store.save(blob)
+        self._checkpoints_total.inc()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        conn = _Connection(writer=writer, peer=str(peername))
+        self._connections_total.inc()
+        self._connections_active.inc()
+        self._handlers.add(asyncio.current_task())
+        sender = asyncio.create_task(self._sender_loop(conn))
+        try:
+            await self._reader_loop(conn, reader)
+        except asyncio.CancelledError:
+            pass  # drain: stop reading; pending responses still flush
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            conn.responses.put_nowait(None)
+            try:
+                await asyncio.shield(sender)
+            except asyncio.CancelledError:
+                await sender
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._handlers.discard(asyncio.current_task())
+            self._connections_active.dec()
+
+    async def _reader_loop(
+        self, conn: _Connection, reader: asyncio.StreamReader
+    ) -> None:
+        try:
+            sniff = await reader.readexactly(len(MAGIC))
+        except asyncio.IncompleteReadError:
+            return
+        if sniff == MAGIC:
+            await self._binary_loop(conn, reader)
+        else:
+            await self._jsonl_loop(conn, reader, sniff)
+
+    async def _binary_loop(
+        self, conn: _Connection, reader: asyncio.StreamReader
+    ) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(HEADER.size)
+            except asyncio.IncompleteReadError:
+                return
+            frame_type, _flags, _res, request_id, payload_len = HEADER.unpack(header)
+            if payload_len > self.config.max_frame_bytes:
+                # Stream sync would require skipping an absurd payload
+                # from a peer already breaking the contract: dead-letter
+                # and hang up.
+                self._dead_letter(
+                    header, f"payload {payload_len} exceeds cap"
+                )
+                self._respond_now(
+                    conn,
+                    encode_frame(FRAME_ERROR, request_id, b"payload too large"),
+                )
+                return
+            payload = await reader.readexactly(payload_len)
+            if frame_type == FRAME_PING:
+                self._respond_now(conn, encode_frame(FRAME_PONG, request_id))
+                continue
+            if frame_type != FRAME_BATCH:
+                reason = f"unknown frame type 0x{frame_type:02X}"
+                self._dead_letter(payload[:64], reason)
+                self._respond_now(
+                    conn, encode_frame(FRAME_ERROR, request_id, reason.encode())
+                )
+                continue
+            wire_bytes = len(payload)
+            if not self._admit(conn, wire_bytes):
+                self._overloaded_total.inc()
+                self._respond_now(
+                    conn,
+                    encode_frame(
+                        FRAME_OVERLOADED, request_id, b"inflight budget full"
+                    ),
+                )
+                continue
+            try:
+                identifiers, timestamps = decode_batch_payload(payload)
+            except ProtocolError as error:
+                self._release(conn, wire_bytes)
+                self._dead_letter(payload[:64], str(error))
+                self._respond_now(
+                    conn, encode_frame(FRAME_ERROR, request_id, str(error).encode())
+                )
+                continue
+            await self._enqueue(
+                conn, request_id, identifiers, timestamps, wire_bytes, jsonl=False
+            )
+
+    async def _jsonl_loop(
+        self, conn: _Connection, reader: asyncio.StreamReader, sniffed: bytes
+    ) -> None:
+        first = True
+        while True:
+            if first:
+                line = sniffed + await reader.readline()
+                first = False
+            else:
+                line = await reader.readline()
+            if not line:
+                return
+            stripped = line.strip()
+            if not stripped:
+                continue
+            request_id = 0
+            try:
+                message = decode_jsonl_line(stripped)
+                request_id = int(message.get("id", 0))
+                if message.get("ping"):
+                    self._respond_now(
+                        conn, encode_jsonl_line({"id": request_id, "pong": True})
+                    )
+                    continue
+                clicks = [
+                    click_from_record(record) for record in message["clicks"]
+                ]
+            except (ProtocolError, KeyError, TypeError, ValueError) as error:
+                reason = f"bad JSONL request: {error}"
+                self._dead_letter(stripped[:256], reason)
+                self._respond_now(
+                    conn,
+                    encode_jsonl_line({"id": request_id, "error": reason}),
+                )
+                continue
+            wire_bytes = len(line)
+            if not self._admit(conn, wire_bytes):
+                self._overloaded_total.inc()
+                self._respond_now(
+                    conn,
+                    encode_jsonl_line(
+                        {"id": request_id, "overloaded": "inflight budget full"}
+                    ),
+                )
+                continue
+            if clicks:
+                identifiers = self.config.scheme.identify_batch(clicks)
+                timestamps = np.fromiter(
+                    (click.timestamp for click in clicks),
+                    dtype=np.float64,
+                    count=len(clicks),
+                )
+            else:
+                identifiers = np.empty(0, dtype=np.uint64)
+                timestamps = np.empty(0, dtype=np.float64)
+            await self._enqueue(
+                conn, request_id, identifiers, timestamps, wire_bytes, jsonl=True
+            )
+
+    # -- admission control ---------------------------------------------
+
+    def _admit(self, conn: _Connection, nbytes: int) -> bool:
+        if conn.inflight_bytes + nbytes > self.config.connection_inflight_bytes:
+            return False
+        if self._inflight_bytes + nbytes > self.config.max_inflight_bytes:
+            return False
+        conn.inflight_bytes += nbytes
+        self._inflight_bytes += nbytes
+        self._inflight_gauge.set(self._inflight_bytes)
+        return True
+
+    def _release(self, conn: _Connection, nbytes: int) -> None:
+        conn.inflight_bytes -= nbytes
+        self._inflight_bytes -= nbytes
+        self._inflight_gauge.set(self._inflight_bytes)
+
+    def _respond_now(self, conn: _Connection, data: bytes) -> None:
+        """Enqueue an already-final response, keeping FIFO order."""
+        future = asyncio.get_running_loop().create_future()
+        future.set_result(data)
+        conn.responses.put_nowait((future, 0))
+
+    async def _enqueue(
+        self,
+        conn: _Connection,
+        request_id: int,
+        identifiers: "np.ndarray",
+        timestamps: "np.ndarray",
+        wire_bytes: int,
+        jsonl: bool,
+    ) -> None:
+        future = asyncio.get_running_loop().create_future()
+        conn.responses.put_nowait((future, wire_bytes))
+        request = _Request(
+            connection=conn,
+            request_id=request_id,
+            identifiers=identifiers,
+            timestamps=timestamps,
+            count=int(identifiers.shape[0]),
+            wire_bytes=wire_bytes,
+            jsonl=jsonl,
+            future=future,
+            enqueued_at=time.monotonic(),
+        )
+        await self._queue.put(request)
+
+    async def _sender_loop(self, conn: _Connection) -> None:
+        """Write responses strictly in request order; release budgets."""
+        while True:
+            entry = await conn.responses.get()
+            if entry is None:
+                return
+            future, release = entry
+            try:
+                data = await future
+            except asyncio.CancelledError:
+                data = None
+            if data is not None:
+                try:
+                    conn.writer.write(data)
+                    await conn.writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    # Peer went away; keep consuming so budgets release
+                    # and the engine's work is not blocked.
+                    pass
+            if release:
+                self._release(conn, release)
+
+    # -- the engine ----------------------------------------------------
+
+    async def _engine_loop(self) -> None:
+        queue = self._queue
+        coalescer = self._coalescer
+        while True:
+            deadline = coalescer.deadline
+            if deadline is None:
+                request = await queue.get()
+            else:
+                timeout = max(0.0, deadline - time.monotonic())
+                try:
+                    request = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    group = coalescer.flush()
+                    if group:
+                        self._process_group(group)
+                    continue
+            if request is None:
+                group = coalescer.flush()
+                if group:
+                    self._process_group(group)
+                return
+            group = coalescer.add(request, request.count)
+            if group is not None:
+                self._process_group(group)
+
+    def _process_group(self, group: List[_Request]) -> None:
+        """Classify one coalesced group and resolve its futures."""
+        now = time.monotonic()
+        total = 0
+        for request in group:
+            total += request.count
+            self._queue_wait.observe(now - request.enqueued_at)
+        if total:
+            identifiers = np.concatenate([r.identifiers for r in group])
+            timestamps = (
+                np.concatenate([r.timestamps for r in group])
+                if self._timed
+                else None
+            )
+            verdicts = self.pipeline.run_identified_batch(identifiers, timestamps)
+        else:
+            verdicts = np.empty(0, dtype=bool)
+        self._batch_clicks.observe(total)
+        self._clicks_total.inc(total)
+        self._engine_clicks += total
+        offset = 0
+        for request in group:
+            slice_ = verdicts[offset : offset + request.count]
+            offset += request.count
+            if request.jsonl:
+                data = encode_jsonl_line(
+                    {
+                        "id": request.request_id,
+                        "verdicts": [int(v) for v in slice_],
+                    }
+                )
+            else:
+                data = encode_verdicts(request.request_id, slice_)
+            if not request.future.done():
+                request.future.set_result(data)
+
+    def _dead_letter(self, item, reason: str) -> None:
+        self._dead_letters_total.inc()
+        if self.dead_letters is not None:
+            self.dead_letters.record(item, reason)
+
+
+class ServerThread:
+    """Run a :class:`ClickIngestServer` on a background event loop.
+
+    The synchronous harness for tests, benchmarks, and embedding: start
+    it, talk to ``thread.port`` with :class:`repro.serve.client
+    .ServeClient`, and :meth:`stop` performs the same graceful drain a
+    ``SIGTERM`` would.
+    """
+
+    def __init__(
+        self,
+        detector,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[TelemetrySession] = None,
+        dead_letters: Optional[DeadLetterSink] = None,
+    ) -> None:
+        self._detector = detector
+        self._config = config
+        self._telemetry = telemetry
+        self._dead_letters = dead_letters
+        self.server: Optional[ClickIngestServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.port: Optional[int] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ConfigurationError("serve thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            # The server binds asyncio primitives at construction, so it
+            # must be built on the loop that will run it.
+            self.server = ClickIngestServer(
+                self._detector,
+                config=self._config,
+                telemetry=self._telemetry,
+                dead_letters=self._dead_letters,
+            )
+            await self.server.start()
+            self.port = self.server.port
+            self._loop = asyncio.get_running_loop()
+        except BaseException as error:  # surface to start()
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.wait_drained()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain gracefully and join the loop thread."""
+        if self._loop is None or self.server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(), self._loop)
+        future.result(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

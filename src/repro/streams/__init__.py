@@ -14,6 +14,7 @@ from .click import (
     IdentifierScheme,
     TrafficClass,
     combine_fields,
+    combine_fields_batch,
 )
 from .generators import (
     DuplicateSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "IdentifierScheme",
     "DEFAULT_SCHEME",
     "combine_fields",
+    "combine_fields_batch",
     "distinct_stream",
     "duplicated_stream",
     "adversarial_burst_stream",

@@ -209,8 +209,17 @@ def read_batches(
     extension like :func:`load_clicks` and inherits the readers'
     malformed-record handling: strict by default (:class:`StreamError`
     naming file and line), skip-and-count with ``on_malformed`` —
-    skipped records simply never appear, so batches stay full-sized
-    until the final partial one.
+    skipped records simply never appear in any batch.
+
+    Batch-shape contract (shared with the serve coalescer's flush
+    semantics, :class:`repro.serve.Coalescer`): every yielded batch is
+    non-empty; every batch except possibly the last holds exactly
+    ``batch_size`` clicks; the final batch holds the ``1 ..
+    batch_size`` leftover clicks *as-is* — short, never padded with
+    synthetic records and never silently dropped.  Concatenating the
+    batches therefore reproduces the stream exactly, and a consumer
+    sized for ``batch_size`` never sees more.  An empty stream yields
+    no batches at all (just as a drained coalescer flushes nothing).
     """
     if batch_size < 1:
         raise StreamError(f"batch_size must be >= 1, got {batch_size}")
@@ -224,8 +233,10 @@ def read_batches(
     batch: List[Click] = []
     for click in clicks:
         batch.append(click)
-        if len(batch) >= batch_size:
+        if len(batch) == batch_size:
             yield batch
             batch = []
     if batch:
+        # The final short batch: exactly the leftovers, unpadded — the
+        # same shape a serve-side coalescer emits on drain/deadline.
         yield batch

@@ -17,6 +17,7 @@ from repro.detection import (
     DetectionPipeline,
     WindowSpec,
     classify_stream,
+    DetectorSpec,
     create_detector,
     default_rules,
 )
@@ -41,76 +42,130 @@ class TestWindowSpec:
 
 class TestCreateDetector:
     def test_gbf_from_memory(self):
-        detector = create_detector(
-            "gbf", WindowSpec("jumping", 1024, 8), memory_bits=1 << 16
-        )
+        detector = create_detector(DetectorSpec(algorithm="gbf", window=WindowSpec("jumping", 1024, 8), memory_bits=1 << 16))
         assert isinstance(detector, GBFDetector)
         assert detector.logical_memory_bits <= 1 << 16
 
     def test_gbf_for_target(self):
-        detector = create_detector(
-            "gbf", WindowSpec("jumping", 1024, 8), target_fp=0.01
-        )
+        detector = create_detector(DetectorSpec(algorithm="gbf", window=WindowSpec("jumping", 1024, 8), target_fp=0.01))
         assert isinstance(detector, GBFDetector)
 
     def test_tbf_from_memory(self):
-        detector = create_detector(
-            "tbf", WindowSpec("sliding", 1024), memory_bits=1 << 18
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 1024), memory_bits=1 << 18))
         assert isinstance(detector, TBFDetector)
         assert detector.memory_bits <= 1 << 18
 
     def test_tbf_for_target_meets_fp(self):
         from repro.analysis import tbf_fp
 
-        detector = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.01)
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.01))
         assert tbf_fp(4096, detector.num_entries, detector.num_hashes) <= 0.01
 
     def test_tbf_jumping(self):
-        detector = create_detector(
-            "tbf-jumping", WindowSpec("jumping", 1024, 64), memory_bits=1 << 16
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf-jumping", window=WindowSpec("jumping", 1024, 64), memory_bits=1 << 16))
         assert isinstance(detector, TBFJumpingDetector)
 
     def test_exact_variants(self):
         for kind in ("sliding", "jumping", "landmark"):
             spec = WindowSpec(kind, 64, 4 if kind == "jumping" else 1)
-            assert isinstance(create_detector("exact", spec), ExactDetector)
+            assert isinstance(create_detector(DetectorSpec(algorithm="exact", window=spec)), ExactDetector)
 
     def test_other_algorithms(self):
         assert isinstance(
-            create_detector("landmark-bloom", WindowSpec("landmark", 256), memory_bits=4096),
+            create_detector(DetectorSpec(algorithm="landmark-bloom", window=WindowSpec("landmark", 256), memory_bits=4096)),
             LandmarkBloomDetector,
         )
         assert isinstance(
-            create_detector("naive-bloom", WindowSpec("jumping", 256, 4), memory_bits=1 << 14),
+            create_detector(DetectorSpec(algorithm="naive-bloom", window=WindowSpec("jumping", 256, 4), memory_bits=1 << 14)),
             NaiveSubwindowBloomDetector,
         )
         assert isinstance(
-            create_detector("metwally-cbf", WindowSpec("jumping", 256, 4), memory_bits=1 << 16),
+            create_detector(DetectorSpec(algorithm="metwally-cbf", window=WindowSpec("jumping", 256, 4), memory_bits=1 << 16)),
             MetwallyCBFDetector,
         )
         assert isinstance(
-            create_detector("stable-bloom", WindowSpec("sliding", 256), memory_bits=1 << 14),
+            create_detector(DetectorSpec(algorithm="stable-bloom", window=WindowSpec("sliding", 256), memory_bits=1 << 14)),
             StableBloomDetector,
         )
 
     def test_window_kind_mismatch_rejected(self):
         with pytest.raises(ConfigurationError):
-            create_detector("gbf", WindowSpec("sliding", 256), memory_bits=4096)
+            create_detector(DetectorSpec(algorithm="gbf", window=WindowSpec("sliding", 256), memory_bits=4096))
         with pytest.raises(ConfigurationError):
-            create_detector("tbf", WindowSpec("jumping", 256, 4), memory_bits=4096)
+            create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("jumping", 256, 4), memory_bits=4096))
 
     def test_sizing_arguments_required_and_exclusive(self):
         spec = WindowSpec("sliding", 256)
         with pytest.raises(ConfigurationError):
-            create_detector("tbf", spec)
+            create_detector(DetectorSpec(algorithm="tbf", window=spec))
         with pytest.raises(ConfigurationError):
-            create_detector("tbf", spec, memory_bits=1024, target_fp=0.1)
+            create_detector(DetectorSpec(algorithm="tbf", window=spec, memory_bits=1024, target_fp=0.1))
 
     def test_unknown_algorithm(self):
         with pytest.raises(ConfigurationError):
-            create_detector("quantum", WindowSpec("sliding", 10), memory_bits=10)
+            create_detector(DetectorSpec(algorithm="quantum", window=WindowSpec("sliding", 10), memory_bits=10))
+
+    def test_legacy_signature_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="create_detector"):
+            legacy = create_detector(
+                "tbf", WindowSpec("sliding", 1024), target_fp=0.01
+            )
+        modern = create_detector(DetectorSpec(
+            algorithm="tbf", window=WindowSpec("sliding", 1024), target_fp=0.01
+        ))
+        assert type(legacy) is type(modern)
+        assert legacy.num_entries == modern.num_entries
+        assert legacy.num_hashes == modern.num_hashes
+
+    def test_spec_time_based_variants(self):
+        from repro.core import TimeBasedGBFDetector, TimeBasedTBFDetector
+
+        gbf = create_detector(DetectorSpec(
+            algorithm="gbf-time", window=WindowSpec("jumping", 1024, 8),
+            target_fp=0.01, duration=60.0,
+        ))
+        assert isinstance(gbf, TimeBasedGBFDetector)
+        tbf = create_detector(DetectorSpec(
+            algorithm="tbf-time", window=WindowSpec("sliding", 1024),
+            target_fp=0.01, duration=60.0, resolution=16,
+        ))
+        assert isinstance(tbf, TimeBasedTBFDetector)
+
+    def test_spec_duration_required_and_forbidden(self):
+        with pytest.raises(ConfigurationError):
+            DetectorSpec(algorithm="tbf-time",
+                         window=WindowSpec("sliding", 1024), target_fp=0.01)
+        with pytest.raises(ConfigurationError):
+            DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 1024),
+                         target_fp=0.01, duration=60.0)
+
+    def test_spec_sharded_variants(self):
+        from repro.detection import ShardedDetector, TimeShardedDetector
+
+        sharded = create_detector(DetectorSpec(
+            algorithm="tbf", window=WindowSpec("sliding", 1024),
+            target_fp=0.01, shards=4,
+        ))
+        assert isinstance(sharded, ShardedDetector)
+        assert sharded.num_shards == 4
+        timed = create_detector(DetectorSpec(
+            algorithm="tbf-time", window=WindowSpec("sliding", 1024),
+            target_fp=0.01, duration=60.0, shards=4,
+        ))
+        assert isinstance(timed, TimeShardedDetector)
+
+    def test_spec_shards_require_shardable_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            DetectorSpec(algorithm="gbf", window=WindowSpec("jumping", 1024, 8),
+                         target_fp=0.01, shards=4)
+
+    def test_spec_rejects_extra_kwargs(self):
+        spec = DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 1024),
+                            target_fp=0.01)
+        with pytest.raises(ConfigurationError):
+            create_detector(spec, target_fp=0.5)
+        with pytest.raises(ConfigurationError):
+            create_detector(spec, window=WindowSpec("sliding", 64))
 
 
 class TestPipeline:
@@ -120,9 +175,7 @@ class TestPipeline:
             duration=1200.0,
             profile=TrafficProfile(click_rate=1.5, num_visitors=40),
         )
-        detector = create_detector(
-            "tbf", WindowSpec("sliding", 2048), memory_bits=1 << 18
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 2048), memory_bits=1 << 18))
         billing = network.make_billing_engine() if with_billing else None
         pipeline = DetectionPipeline(detector, billing=billing)
         return pipeline.run(clicks), clicks
@@ -166,14 +219,12 @@ class TestPipeline:
             Click(1.0, 1, 1, 1, 0, 0),
             Click(2.0, 2, 2, 1, 0, 0),
         ]
-        detector = create_detector("tbf", WindowSpec("sliding", 64), memory_bits=1 << 14)
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 64), memory_bits=1 << 14))
         verdicts = classify_stream(clicks, detector)
         assert verdicts == [False, True, False]
 
     def test_empty_stream_duplicate_rate(self):
-        detector = create_detector(
-            "tbf", WindowSpec("sliding", 64), memory_bits=1 << 14
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 64), memory_bits=1 << 14))
         result = DetectionPipeline(detector).run([])
         assert result.processed == 0
         assert result.duplicate_rate == 0.0
@@ -188,9 +239,7 @@ class TestPipeline:
         )
 
         def make_pipeline():
-            detector = create_detector(
-                "tbf", WindowSpec("sliding", 2048), memory_bits=1 << 18
-            )
+            detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 2048), memory_bits=1 << 18))
             return DetectionPipeline(detector, billing=network.make_billing_engine())
 
         scalar = make_pipeline().run(clicks)
@@ -202,9 +251,7 @@ class TestPipeline:
         assert batched.billing_summary == scalar.billing_summary
 
     def test_run_batch_rejects_bad_chunk_size(self):
-        detector = create_detector(
-            "tbf", WindowSpec("sliding", 64), memory_bits=1 << 14
-        )
+        detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 64), memory_bits=1 << 14))
         with pytest.raises(ConfigurationError):
             DetectionPipeline(detector).run_batch([], chunk_size=0)
 

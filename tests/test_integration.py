@@ -12,6 +12,7 @@ from repro import (
     DetectionPipeline,
     TrafficProfile,
     WindowSpec,
+    DetectorSpec,
     create_detector,
     run_audit,
 )
@@ -57,7 +58,7 @@ def attack_run():
 
 def test_sketch_pipeline_matches_exact_pipeline(attack_run):
     network, clicks = attack_run
-    sketch = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    sketch = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.001))
     exact = ExactDetector.sliding(4096)
     sketch_verdicts = []
     exact_verdicts = []
@@ -76,7 +77,7 @@ def test_sketch_pipeline_matches_exact_pipeline(attack_run):
 def test_billing_economics_of_detection(attack_run):
     network, clicks = attack_run
     billing = network.make_billing_engine()
-    detector = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.001))
     pipeline = DetectionPipeline(detector, billing=billing)
     result = pipeline.run(clicks)
     summary = result.billing_summary
@@ -98,8 +99,8 @@ def test_advertiser_publisher_audit_agreement(attack_run):
     # Advertiser runs GBF over a jumping window, publisher runs TBF over
     # a sliding window of the same span: window semantics differ at block
     # edges, but both are zero-FN and low-FP, so agreement stays high.
-    advertiser = create_detector("gbf", WindowSpec("jumping", 4096, 8), target_fp=0.001)
-    publisher = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    advertiser = create_detector(DetectorSpec(algorithm="gbf", window=WindowSpec("jumping", 4096, 8), target_fp=0.001))
+    publisher = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.001))
     report = run_audit(clicks, advertiser, publisher)
     assert report.total_clicks == len(clicks)
     assert report.agreement_rate > 0.95
@@ -108,7 +109,7 @@ def test_advertiser_publisher_audit_agreement(attack_run):
 
 def test_alerts_identify_attack_sources(attack_run):
     _, clicks = attack_run
-    detector = create_detector("tbf", WindowSpec("sliding", 4096), target_fp=0.001)
+    detector = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.001))
     engine = AlertEngine(default_rules())
     for click in clicks:
         duplicate = detector.process(DEFAULT_SCHEME.identify(click))
@@ -134,8 +135,8 @@ def test_stream_roundtrip_preserves_detection(tmp_path, attack_run):
     write_clicks_jsonl(path, clicks)
     reloaded = load_clicks(path)
     assert len(reloaded) == len(clicks)
-    a = create_detector("tbf", WindowSpec("sliding", 1024), memory_bits=1 << 18, seed=9)
-    b = create_detector("tbf", WindowSpec("sliding", 1024), memory_bits=1 << 18, seed=9)
+    a = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 1024), memory_bits=1 << 18, seed=9))
+    b = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 1024), memory_bits=1 << 18, seed=9))
     for original, loaded in zip(clicks, reloaded):
         assert a.process(DEFAULT_SCHEME.identify(original)) == b.process(
             DEFAULT_SCHEME.identify(loaded)
@@ -166,7 +167,7 @@ def test_budget_protection_under_attack():
 
     unprotected = run_with(NoDetection())
     protected = run_with(
-        create_detector("tbf", WindowSpec("sliding", 8192), target_fp=0.001)
+        create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 8192), target_fp=0.001))
     )
     assert protected > unprotected
 

@@ -232,10 +232,9 @@ class TestCliWorkers:
         # The same sharded configuration run in-process must count the
         # same duplicates (the parallel engine is bit-identical).
         clicks = load_clicks(stream_file)
-        from repro.detection import create_detector, WindowSpec
+        from repro.detection import DetectorSpec, WindowSpec, create_detector
 
-        tbf = create_detector("tbf", WindowSpec("sliding", 64, 1), seed=0,
-                              target_fp=0.001)
+        tbf = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 64, 1), seed=0, target_fp=0.001))
         sharded = ShardedDetector.of_tbf(
             64, 2, total_entries=tbf.num_entries, num_hashes=tbf.num_hashes, seed=0
         )

@@ -1,0 +1,374 @@
+"""Tests for the network click-ingest service (:mod:`repro.serve`).
+
+Covers the coalescer contract, binary and JSONL round-trips with
+offline verdict parity, admission-control backpressure, malformed-frame
+dead-lettering, and drain-with-checkpoint restarts that lose no clicks.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectorSpec, WindowSpec, create_detector
+from repro.detection.pipeline import DetectionPipeline
+from repro.errors import ConfigurationError, OverloadedError, ProtocolError
+from repro.resilience import DeadLetterSink
+from repro.serve import Coalescer, ServeClient, ServeConfig, ServerThread
+from repro.serve.protocol import (
+    FRAME_BATCH,
+    FRAME_ERROR,
+    FRAME_VERDICTS,
+    HEADER,
+    MAGIC,
+    decode_header,
+    encode_batch,
+    encode_frame,
+)
+from repro.streams import IdentifierScheme
+from repro.telemetry import TelemetrySession
+
+TBF_SPEC = DetectorSpec(
+    algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.01
+)
+TBF_TIME_SPEC = DetectorSpec(
+    algorithm="tbf-time", window=WindowSpec("sliding", 4096),
+    target_fp=0.01, duration=120.0, resolution=16,
+)
+
+
+def _stream(count=20_000, seed=5, universe=2_000):
+    rng = np.random.default_rng(seed)
+    identifiers = rng.integers(0, universe, size=count, dtype=np.uint64)
+    timestamps = np.cumsum(rng.exponential(0.01, size=count))
+    return identifiers, timestamps
+
+
+def _offline(spec, identifiers, timestamps=None):
+    pipeline = DetectionPipeline(create_detector(spec), score_sources=False)
+    return pipeline.run_identified_batch(identifiers, timestamps)
+
+
+class TestCoalescer:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Coalescer(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            Coalescer(max_delay=-1.0)
+
+    def test_size_bound_emits_full_group(self):
+        c = Coalescer(max_batch=100, max_delay=10.0, clock=lambda: 0.0)
+        assert c.add("a", 40) is None
+        assert c.add("b", 40) is None
+        assert c.add("c", 40) == ["a", "b", "c"]
+        assert c.pending_items == 0 and c.pending_clicks == 0
+
+    def test_single_oversized_request_never_split(self):
+        c = Coalescer(max_batch=100, max_delay=10.0, clock=lambda: 0.0)
+        assert c.add("big", 1000) == ["big"]
+
+    def test_deadline_flushes_short_group(self):
+        now = [0.0]
+        c = Coalescer(max_batch=1000, max_delay=0.5, clock=lambda: now[0])
+        assert c.add("a", 1) is None
+        assert c.poll() is None           # deadline not reached
+        now[0] = 0.49
+        assert c.poll() is None
+        now[0] = 0.5
+        assert c.poll() == ["a"]
+        assert c.deadline is None         # empty again: no timeout needed
+
+    def test_flush_matches_read_batches_contract(self):
+        # Leftovers come out exactly as accumulated — never empty,
+        # never padded — and an empty coalescer flushes nothing.
+        c = Coalescer(max_batch=100, max_delay=10.0, clock=lambda: 0.0)
+        assert c.flush() is None
+        c.add("a", 7)
+        c.add("b", 0)                     # zero-click items still owe a reply
+        assert c.flush() == ["a", "b"]
+        assert c.flush() is None
+
+
+class TestBinaryProtocolServing:
+    def test_verdicts_match_offline_pipeline(self):
+        identifiers, _ = _stream()
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                served = np.concatenate([
+                    client.send(chunk)
+                    for chunk in np.array_split(identifiers, 7)
+                ])
+        expected = _offline(TBF_SPEC, identifiers)
+        assert (served == expected).all()
+
+    def test_time_based_verdicts_match_offline_pipeline(self):
+        identifiers, timestamps = _stream()
+        with ServerThread(create_detector(TBF_TIME_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                served = np.concatenate([
+                    client.send(ids, ts)
+                    for ids, ts in zip(
+                        np.array_split(identifiers, 7),
+                        np.array_split(timestamps, 7),
+                    )
+                ])
+        expected = _offline(TBF_TIME_SPEC, identifiers, timestamps)
+        assert (served == expected).all()
+
+    def test_pipelined_submits_return_in_request_order(self):
+        identifiers, _ = _stream(count=8_000)
+        chunks = np.array_split(identifiers, 16)
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                ids = [client.submit(chunk) for chunk in chunks]
+                served = np.concatenate([client.collect(i) for i in ids])
+        expected = _offline(TBF_SPEC, identifiers)
+        assert (served == expected).all()
+
+    def test_ping_and_empty_batch(self):
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                assert client.ping()
+                verdicts = client.send(np.empty(0, dtype=np.uint64))
+                assert verdicts.shape == (0,)
+
+    def test_processed_clicks_counts_served_stream(self):
+        identifiers, _ = _stream(count=5_000)
+        thread = ServerThread(create_detector(TBF_SPEC)).start()
+        try:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                client.send(identifiers)
+        finally:
+            thread.stop()
+        assert thread.server.processed_clicks == 5_000
+
+
+class TestJsonlServing:
+    def test_jsonl_round_trip_matches_offline(self, tmp_path):
+        from repro.adnet import TrafficProfile, demo_network
+
+        network = demo_network(seed=4)
+        clicks = network.run(
+            duration=400.0, profile=TrafficProfile(click_rate=2.0, num_visitors=30)
+        )
+        scheme = IdentifierScheme.IP_COOKIE_AD
+        with ServerThread(
+            create_detector(TBF_SPEC), ServeConfig(scheme=scheme)
+        ) as thread:
+            import json
+
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                from repro.streams.io import click_to_record
+
+                half = len(clicks) // 2
+                served = []
+                for n, chunk in enumerate([clicks[:half], clicks[half:]]):
+                    request = {
+                        "id": n + 1,
+                        "clicks": [click_to_record(c) for c in chunk],
+                    }
+                    sock.sendall((json.dumps(request) + "\n").encode())
+                handle = sock.makefile("rb")
+                for n in (1, 2):
+                    response = json.loads(handle.readline())
+                    assert response["id"] == n
+                    served.extend(response["verdicts"])
+            finally:
+                sock.close()
+        identifiers = scheme.identify_batch(clicks)
+        expected = _offline(TBF_SPEC, identifiers)
+        assert (np.array(served, dtype=bool) == expected).all()
+
+    def test_jsonl_garbage_gets_error_and_connection_survives(self):
+        sink = DeadLetterSink()
+        with ServerThread(
+            create_detector(TBF_SPEC), dead_letters=sink
+        ) as thread:
+            import json
+
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                handle = sock.makefile("rb")
+                sock.sendall(b'{"id": 1, "clicks": "not-a-list"}\n')
+                assert "error" in json.loads(handle.readline())
+                sock.sendall(b'{"id": 2, "ping": true}\n')
+                assert json.loads(handle.readline())["pong"] is True
+            finally:
+                sock.close()
+        assert sink.total == 1
+
+
+class TestBackpressure:
+    def test_overload_is_explicit_and_recoverable(self):
+        identifiers, _ = _stream(count=3_000)
+        batch = identifiers[:1_000]          # 16 kB on the wire
+        config = ServeConfig(
+            # Hold everything in the coalescer long enough for a second
+            # submit to arrive while the first still owns its bytes.
+            max_batch=1 << 30,
+            max_delay=0.3,
+            max_inflight_bytes=20_000,       # fits one batch, not two
+        )
+        with ServerThread(create_detector(TBF_SPEC), config) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                first = client.submit(batch)
+                second = client.submit(identifiers[1_000:2_000])
+                assert client.collect(first).shape == (1_000,)
+                with pytest.raises(OverloadedError):
+                    client.collect(second)
+                # The refused batch was not processed: resubmitting is
+                # the client's job, and now succeeds.
+                verdicts = client.send(identifiers[1_000:2_000])
+                assert verdicts.shape == (1_000,)
+        assert thread.server.processed_clicks == 2_000
+
+    def test_overloaded_counter_increments(self):
+        session = TelemetrySession()
+        config = ServeConfig(
+            max_batch=1 << 30, max_delay=0.3, max_inflight_bytes=20_000
+        )
+        with ServerThread(
+            create_detector(TBF_SPEC), config, telemetry=session
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                first = client.submit(np.arange(1_000, dtype=np.uint64))
+                second = client.submit(np.arange(1_000, dtype=np.uint64))
+                client.collect(first)
+                with pytest.raises(OverloadedError):
+                    client.collect(second)
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in session.registry.snapshot()["counters"]
+        }
+        assert counters["repro_serve_overloaded_total"] == 1
+        assert counters["repro_serve_clicks_total"] == 1_000
+
+
+class TestMalformedFrames:
+    def test_bad_payload_dead_lettered_connection_survives(self):
+        sink = DeadLetterSink()
+        identifiers, _ = _stream(count=1_000)
+        with ServerThread(
+            create_detector(TBF_SPEC), dead_letters=sink
+        ) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                sock.sendall(MAGIC)
+                # 17 payload bytes: not a multiple of the 16-byte record.
+                sock.sendall(encode_frame(FRAME_BATCH, 1, b"\x00" * 17))
+                header = _recv_exactly(sock, HEADER.size)
+                frame_type, request_id, length = decode_header(
+                    header, expect_response=True
+                )
+                reason = _recv_exactly(sock, length)
+                assert frame_type == FRAME_ERROR
+                assert request_id == 1
+                assert b"record" in reason
+                # Same connection still classifies good frames.
+                sock.sendall(encode_batch(2, identifiers))
+                frame_type, request_id, length = decode_header(
+                    _recv_exactly(sock, HEADER.size), expect_response=True
+                )
+                payload = _recv_exactly(sock, length)
+                assert frame_type == FRAME_VERDICTS
+                assert request_id == 2
+                assert length == identifiers.shape[0]
+            finally:
+                sock.close()
+        assert sink.total == 1
+        assert thread.server.processed_clicks == 1_000
+
+    def test_unknown_frame_type_dead_lettered(self):
+        sink = DeadLetterSink()
+        with ServerThread(
+            create_detector(TBF_SPEC), dead_letters=sink
+        ) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                sock.sendall(MAGIC)
+                sock.sendall(encode_frame(0x7F, 9, b"??"))
+                frame_type, request_id, length = decode_header(
+                    _recv_exactly(sock, HEADER.size), expect_response=True
+                )
+                _recv_exactly(sock, length)
+                assert frame_type == FRAME_ERROR
+                assert request_id == 9
+            finally:
+                sock.close()
+        assert sink.counts.get("unknown frame type 0x7F") == 1
+
+    def test_regressing_timestamps_rejected(self):
+        with ServerThread(create_detector(TBF_TIME_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                with pytest.raises(ProtocolError, match="regress"):
+                    client.send(
+                        np.array([1, 2], dtype=np.uint64),
+                        np.array([5.0, 1.0]),
+                    )
+
+
+class TestDrainAndCheckpoint:
+    def test_drain_checkpoint_restart_loses_nothing(self, tmp_path):
+        identifiers, _ = _stream(count=30_000)
+        half = identifiers.shape[0] // 2
+        config = ServeConfig(checkpoint_dir=tmp_path / "ckpt")
+
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                first = np.concatenate([
+                    client.send(chunk)
+                    for chunk in np.array_split(identifiers[:half], 5)
+                ])
+        finally:
+            thread.stop()
+        assert thread.server.processed_clicks == half
+
+        # A fresh process (fresh detector object) resumes the sketch.
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            assert thread.server.processed_clicks == half
+            with ServeClient("127.0.0.1", thread.port) as client:
+                second = np.concatenate([
+                    client.send(chunk)
+                    for chunk in np.array_split(identifiers[half:], 5)
+                ])
+        finally:
+            thread.stop()
+        assert thread.server.processed_clicks == identifiers.shape[0]
+
+        served = np.concatenate([first, second])
+        expected = _offline(TBF_SPEC, identifiers)
+        # Zero lost, zero duplicated: the split-served stream classifies
+        # exactly like one uninterrupted offline run.
+        assert (served == expected).all()
+
+    def test_corrupt_latest_checkpoint_falls_back(self, tmp_path):
+        identifiers, _ = _stream(count=4_000)
+        config = ServeConfig(checkpoint_dir=tmp_path / "ckpt")
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                client.send(identifiers)
+        finally:
+            thread.stop()
+        store_dir = tmp_path / "ckpt"
+        good = sorted(store_dir.glob("ckpt-*.rpk"))[-1]
+        corrupt = store_dir / "ckpt-99999999.rpk"
+        corrupt.write_bytes(good.read_bytes()[:-7])   # torn write
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            assert thread.server.processed_clicks == 4_000
+        finally:
+            thread.stop()
+
+
+def _recv_exactly(sock, count):
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        assert chunk, "peer closed early"
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)

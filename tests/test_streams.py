@@ -323,3 +323,68 @@ class TestRotatingIdentityCampaign:
         )
         # All but ~one click per identity per window rejected.
         assert rejected > len(clicks) * 0.9
+
+
+class TestReadBatchesContract:
+    """The batch-shape contract shared with the serve coalescer's flush."""
+
+    def _write(self, tmp_path, count):
+        clicks = [Click(float(i), i, i, 1, 0, 0) for i in range(count)]
+        path = tmp_path / "stream.jsonl"
+        write_clicks_jsonl(path, clicks)
+        return path, clicks
+
+    def test_final_short_batch_is_leftovers_as_is(self, tmp_path):
+        from repro.streams import read_batches
+
+        path, clicks = self._write(tmp_path, 25)
+        batches = list(read_batches(path, 10))
+        assert [len(b) for b in batches] == [10, 10, 5]
+        flattened = [c for batch in batches for c in batch]
+        assert [c.timestamp for c in flattened] == [c.timestamp for c in clicks]
+
+    def test_exact_multiple_has_no_trailing_batch(self, tmp_path):
+        from repro.streams import read_batches
+
+        path, _ = self._write(tmp_path, 30)
+        assert [len(b) for b in list(read_batches(path, 10))] == [10, 10, 10]
+
+    def test_empty_stream_yields_nothing(self, tmp_path):
+        from repro.streams import read_batches
+
+        path, _ = self._write(tmp_path, 0)
+        assert list(read_batches(path, 10)) == []
+
+    def test_batch_size_one_and_validation(self, tmp_path):
+        from repro.streams import read_batches
+
+        path, _ = self._write(tmp_path, 3)
+        assert [len(b) for b in read_batches(path, 1)] == [1, 1, 1]
+        with pytest.raises(StreamError):
+            list(read_batches(path, 0))
+
+
+class TestVectorizedIdentify:
+    """identify_batch/combine_fields_batch are bit-identical to scalar."""
+
+    def test_combine_fields_batch_matches_scalar(self):
+        from repro.streams import combine_fields_batch
+
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 1 << 63, size=500, dtype=np.uint64)
+        b = rng.integers(0, 1 << 20, size=500, dtype=np.uint64)
+        batch = combine_fields_batch(a, b)
+        scalar = [combine_fields(int(x), int(y)) for x, y in zip(a, b)]
+        assert batch.dtype == np.uint64
+        assert [int(v) for v in batch] == scalar
+
+    @pytest.mark.parametrize("scheme", list(IdentifierScheme))
+    def test_identify_batch_matches_identify(self, scheme):
+        rng = np.random.default_rng(1)
+        clicks = [
+            Click(float(i), int(rng.integers(1 << 32)),
+                  int(rng.integers(1 << 32)), int(rng.integers(64)), 0, 0)
+            for i in range(300)
+        ]
+        batch = scheme.identify_batch(clicks)
+        assert [int(v) for v in batch] == [scheme.identify(c) for c in clicks]
