@@ -124,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max milliseconds a request waits for coalescing")
     serve.add_argument("--max-inflight-mib", type=float, default=32.0,
                        help="global admission-control budget in MiB")
+    serve.add_argument("--skew-tolerance", type=float, default=1.0,
+                       help="time-based detectors: seconds a batch may lag "
+                       "the stream watermark before it is refused (smaller "
+                       "lags are clamped; default 1.0)")
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="drain checkpoints + resume-on-start directory")
 
@@ -395,6 +399,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers > 1 else None,
         max_inflight_bytes=int(args.max_inflight_mib * 1024 * 1024),
         checkpoint_dir=args.checkpoint_dir,
+        skew_tolerance=max(0.0, args.skew_tolerance),
     )
     session = TelemetrySession()
     dead_letters = DeadLetterSink()

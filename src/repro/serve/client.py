@@ -233,10 +233,17 @@ def run_load(
 
     ``window`` bounds outstanding submits (the client-side mirror of the
     server's admission control).  An ``OVERLOADED`` verdict puts the
-    batch back on the work queue and backs off exponentially, so every
-    click is eventually classified exactly once — note this means an
-    overloaded batch replays *later* than its original stream position,
-    which is fine for count-based detectors and for disjoint batches.
+    batch back at the *front* of the work queue and backs off
+    exponentially, so every click is eventually classified exactly once
+    and a refused batch replays before any untouched work — its
+    displacement from stream position is bounded by the ``window - 1``
+    batches that were already in flight when it was refused.  Count-
+    based detectors are indifferent to that displacement; time-based
+    detectors see it as bounded clock skew, which the server repairs by
+    clamping up to its ``skew_tolerance`` (docs/serving.md §3).  Keep
+    ``window * batch`` click-duration below the server's tolerance — or
+    run ``window=1`` for strictly ordered replay — when driving a
+    time-based detector.
     """
     client = ServeClient(host, port)
     total = 0
@@ -260,7 +267,7 @@ def run_load(
                 consecutive += 1
                 if consecutive > max_consecutive_overloads:
                     raise
-                work.append(index)
+                work.appendleft(index)
                 time.sleep(min(0.001 * (2 ** min(consecutive, 9)), 0.5))
                 continue
             consecutive = 0

@@ -20,7 +20,9 @@ Client → server frame types:
     the server's hot path goes straight from bytes to arrays with no
     per-click Python work.  Timestamps must be non-decreasing within
     and across batches of one connection when the detector is
-    time-based.
+    time-based; *across* connections the server merges and clamps
+    bounded clock skew itself (``ServeConfig.skew_tolerance``), so
+    clients need not share a clock.
 ``PING`` (0x02)
     Health probe; empty payload.
 

@@ -19,7 +19,14 @@ Architecture (one process, one event loop)::
   :meth:`~repro.detection.pipeline.DetectionPipeline.run_identified_batch`
   call, and resolves each request's response future.  One consumer
   means detector state advances in a single total order — the same
-  guarantee the offline pipeline gives.
+  guarantee the offline pipeline gives.  For time-based detectors the
+  group is first merged into one monotone timestamp stream (stable
+  sort across connections, residual skew clamped up to the watermark
+  within ``skew_tolerance``; a request lagging beyond it is refused
+  with ``ERROR``), so normal multi-client clock skew can never feed
+  the detector a regressing stream.  A group the detector still
+  refuses fails *those requests* with ``ERROR`` — the engine loop
+  itself never dies with futures pending.
 * **Senders** write responses strictly in each connection's request
   order: every request (verdicts, pong, overloaded, error alike)
   enqueues a future at read time, and the sender awaits and writes them
@@ -106,6 +113,13 @@ class ServeConfig:
     #: Identifier scheme for JSONL-mode requests (binary mode ships
     #: pre-projected identifiers, so the scheme never runs server-side).
     scheme: IdentifierScheme = DEFAULT_SCHEME
+    #: Time-based detectors only: how far (seconds) a batch's timestamps
+    #: may lag the server's high-water mark before the batch is refused
+    #: with ``ERROR``.  Lags within the tolerance are clamped up to the
+    #: watermark (the skew repair of
+    #: :class:`repro.resilience.hardening.ReorderBuffer`), so clients
+    #: whose clocks disagree by less than this can share one server.
+    skew_tolerance: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_inflight_bytes < 1:
@@ -119,6 +133,10 @@ class ServeConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.skew_tolerance < 0:
+            raise ConfigurationError(
+                f"skew_tolerance must be >= 0, got {self.skew_tolerance}"
+            )
 
 
 @dataclass
@@ -188,6 +206,11 @@ class ClickIngestServer:
         )
         self._base_detector = detector
         self._resumed_clicks = 0
+        #: Largest timestamp ever handed to a time-based detector.  New
+        #: groups are merged/clamped against it so the engine's clock is
+        #: monotone no matter how client clocks interleave; restored
+        #: from the checkpoint so a resume cannot regress the detector.
+        self._watermark = float("-inf")
         self._try_resume()
         self._engine_owned = False
         engine = self._base_detector
@@ -236,11 +259,16 @@ class ClickIngestServer:
             "repro_serve_queue_wait_seconds",
             "Seconds a request waited between admission and classification",
         )
+        self._engine_errors_total = registry.counter(
+            "repro_serve_engine_errors_total",
+            "Coalesced groups refused by the detector (all requests ERRORed)",
+        )
         self._inflight_bytes = 0
         self._queue: "asyncio.Queue" = asyncio.Queue()
         self._coalescer = Coalescer(self.config.max_batch, self.config.max_delay)
         self._server: Optional[asyncio.base_events.Server] = None
         self._engine_task: Optional[asyncio.Task] = None
+        self._engine_error: Optional[BaseException] = None
         self._handlers: Set[asyncio.Task] = set()
         self._drained = asyncio.Event()
         self._draining = False
@@ -297,7 +325,15 @@ class ClickIngestServer:
             task.cancel()
         await self._queue.put(None)  # drain sentinel: flush + exit
         if self._engine_task is not None:
-            await self._engine_task
+            # The engine task swallows its own failures (recording them
+            # in ``_engine_error``), but stay tolerant of a dead task
+            # either way: drain must always complete.
+            try:
+                await self._engine_task
+            except (Exception, asyncio.CancelledError):
+                pass
+        if self._engine_error is not None:
+            self._abort_pending(f"engine failed: {self._engine_error}")
         if self._handlers:
             await asyncio.gather(*list(self._handlers), return_exceptions=True)
         if self._engine_owned:
@@ -325,6 +361,9 @@ class ClickIngestServer:
                 continue  # fall back to the previous generation
             self._base_detector = detector
             self._resumed_clicks = int(header.get("processed", 0))
+            watermark = header.get("watermark")
+            if watermark is not None:
+                self._watermark = float(watermark)
             return
 
     def _checkpoint(self) -> None:
@@ -333,7 +372,13 @@ class ClickIngestServer:
         from ..detection.api import wrap_timed
 
         blob = pack_frame(
-            {"kind": _CHECKPOINT_KIND, "processed": self.processed_clicks},
+            {
+                "kind": _CHECKPOINT_KIND,
+                "processed": self.processed_clicks,
+                "watermark": (
+                    self._watermark if self._watermark != float("-inf") else None
+                ),
+            },
             wrap_timed(self._base_detector).checkpoint_state(),
         )
         self._store.save(blob)
@@ -442,11 +487,23 @@ class ClickIngestServer:
     ) -> None:
         first = True
         while True:
-            if first:
-                line = sniffed + await reader.readline()
-                first = False
-            else:
-                line = await reader.readline()
+            try:
+                if first:
+                    line = sniffed + await reader.readline()
+                    first = False
+                else:
+                    line = await reader.readline()
+            except ValueError as error:
+                # A line above max_frame_bytes (StreamReader's limit):
+                # the reader dropped the partial line, so framing is
+                # lost — mirror the binary oversized-payload path:
+                # dead-letter, answer, hang up.
+                reason = f"JSONL line exceeds frame cap: {error}"
+                self._dead_letter(conn.peer, reason)
+                self._respond_now(
+                    conn, encode_jsonl_line({"id": 0, "error": reason})
+                )
+                return
             if not line:
                 return
             stripped = line.strip()
@@ -541,6 +598,11 @@ class ClickIngestServer:
             future=future,
             enqueued_at=time.monotonic(),
         )
+        if self._engine_error is not None:
+            # The engine loop is gone; answer directly so the sender
+            # flushes and the budget releases instead of hanging.
+            self._fail_request(request, f"engine failed: {self._engine_error}")
+            return
         await self._queue.put(request)
 
     async def _sender_loop(self, conn: _Connection) -> None:
@@ -568,6 +630,24 @@ class ClickIngestServer:
     # -- the engine ----------------------------------------------------
 
     async def _engine_loop(self) -> None:
+        """Run :meth:`_engine_loop_inner`; never die with futures pending.
+
+        A detector refusing a group is handled inside
+        :meth:`_process_group` (the group's requests get ``ERROR``, the
+        loop keeps serving).  Anything that still escapes — a bug, not
+        bad input — must not strand the pending futures: every queued
+        and coalesced request is failed with ``ERROR`` so senders flush,
+        budgets release, and drain completes instead of hanging.
+        """
+        try:
+            await self._engine_loop_inner()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:
+            self._engine_error = error
+            self._abort_pending(f"engine failed: {error}")
+
+    async def _engine_loop_inner(self) -> None:
         queue = self._queue
         coalescer = self._coalescer
         while True:
@@ -593,20 +673,54 @@ class ClickIngestServer:
                 self._process_group(group)
 
     def _process_group(self, group: List[_Request]) -> None:
-        """Classify one coalesced group and resolve its futures."""
+        """Classify one coalesced group and resolve its futures.
+
+        Never raises: a request the detector cannot accept is answered
+        with ``ERROR`` and dead-lettered, and the rest of the group (and
+        the engine loop) carries on — the "never crash" discipline of
+        docs/serving.md §3.
+        """
         now = time.monotonic()
-        total = 0
         for request in group:
-            total += request.count
             self._queue_wait.observe(now - request.enqueued_at)
+        if self._timed:
+            group = self._reject_stale(group)
+        total = sum(request.count for request in group)
+        order = None
         if total:
             identifiers = np.concatenate([r.identifiers for r in group])
-            timestamps = (
-                np.concatenate([r.timestamps for r in group])
-                if self._timed
-                else None
-            )
-            verdicts = self.pipeline.run_identified_batch(identifiers, timestamps)
+            timestamps = None
+            if self._timed:
+                # Each request's timestamps are non-decreasing (protocol
+                # contract), but independent connections' clocks may
+                # interleave: merge the group into one monotone stream
+                # (stable, so per-request and arrival order survive) and
+                # clamp residual sub-tolerance skew up to the watermark.
+                # The detector therefore never sees a mid-batch
+                # regression, so its state cannot half-advance.
+                timestamps = np.concatenate([r.timestamps for r in group])
+                if bool((np.diff(timestamps) < 0.0).any()):
+                    order = np.argsort(timestamps, kind="stable")
+                    identifiers = identifiers[order]
+                    timestamps = timestamps[order]
+                np.maximum(timestamps, self._watermark, out=timestamps)
+            try:
+                verdicts = self.pipeline.run_identified_batch(
+                    identifiers, timestamps
+                )
+            except Exception as error:  # keep the engine alive
+                reason = f"detector rejected batch: {error}"
+                self._engine_errors_total.inc()
+                self._dead_letter(reason, reason)
+                for request in group:
+                    self._fail_request(request, reason)
+                return
+            if self._timed:
+                self._watermark = float(timestamps[-1])
+            if order is not None:
+                inverse = np.empty_like(verdicts)
+                inverse[order] = verdicts
+                verdicts = inverse
         else:
             verdicts = np.empty(0, dtype=bool)
         self._batch_clicks.observe(total)
@@ -627,6 +741,62 @@ class ClickIngestServer:
                 data = encode_verdicts(request.request_id, slice_)
             if not request.future.done():
                 request.future.set_result(data)
+
+    def _reject_stale(self, group: List[_Request]) -> List[_Request]:
+        """Fail requests lagging the watermark beyond the skew tolerance.
+
+        Checked against the pre-group watermark *before* the detector
+        runs, so a refused request never touches detector state; the
+        client gets ``ERROR`` and owns the retry with fresh timestamps.
+        """
+        floor = self._watermark - self.config.skew_tolerance
+        if floor == float("-inf"):
+            return group
+        live: List[_Request] = []
+        for request in group:
+            if request.count and float(request.timestamps[0]) < floor:
+                reason = (
+                    "timestamps regress "
+                    f"{self._watermark - float(request.timestamps[0]):.3f}s "
+                    "behind the stream watermark (skew_tolerance="
+                    f"{self.config.skew_tolerance}); resend with current "
+                    "timestamps"
+                )
+                self._dead_letter(
+                    f"request {request.request_id} from {request.connection.peer}",
+                    reason,
+                )
+                self._fail_request(request, reason)
+            else:
+                live.append(request)
+        return live
+
+    def _fail_request(self, request: _Request, reason: str) -> None:
+        """Answer one admitted request with ``ERROR`` (budget still
+        releases when the sender writes it)."""
+        if request.jsonl:
+            data = encode_jsonl_line(
+                {"id": request.request_id, "error": reason}
+            )
+        else:
+            data = encode_frame(
+                FRAME_ERROR, request.request_id, reason.encode()
+            )
+        if not request.future.done():
+            request.future.set_result(data)
+
+    def _abort_pending(self, reason: str) -> None:
+        """Fail every queued and coalesced request (dead-engine path)."""
+        pending: List[_Request] = list(self._coalescer.flush() or [])
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not None:
+                pending.append(item)
+        for request in pending:
+            self._fail_request(request, reason)
 
     def _dead_letter(self, item, reason: str) -> None:
         self._dead_letters_total.inc()

@@ -307,6 +307,93 @@ class TestMalformedFrames:
                         np.array([5.0, 1.0]),
                     )
 
+    def test_oversized_jsonl_line_errors_and_closes(self):
+        import json
+
+        sink = DeadLetterSink()
+        config = ServeConfig(max_frame_bytes=1024)
+        with ServerThread(
+            create_detector(TBF_SPEC), config, dead_letters=sink
+        ) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                handle = sock.makefile("rb")
+                sock.sendall(b'{"id": 1, "clicks": [' + b" " * 5_000 + b"]}\n")
+                response = json.loads(handle.readline())
+                assert "error" in response
+                assert handle.readline() == b""    # deliberate close
+            finally:
+                sock.close()
+            # The server itself survives: a fresh connection classifies.
+            with ServeClient("127.0.0.1", thread.port) as client:
+                assert client.send(np.arange(10, dtype=np.uint64)).shape == (10,)
+        assert sink.total == 1
+
+
+class TestTimedMultiClient:
+    """Cross-connection clock skew against a time-based detector."""
+
+    def test_skewed_clients_are_merged_not_fatal(self):
+        identifiers, timestamps = _stream(count=8_000)
+        half = identifiers.shape[0] // 2
+        # Client B's clock lags client A's by a few milliseconds —
+        # ordinary NTP-grade skew, far inside the default tolerance.
+        config = ServeConfig(max_batch=1 << 30, max_delay=0.05)
+        with ServerThread(create_detector(TBF_TIME_SPEC), config) as thread:
+            with ServeClient("127.0.0.1", thread.port) as a, \
+                 ServeClient("127.0.0.1", thread.port) as b:
+                served = 0
+                for start in range(0, half, 500):
+                    stop = start + 500
+                    ra = a.submit(
+                        identifiers[start:stop], timestamps[start:stop]
+                    )
+                    rb = b.submit(
+                        identifiers[half + start : half + stop],
+                        timestamps[start:stop] - 0.004,
+                    )
+                    served += int(a.collect(ra).shape[0])
+                    served += int(b.collect(rb).shape[0])
+        # Every click of both connections was classified — the engine
+        # never died on the interleaved clocks.
+        assert served == identifiers.shape[0]
+        assert thread.server.processed_clicks == identifiers.shape[0]
+
+    def test_single_connection_stays_bit_identical(self):
+        # The merge/clamp machinery is the identity for one monotone
+        # stream, pipelined submits included.
+        identifiers, timestamps = _stream(count=12_000)
+        with ServerThread(create_detector(TBF_TIME_SPEC)) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                ids = [
+                    client.submit(chunk_i, chunk_t)
+                    for chunk_i, chunk_t in zip(
+                        np.array_split(identifiers, 24),
+                        np.array_split(timestamps, 24),
+                    )
+                ]
+                served = np.concatenate([client.collect(i) for i in ids])
+        expected = _offline(TBF_TIME_SPEC, identifiers, timestamps)
+        assert (served == expected).all()
+
+    def test_stale_batch_refused_engine_survives(self):
+        sink = DeadLetterSink()
+        config = ServeConfig(skew_tolerance=0.5)
+        with ServerThread(
+            create_detector(TBF_TIME_SPEC), config, dead_letters=sink
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                ids = np.arange(100, dtype=np.uint64)
+                assert client.send(ids, np.full(100, 1000.0)).shape == (100,)
+                # An hour behind the watermark: refused before touching
+                # detector state, connection and engine both survive.
+                with pytest.raises(ProtocolError, match="skew_tolerance"):
+                    client.send(ids, np.full(100, 2.0))
+                assert client.send(ids, np.full(100, 1001.0)).shape == (100,)
+        # Only the two good batches advanced the detector.
+        assert thread.server.processed_clicks == 200
+        assert sink.total == 1
+
 
 class TestDrainAndCheckpoint:
     def test_drain_checkpoint_restart_loses_nothing(self, tmp_path):
