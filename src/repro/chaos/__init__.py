@@ -1,0 +1,32 @@
+"""Network fault injection and the chaos soak harness.
+
+The serve stack (:mod:`repro.serve`) claims *exactly-once* click
+delivery under failure.  This package is the adversary that makes the
+claim falsifiable:
+
+* :class:`ChaosProxy` / :class:`ProxyThread` — a frame-aware TCP proxy
+  that drops, duplicates, delays, corrupts, truncates, and resets
+  frames on a seeded schedule (:class:`FaultPlan`);
+* :func:`run_soak` — drives a load through the proxy while engine
+  faults (:class:`~repro.resilience.faults.EngineFaultHooks`) and a
+  mid-schedule SIGTERM drain → restore fire, then *reconciles*: zero
+  lost batches, zero double-applied batches, verdicts bit-identical to
+  one clean offline pass.
+
+``repro chaos`` is the CLI entry point; the CI ``chaos-smoke`` job runs
+a seeded soak on every push.  docs/operations.md has the runbook.
+"""
+
+from .proxy import FAULT_KINDS, ChaosProxy, FaultPlan, ProxyThread
+from .soak import DEFAULT_PLAN, SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosProxy",
+    "FaultPlan",
+    "ProxyThread",
+    "DEFAULT_PLAN",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+]

@@ -1,0 +1,336 @@
+"""The chaos soak: prove exactly-once delivery by reconciliation.
+
+A soak drives a seeded synthetic click load through a
+:class:`~repro.chaos.proxy.ChaosProxy` into a real
+:class:`~repro.serve.server.ClickIngestServer` while three fault
+families fire on schedule:
+
+* **network** — the proxy drops, duplicates, delays, corrupts,
+  truncates, and resets frames per its :class:`FaultPlan`;
+* **engine** — :class:`~repro.resilience.faults.EngineFaultHooks` kill
+  and stall the engine task (the watchdog must restart it) and fail a
+  checkpoint write (the drain must survive it);
+* **process** — mid-schedule the server is drained (the ``SIGTERM``
+  path), a fresh server restores its checkpoint — detector state *and*
+  dedup window — and the proxy is retargeted at it, all while the
+  client keeps retrying.
+
+Afterwards the books must balance — that is the whole point:
+
+* **zero lost batches** — every batch produced a collected verdict
+  frame (``report.lost == 0``);
+* **zero double-applied batches** — the servers' cumulative
+  ``processed_clicks`` equals the clicks sent, exactly: a batch that
+  slipped past the dedup window twice would overshoot
+  (``report.double_applied == 0``);
+* **verdicts bit-identical to offline** — the verdict journal,
+  reassembled in batch order, equals one clean offline pass of the
+  same detector over the same stream.  This is the strongest check:
+  a replayed *response* is byte-cached so it cannot drift, and a
+  re-applied *batch* would poison the sketch and flip later verdicts.
+
+The soak keeps the client pipeline at ``window=1`` (strictly ordered
+replay) because bit-identity is only defined against the offline
+stream order; the server-side exactly-once machinery is the same at
+any window depth, and the dedup/duplicate-frame paths are still
+exercised by the proxy's duplications and retries.
+
+Everything is seeded: the stream, the fault plan, the client jitter.
+A failing seed is a reproducible bug report.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..detection import DetectionPipeline, DetectorSpec, WindowSpec, create_detector
+from ..errors import ConfigurationError
+from ..resilience.faults import EngineFaultHooks
+from ..serve import RetryPolicy, ServeConfig, ServerThread
+from ..serve.client import _synthetic_batches, run_load
+from ..telemetry import TelemetrySession
+from .proxy import FaultPlan, ProxyThread
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak", "DEFAULT_PLAN"]
+
+#: A plan that exercises every fault kind but still converges quickly.
+DEFAULT_PLAN = FaultPlan(
+    drop_rate=0.02,
+    duplicate_rate=0.03,
+    delay_rate=0.02,
+    corrupt_rate=0.02,
+    truncate_rate=0.01,
+    reset_rate=0.01,
+    delay_seconds=0.005,
+)
+
+
+def _default_spec(seed: int) -> DetectorSpec:
+    # Count-based TBF: verdict order is exactly stream order, which is
+    # what bit-identity against the offline pass requires.
+    return DetectorSpec(
+        algorithm="tbf",
+        window=WindowSpec("sliding", 4096, 1),
+        seed=seed,
+        target_fp=0.001,
+    )
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak scenario; every field is part of the seeded schedule."""
+
+    clicks: int = 50_000
+    batch: int = 256
+    seed: int = 7
+    duplicate_rate: float = 0.2
+    #: Per-response client deadline (drops surface after this long).
+    timeout: float = 1.0
+    plan: FaultPlan = field(default_factory=lambda: DEFAULT_PLAN)
+    #: Seconds into the load at which the server is SIGTERM-drained and
+    #: a fresh one restores the checkpoint; ``None`` skips the restart.
+    drain_after: Optional[float] = 1.0
+    #: Engine-fault schedule (group indices; ``None`` disables one).
+    engine_fail_group: Optional[int] = 2
+    engine_stall_group: Optional[int] = 6
+    fail_first_checkpoint: bool = True
+    #: Client retry budget per delivery failure.
+    retries: int = 12
+    detector: Optional[DetectorSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.clicks < 1 or self.batch < 1:
+            raise ConfigurationError("clicks and batch must be >= 1")
+        if self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.drain_after is not None and self.drain_after < 0:
+            raise ConfigurationError(
+                f"drain_after must be >= 0, got {self.drain_after}"
+            )
+
+
+@dataclass
+class SoakReport:
+    """The reconciliation: what was sent vs. applied vs. answered."""
+
+    total_clicks: int
+    collected_clicks: int
+    applied_clicks: int
+    lost_clicks: int
+    double_applied_clicks: int
+    bit_identical: bool
+    missing_batches: int
+    restarts: int
+    watchdog_restarts: int
+    dedup_hits: int
+    client_retries: int
+    checkpoint_failures: int
+    corrupt_frames: int
+    proxy_faults: Dict[str, int]
+    overloads: int
+    errors: int
+    seconds: float
+    clicks_per_second: float
+
+    @property
+    def ok(self) -> bool:
+        """The exactly-once verdict: nothing lost, nothing doubled,
+        verdicts indistinguishable from one clean offline pass."""
+        return (
+            self.lost_clicks == 0
+            and self.double_applied_clicks == 0
+            and self.missing_batches == 0
+            and self.errors == 0
+            and self.bit_identical
+        )
+
+    def summary(self) -> str:
+        faults = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.proxy_faults.items())
+        ) or "none"
+        return (
+            f"{'PASS' if self.ok else 'FAIL'}: {self.total_clicks} clicks "
+            f"in {self.seconds:.2f}s ({self.clicks_per_second:,.0f}/s)\n"
+            f"  lost={self.lost_clicks} double_applied="
+            f"{self.double_applied_clicks} bit_identical={self.bit_identical}\n"
+            f"  network faults: {faults}\n"
+            f"  recoveries: retries={self.client_retries} "
+            f"dedup_hits={self.dedup_hits} corrupt_refusals={self.corrupt_frames} "
+            f"watchdog_restarts={self.watchdog_restarts} "
+            f"server_restarts={self.restarts} "
+            f"checkpoint_failures={self.checkpoint_failures}\n"
+            f"  refusals: overloads={self.overloads} hard_errors={self.errors}"
+        )
+
+
+def _counter_value(registry, name: str) -> int:
+    for entry in registry.snapshot()["counters"]:
+        if entry["name"] == name and not entry["labels"]:
+            return int(entry["value"])
+    return 0
+
+
+def run_soak(
+    config: Optional[SoakConfig] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> SoakReport:
+    """Run one soak scenario; see the module docstring for what it proves.
+
+    ``checkpoint_dir`` defaults to a temporary directory; pass one to
+    inspect the drain checkpoints afterwards.
+    """
+    config = config if config is not None else SoakConfig()
+    spec = config.detector if config.detector is not None else _default_spec(
+        config.seed
+    )
+
+    batches = _synthetic_batches(
+        config.clicks, config.batch, config.seed, config.duplicate_rate
+    )
+    total_clicks = sum(int(ids.shape[0]) for ids, _ts in batches)
+
+    # The ground truth: one clean offline pass, same detector, same order.
+    offline = DetectionPipeline(
+        create_detector(spec), billing=None, score_sources=False
+    )
+    expected = np.concatenate(
+        [offline.run_identified_batch(ids, None) for ids, _ts in batches]
+    )
+
+    hooks = EngineFaultHooks(
+        fail_groups=(
+            () if config.engine_fail_group is None else (config.engine_fail_group,)
+        ),
+        stall_groups=(
+            {}
+            if config.engine_stall_group is None
+            else {config.engine_stall_group: 30.0}
+        ),
+        fail_checkpoints=(0,) if config.fail_first_checkpoint else (),
+    )
+    session = TelemetrySession()
+
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as fallback_dir:
+        ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else Path(
+            fallback_dir
+        )
+        server_config = ServeConfig(
+            port=0,
+            max_delay=0.002,
+            checkpoint_dir=ckpt,
+            dedup_entries=128,
+            watchdog_interval=0.05,
+            watchdog_stall_timeout=0.4,
+        )
+
+        def _spawn() -> ServerThread:
+            # A restarted server resumes detector + dedup state from the
+            # newest drain checkpoint in ``ckpt``.
+            return ServerThread(
+                create_detector(spec),
+                config=server_config,
+                telemetry=session,
+                fault_hooks=hooks,
+            ).start()
+
+        state = {"thread": _spawn(), "restarts": 0}
+        proxy = ProxyThread(state["thread"].port, plan=config.plan).start()
+
+        stop_restarter = threading.Event()
+
+        def _restarter() -> None:
+            if stop_restarter.wait(config.drain_after):
+                return
+            # The SIGTERM path, mid-load: drain (checkpoint included),
+            # restore into a fresh process-equivalent, repoint the proxy.
+            state["thread"].stop()
+            replacement = _spawn()
+            proxy.retarget(replacement.port)
+            state["thread"] = replacement
+            state["restarts"] += 1
+
+        restarter = None
+        if config.drain_after is not None:
+            restarter = threading.Thread(
+                target=_restarter, name="repro-soak-restarter", daemon=True
+            )
+            restarter.start()
+
+        journal: Dict[int, np.ndarray] = {}
+
+        def _record(index: int, verdicts: np.ndarray) -> None:
+            journal[index] = verdicts.copy()
+
+        try:
+            stats = run_load(
+                "127.0.0.1",
+                proxy.port,
+                batches,
+                window=1,
+                retry=RetryPolicy(
+                    max_retries=config.retries,
+                    base_backoff=0.05,
+                    max_backoff=0.5,
+                    breaker_reset=0.2,
+                    seed=config.seed,
+                ),
+                client_id=(config.seed << 1) | 1,
+                timeout=config.timeout,
+                registry=session.registry,
+                on_verdicts=_record,
+            )
+        finally:
+            stop_restarter.set()
+            if restarter is not None:
+                restarter.join(timeout=30.0)
+            proxy_faults = dict(proxy.proxy.faults) if proxy.proxy else {}
+            proxy.stop()
+            state["thread"].stop()
+
+        applied = state["thread"].server.processed_clicks
+        missing = [i for i in range(len(batches)) if i not in journal]
+        actual = (
+            np.concatenate([journal[i] for i in range(len(batches))])
+            if not missing and journal
+            else None
+        )
+        classified = total_clicks - stats["error_clicks"]
+        return SoakReport(
+            total_clicks=total_clicks,
+            collected_clicks=stats["clicks"],
+            applied_clicks=applied,
+            lost_clicks=total_clicks - stats["clicks"] - stats["error_clicks"],
+            double_applied_clicks=max(0, applied - classified),
+            bit_identical=(
+                actual is not None and bool(np.array_equal(actual, expected))
+            ),
+            missing_batches=len(missing),
+            restarts=state["restarts"],
+            watchdog_restarts=_counter_value(
+                session.registry, "repro_serve_watchdog_restarts_total"
+            ),
+            dedup_hits=_counter_value(
+                session.registry, "repro_serve_dedup_hits_total"
+            ),
+            client_retries=_counter_value(
+                session.registry, "repro_serve_retries_total"
+            ),
+            checkpoint_failures=_counter_value(
+                session.registry, "repro_serve_checkpoint_failures_total"
+            ),
+            corrupt_frames=_counter_value(
+                session.registry, "repro_serve_corrupt_frames_total"
+            ),
+            proxy_faults=proxy_faults,
+            overloads=stats["overloads"],
+            errors=stats["errors"],
+            seconds=stats["seconds"],
+            clicks_per_second=stats["clicks_per_second"],
+        )

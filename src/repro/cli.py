@@ -131,6 +131,31 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="drain checkpoints + resume-on-start directory")
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="soak the serve stack under injected faults and reconcile")
+    chaos.add_argument("--clicks", type=int, default=50_000,
+                       help="synthetic clicks to deliver (default 50000)")
+    chaos.add_argument("--batch", type=int, default=256,
+                       help="clicks per client batch (default 256)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seeds the stream, the fault plan, and the "
+                       "client jitter — a failing seed is reproducible")
+    chaos.add_argument("--drain-after", type=float, default=1.0,
+                       help="seconds into the load to SIGTERM-drain the "
+                       "server and restore a fresh one from its checkpoint "
+                       "(negative = never restart; default 1.0)")
+    chaos.add_argument("--timeout", type=float, default=1.0,
+                       help="client per-response deadline in seconds")
+    chaos.add_argument("--retries", type=int, default=12,
+                       help="client reconnect budget per delivery failure")
+    chaos.add_argument("--no-engine-faults", action="store_true",
+                       help="skip the injected engine kill/stall and "
+                       "checkpoint-write failure")
+    chaos.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="keep the drain checkpoints here for inspection "
+                       "(default: a temporary directory)")
+
     return parser
 
 
@@ -430,6 +455,26 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: the exactly-once soak (docs/operations.md §6)."""
+    from .chaos import SoakConfig, run_soak
+
+    config = SoakConfig(
+        clicks=args.clicks,
+        batch=args.batch,
+        seed=args.seed,
+        timeout=args.timeout,
+        retries=args.retries,
+        drain_after=None if args.drain_after < 0 else args.drain_after,
+        engine_fail_group=None if args.no_engine_faults else 2,
+        engine_stall_group=None if args.no_engine_faults else 6,
+        fail_first_checkpoint=not args.no_engine_faults,
+    )
+    report = run_soak(config, checkpoint_dir=args.checkpoint_dir)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from .experiments import run_figure1, run_figure2a, run_figure2b
 
@@ -451,6 +496,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _command_figures,
         "monitor": _command_monitor,
         "serve": _command_serve,
+        "chaos": _command_chaos,
     }
     return handlers[args.command](args)
 

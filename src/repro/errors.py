@@ -96,6 +96,44 @@ class OverloadedError(ReproError, RuntimeError):
     """
 
 
+class DeliveryError(ReproError, RuntimeError):
+    """A client-side delivery failure on the click-ingest protocol.
+
+    Base class for the retry-path errors of
+    :class:`repro.serve.client.ServeClient`.  ``pending`` carries the
+    request ids that were submitted but had no response when the error
+    fired — with idempotent delivery enabled (the ``HELLO`` handshake)
+    every one of them is safe to resend on a fresh connection: the
+    server either replays the cached response or reports the batch
+    already applied, never applies it twice.
+    """
+
+    def __init__(self, message: str, pending=()) -> None:
+        super().__init__(message)
+        #: Request ids submitted but unresolved when the error fired.
+        self.pending = tuple(pending)
+
+
+class ConnectionLost(DeliveryError):
+    """The TCP connection to the ingest server dropped mid-exchange.
+
+    Raised instead of leaking raw ``socket.error``/``struct.error``
+    when the server dies mid-frame.  Also raised (fast, without
+    touching the network) while the client's circuit breaker is open.
+    """
+
+
+class DeadlineExceeded(DeliveryError):
+    """A request's response did not arrive within its deadline."""
+
+
+class RetriesExhausted(DeliveryError):
+    """The retry budget ran out without re-establishing delivery.
+
+    The last underlying failure is available as ``__cause__``.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint is corrupt, truncated, or does not match the config.
 

@@ -24,6 +24,8 @@ trade-offs (checkpoint cadence, fail-open vs fail-closed shards) in
 
 from .faults import (
     CORRUPTION_MODES,
+    ChaosDetector,
+    EngineFaultHooks,
     FaultInjector,
     InjectedCrash,
     InjectedFault,
@@ -48,6 +50,8 @@ __all__ = [
     "DeadLetterSink",
     "ReorderBuffer",
     "ReorderStats",
+    "ChaosDetector",
+    "EngineFaultHooks",
     "FaultInjector",
     "InjectedCrash",
     "InjectedFault",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..errors import ConfigurationError, ReproError
 from ..streams.click import Click
@@ -33,6 +33,103 @@ class InjectedFault(ReproError, RuntimeError):
 
 class InjectedCrash(InjectedFault):
     """The simulated process kill: raised from inside the click stream."""
+
+
+class EngineFaultHooks:
+    """Deterministic faults for the serve engine task (chaos testing).
+
+    Passed to :class:`repro.serve.server.ClickIngestServer` as
+    ``fault_hooks``; the server invokes :meth:`before_group` (awaited)
+    in front of every coalesced engine group and :meth:`on_checkpoint`
+    in front of every checkpoint write.  The schedule is by *index* —
+    group ``0`` is the first group the engine ever coalesces,
+    checkpoint ``0`` the first write attempt — so a seeded soak replays
+    the identical fault sequence every run.
+
+    * ``fail_groups`` — raise :class:`InjectedFault` before that group:
+      the engine task dies with the group requeued untouched; the
+      server's watchdog must restart it with zero click loss.
+    * ``stall_groups`` — ``{index: seconds}``: sleep (asyncio) before
+      that group, impersonating a wedged detector; the watchdog must
+      cancel and restart the engine, again with the group requeued.
+    * ``fail_checkpoints`` — raise from that checkpoint write attempt:
+      the server must survive (retry or fall back to the previous
+      generation), never crash the drain.
+    """
+
+    def __init__(
+        self,
+        fail_groups: Iterable[int] = (),
+        stall_groups: Optional[Dict[int, float]] = None,
+        fail_checkpoints: Iterable[int] = (),
+        injector: Optional["FaultInjector"] = None,
+    ) -> None:
+        self.fail_groups = frozenset(fail_groups)
+        self.stall_groups = dict(stall_groups or {})
+        self.fail_checkpoints = frozenset(fail_checkpoints)
+        self._injector = injector
+        self.groups_seen = 0
+        self.checkpoints_seen = 0
+
+    async def before_group(self, group) -> None:
+        import asyncio
+
+        index = self.groups_seen
+        self.groups_seen += 1
+        stall = self.stall_groups.get(index)
+        if stall is not None:
+            if self._injector is not None:
+                self._injector._count_fault("engine-stall")
+            await asyncio.sleep(stall)
+        if index in self.fail_groups:
+            if self._injector is not None:
+                self._injector._count_fault("engine-fail")
+            raise InjectedFault(f"injected engine failure before group {index}")
+
+    def on_checkpoint(self) -> None:
+        index = self.checkpoints_seen
+        self.checkpoints_seen += 1
+        if index in self.fail_checkpoints:
+            if self._injector is not None:
+                self._injector._count_fault("checkpoint-fail")
+            raise InjectedFault(
+                f"injected checkpoint-write failure at attempt {index}"
+            )
+
+
+class ChaosDetector:
+    """Wrap a detector so scheduled batch calls raise :class:`InjectedFault`.
+
+    ``fail_calls`` indexes the combined sequence of ``process_batch`` /
+    ``process_batch_at`` invocations.  Everything else — checkpointing,
+    telemetry, window introspection — delegates to the wrapped
+    detector, so the wrapper slots anywhere the real one does.  The
+    serve engine must answer the affected group with ``ERROR`` frames
+    and keep serving (the per-group never-crash discipline), which
+    ``tests/test_chaos.py`` asserts.
+    """
+
+    def __init__(self, detector, fail_calls: Iterable[int] = ()) -> None:
+        self._detector = detector
+        self._fail_calls = frozenset(fail_calls)
+        self._calls = 0
+
+    def _maybe_fail(self) -> None:
+        index = self._calls
+        self._calls += 1
+        if index in self._fail_calls:
+            raise InjectedFault(f"injected detector failure at batch call {index}")
+
+    def process_batch(self, identifiers):
+        self._maybe_fail()
+        return self._detector.process_batch(identifiers)
+
+    def process_batch_at(self, identifiers, timestamps):
+        self._maybe_fail()
+        return self._detector.process_batch_at(identifiers, timestamps)
+
+    def __getattr__(self, name):
+        return getattr(self._detector, name)
 
 
 class FaultInjector:

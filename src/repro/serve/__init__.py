@@ -17,7 +17,7 @@ synchronous client library; ``python -m repro.serve.client`` is a load
 generator; ``repro serve`` is the CLI entry point.
 """
 
-from .client import ServeClient, run_load
+from .client import RetryPolicy, ServeClient, run_load
 from .coalescer import Coalescer
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -32,6 +32,7 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "ServeClient",
+    "RetryPolicy",
     "run_load",
     "Coalescer",
     "ProtocolError",

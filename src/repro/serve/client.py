@@ -15,71 +15,261 @@ identifier scheme first (the vectorized
 :meth:`~repro.streams.click.IdentifierScheme.identify_batch`, so the
 projection adds no per-click Python work).
 
+Delivery semantics (docs/serving.md §7)
+---------------------------------------
+Every connection opens with a ``HELLO`` handshake announcing a stable
+``client_id``; request ids double as the client's monotone
+``batch_seq``, so ``(client_id, batch_seq)`` is an idempotency key the
+server remembers.  With a :class:`RetryPolicy`, a dropped connection or
+missed deadline triggers automatic reconnect with jittered exponential
+backoff: the client replays every submitted-but-unanswered frame, and
+the server either re-serves the cached response or reports the batch
+already applied — **a retried batch never mutates detector state
+twice**.  Failures surface as typed errors carrying the unresolved
+request ids: :class:`~repro.errors.ConnectionLost`,
+:class:`~repro.errors.DeadlineExceeded`,
+:class:`~repro.errors.RetriesExhausted`.  After the retry budget is
+exhausted a circuit breaker fast-fails further calls (without touching
+the network) until ``breaker_reset`` seconds pass, so a dead server
+costs callers microseconds, not timeouts.
+
 Responses arrive in request order (a server guarantee), so ``collect``
 just reads the next frame; an ``OVERLOADED`` response surfaces as
 :class:`~repro.errors.OverloadedError` (back off and resubmit — the
 server did *not* process the batch) and an ``ERROR`` response as
-:class:`~repro.errors.ProtocolError`.
+:class:`~repro.errors.ProtocolError` (the batch was refused without
+touching detector state).
 
 Run the module for a load generator::
 
     python -m repro.serve.client --port 9000 --clicks 1000000
 
 It drives a bounded pipeline of synthetic batches (or a stream file via
-``--input``), retries overloads with exponential backoff, and reports
+``--input``), retries overloads with exponential backoff, counts hard
+``ERROR`` refusals instead of retrying them forever, and reports
 sustained clicks/s.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, OverloadedError, ProtocolError
+from ..errors import (
+    ConfigurationError,
+    ConnectionLost,
+    DeadlineExceeded,
+    OverloadedError,
+    ProtocolError,
+    RetriesExhausted,
+)
 from ..streams.click import DEFAULT_SCHEME, IdentifierScheme
 from .protocol import (
     FRAME_ERROR,
+    FRAME_HELLO_ACK,
     FRAME_OVERLOADED,
     FRAME_PING,
     FRAME_PONG,
+    FRAME_RETRY,
     FRAME_VERDICTS,
     HEADER,
     MAGIC,
     decode_header,
+    decode_hello_payload,
     decode_verdicts_payload,
     encode_batch,
     encode_frame,
+    encode_hello,
 )
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "RetryPolicy", "run_load"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`ServeClient` survives a flaky server or network.
+
+    ``max_retries`` bounds reconnect attempts per delivery operation;
+    between attempts the client sleeps ``base_backoff * 2**n`` capped at
+    ``max_backoff``, with up to ``jitter`` (a fraction) shaved off at
+    random so a fleet of clients does not reconnect in lockstep.  Pass
+    ``seed`` to make the jitter deterministic (tests, chaos soaks).
+
+    After ``breaker_failures`` consecutive exhausted budgets the
+    circuit breaker opens for ``breaker_reset`` seconds: calls fail
+    immediately with :class:`~repro.errors.ConnectionLost` instead of
+    burning a full retry cycle against a server that is down.  The
+    first call after the window closes is the half-open probe.
+    """
+
+    max_retries: int = 6
+    base_backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+    breaker_failures: int = 1
+    breaker_reset: float = 5.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
+            raise ConfigurationError(
+                "need 0 <= base_backoff <= max_backoff, got "
+                f"{self.base_backoff}/{self.max_backoff}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.breaker_failures < 1:
+            raise ConfigurationError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to sleep before reconnect ``attempt`` (1-based)."""
+        delay = min(self.base_backoff * (2 ** (attempt - 1)), self.max_backoff)
+        return delay * (1.0 - self.jitter * rng.random())
 
 
 class ServeClient:
-    """Blocking binary-protocol client; one TCP connection."""
+    """Blocking binary-protocol client; one logical connection.
+
+    ``timeout`` is both the connect timeout and the per-response
+    deadline.  ``retry=None`` (the default) keeps the fail-fast
+    single-connection behaviour — errors are still typed, but nothing
+    is retried; pass a :class:`RetryPolicy` for automatic reconnect
+    with exactly-once redelivery.  ``client_id`` is the stable
+    idempotency identity; it must survive reconnects (the default is a
+    fresh random id per client object, which does exactly that).
+    """
 
     def __init__(
-        self, host: str, port: int, timeout: Optional[float] = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        client_id: Optional[int] = None,
+        registry=None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock.sendall(MAGIC)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = random.Random(retry.seed if retry is not None else None)
+        self.client_id = (
+            client_id if client_id is not None else self._rng.getrandbits(63) | 1
+        )
         self._next_id = 1
-        #: Request ids submitted but not yet collected, FIFO.
-        self._pending: Deque[int] = deque()
+        #: (request_id, encoded frame) submitted but not yet collected,
+        #: FIFO — the redelivery buffer: everything here is resent
+        #: verbatim after a reconnect.
+        self._pending: Deque[Tuple[int, bytes]] = deque()
         self._closed = False
+        self._sock: Optional[socket.socket] = None
+        #: Highest batch_seq the server acknowledged at the last HELLO.
+        self.last_acked_seq = 0
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
+        self._retries_total = (
+            registry.counter(
+                "repro_serve_retries_total",
+                "Client reconnect attempts on the retry path",
+            )
+            if registry is not None
+            else None
+        )
+        self._breaker_fastfails_total = (
+            registry.counter(
+                "repro_serve_breaker_fastfails_total",
+                "Calls refused immediately while the circuit breaker was open",
+            )
+            if registry is not None
+            else None
+        )
+        try:
+            self._connect()
+        except (ConnectionLost, DeadlineExceeded) as error:
+            self._redeliver(error)  # retry the dial, or raise typed
+        except OSError as error:
+            self._redeliver(
+                ConnectionLost(f"connect to {host}:{port} failed: {error}")
+            )
 
     # -- wire helpers --------------------------------------------------
+
+    def _pending_ids(self) -> Tuple[int, ...]:
+        return tuple(request_id for request_id, _frame in self._pending)
+
+    def _connect(self) -> None:
+        """Dial, speak the magic + HELLO handshake, resend pending."""
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        try:
+            sock.sendall(MAGIC + encode_hello(0, self.client_id))
+            frame_type, _echoed, payload = self._read_frame()
+            if frame_type != FRAME_HELLO_ACK:
+                raise ProtocolError(
+                    f"expected HELLO_ACK, got frame 0x{frame_type:02X}"
+                )
+            self.last_acked_seq = decode_hello_payload(payload)
+            # Redeliver everything unanswered, oldest first; the
+            # server's dedup window guarantees none applies twice.
+            for _request_id, frame in self._pending:
+                sock.sendall(frame)
+        except (OSError, ConnectionLost, DeadlineExceeded):
+            self._teardown_socket()
+            raise
+
+    def _teardown_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _require_socket(self) -> socket.socket:
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        self._check_breaker()
+        if self._sock is None:
+            self._redeliver(ConnectionLost(
+                "not connected", pending=self._pending_ids()
+            ))
+        return self._sock
 
     def _recv_exactly(self, count: int) -> bytes:
         chunks = []
         while count:
-            chunk = self._sock.recv(count)
+            try:
+                chunk = self._sock.recv(count)
+            except socket.timeout as error:
+                raise DeadlineExceeded(
+                    f"no response within {self._timeout}s",
+                    pending=self._pending_ids(),
+                ) from error
+            except OSError as error:
+                raise ConnectionLost(
+                    f"connection failed mid-frame: {error}",
+                    pending=self._pending_ids(),
+                ) from error
             if not chunk:
-                raise ProtocolError("server closed the connection mid-frame")
+                raise ConnectionLost(
+                    "server closed the connection mid-frame",
+                    pending=self._pending_ids(),
+                )
             chunks.append(chunk)
             count -= len(chunk)
         return b"".join(chunks)
@@ -90,6 +280,67 @@ class ServeClient:
         )
         return frame_type, request_id, self._recv_exactly(payload_len)
 
+    def _send_frame(self, frame: bytes) -> None:
+        try:
+            self._sock.sendall(frame)
+        except OSError as error:
+            raise ConnectionLost(
+                f"send failed: {error}", pending=self._pending_ids()
+            ) from error
+
+    # -- retry machinery -----------------------------------------------
+
+    def _check_breaker(self) -> None:
+        if self._retry is None:
+            return
+        remaining = self._breaker_open_until - time.monotonic()
+        if remaining > 0:
+            if self._breaker_fastfails_total is not None:
+                self._breaker_fastfails_total.inc()
+            raise ConnectionLost(
+                f"circuit breaker open for another {remaining:.2f}s "
+                "(server was unreachable)",
+                pending=self._pending_ids(),
+            )
+
+    def _redeliver(self, error: Exception) -> None:
+        """Re-establish delivery after ``error``, or raise it typed.
+
+        With no :class:`RetryPolicy` the original typed error
+        propagates.  Otherwise: jittered exponential backoff and
+        reconnect, up to ``max_retries`` attempts; on success the
+        pending frames have been resent (inside :meth:`_connect`) and
+        the caller simply continues reading responses.  Exhaustion
+        raises :class:`RetriesExhausted` (original failure as
+        ``__cause__``) and feeds the circuit breaker.
+        """
+        self._teardown_socket()
+        policy = self._retry
+        if policy is None:
+            raise error
+        last = error
+        for attempt in range(1, policy.max_retries + 1):
+            time.sleep(policy.backoff(attempt, self._rng))
+            if self._retries_total is not None:
+                self._retries_total.inc()
+            try:
+                self._connect()
+            except (OSError, ConnectionLost, DeadlineExceeded, ProtocolError) as err:
+                last = err
+                continue
+            self._breaker_failures = 0
+            return
+        self._breaker_failures += 1
+        if self._breaker_failures >= policy.breaker_failures:
+            self._breaker_open_until = (
+                time.monotonic() + policy.breaker_reset
+            )
+        raise RetriesExhausted(
+            f"delivery failed after {policy.max_retries} reconnect attempts: "
+            f"{last}",
+            pending=self._pending_ids(),
+        ) from last
+
     # -- API -----------------------------------------------------------
 
     def submit(
@@ -98,12 +349,15 @@ class ServeClient:
         timestamps: Optional["np.ndarray"] = None,
     ) -> int:
         """Ship one batch without waiting; returns its request id."""
-        if self._closed:
-            raise ConfigurationError("client is closed")
+        self._require_socket()
         request_id = self._next_id
         self._next_id += 1
-        self._sock.sendall(encode_batch(request_id, identifiers, timestamps))
-        self._pending.append(request_id)
+        frame = encode_batch(request_id, identifiers, timestamps)
+        self._pending.append((request_id, frame))
+        try:
+            self._send_frame(frame)
+        except ConnectionLost as error:
+            self._redeliver(error)  # resends the whole pending window
         return request_id
 
     @property
@@ -111,26 +365,63 @@ class ServeClient:
         """Batches submitted but not yet collected."""
         return len(self._pending)
 
+    @property
+    def pending_ids(self) -> Tuple[int, ...]:
+        """Request ids submitted but not yet collected, oldest first."""
+        return self._pending_ids()
+
     def collect(self, request_id: Optional[int] = None) -> "np.ndarray":
         """Read the next response (which must match ``request_id`` if given).
 
         Returns the verdict array for the oldest pending submit; raises
-        :class:`OverloadedError` if the server refused that batch and
-        :class:`ProtocolError` if it reported the frame malformed.
+        :class:`OverloadedError` if the server refused that batch under
+        admission control and :class:`ProtocolError` if it reported the
+        frame malformed or refused (either way the batch did **not**
+        advance detector state).  Connection failures are retried per
+        the :class:`RetryPolicy`, or raised typed without one.
         """
         if not self._pending:
             raise ConfigurationError("collect() with no pending submit")
-        expected = self._pending.popleft()
+        expected = self._pending[0][0]
         if request_id is not None and request_id != expected:
             raise ConfigurationError(
                 f"collect out of order: next pending is {expected}, "
                 f"asked for {request_id}"
             )
-        frame_type, echoed, payload = self._read_frame()
-        if echoed != expected:
-            raise ProtocolError(
-                f"response id {echoed} does not match pending request {expected}"
-            )
+        self._require_socket()
+        while True:
+            try:
+                frame_type, echoed, payload = self._read_frame()
+            except (ConnectionLost, DeadlineExceeded) as error:
+                self._redeliver(error)
+                continue
+            if frame_type == FRAME_RETRY and echoed in self._pending_ids():
+                # The server detected payload corruption in transit; the
+                # batch was not processed.  Resend the window — the same
+                # bytes are expected to survive a fresh connection.
+                self._redeliver(ConnectionLost(
+                    f"request {echoed} damaged in transit: "
+                    + payload.decode("utf-8", "replace"),
+                    pending=self._pending_ids(),
+                ))
+                continue
+            if echoed == expected:
+                break
+            if echoed not in self._pending_ids():
+                # A response for a batch already collected: the network
+                # duplicated a frame and the server's dedup cache dutifully
+                # replayed its answer.  Harmless — discard and keep reading.
+                continue
+            # A *later* pending id answered first: the frame carrying
+            # ``expected`` was lost upstream of the server, so its response
+            # will never arrive on this connection.  Reconnect and resend
+            # the window; the dedup cache replays what was already applied.
+            self._redeliver(ConnectionLost(
+                f"response id {echoed} arrived before pending request "
+                f"{expected}; frames were lost in transit",
+                pending=self._pending_ids(),
+            ))
+        self._pending.popleft()
         if frame_type == FRAME_VERDICTS:
             return decode_verdicts_payload(payload)
         if frame_type == FRAME_OVERLOADED:
@@ -170,19 +461,37 @@ class ServeClient:
         """Round-trip a health probe (requires no pending submits)."""
         if self._pending:
             raise ConfigurationError("ping() while submits are pending")
+        self._require_socket()
         request_id = self._next_id
         self._next_id += 1
-        self._sock.sendall(encode_frame(FRAME_PING, request_id))
-        frame_type, echoed, _payload = self._read_frame()
-        return frame_type == FRAME_PONG and echoed == request_id
+        while True:
+            try:
+                self._send_frame(encode_frame(FRAME_PING, request_id))
+                frame_type, echoed, _payload = self._read_frame()
+                return frame_type == FRAME_PONG and echoed == request_id
+            except (ConnectionLost, DeadlineExceeded) as error:
+                self._redeliver(error)
+                # Redelivery resends nothing for a ping (it is not a
+                # batch); issue a fresh probe on the new connection.
+                request_id = self._next_id
+                self._next_id += 1
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+        """Release the socket; safe on a half-closed or dead connection."""
+        if self._closed:
+            return
+        self._closed = True
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # peer already closed its half (or never connected)
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -228,27 +537,51 @@ def run_load(
     batches,
     window: int = 32,
     max_consecutive_overloads: int = 1000,
+    retry: Optional[RetryPolicy] = None,
+    client_id: Optional[int] = None,
+    timeout: Optional[float] = 30.0,
+    registry=None,
+    on_verdicts=None,
 ) -> dict:
     """Drive a bounded pipeline of batches; returns a stats dict.
 
     ``window`` bounds outstanding submits (the client-side mirror of the
-    server's admission control).  An ``OVERLOADED`` verdict puts the
-    batch back at the *front* of the work queue and backs off
-    exponentially, so every click is eventually classified exactly once
-    and a refused batch replays before any untouched work — its
-    displacement from stream position is bounded by the ``window - 1``
-    batches that were already in flight when it was refused.  Count-
-    based detectors are indifferent to that displacement; time-based
-    detectors see it as bounded clock skew, which the server repairs by
-    clamping up to its ``skew_tolerance`` (docs/serving.md §3).  Keep
-    ``window * batch`` click-duration below the server's tolerance — or
-    run ``window=1`` for strictly ordered replay — when driving a
-    time-based detector.
+    server's admission control).  The three refusal shapes are kept
+    distinct:
+
+    * ``OVERLOADED`` — transient pushback: the batch goes back at the
+      *front* of the work queue with exponential backoff, so every
+      click is eventually classified exactly once and a refused batch
+      replays before any untouched work — its displacement from stream
+      position is bounded by the ``window - 1`` batches already in
+      flight when it was refused.
+    * hard ``ERROR`` frames — the server refused the batch itself
+      (malformed, stale timestamps): retrying the same bytes fails the
+      same way, so the batch is **counted and dropped**, never silently
+      retried forever; the count and the lost clicks are in the stats.
+    * connection failures — retried per ``retry``
+      (:class:`RetryPolicy`), riding the exactly-once redelivery of
+      :class:`ServeClient`; with ``retry=None`` they propagate.
+
+    Count-based detectors are indifferent to requeue displacement;
+    time-based detectors see it as bounded clock skew, which the server
+    repairs by clamping up to its ``skew_tolerance`` (docs/serving.md
+    §3).  Keep ``window * batch`` click-duration below the server's
+    tolerance — or run ``window=1`` for strictly ordered replay — when
+    driving a time-based detector.
+
+    ``on_verdicts(index, verdicts)`` is invoked for every classified
+    batch (the chaos soak's journal hook).
     """
-    client = ServeClient(host, port)
+    client = ServeClient(
+        host, port, timeout=timeout, retry=retry, client_id=client_id,
+        registry=registry,
+    )
     total = 0
     duplicates = 0
     overloads = 0
+    errors = 0
+    error_clicks = 0
     consecutive = 0
     work: Deque[int] = deque(range(len(batches)))
     inflight: Deque[Tuple[int, int]] = deque()  # (request_id, batch index)
@@ -270,9 +603,17 @@ def run_load(
                 work.appendleft(index)
                 time.sleep(min(0.001 * (2 ** min(consecutive, 9)), 0.5))
                 continue
+            except ProtocolError:
+                # A hard refusal: the same bytes would fail again.
+                errors += 1
+                error_clicks += int(batches[index][0].shape[0])
+                consecutive = 0
+                continue
             consecutive = 0
             total += int(verdicts.shape[0])
             duplicates += int(np.count_nonzero(verdicts))
+            if on_verdicts is not None:
+                on_verdicts(index, verdicts)
     finally:
         client.close()
     elapsed = time.perf_counter() - started
@@ -280,6 +621,8 @@ def run_load(
         "clicks": total,
         "duplicates": duplicates,
         "overloads": overloads,
+        "errors": errors,
+        "error_clicks": error_clicks,
         "seconds": elapsed,
         "clicks_per_second": total / elapsed if elapsed > 0 else 0.0,
     }
@@ -304,6 +647,10 @@ def main(argv=None) -> int:
         help="fraction of synthetic clicks drawn as repeats",
     )
     parser.add_argument(
+        "--retries", type=int, default=0,
+        help="reconnect attempts per delivery failure (0 = fail fast)",
+    )
+    parser.add_argument(
         "--input", default=None, help="replay a .csv/.jsonl stream file instead"
     )
     parser.add_argument(
@@ -321,11 +668,18 @@ def main(argv=None) -> int:
         batches = _synthetic_batches(
             args.clicks, args.batch, args.seed, args.duplicate_rate
         )
-    stats = run_load(args.host, args.port, batches, window=args.window)
+    retry = (
+        RetryPolicy(max_retries=args.retries, seed=args.seed)
+        if args.retries > 0
+        else None
+    )
+    stats = run_load(args.host, args.port, batches, window=args.window,
+                     retry=retry)
     print(
         f"{stats['clicks']} clicks in {stats['seconds']:.2f}s "
         f"({stats['clicks_per_second']:,.0f} clicks/s), "
-        f"{stats['duplicates']} duplicates, {stats['overloads']} overloads"
+        f"{stats['duplicates']} duplicates, {stats['overloads']} overloads, "
+        f"{stats['errors']} errors ({stats['error_clicks']} clicks refused)"
     )
     return 0
 

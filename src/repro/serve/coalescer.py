@@ -94,6 +94,27 @@ class Coalescer:
             return self.flush()
         return None
 
+    def requeue(self, pairs: List[Tuple[Any, int]]) -> None:
+        """Put an emitted group *back*, ahead of everything pending.
+
+        The engine-restart path: a group handed out by :meth:`add`/
+        :meth:`flush` whose processing was interrupted before it
+        touched the detector is returned intact, in its original order,
+        at the front — so the restarted consumer classifies it first
+        and admission order is preserved.  The requeued group counts
+        as the oldest pending work: the deadline clock restarts now
+        (the original wait was already paid once).
+        """
+        if not pairs:
+            return
+        for _item, count in pairs:
+            if count < 0:
+                raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._pending[:0] = pairs
+        self._pending_clicks += sum(count for _item, count in pairs)
+        if self._oldest_at is None:
+            self._oldest_at = self._clock()
+
     def poll(self) -> Optional[List[Any]]:
         """Emit the pending group iff its deadline has passed."""
         deadline = self.deadline

@@ -43,11 +43,13 @@ classified and answered — zero click loss.
 from __future__ import annotations
 
 import asyncio
+import base64
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -63,19 +65,26 @@ from ..telemetry import TelemetrySession
 from .coalescer import Coalescer
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    FLAG_CHECKSUM,
     FRAME_BATCH,
     FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_HELLO_ACK,
     FRAME_OVERLOADED,
     FRAME_PING,
     FRAME_PONG,
+    FRAME_RETRY,
     HEADER,
     MAGIC,
+    checksum16,
     decode_batch_payload,
+    decode_hello_payload,
     decode_jsonl_line,
     encode_frame,
     encode_jsonl_line,
     encode_verdicts,
 )
+from .protocol import _U64
 
 __all__ = ["ServeConfig", "ClickIngestServer", "ServerThread"]
 
@@ -120,6 +129,24 @@ class ServeConfig:
     #: :class:`repro.resilience.hardening.ReorderBuffer`), so clients
     #: whose clocks disagree by less than this can share one server.
     skew_tolerance: float = 1.0
+    #: Exactly-once delivery: per-client response-cache entries and the
+    #: number of distinct ``client_id`` windows kept (LRU).  A retried
+    #: batch whose ``(client_id, batch_seq)`` is still cached replays
+    #: its response instead of re-entering the detector.  Size
+    #: ``dedup_entries`` above the largest client pipeline window —
+    #: a response older than that many newer ones can no longer be
+    #: replayed (the batch is still detected as applied, never
+    #: re-applied).  ``0`` disables dedup entirely.
+    dedup_entries: int = 512
+    dedup_clients: int = 256
+    #: Engine watchdog: how often (seconds) to check the engine task,
+    #: and how long a single coalesced group may be in flight before
+    #: the engine is declared wedged, cancelled, and restarted (the
+    #: group is requeued — it has not touched detector state).
+    #: ``watchdog_interval=0`` disables the watchdog, restoring the
+    #: fail-static behaviour (a dead engine errors new requests).
+    watchdog_interval: float = 0.5
+    watchdog_stall_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_inflight_bytes < 1:
@@ -137,6 +164,146 @@ class ServeConfig:
             raise ConfigurationError(
                 f"skew_tolerance must be >= 0, got {self.skew_tolerance}"
             )
+        if self.dedup_entries < 0:
+            raise ConfigurationError(
+                f"dedup_entries must be >= 0, got {self.dedup_entries}"
+            )
+        if self.dedup_clients < 1:
+            raise ConfigurationError(
+                f"dedup_clients must be >= 1, got {self.dedup_clients}"
+            )
+        if self.watchdog_interval < 0:
+            raise ConfigurationError(
+                f"watchdog_interval must be >= 0, got {self.watchdog_interval}"
+            )
+        if self.watchdog_stall_timeout <= 0:
+            raise ConfigurationError(
+                "watchdog_stall_timeout must be > 0, got "
+                f"{self.watchdog_stall_timeout}"
+            )
+
+
+class _ClientWindow:
+    """One ``client_id``'s slice of the dedup cache."""
+
+    __slots__ = ("entries", "pending", "floor", "max_applied")
+
+    def __init__(self) -> None:
+        #: seq → cached response bytes, oldest-applied first.
+        self.entries: "OrderedDict[int, bytes]" = OrderedDict()
+        #: seq → unresolved response future (batch admitted, not yet
+        #: classified); duplicates arriving meanwhile mirror the future.
+        self.pending: Dict[int, "asyncio.Future"] = {}
+        #: Highest applied seq evicted from ``entries``: anything at or
+        #: below it that is not cached is known-applied (never re-apply)
+        #: even though its response can no longer be replayed.
+        self.floor: int = 0
+        self.max_applied: int = 0
+
+
+class _DedupCache:
+    """Bounded per-client response cache: the exactly-once memory.
+
+    The idempotency key is ``(client_id, batch_seq)``.  Life cycle of
+    one key: :meth:`begin` when the batch is admitted (pending),
+    :meth:`commit` when the detector applied it (response cached,
+    bounded LRU per client), or :meth:`abort` when it was answered
+    without touching detector state (``ERROR``/engine failure — a
+    retry must be allowed to re-attempt).  :meth:`lookup` classifies a
+    new arrival against that memory.  ``state``/``load`` round-trip
+    the committed window through drain checkpoints so exactly-once
+    survives SIGTERM → restore.
+    """
+
+    def __init__(self, max_entries: int, max_clients: int) -> None:
+        self.max_entries = max_entries
+        self.max_clients = max_clients
+        self._clients: "OrderedDict[int, _ClientWindow]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def _window(self, client_id: int) -> _ClientWindow:
+        window = self._clients.get(client_id)
+        if window is None:
+            window = _ClientWindow()
+            self._clients[client_id] = window
+            while len(self._clients) > self.max_clients:
+                self._clients.popitem(last=False)
+        else:
+            self._clients.move_to_end(client_id)
+        return window
+
+    def hello(self, client_id: int) -> int:
+        """Register (or refresh) a client; its highest applied seq."""
+        return self._window(client_id).max_applied
+
+    def lookup(
+        self, client_id: int, seq: int
+    ) -> Tuple[str, Optional[object]]:
+        """Classify an arriving ``(client_id, seq)``.
+
+        Returns one of ``("new", None)`` — apply it; ``("replay",
+        bytes)`` — applied, response cached; ``("pending", future)`` —
+        in flight, mirror the future; ``("applied", None)`` — applied
+        but the response has been evicted.
+        """
+        window = self._window(client_id)
+        cached = window.entries.get(seq)
+        if cached is not None:
+            return "replay", cached
+        future = window.pending.get(seq)
+        if future is not None:
+            return "pending", future
+        if seq <= window.floor:
+            return "applied", None
+        return "new", None
+
+    def begin(self, client_id: int, seq: int, future: "asyncio.Future") -> None:
+        self._window(client_id).pending[seq] = future
+
+    def commit(self, client_id: int, seq: int, response: bytes) -> None:
+        window = self._window(client_id)
+        window.pending.pop(seq, None)
+        window.entries[seq] = response
+        window.entries.move_to_end(seq)
+        if seq > window.max_applied:
+            window.max_applied = seq
+        while len(window.entries) > self.max_entries:
+            evicted, _ = window.entries.popitem(last=False)
+            if evicted > window.floor:
+                window.floor = evicted
+
+    def abort(self, client_id: int, seq: int) -> None:
+        window = self._clients.get(client_id)
+        if window is not None:
+            window.pending.pop(seq, None)
+
+    def state(self) -> dict:
+        """JSON-able committed state (pending entries are transient)."""
+        return {
+            "clients": [
+                [
+                    client_id,
+                    window.floor,
+                    window.max_applied,
+                    [
+                        [seq, base64.b64encode(response).decode("ascii")]
+                        for seq, response in window.entries.items()
+                    ],
+                ]
+                for client_id, window in self._clients.items()
+            ]
+        }
+
+    def load(self, state: dict) -> None:
+        for client_id, floor, max_applied, entries in state.get("clients", []):
+            window = self._window(int(client_id))
+            window.floor = int(floor)
+            window.max_applied = int(max_applied)
+            for seq, encoded in entries:
+                window.entries[int(seq)] = base64.b64decode(encoded)
 
 
 @dataclass
@@ -153,6 +320,7 @@ class _Request:
         "jsonl",
         "future",
         "enqueued_at",
+        "dedup_key",
     )
 
     connection: "_Connection"
@@ -164,6 +332,10 @@ class _Request:
     jsonl: bool
     future: "asyncio.Future"
     enqueued_at: float
+    #: ``(client_id, batch_seq)`` when the connection said ``HELLO``;
+    #: ``None`` for legacy/JSONL requests outside the dedup window.
+    #: (No default: a class-level default would clash with __slots__.)
+    dedup_key: Optional[Tuple[int, int]]
 
 
 @dataclass
@@ -176,6 +348,8 @@ class _Connection:
     responses: "asyncio.Queue" = field(default_factory=asyncio.Queue)
     inflight_bytes: int = 0
     peer: str = ""
+    #: Set by ``HELLO``: this connection's idempotency identity.
+    client_id: Optional[int] = None
 
 
 class ClickIngestServer:
@@ -193,12 +367,18 @@ class ClickIngestServer:
         config: Optional[ServeConfig] = None,
         telemetry: Optional[TelemetrySession] = None,
         dead_letters: Optional[DeadLetterSink] = None,
+        fault_hooks=None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.telemetry = (
             telemetry if telemetry is not None else TelemetrySession.disabled()
         )
         self.dead_letters = dead_letters
+        #: Chaos-testing hooks (see ``repro.resilience.faults
+        #: .EngineFaultHooks``): ``before_group`` may stall or kill the
+        #: engine task, ``on_checkpoint`` may fail a checkpoint write.
+        #: ``None`` in production.
+        self.fault_hooks = fault_hooks
         self._store = (
             CheckpointStore(self.config.checkpoint_dir, keep=self.config.checkpoint_keep)
             if self.config.checkpoint_dir is not None
@@ -206,6 +386,9 @@ class ClickIngestServer:
         )
         self._base_detector = detector
         self._resumed_clicks = 0
+        self._dedup = _DedupCache(
+            self.config.dedup_entries, self.config.dedup_clients
+        )
         #: Largest timestamp ever handed to a time-based detector.  New
         #: groups are merged/clamped against it so the engine's clock is
         #: monotone no matter how client clocks interleave; restored
@@ -263,12 +446,34 @@ class ClickIngestServer:
             "repro_serve_engine_errors_total",
             "Coalesced groups refused by the detector (all requests ERRORed)",
         )
+        self._dedup_hits_total = registry.counter(
+            "repro_serve_dedup_hits_total",
+            "Retried batches answered from the dedup window (not re-applied)",
+        )
+        self._watchdog_restarts_total = registry.counter(
+            "repro_serve_watchdog_restarts_total",
+            "Engine tasks restarted by the watchdog (died or wedged)",
+        )
+        self._checkpoint_failures_total = registry.counter(
+            "repro_serve_checkpoint_failures_total",
+            "Checkpoint write attempts that failed",
+        )
+        self._corrupt_frames_total = registry.counter(
+            "repro_serve_corrupt_frames_total",
+            "Batches refused with RETRY on a payload checksum mismatch",
+        )
         self._inflight_bytes = 0
         self._queue: "asyncio.Queue" = asyncio.Queue()
         self._coalescer = Coalescer(self.config.max_batch, self.config.max_delay)
         self._server: Optional[asyncio.base_events.Server] = None
         self._engine_task: Optional[asyncio.Task] = None
         self._engine_error: Optional[BaseException] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        #: Engine liveness for the watchdog: ``_engine_busy`` is True
+        #: while a coalesced group is in flight, and the heartbeat is
+        #: the monotonic instant the engine last made progress.
+        self._engine_busy = False
+        self._engine_heartbeat = time.monotonic()
         self._handlers: Set[asyncio.Task] = set()
         self._drained = asyncio.Event()
         self._draining = False
@@ -293,6 +498,8 @@ class ClickIngestServer:
         if self._server is not None:
             raise ConfigurationError("server already started")
         self._engine_task = asyncio.create_task(self._engine_loop())
+        if self.config.watchdog_interval > 0:
+            self._watchdog_task = asyncio.create_task(self._watchdog_loop())
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -316,6 +523,15 @@ class ClickIngestServer:
             await self._drained.wait()
             return
         self._draining = True
+        if self._watchdog_task is not None:
+            # Stop the watchdog first so it cannot restart the engine
+            # while drain is waiting for it to exit.
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except (Exception, asyncio.CancelledError):
+                pass
+            self._watchdog_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -324,14 +540,7 @@ class ClickIngestServer:
         for task in list(self._handlers):
             task.cancel()
         await self._queue.put(None)  # drain sentinel: flush + exit
-        if self._engine_task is not None:
-            # The engine task swallows its own failures (recording them
-            # in ``_engine_error``), but stay tolerant of a dead task
-            # either way: drain must always complete.
-            try:
-                await self._engine_task
-            except (Exception, asyncio.CancelledError):
-                pass
+        await self._drain_engine()
         if self._engine_error is not None:
             self._abort_pending(f"engine failed: {self._engine_error}")
         if self._handlers:
@@ -342,6 +551,55 @@ class ClickIngestServer:
             self._engine_detector.close(sync=True)
         self._checkpoint()
         self._drained.set()
+
+    async def _drain_engine(self) -> None:
+        """Wait for the engine to consume the drain sentinel and exit.
+
+        The engine task swallows its own failures (recording them in
+        ``_engine_error``), but drain must also survive the failure the
+        watchdog normally handles: an engine *wedged* mid-group after
+        the watchdog has already been stopped.  With the watchdog
+        enabled, a task that outlives the stall budget is cancelled —
+        the in-flight group requeues untouched — and a fresh engine
+        task finishes the queue; after a few such restarts (a detector
+        that wedges every time) drain falls through to fail-static.
+        """
+        task = self._engine_task
+        if task is None:
+            return
+        stall = (
+            self.config.watchdog_stall_timeout
+            if self.config.watchdog_interval > 0
+            else None
+        )
+        for _attempt in range(5):
+            try:
+                if stall is None:
+                    await task
+                else:
+                    await asyncio.wait_for(asyncio.shield(task), stall + 1.0)
+                return
+            except asyncio.TimeoutError:
+                task.cancel()
+                try:
+                    await task
+                except (Exception, asyncio.CancelledError):
+                    pass
+                self._restart_engine("engine wedged during drain")
+                task = self._engine_task
+                # The wedged task may have consumed the sentinel already;
+                # a surplus None in the queue is harmless.
+                await self._queue.put(None)
+            except (Exception, asyncio.CancelledError):
+                return
+        task.cancel()
+        try:
+            await task
+        except (Exception, asyncio.CancelledError):
+            pass
+        # Wedges every time it is restarted: give up and fail static so
+        # the pending requests are ERRORed instead of hanging the drain.
+        self._engine_error = RuntimeError("engine wedged through drain")
 
     def _try_resume(self) -> None:
         """Restore the newest readable drain checkpoint, if any."""
@@ -364,9 +622,22 @@ class ClickIngestServer:
             watermark = header.get("watermark")
             if watermark is not None:
                 self._watermark = float(watermark)
+            dedup = header.get("dedup")
+            if dedup and self._dedup.enabled:
+                self._dedup.load(dedup)
             return
 
     def _checkpoint(self) -> None:
+        """Write the drain checkpoint; survive a failing write.
+
+        The blob carries the detector state *and* the dedup window, so
+        a restore keeps refusing to re-apply batches it classified
+        before the SIGTERM.  A failed write (disk error, injected
+        fault) is retried once; if both attempts fail, the previous
+        generation stays the newest on disk — resume falls back to it,
+        which costs replayed work but never correctness, because the
+        clients' retry path and the (older) dedup window still agree.
+        """
         if self._store is None:
             return
         from ..detection.api import wrap_timed
@@ -378,11 +649,24 @@ class ClickIngestServer:
                 "watermark": (
                     self._watermark if self._watermark != float("-inf") else None
                 ),
+                "dedup": self._dedup.state() if self._dedup.enabled else None,
             },
             wrap_timed(self._base_detector).checkpoint_state(),
         )
-        self._store.save(blob)
-        self._checkpoints_total.inc()
+        hook = getattr(self.fault_hooks, "on_checkpoint", None)
+        for attempt in (1, 2):
+            try:
+                if hook is not None:
+                    hook()
+                self._store.save(blob)
+            except Exception as error:
+                self._checkpoint_failures_total.inc()
+                self._dead_letter(
+                    f"checkpoint attempt {attempt}", f"write failed: {error}"
+                )
+                continue
+            self._checkpoints_total.inc()
+            return
 
     # -- connection handling -------------------------------------------
 
@@ -399,8 +683,9 @@ class ClickIngestServer:
             await self._reader_loop(conn, reader)
         except asyncio.CancelledError:
             pass  # drain: stop reading; pending responses still flush
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, OSError):
+            pass  # torn mid-frame (e.g. a truncated delivery): drop it
         finally:
             conn.responses.put_nowait(None)
             try:
@@ -435,7 +720,7 @@ class ClickIngestServer:
                 header = await reader.readexactly(HEADER.size)
             except asyncio.IncompleteReadError:
                 return
-            frame_type, _flags, _res, request_id, payload_len = HEADER.unpack(header)
+            frame_type, flags, reserved, request_id, payload_len = HEADER.unpack(header)
             if payload_len > self.config.max_frame_bytes:
                 # Stream sync would require skipping an absurd payload
                 # from a peer already breaking the contract: dead-letter
@@ -452,12 +737,50 @@ class ClickIngestServer:
             if frame_type == FRAME_PING:
                 self._respond_now(conn, encode_frame(FRAME_PONG, request_id))
                 continue
+            if frame_type == FRAME_HELLO:
+                try:
+                    client_id = decode_hello_payload(payload)
+                except ProtocolError as error:
+                    self._dead_letter(payload[:64], str(error))
+                    self._respond_now(
+                        conn,
+                        encode_frame(FRAME_ERROR, request_id, str(error).encode()),
+                    )
+                    continue
+                conn.client_id = client_id if self._dedup.enabled else None
+                applied = (
+                    self._dedup.hello(client_id) if self._dedup.enabled else 0
+                )
+                self._respond_now(
+                    conn,
+                    encode_frame(FRAME_HELLO_ACK, request_id, _U64.pack(applied)),
+                )
+                continue
             if frame_type != FRAME_BATCH:
                 reason = f"unknown frame type 0x{frame_type:02X}"
                 self._dead_letter(payload[:64], reason)
                 self._respond_now(
                     conn, encode_frame(FRAME_ERROR, request_id, reason.encode())
                 )
+                continue
+            if flags & FLAG_CHECKSUM and checksum16(payload) != reserved:
+                # Damaged in transit: refuse as transient (RETRY) so the
+                # client resends the same bytes — unlike ERROR, nothing
+                # about the batch itself was wrong.
+                self._corrupt_frames_total.inc()
+                self._dead_letter(
+                    header, f"payload checksum mismatch on request {request_id}"
+                )
+                self._respond_now(
+                    conn,
+                    encode_frame(
+                        FRAME_RETRY, request_id, b"payload damaged in transit"
+                    ),
+                )
+                continue
+            if conn.client_id is not None and self._handle_duplicate(
+                conn, request_id
+            ):
                 continue
             wire_bytes = len(payload)
             if not self._admit(conn, wire_bytes):
@@ -478,8 +801,19 @@ class ClickIngestServer:
                     conn, encode_frame(FRAME_ERROR, request_id, str(error).encode())
                 )
                 continue
+            dedup_key = (
+                (conn.client_id, request_id)
+                if conn.client_id is not None
+                else None
+            )
             await self._enqueue(
-                conn, request_id, identifiers, timestamps, wire_bytes, jsonl=False
+                conn,
+                request_id,
+                identifiers,
+                timestamps,
+                wire_bytes,
+                jsonl=False,
+                dedup_key=dedup_key,
             )
 
     async def _jsonl_loop(
@@ -576,6 +910,54 @@ class ClickIngestServer:
         future.set_result(data)
         conn.responses.put_nowait((future, 0))
 
+    def _handle_duplicate(self, conn: _Connection, seq: int) -> bool:
+        """Answer a retried ``(client_id, seq)`` without re-applying it.
+
+        Returns True when the batch was recognised as a duplicate and a
+        response (cached replay, mirror of the in-flight response, or
+        an already-applied notice) was enqueued — the caller must then
+        *not* admit the batch.  False means the key is new.
+        """
+        status, cached = self._dedup.lookup(conn.client_id, seq)
+        if status == "new":
+            return False
+        self._dedup_hits_total.inc()
+        if status == "replay":
+            self._respond_now(conn, cached)
+        elif status == "pending":
+            # The first copy is still in flight: give this connection a
+            # future that resolves to the same response bytes.  A
+            # first-copy future that dies unresolved (engine abort)
+            # resolves the mirror with ERROR so the sender never hangs.
+            loop = asyncio.get_running_loop()
+            mirror = loop.create_future()
+
+            def _copy(done: "asyncio.Future") -> None:
+                if mirror.done():
+                    return
+                if done.cancelled() or done.exception() is not None:
+                    mirror.set_result(
+                        encode_frame(
+                            FRAME_ERROR, seq, b"original request aborted; resend"
+                        )
+                    )
+                else:
+                    mirror.set_result(done.result())
+
+            cached.add_done_callback(_copy)
+            conn.responses.put_nowait((mirror, 0))
+        else:  # "applied": correctness holds, the response is gone
+            self._respond_now(
+                conn,
+                encode_frame(
+                    FRAME_ERROR,
+                    seq,
+                    b"batch already applied; cached response evicted "
+                    b"(raise dedup_entries above the client window)",
+                ),
+            )
+        return True
+
     async def _enqueue(
         self,
         conn: _Connection,
@@ -584,6 +966,7 @@ class ClickIngestServer:
         timestamps: "np.ndarray",
         wire_bytes: int,
         jsonl: bool,
+        dedup_key: Optional[Tuple[int, int]] = None,
     ) -> None:
         future = asyncio.get_running_loop().create_future()
         conn.responses.put_nowait((future, wire_bytes))
@@ -597,10 +980,20 @@ class ClickIngestServer:
             jsonl=jsonl,
             future=future,
             enqueued_at=time.monotonic(),
+            dedup_key=dedup_key,
         )
-        if self._engine_error is not None:
-            # The engine loop is gone; answer directly so the sender
-            # flushes and the budget releases instead of hanging.
+        if dedup_key is not None:
+            # From here the key is "pending": a duplicate arriving on
+            # any connection mirrors this future instead of re-entering
+            # the engine.
+            self._dedup.begin(dedup_key[0], dedup_key[1], future)
+        if self._engine_error is not None and (
+            self._watchdog_task is None or self._draining
+        ):
+            # The engine loop is gone and nothing will resurrect it;
+            # answer directly so the sender flushes and the budget
+            # releases instead of hanging.  (With a live watchdog the
+            # request just waits in the queue for the restarted engine.)
             self._fail_request(request, f"engine failed: {self._engine_error}")
             return
         await self._queue.put(request)
@@ -645,7 +1038,57 @@ class ClickIngestServer:
             raise
         except BaseException as error:
             self._engine_error = error
-            self._abort_pending(f"engine failed: {error}")
+            if self._watchdog_task is None or self._draining:
+                # No watchdog to resurrect us: fail static so senders
+                # flush and drain completes instead of hanging.
+                self._abort_pending(f"engine failed: {error}")
+            # Otherwise leave the queue and coalescer intact — the
+            # watchdog restarts a fresh engine task over the same state
+            # and nothing pending is lost.
+
+    async def _watchdog_loop(self) -> None:
+        """Detect and restart a dead or wedged engine task.
+
+        Two failure shapes: the engine task *died* (an exception other
+        than a detector refusal escaped — those are handled per-group),
+        or it is *wedged* — busy on one group past
+        ``watchdog_stall_timeout`` (a stalled detector or injected
+        stall).  A wedged engine is cancelled; the cancel path requeues
+        the in-flight group untouched, so the restarted engine resumes
+        exactly where the old one stood.
+        """
+        interval = self.config.watchdog_interval
+        stall_after = self.config.watchdog_stall_timeout
+        while True:
+            await asyncio.sleep(interval)
+            if self._draining:
+                return
+            task = self._engine_task
+            if task is None:
+                continue
+            if task.done():
+                self._restart_engine(f"engine task died: {self._engine_error}")
+                continue
+            if (
+                self._engine_busy
+                and time.monotonic() - self._engine_heartbeat > stall_after
+            ):
+                task.cancel()
+                try:
+                    await task
+                except (Exception, asyncio.CancelledError):
+                    pass
+                self._restart_engine(
+                    f"engine wedged > {stall_after}s on one group"
+                )
+
+    def _restart_engine(self, reason: str) -> None:
+        self._watchdog_restarts_total.inc()
+        self._dead_letter(reason, "engine restarted by watchdog")
+        self._engine_error = None
+        self._engine_busy = False
+        self._engine_heartbeat = time.monotonic()
+        self._engine_task = asyncio.create_task(self._engine_loop())
 
     async def _engine_loop_inner(self) -> None:
         queue = self._queue
@@ -661,16 +1104,44 @@ class ClickIngestServer:
                 except asyncio.TimeoutError:
                     group = coalescer.flush()
                     if group:
-                        self._process_group(group)
+                        await self._run_group(group)
                     continue
             if request is None:
                 group = coalescer.flush()
                 if group:
-                    self._process_group(group)
+                    await self._run_group(group)
                 return
             group = coalescer.add(request, request.count)
             if group is not None:
-                self._process_group(group)
+                await self._run_group(group)
+
+    async def _run_group(self, group: List[_Request]) -> None:
+        """One group through the fault hooks and the detector.
+
+        Marks the engine busy for the watchdog and guarantees the group
+        is never half-lost: if the fault hooks stall and the watchdog
+        cancels us, or a hook raises (the injected engine death), the
+        untouched group is requeued at the *front* of the coalescer so
+        the restarted engine classifies it first — no click is lost and
+        none is applied twice, because the detector has not seen it.
+        """
+        self._engine_busy = True
+        self._engine_heartbeat = time.monotonic()
+        try:
+            hooks = self.fault_hooks
+            before = getattr(hooks, "before_group", None) if hooks else None
+            if before is not None:
+                try:
+                    await before(group)
+                except BaseException:
+                    self._coalescer.requeue(
+                        [(request, request.count) for request in group]
+                    )
+                    raise
+            self._process_group(group)
+        finally:
+            self._engine_busy = False
+            self._engine_heartbeat = time.monotonic()
 
     def _process_group(self, group: List[_Request]) -> None:
         """Classify one coalesced group and resolve its futures.
@@ -739,6 +1210,13 @@ class ClickIngestServer:
                 )
             else:
                 data = encode_verdicts(request.request_id, slice_)
+            if request.dedup_key is not None:
+                # The batch is now applied: remember the response so a
+                # retry after a dropped connection replays these bytes
+                # instead of re-entering the detector.
+                self._dedup.commit(
+                    request.dedup_key[0], request.dedup_key[1], data
+                )
             if not request.future.done():
                 request.future.set_result(data)
 
@@ -773,7 +1251,14 @@ class ClickIngestServer:
 
     def _fail_request(self, request: _Request, reason: str) -> None:
         """Answer one admitted request with ``ERROR`` (budget still
-        releases when the sender writes it)."""
+        releases when the sender writes it).
+
+        The batch did *not* touch detector state, so its idempotency
+        key is released — the client's retry must be allowed to
+        re-attempt it, not be refused as a duplicate.
+        """
+        if request.dedup_key is not None:
+            self._dedup.abort(request.dedup_key[0], request.dedup_key[1])
         if request.jsonl:
             data = encode_jsonl_line(
                 {"id": request.request_id, "error": reason}
@@ -819,11 +1304,13 @@ class ServerThread:
         config: Optional[ServeConfig] = None,
         telemetry: Optional[TelemetrySession] = None,
         dead_letters: Optional[DeadLetterSink] = None,
+        fault_hooks=None,
     ) -> None:
         self._detector = detector
         self._config = config
         self._telemetry = telemetry
         self._dead_letters = dead_letters
+        self._fault_hooks = fault_hooks
         self.server: Optional[ClickIngestServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -854,6 +1341,7 @@ class ServerThread:
                 config=self._config,
                 telemetry=self._telemetry,
                 dead_letters=self._dead_letters,
+                fault_hooks=self._fault_hooks,
             )
             await self.server.start()
             self.port = self.server.port

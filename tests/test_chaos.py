@@ -1,0 +1,506 @@
+"""Tests for exactly-once delivery under failure (:mod:`repro.chaos`).
+
+Covers the dedup window (replay, in-flight mirroring, drain/restore
+persistence), the typed client retry machinery and circuit breaker, the
+payload checksum, the engine watchdog against injected kills and
+stalls, the fault proxy, and the full chaos soak reconciliation.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectorSpec, WindowSpec, create_detector
+from repro.detection.pipeline import DetectionPipeline
+from repro.chaos import ChaosProxy, FaultPlan, ProxyThread, SoakConfig, run_soak
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLost,
+    DeadlineExceeded,
+    ProtocolError,
+    RetriesExhausted,
+)
+from repro.resilience import ChaosDetector, EngineFaultHooks
+from repro.serve import RetryPolicy, ServeClient, ServeConfig, ServerThread
+from repro.serve.client import run_load
+from repro.serve.protocol import (
+    FRAME_HELLO_ACK,
+    FRAME_RETRY,
+    FRAME_VERDICTS,
+    HEADER,
+    MAGIC,
+    decode_header,
+    decode_hello_payload,
+    encode_batch,
+    encode_frame,
+    encode_hello,
+)
+from repro.telemetry import TelemetrySession
+
+TBF_SPEC = DetectorSpec(
+    algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.01
+)
+
+
+def _stream(count=4_000, seed=5, universe=500):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, size=count, dtype=np.uint64)
+
+
+def _offline(identifiers):
+    pipeline = DetectionPipeline(create_detector(TBF_SPEC), score_sources=False)
+    return pipeline.run_identified_batch(identifiers, None)
+
+
+def _counters(session):
+    return {
+        entry["name"]: entry["value"]
+        for entry in session.registry.snapshot()["counters"]
+    }
+
+
+def _recv_exactly(sock, count):
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        assert chunk, "peer closed early"
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_response(sock):
+    header = _recv_exactly(sock, HEADER.size)
+    frame_type, request_id, length = decode_header(header, expect_response=True)
+    return frame_type, request_id, _recv_exactly(sock, length)
+
+
+def _hello(sock, client_id):
+    sock.sendall(MAGIC + encode_hello(0, client_id))
+    frame_type, _id, payload = _read_response(sock)
+    assert frame_type == FRAME_HELLO_ACK
+    return decode_hello_payload(payload)
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestFaultPlan:
+    def test_decisions_are_seeded_and_deterministic(self):
+        plan = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.2,
+                         corrupt_rate=0.2)
+        fates = [plan.decide(0, frame) for frame in range(300)]
+        again = [plan.decide(0, frame) for frame in range(300)]
+        assert fates == again
+        assert {"drop", "duplicate", "corrupt", "pass"} == set(fates)
+        # A different connection draws a different (but equally fixed)
+        # schedule.
+        assert fates != [plan.decide(1, frame) for frame in range(300)]
+
+    def test_certain_fault(self):
+        plan = FaultPlan(drop_rate=1.0)
+        assert all(plan.decide(0, f) == "drop" for f in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_rate=0.7, reset_rate=0.6)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(corrupt_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(bytes_per_second=0)
+
+
+class TestExactlyOnceDedup:
+    def test_duplicate_batch_replays_cached_response(self):
+        identifiers = _stream(count=1_000)
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                assert _hello(sock, client_id=77) == 0
+                frame = encode_batch(1, identifiers)
+                sock.sendall(frame)
+                first = _read_response(sock)
+                assert first[0] == FRAME_VERDICTS
+                # The network "retries" the identical frame: the server
+                # must replay the exact cached bytes, not re-classify.
+                sock.sendall(frame)
+                assert _read_response(sock) == first
+            finally:
+                sock.close()
+        assert thread.server.processed_clicks == 1_000  # applied once
+
+    def test_inflight_duplicate_mirrors_the_first_response(self):
+        identifiers = _stream(count=500)
+        # Hold the group in the coalescer so the duplicate arrives while
+        # the first copy is still pending.
+        config = ServeConfig(max_batch=1 << 30, max_delay=0.3)
+        with ServerThread(create_detector(TBF_SPEC), config) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                _hello(sock, client_id=9)
+                frame = encode_batch(1, identifiers)
+                sock.sendall(frame + frame)
+                first = _read_response(sock)
+                second = _read_response(sock)
+                assert first[0] == FRAME_VERDICTS
+                assert second == first
+            finally:
+                sock.close()
+        assert thread.server.processed_clicks == 500
+
+    def test_dedup_window_survives_drain_and_restore(self, tmp_path):
+        identifiers = _stream(count=800)
+        config = ServeConfig(checkpoint_dir=tmp_path / "ckpt")
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                assert _hello(sock, client_id=42) == 0
+                sock.sendall(encode_batch(1, identifiers))
+                first = _read_response(sock)
+            finally:
+                sock.close()
+        finally:
+            thread.stop()
+
+        # A fresh process restores the dedup window with the sketch: the
+        # retried batch replays across the restart, and is not re-applied.
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                assert _hello(sock, client_id=42) == 1  # remembered
+                sock.sendall(encode_batch(1, identifiers))
+                assert _read_response(sock) == first
+            finally:
+                sock.close()
+        finally:
+            thread.stop()
+        assert thread.server.processed_clicks == 800
+
+
+class TestPayloadChecksum:
+    def test_corrupted_payload_refused_with_retry_then_succeeds(self):
+        identifiers = _stream(count=300)
+        session = TelemetrySession()
+        with ServerThread(
+            create_detector(TBF_SPEC), telemetry=session
+        ) as thread:
+            sock = socket.create_connection(("127.0.0.1", thread.port), timeout=10)
+            try:
+                _hello(sock, client_id=5)
+                frame = bytearray(encode_batch(1, identifiers))
+                frame[HEADER.size + 40] ^= 0xFF  # one bit of line noise
+                sock.sendall(bytes(frame))
+                frame_type, request_id, _payload = _read_response(sock)
+                assert frame_type == FRAME_RETRY
+                assert request_id == 1
+                # The same batch, undamaged, is accepted — the RETRY did
+                # not poison the dedup window.
+                sock.sendall(encode_batch(1, identifiers))
+                assert _read_response(sock)[0] == FRAME_VERDICTS
+            finally:
+                sock.close()
+        assert thread.server.processed_clicks == 300
+        assert _counters(session)["repro_serve_corrupt_frames_total"] == 1
+
+
+class TestTypedClientErrors:
+    def test_connection_lost_on_dead_server(self):
+        with pytest.raises(ConnectionLost):
+            ServeClient("127.0.0.1", _free_port(), timeout=0.5)
+
+    def test_deadline_exceeded_on_unresponsive_server(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(listener.accept()[0]), daemon=True
+        )
+        thread.start()
+        try:
+            with pytest.raises(DeadlineExceeded):
+                ServeClient(
+                    "127.0.0.1", listener.getsockname()[1], timeout=0.2
+                )
+        finally:
+            listener.close()
+            thread.join(timeout=5)
+            for conn in accepted:
+                conn.close()
+
+    def test_retries_exhausted_then_breaker_fast_fails(self):
+        identifiers = _stream(count=200)
+        policy = RetryPolicy(
+            max_retries=2, base_backoff=0.01, max_backoff=0.02,
+            breaker_reset=30.0, seed=1,
+        )
+        # A black hole: completes the HELLO handshake once, swallows
+        # the batch, then the whole endpoint disappears — every
+        # reconnect attempt is refused, so the retry budget exhausts.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        conns = []
+
+        def black_hole():
+            conn, _ = listener.accept()
+            conns.append(conn)
+            _recv_exactly(conn, len(MAGIC) + HEADER.size + 8)
+            conn.sendall(
+                encode_frame(FRAME_HELLO_ACK, 0, struct.pack("<Q", 0))
+            )
+
+        server = threading.Thread(target=black_hole, daemon=True)
+        server.start()
+        client = None
+        try:
+            client = ServeClient(
+                "127.0.0.1", listener.getsockname()[1],
+                timeout=0.2, retry=policy,
+            )
+            request_id = client.submit(identifiers)
+            server.join(timeout=5)
+            listener.close()
+            for conn in conns:
+                conn.close()
+            with pytest.raises(RetriesExhausted) as info:
+                client.collect(request_id)
+            # The typed error names the deliveries still on the hook.
+            assert request_id in info.value.pending
+            # The breaker is now open: the next call fails in
+            # microseconds instead of burning another retry cycle.
+            started = time.perf_counter()
+            with pytest.raises(ConnectionLost, match="circuit breaker"):
+                client.collect(request_id)
+            assert time.perf_counter() - started < 0.1
+        finally:
+            if client is not None:
+                client.close()
+                client.close()  # idempotent, even half-closed
+            listener.close()
+
+    def test_hard_error_counted_not_retried_by_run_load(self):
+        good = _stream(count=400)
+        batches = [
+            (good[:200], None),
+            # Regressing timestamps: the server refuses this batch with
+            # a hard ERROR every time — run_load must drop and count it.
+            (np.array([1, 2], dtype=np.uint64), np.array([5.0, 1.0])),
+            (good[200:], None),
+        ]
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            stats = run_load("127.0.0.1", thread.port, batches, window=2)
+        assert stats["errors"] == 1
+        assert stats["error_clicks"] == 2
+        assert stats["clicks"] == 400
+
+
+class TestEngineWatchdog:
+    def test_engine_death_is_restarted_without_client_errors(self):
+        identifiers = _stream(count=600)
+        session = TelemetrySession()
+        hooks = EngineFaultHooks(fail_groups=(0,))
+        config = ServeConfig(watchdog_interval=0.02)
+        with ServerThread(
+            create_detector(TBF_SPEC), config,
+            telemetry=session, fault_hooks=hooks,
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port, timeout=10.0) as client:
+                verdicts = client.send(identifiers)
+        assert (verdicts == _offline(identifiers)).all()
+        assert thread.server.processed_clicks == 600
+        assert _counters(session)["repro_serve_watchdog_restarts_total"] >= 1
+
+    def test_wedged_engine_is_cancelled_and_restarted(self):
+        identifiers = _stream(count=600)
+        session = TelemetrySession()
+        hooks = EngineFaultHooks(stall_groups={0: 30.0})
+        config = ServeConfig(
+            watchdog_interval=0.05, watchdog_stall_timeout=0.2
+        )
+        with ServerThread(
+            create_detector(TBF_SPEC), config,
+            telemetry=session, fault_hooks=hooks,
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port, timeout=10.0) as client:
+                verdicts = client.send(identifiers)
+        assert (verdicts == _offline(identifiers)).all()
+        assert thread.server.processed_clicks == 600
+        assert _counters(session)["repro_serve_watchdog_restarts_total"] >= 1
+
+    def test_drain_survives_a_wedged_engine(self):
+        identifiers = _stream(count=400)
+        hooks = EngineFaultHooks(stall_groups={0: 30.0})
+        config = ServeConfig(
+            watchdog_interval=0.05, watchdog_stall_timeout=0.2,
+            max_batch=1 << 30, max_delay=5.0,
+        )
+        thread = ServerThread(
+            create_detector(TBF_SPEC), config, fault_hooks=hooks
+        ).start()
+        client = ServeClient("127.0.0.1", thread.port, timeout=30.0)
+        try:
+            request_id = client.submit(identifiers)
+            # SIGTERM arrives while the engine is stalled on the group:
+            # drain must cancel it, requeue, and still answer everything.
+            thread.stop(timeout=20.0)
+            assert (client.collect(request_id) == _offline(identifiers)).all()
+        finally:
+            client.close()
+        assert thread.server.processed_clicks == 400
+
+    def test_detector_exception_errors_the_group_engine_survives(self):
+        identifiers = _stream(count=300)
+        detector = ChaosDetector(create_detector(TBF_SPEC), fail_calls=(0,))
+        with ServerThread(detector) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                with pytest.raises(ProtocolError, match="detector rejected"):
+                    client.send(identifiers)
+                # Same connection, same engine: the next attempt lands.
+                assert client.send(identifiers).shape == identifiers.shape
+        assert thread.server.processed_clicks == 300
+
+    def test_checkpoint_write_failure_is_retried(self, tmp_path):
+        identifiers = _stream(count=500)
+        session = TelemetrySession()
+        hooks = EngineFaultHooks(fail_checkpoints=(0,))
+        config = ServeConfig(checkpoint_dir=tmp_path / "ckpt")
+        thread = ServerThread(
+            create_detector(TBF_SPEC), config,
+            telemetry=session, fault_hooks=hooks,
+        ).start()
+        try:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                client.send(identifiers)
+        finally:
+            thread.stop()
+        counters = _counters(session)
+        assert counters["repro_serve_checkpoint_failures_total"] == 1
+        assert counters["repro_serve_checkpoints_total"] == 1
+        # The retried write is a valid checkpoint: a restart resumes it.
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            assert thread.server.processed_clicks == 500
+        finally:
+            thread.stop()
+
+
+class TestChaosProxy:
+    def test_pass_through_is_transparent(self):
+        identifiers = _stream(count=2_000)
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            with ProxyThread(thread.port, plan=FaultPlan()) as proxy:
+                with ServeClient("127.0.0.1", proxy.port) as client:
+                    served = np.concatenate([
+                        client.send(chunk)
+                        for chunk in np.array_split(identifiers, 5)
+                    ])
+        assert (served == _offline(identifiers)).all()
+
+    def test_hostile_network_still_exactly_once(self):
+        identifiers = _stream(count=3_000)
+        chunks = np.array_split(identifiers, 24)
+        batches = [(chunk, None) for chunk in chunks]
+        plan = FaultPlan(
+            seed=11, drop_rate=0.06, duplicate_rate=0.08, corrupt_rate=0.06,
+            truncate_rate=0.03, reset_rate=0.03, delay_rate=0.04,
+            delay_seconds=0.002,
+        )
+        journal = {}
+        with ServerThread(create_detector(TBF_SPEC)) as thread:
+            with ProxyThread(thread.port, plan=plan) as proxy:
+                stats = run_load(
+                    "127.0.0.1", proxy.port, batches, window=1,
+                    retry=RetryPolicy(
+                        max_retries=10, base_backoff=0.02,
+                        max_backoff=0.2, seed=3,
+                    ),
+                    timeout=0.3,
+                    on_verdicts=lambda i, v: journal.__setitem__(i, v.copy()),
+                )
+                assert sum(proxy.proxy.faults.values()) > 0
+        assert stats["errors"] == 0
+        assert stats["clicks"] == identifiers.shape[0]      # zero lost
+        assert thread.server.processed_clicks == identifiers.shape[0]  # zero doubled
+        served = np.concatenate([journal[i] for i in range(len(batches))])
+        assert (served == _offline(identifiers)).all()
+
+    def test_retarget_carries_a_client_across_a_server_restart(self, tmp_path):
+        identifiers = _stream(count=2_000)
+        chunks = np.array_split(identifiers, 8)
+        config = ServeConfig(checkpoint_dir=tmp_path / "ckpt")
+        policy = RetryPolicy(
+            max_retries=10, base_backoff=0.02, max_backoff=0.2, seed=2
+        )
+        first = ServerThread(create_detector(TBF_SPEC), config).start()
+        proxy = ProxyThread(first.port).start()
+        served = []
+        try:
+            client = ServeClient(
+                "127.0.0.1", proxy.port, timeout=1.0, retry=policy
+            )
+            try:
+                for chunk in chunks[:4]:
+                    served.append(client.send(chunk))
+                # The server "process" is replaced; only the proxy learns
+                # the new address — the client just sees a flaky network.
+                first.stop()
+                replacement = ServerThread(
+                    create_detector(TBF_SPEC), config
+                ).start()
+                proxy.retarget(replacement.port)
+                try:
+                    for chunk in chunks[4:]:
+                        served.append(client.send(chunk))
+                finally:
+                    client.close()
+                    replacement.stop()
+            except BaseException:
+                client.close()
+                raise
+        finally:
+            proxy.stop()
+        assert replacement.server.processed_clicks == identifiers.shape[0]
+        assert (np.concatenate(served) == _offline(identifiers)).all()
+
+
+class TestSoak:
+    def test_soak_reconciles_exactly_once(self, tmp_path):
+        report = run_soak(
+            SoakConfig(clicks=12_000, batch=256, drain_after=0.3, seed=7),
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert report.ok, report.summary()
+        assert report.total_clicks == 12_000
+        assert report.lost_clicks == 0
+        assert report.double_applied_clicks == 0
+        assert report.bit_identical
+        # The schedule actually hurt something — a soak that injected
+        # nothing proves nothing.
+        assert sum(report.proxy_faults.values()) > 0
+        assert report.watchdog_restarts >= 1
+        assert report.checkpoint_failures >= 1
+
+    def test_soak_is_reproducible(self, tmp_path):
+        config = SoakConfig(
+            clicks=4_000, batch=256, drain_after=None,
+            engine_fail_group=None, engine_stall_group=None,
+            fail_first_checkpoint=False, seed=13,
+        )
+        first = run_soak(config, checkpoint_dir=tmp_path / "a")
+        second = run_soak(config, checkpoint_dir=tmp_path / "b")
+        assert first.ok and second.ok
+        assert first.proxy_faults == second.proxy_faults

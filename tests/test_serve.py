@@ -6,6 +6,7 @@ dead-lettering, and drain-with-checkpoint restarts that lose no clicks.
 """
 
 import socket
+import time
 
 import numpy as np
 import pytest
@@ -430,6 +431,26 @@ class TestDrainAndCheckpoint:
         # Zero lost, zero duplicated: the split-served stream classifies
         # exactly like one uninterrupted offline run.
         assert (served == expected).all()
+
+    def test_drain_completes_when_client_vanishes_mid_pipeline(self):
+        identifiers, _ = _stream(count=6_000)
+        # Park everything in the coalescer so the responses are still
+        # owed when the client disappears.
+        config = ServeConfig(max_batch=1 << 30, max_delay=30.0)
+        thread = ServerThread(create_detector(TBF_SPEC), config).start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", thread.port))
+            sock.sendall(MAGIC)
+            for seq, chunk in enumerate(np.array_split(identifiers, 6)):
+                sock.sendall(encode_batch(seq + 1, chunk))
+            time.sleep(0.3)  # let the reader admit every batch
+            sock.close()     # client gone; verdicts have nowhere to go
+        finally:
+            # Drain must flush, classify, and discard the undeliverable
+            # responses — not hang on them or strand inflight budget.
+            thread.stop(timeout=15.0)
+        assert thread.server.processed_clicks == 6_000
+        assert thread.server._inflight_bytes == 0
 
     def test_corrupt_latest_checkpoint_falls_back(self, tmp_path):
         identifiers, _ = _stream(count=4_000)
