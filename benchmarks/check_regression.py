@@ -1,0 +1,73 @@
+"""Fail if batch throughput regressed against BENCH_throughput.json.
+
+A quick sweep of the count-based detectors' batch path, compared with
+the committed numbers.  Run after a perf-sensitive change:
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Exits non-zero when any checked detector's measured batch clicks/sec
+falls below ``REPRO_BENCH_REGRESSION_FLOOR`` times the committed value
+(default 0.8 — a regression of more than 20%).  CI smoke runners are
+slower and noisier than the recording host, so the workflow relaxes
+the floor through the same env-knob convention as the other
+``REPRO_BENCH_*`` gates instead of trusting absolute numbers
+cross-machine; a floor of 0 turns the check into a report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_batch_throughput import WINDOW, compare_paths  # noqa: E402
+
+#: Count-based detectors: the pure-throughput workhorses whose numbers
+#: are stable enough to gate on.  Time-based variants ride along in the
+#: report but never gate — their segment shapes make quick runs noisy.
+GATED = ("gbf", "tbf")
+REPORTED = ("gbf", "tbf", "tbf-jumping", "gbf-time", "tbf-time")
+
+FLOOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FLOOR", "0.8"))
+
+
+def main() -> int:
+    bench_path = REPO_ROOT / "BENCH_throughput.json"
+    committed = json.loads(bench_path.read_text())
+    detectors = committed["detectors"]
+    failures = []
+    for name in REPORTED:
+        _scalar, batch = compare_paths(name, timed=WINDOW)
+        measured = batch.elements_per_second
+        recorded = detectors[name]["batch_clicks_per_sec"]
+        ratio = measured / recorded if recorded else float("inf")
+        gated = name in GATED and FLOOR > 0
+        verdict = "ok"
+        if gated and ratio < FLOOR:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(
+            f"{name:>12}: measured {measured:>12,.0f} clicks/s"
+            f"  committed {recorded:>12,.0f}"
+            f"  ratio {ratio:.2f}"
+            f"  ({'gate ' + format(FLOOR, '.2f') if gated else 'report only'})"
+            f"  {verdict}"
+        )
+    if failures:
+        print(
+            f"regression: {', '.join(failures)} below "
+            f"{FLOOR:.0%} of committed batch throughput",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

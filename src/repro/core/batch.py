@@ -38,13 +38,19 @@ from typing import Tuple
 
 import numpy as np
 
+from . import kernels
+
 #: First-writer value for entries nobody writes; larger than any row.
 NO_WRITER = np.iinfo(np.int64).max
 
 
 def resolve_inserts(
-    dup0: "np.ndarray", cov0: "np.ndarray", idx: "np.ndarray", num_entries: int
-) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    dup0: "np.ndarray",
+    cov0: "np.ndarray",
+    idx: "np.ndarray",
+    num_entries: int,
+    need_covered: bool = True,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
     """Resolve intra-chunk insert dependencies exactly.
 
     Parameters
@@ -63,49 +69,84 @@ def resolve_inserts(
     num_entries:
         Size of the hashed table (slots for GBF, entries for TBF).
 
-    Returns ``(duplicate, inserters, first_writer)`` where
+    Returns ``(duplicate, inserters, first_writer, covered)`` where
     ``first_writer`` is a dense ``(num_entries,)`` int64 table holding
     the earliest *actually inserting* element per entry
-    (:data:`NO_WRITER` where none).
+    (:data:`NO_WRITER` where none), and ``covered`` is the ``(n, k)``
+    bool matrix ``cov0 | (first_writer[idx] < row)`` — slot covered *at
+    probe time*, which the TBF-family detectors feed straight to
+    :func:`check_reads`.  On the no-flip hot path it is the same array
+    the resolution already materialized, so callers get it for free;
+    callers that never read it (GBF counts ``k`` reads per probe
+    unconditionally) pass ``need_covered=False`` to skip the rebuild
+    on the duplicate-heavy paths, and get ``None``.
     """
     n, k = idx.shape
     duplicate = dup0.copy()
     inserters = ~dup0
     first_writer = np.full(num_entries, NO_WRITER, dtype=np.int64)
-    cand_rows = np.nonzero(inserters)[0]
-    if cand_rows.size == 0:
-        return duplicate, inserters, first_writer
+    num_dup0 = int(np.count_nonzero(dup0))
+    if num_dup0 == n:
+        return duplicate, inserters, first_writer, cov0
 
-    cand_idx = idx[cand_rows]
-    np.minimum.at(first_writer, cand_idx.ravel(), np.repeat(cand_rows, k))
-    cand_cov = cov0[cand_rows]
-    rows_col = cand_rows[:, None]
+    rows = np.arange(n, dtype=np.int64)
+    if num_dup0 == 0:
+        # Nothing was duplicate pre-chunk (the common case on distinct
+        # traffic): the scatter values are the cached identity pattern.
+        vals = kernels.repeat_arange(n, k)
+    else:
+        # Pre-chunk duplicates scatter NO_WRITER, which never wins a
+        # minimum — the table matches a candidates-only scatter without
+        # gathering candidate rows out of ``idx``.
+        vals = np.where(inserters, rows, NO_WRITER).repeat(k)
+    np.minimum.at(first_writer, idx.ravel(), vals)
+    rows_col = rows[:, None]
     # A verdict can flip only if every uncovered slot is covered even
     # under the *optimistic* writer set (all candidates).
-    maybe = (cand_cov | (first_writer[cand_idx] < rows_col)).all(axis=1)
+    potential = cov0 | (first_writer[idx] < rows_col)
+    maybe = kernels.row_all(potential)
+    maybe &= inserters
     if not maybe.any():
         # Nobody flips: every candidate inserts, the optimistic table
-        # is the real one.
-        return duplicate, inserters, first_writer
+        # is the real one — and ``potential`` is precisely the covered
+        # matrix against it, for every row.
+        return duplicate, inserters, first_writer, (
+            potential if need_covered else None
+        )
 
     # Definite inserters' writes are real under every resolution; bake
-    # them into a certain-writer table the walk can consult.
-    definite_rows = cand_rows[~maybe]
+    # them into a certain-writer table the walk can consult (same
+    # masked-scatter trick as above).
     certain = np.full(num_entries, NO_WRITER, dtype=np.int64)
-    if definite_rows.size:
+    definite = inserters & ~maybe
+    if definite.any():
         np.minimum.at(
-            certain, idx[definite_rows].ravel(), np.repeat(definite_rows, k)
+            certain, idx.ravel(), np.where(definite, rows, NO_WRITER).repeat(k)
         )
-    walk_rows = cand_rows[maybe]
-    walk_idx = cand_idx[maybe]
+    walk_rows = np.nonzero(maybe)[0]
+    walk_idx = idx[walk_rows]
     # Slots needing the in-order check: not covered pre-chunk and not
     # covered by an earlier definite inserter.
-    need = ~(cand_cov[maybe] | (certain[walk_idx] < walk_rows[:, None]))
+    need = ~(cov0[walk_rows] | (certain[walk_idx] < walk_rows[:, None]))
+
+    # A row with no needed slot is covered by pre-chunk state plus
+    # definite writers alone: it flips under every resolution, without
+    # walking (and, flipping, writes nothing later rows could need).
+    # Only rows leaning on an *uncertain* earlier writer walk.
+    flipped = False
+    uncertain = kernels.row_any(need)
+    if not uncertain.all():
+        sure_rows = walk_rows[~uncertain]
+        duplicate[sure_rows] = True
+        inserters[sure_rows] = False
+        flipped = True
+        walk_rows = walk_rows[uncertain]
+        walk_idx = walk_idx[uncertain]
+        need = need[uncertain]
 
     written = bytearray(num_entries)
     slots_list = walk_idx.tolist()
     need_list = need.tolist()
-    flipped = False
     for i, row in enumerate(walk_rows.tolist()):
         slots = slots_list[i]
         needs = need_list[i]
@@ -125,20 +166,35 @@ def resolve_inserts(
     if flipped:
         # Rebuild over the actual inserters only.
         first_writer.fill(NO_WRITER)
-        ins_rows = np.nonzero(inserters)[0]
-        if ins_rows.size:
+        if inserters.any():
             np.minimum.at(
-                first_writer, idx[ins_rows].ravel(), np.repeat(ins_rows, k)
+                first_writer,
+                idx.ravel(),
+                np.where(inserters, rows, NO_WRITER).repeat(k),
             )
-    return duplicate, inserters, first_writer
+    if need_covered:
+        covered = cov0 | (first_writer[idx] < rows_col)
+    else:
+        covered = None
+    return duplicate, inserters, first_writer, covered
 
 
-def check_reads(duplicate: "np.ndarray", active: "np.ndarray") -> int:
+def check_reads(active: "np.ndarray") -> int:
     """Total probe reads for a chunk, matching the scalar early-break.
 
     The scalar check reads slots in hash order until the first inactive
     one: ``k`` reads for a duplicate, ``first_inactive + 1`` otherwise.
+    Equivalently, one read per element plus one per all-active row
+    prefix shorter than ``k`` — a running column AND, cheaper than the
+    axis-1 argmax reduction.  (Duplicate rows are exactly the
+    all-active ones, so they fall out of the same sum.)
     """
-    k = active.shape[1]
-    first_inactive = np.argmax(~active, axis=1)
-    return int(np.where(duplicate, k, first_inactive + 1).sum())
+    n, k = active.shape
+    reads = n
+    if k > 1:
+        prefix = active[:, 0].copy()
+        reads += int(np.count_nonzero(prefix))
+        for column in range(1, k - 1):
+            prefix &= active[:, column]
+            reads += int(np.count_nonzero(prefix))
+    return reads

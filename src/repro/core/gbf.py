@@ -43,6 +43,7 @@ from ..bitset.words import OperationCounter
 from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
+from . import kernels
 from .batch import resolve_inserts
 from .lanes import LanePackedBitMatrix
 
@@ -297,12 +298,15 @@ class GBFDetector:
         fields = matrix.probe_fields_batch(idx)
         self.counter.elements += n
         mask = np.uint64(self._active_masks[0])
-        dup0 = (np.bitwise_and.reduce(fields, axis=1) & mask) != 0
+        dup0 = (kernels.row_and(fields) & mask) != 0
         cov0 = ((fields >> np.uint64(self._current_lane)) & np.uint64(1)).astype(bool)
-        duplicate, inserters, _ = resolve_inserts(dup0, cov0, idx, matrix.num_slots)
+        duplicate, inserters, _, _ = resolve_inserts(
+            dup0, cov0, idx, matrix.num_slots, need_covered=False
+        )
         ins = np.nonzero(inserters)[0]
         if ins.size:
-            matrix.or_lane_batch(idx[ins], self._current_lane)
+            slots = idx if ins.size == n else idx[ins]
+            matrix.or_lane_batch(slots, self._current_lane)
         self._position += n
         self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate

@@ -28,6 +28,7 @@ from ..bitset.words import OperationCounter
 from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError, StreamError
 from ..hashing import HashFamily, SplitMixFamily
+from . import kernels
 from .batch import resolve_inserts
 from .lanes import LanePackedBitMatrix
 
@@ -228,9 +229,17 @@ class TimeBasedGBFDetector:
         """Observe a batch of clicks with timestamps; bit-identical to a
         scalar :meth:`process_at` loop.
 
-        The clock (lane rotation, cleaning, idle wipe) advances
-        scalar-style at each time-unit boundary; within a unit probes
-        and inserts are array operations.  Regressing timestamps raise
+        Elements are fused into maximal *sub-window* segments: within
+        one sub-window no rotation or idle wipe can occur, and the only
+        clock activity is lane cleaning — which touches the cleaning
+        lane alone (never in the active mask, never the current lane),
+        so sweeps commute with probes and inserts bit-for-bit.  The
+        per-unit cleaning calls of a whole segment run as one fused
+        variable-run kernel sweep
+        (:meth:`~repro.core.lanes.LanePackedBitMatrix.clear_lane_run_lengths`);
+        boundary crossings (rotations, idle wipes, mop-up cleaning)
+        advance the clock scalar-style between segments — see
+        ``docs/performance.md``.  Regressing timestamps raise
         :class:`~repro.errors.StreamError` after the valid prefix is
         processed, matching the scalar loop.
         """
@@ -268,16 +277,22 @@ class TimeBasedGBFDetector:
             units = np.floor_divide(timestamps[:limit], self.unit_duration).astype(
                 np.int64
             )
+            units_per_sub = self.units_per_subwindow
             start = 0
             while start < limit:
-                stop = int(np.searchsorted(units, units[start], side="right"))
-                # Cap the slice; re-entering the same unit is a no-op
-                # for the clock, so oversized units split exactly.
-                stop = min(stop, start + 65536)
                 self._advance_clock(float(timestamps[start]))
-                self._unit_group(idx[start:stop], out[start:stop])
-                self._last_time = float(timestamps[stop - 1])
-                start = stop
+                # Segment: the rest of this sub-window.  Re-entering a
+                # sub-window is a rotation no-op, so oversized segments
+                # split exactly at the cap.
+                sub_end = (units[start] // units_per_sub + 1) * units_per_sub
+                end = int(np.searchsorted(units, sub_end, side="left"))
+                end = min(end, start + 65536)
+                self._segment_group(
+                    idx[start:end], units[start:end], out[start:end]
+                )
+                self._last_time = float(timestamps[end - 1])
+                self._last_unit = int(units[end - 1])
+                start = end
         if limit < n:
             raise StreamError(
                 f"timestamp regressed: {float(timestamps[limit])} "
@@ -285,19 +300,46 @@ class TimeBasedGBFDetector:
             )
         return out
 
-    def _unit_group(self, idx: "np.ndarray", out: "np.ndarray") -> None:
-        """Vectorized probe/insert for arrivals sharing one time unit."""
+    def _segment_group(
+        self, idx: "np.ndarray", units: "np.ndarray", out: "np.ndarray"
+    ) -> None:
+        """Fused probe/insert/clean for one sub-window's arrivals.
+
+        Intra-segment cleaning clears only the cleaning lane, which is
+        neither active nor current, so running all of the segment's
+        per-unit sweeps up front (one fused variable-run kernel call)
+        leaves every probe verdict, insert decision, bit mutation, and
+        op tally identical to the scalar interleaving.
+        """
         n, _ = idx.shape
         matrix = self._matrix
+        lane = self._cleaning_lane
+        if (
+            n > 1
+            and lane is not None
+            and self._clean_cursor < self.bits_per_filter
+        ):
+            lengths = np.diff(units) * self._clean_per_unit
+            total = int(lengths.sum())
+            if total:
+                matrix.clear_lane_run_lengths(lane, self._clean_cursor, lengths)
+                # min() is absorbing, so the scalar per-call clamps
+                # collapse to one.
+                self._clean_cursor = min(
+                    self._clean_cursor + total, self.bits_per_filter
+                )
         fields = matrix.probe_fields_batch(idx)
         self.counter.elements += n
         mask = np.uint64(self._active_masks[0])
-        dup0 = (np.bitwise_and.reduce(fields, axis=1) & mask) != 0
+        dup0 = (kernels.row_and(fields) & mask) != 0
         cov0 = ((fields >> np.uint64(self._current_lane)) & np.uint64(1)).astype(bool)
-        duplicate, inserters, _ = resolve_inserts(dup0, cov0, idx, matrix.num_slots)
+        duplicate, inserters, _, _ = resolve_inserts(
+            dup0, cov0, idx, matrix.num_slots, need_covered=False
+        )
         ins = np.nonzero(inserters)[0]
         if ins.size:
-            matrix.or_lane_batch(idx[ins], self._current_lane)
+            slots = idx if ins.size == n else idx[ins]
+            matrix.or_lane_batch(slots, self._current_lane)
         self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..bitset.words import OperationCounter
 from ..errors import ConfigurationError
+from . import kernels
 
 
 class LanePackedBitMatrix:
@@ -64,6 +65,20 @@ class LanePackedBitMatrix:
             self.words_per_slot = -(-num_lanes // word_bits)
             num_words = num_slots * self.words_per_slot
         self._words = np.zeros(num_words, dtype=np.uint64)
+        # Lazily-built per-slot gather tables for the batch probe path
+        # (dense multi-slot layout only): word index and bit shift of
+        # every slot, so a probe is two gathers instead of a divmod.
+        self._slot_word: "np.ndarray | None" = None
+        self._slot_shift: "np.ndarray | None" = None
+
+    def _probe_tables(self) -> tuple:
+        if self._slot_word is None:
+            slots = np.arange(self.num_slots, dtype=np.int64)
+            self._slot_word = slots // self.slots_per_word
+            self._slot_shift = (
+                (slots % self.slots_per_word) * self.num_lanes
+            ).astype(np.uint64)
+        return self._slot_word, self._slot_shift
 
     # ------------------------------------------------------------------
     # Dense-layout helpers
@@ -153,27 +168,29 @@ class LanePackedBitMatrix:
         self.counter.word_reads += idx.size
         if self.slots_per_word == 1:
             return words[idx] & np.uint64(self.field_mask)
-        word_idx, slot_in_word = np.divmod(idx, self.slots_per_word)
-        shifts = (slot_in_word * self.num_lanes).astype(np.uint64)
-        return (words[word_idx] >> shifts) & np.uint64(self.field_mask)
+        wtab, stab = self._probe_tables()
+        return (words[wtab[idx]] >> stab[idx]) & np.uint64(self.field_mask)
 
     def or_lane_batch(self, idx: "np.ndarray", lane: int) -> None:
         """Set ``lane``'s bit at every slot of ``idx`` (any shape).
 
         Counts one write per slot, like scalar :meth:`set_lane` over
-        each row.  ``np.bitwise_or.at`` handles duplicate indices.
+        each row.  Duplicate slots are exact: the single-slot layout
+        ORs one constant bit (idempotent, order-free), the multi-slot
+        layout partitions by in-word offset so each scatter's bit is
+        constant (:func:`repro.core.kernels.or_lane_slots`).
         """
         if self.words_per_slot != 1:
             raise ConfigurationError("or_lane_batch requires the dense layout")
         words = self._words
         if self.slots_per_word == 1:
-            np.bitwise_or.at(words, idx, np.uint64(1 << lane))
+            kernels.or_constant_bit(words, idx, np.uint64(1 << lane))
         else:
-            word_idx, slot_in_word = np.divmod(idx, self.slots_per_word)
-            bits = np.uint64(1) << (
-                slot_in_word * self.num_lanes + lane
-            ).astype(np.uint64)
-            np.bitwise_or.at(words, word_idx, bits)
+            slot_word, slot_shift = self._probe_tables()
+            kernels.or_lane_slots(
+                words, idx, self.slots_per_word, self.num_lanes, lane,
+                slot_word, slot_shift,
+            )
         self.counter.word_writes += idx.size
 
     # ------------------------------------------------------------------
@@ -191,36 +208,20 @@ class LanePackedBitMatrix:
         if num_cleared <= 0:
             return
         stop_slot = min(start_slot + num_cleared, self.num_slots)
+        if start_slot >= stop_slot:
+            return
         words = self._words
-        reads = 0
-        writes = 0
         if self.words_per_slot == 1:
-            lanes = self.num_lanes
-            spw = self.slots_per_word
-            first_word = start_slot // spw
-            last_word = (stop_slot - 1) // spw
-            # Lane bit replicated at every field offset within a word.
-            full_mask = 0
-            for slot_in_word in range(spw):
-                full_mask |= 1 << (slot_in_word * lanes + lane)
-            for word_index in range(first_word, last_word + 1):
-                mask = full_mask
-                if word_index == first_word or word_index == last_word:
-                    # Partial coverage at the range edges.
-                    mask = 0
-                    for slot_in_word in range(spw):
-                        slot = word_index * spw + slot_in_word
-                        if start_slot <= slot < stop_slot:
-                            mask |= 1 << (slot_in_word * lanes + lane)
-                word = int(words[word_index])
-                reads += 1
-                if word & mask:
-                    words[word_index] = np.uint64(word & ~mask)
-                    writes += 1
+            reads, writes = kernels.clear_lane_span(
+                words, lane, start_slot, stop_slot, self.slots_per_word,
+                self.num_lanes,
+            )
         else:
             stride = self.words_per_slot
             offset, bit_position = divmod(lane, self.word_bits)
             keep = np.uint64(~np.uint64(1 << bit_position))
+            reads = 0
+            writes = 0
             for slot in range(start_slot, stop_slot):
                 index = slot * stride + offset
                 word = words[index]
@@ -253,51 +254,13 @@ class LanePackedBitMatrix:
             return
         words = self._words
         if self.words_per_slot == 1:
-            lanes = self.num_lanes
-            spw = self.slots_per_word
-            # Reads: one per (call, word) intersection, by arithmetic.
-            call_starts = np.arange(start_slot, stop_slot, per_element, dtype=np.int64)
-            call_ends = np.minimum(call_starts + per_element, stop_slot)
-            reads = int(((call_ends - 1) // spw - call_starts // spw + 1).sum())
-            # Writes: intersections holding >= 1 set lane bit.  Expand
-            # only the words with set lane bits into slot positions and
-            # count distinct (call, word) keys — slots come out sorted,
-            # so counting boundaries suffices.
-            pattern = 0
-            for slot_in_word in range(spw):
-                pattern |= 1 << (slot_in_word * lanes + lane)
-            pattern = np.uint64(pattern)
-            w0 = start_slot // spw
-            w1 = (stop_slot - 1) // spw + 1
-            hits = words[w0:w1] & pattern
-            nz = np.nonzero(hits)[0]
-            writes = 0
-            if nz.size:
-                shifts = np.arange(spw, dtype=np.uint64) * np.uint64(lanes)
-                bitmat = (hits[nz, None] >> (shifts + np.uint64(lane))) & np.uint64(1)
-                rel_word, slot_in_word = np.nonzero(bitmat)
-                slots = (w0 + nz[rel_word]) * spw + slot_in_word
-                slots = slots[(slots >= start_slot) & (slots < stop_slot)]
-                if slots.size:
-                    key = ((slots - start_slot) // per_element) * (w1 - w0 + 1) + (
-                        slots // spw - w0
-                    )
-                    writes = int(np.count_nonzero(np.diff(key))) + 1
-            # Mutate: the full-word middle is one in-place slice op; the
-            # (at most two) partially-covered edge words get exact masks.
-            full0 = -(-start_slot // spw)
-            full1 = stop_slot // spw
-            if full0 < full1:
-                words[full0:full1] &= ~pattern
-            for edge_word in {w0, w1 - 1}:
-                if full0 <= edge_word < full1:
-                    continue
-                lo = max(start_slot, edge_word * spw)
-                hi = min(stop_slot, (edge_word + 1) * spw)
-                mask = 0
-                for slot in range(lo, hi):
-                    mask |= 1 << ((slot % spw) * lanes + lane)
-                words[edge_word] &= ~np.uint64(mask)
+            boundaries = np.arange(
+                start_slot, stop_slot, per_element, dtype=np.int64
+            )
+            boundaries = np.append(boundaries, stop_slot)
+            reads, writes = kernels.clear_lane_runs(
+                words, lane, boundaries, self.slots_per_word, self.num_lanes
+            )
         else:
             stride = self.words_per_slot
             offset, bit_position = divmod(lane, self.word_bits)
@@ -307,6 +270,42 @@ class LanePackedBitMatrix:
             reads = int(indices.size)
             writes = int(np.count_nonzero(values & bit))
             words[indices] = values & ~bit
+        self.counter.word_reads += reads
+        self.counter.word_writes += writes
+
+    def clear_lane_run_lengths(
+        self, lane: int, start_slot: int, lengths: "np.ndarray"
+    ) -> None:
+        """Replay consecutive :meth:`clear_lane_range` calls of *variable* size.
+
+        Call ``i`` starts where call ``i - 1``'s clamped cursor stopped
+        and covers ``lengths[i]`` slots (clamped to the slot count);
+        zero-length entries are skipped, exactly like a caller that
+        guards each scalar call.  This is the time-based GBF's cleaning
+        pattern — one call per elapsed time unit with the unit's quota —
+        fused into a single kernel sweep with scalar-identical bit
+        mutations and read/write tallies.  Dense layout only.
+        """
+        if self.words_per_slot != 1:
+            raise ConfigurationError(
+                "clear_lane_run_lengths requires the dense layout"
+            )
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0 or start_slot >= self.num_slots:
+            return
+        bounds = np.empty(lengths.size + 1, dtype=np.int64)
+        bounds[0] = start_slot
+        np.cumsum(lengths, out=bounds[1:])
+        bounds[1:] += start_slot
+        np.minimum(bounds, self.num_slots, out=bounds)
+        # Strictly increasing boundaries = non-empty calls only.
+        keep = np.empty(bounds.size, dtype=bool)
+        keep[0] = True
+        np.greater(bounds[1:], bounds[:-1], out=keep[1:])
+        bounds = bounds[keep]
+        reads, writes = kernels.clear_lane_runs(
+            self._words, lane, bounds, self.slots_per_word, self.num_lanes
+        )
         self.counter.word_reads += reads
         self.counter.word_writes += writes
 

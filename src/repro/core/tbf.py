@@ -45,6 +45,7 @@ from ..bitset.words import OperationCounter
 from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
+from . import kernels
 from .batch import check_reads, resolve_inserts
 
 
@@ -281,39 +282,61 @@ class TBFDetector:
         # it, an age wrapping past the period mid-chunk would misread
         # as fresh.
         values = entries[idx].astype(np.int64)
-        base_age = (np.int64(now0) - values) % period
+        # (now0 - value) % period via conditional add (empty-sentinel
+        # rows come out garbage, masked by the != empty term below).
+        base_age = kernels.wrapped_ages(now0, values, period)
         active0 = (values != empty) & (base_age + rows[:, None] < window)
-        dup0 = active0.all(axis=1)
-        duplicate, inserters, first_writer = resolve_inserts(dup0, active0, idx, m)
-        # Probe reads: in-chunk inserts are < window arrivals old, so a
-        # covered slot is active at probe time.
-        active = active0 | (first_writer[idx] < rows[:, None])
-        reads = check_reads(duplicate, active)
+        dup0 = kernels.row_all(active0)
+        # In-chunk inserts are < window arrivals old, so a covered slot
+        # is active at probe time: the resolver's covered matrix is the
+        # probe-read truth directly.
+        duplicate, inserters, first_writer, covered = resolve_inserts(
+            dup0, active0, idx, m
+        )
+        reads = check_reads(covered)
         ins = np.nonzero(inserters)[0]
 
         # Cleaning sweep: n * scan cursor slots, each visited at most
         # once (chunk limit), judged against pre-chunk values at the
         # sweeping element's clock — except entries an earlier element
-        # re-inserted, which are fresh and must survive.
-        sweep = (self._clean_cursor + np.arange(n * scan, dtype=np.int64)) % m
-        sweep_values = entries[sweep].astype(np.int64)
-        sweep_element = np.repeat(rows, scan)
-        sweep_age = (np.int64(now0) - sweep_values) % period + sweep_element
-        erase = (sweep_values != empty) & (sweep_age >= window)
-        if ins.size:
-            erase &= ~(first_writer[sweep] < sweep_element)
-        clean_writes = int(np.count_nonzero(erase))
-
-        # Mutate: erasures first, then inserts (an entry erased by one
-        # element and re-written by a later one ends up written).
-        if clean_writes:
-            entries[sweep[erase]] = empty
+        # re-inserted, which are fresh and must survive.  The cursor
+        # window is at most two contiguous slices, so values, writer
+        # table, and the erase store are all sliced views — no index
+        # arrays, no modulo (erasures first, inserts after: an entry
+        # erased by one element and re-written by a later one ends up
+        # written, and slices are disjoint so the interleave is exact).
+        total = n * scan
+        sweep_element = kernels.repeat_arange(n, scan)
+        cursor = self._clean_cursor
+        offset = 0
+        clean_writes = 0
+        empty_stamp = entries.dtype.type(empty)
+        while offset < total:
+            length = min(total - offset, m - cursor)
+            seg = entries[cursor : cursor + length]
+            seg_values = seg.astype(np.int64)
+            elems = sweep_element[offset : offset + length]
+            seg_age = kernels.wrapped_ages(now0, seg_values, period) + elems
+            erase = (seg_values != empty) & (seg_age >= window)
+            if ins.size:
+                erase &= ~(first_writer[cursor : cursor + length] < elems)
+            count = int(np.count_nonzero(erase))
+            if count:
+                seg[erase] = empty_stamp
+                clean_writes += count
+            cursor = (cursor + length) % m
+            offset += length
         if ins.size:
             # The final stamp per entry is its *last* writer's position
             # (fancy assignment has no duplicate-order guarantee, so the
             # last writer is made explicit with a maximum scatter).
             last_writer = np.full(m, -1, dtype=np.int64)
-            np.maximum.at(last_writer, idx[ins].ravel(), np.repeat(ins, k))
+            if ins.size == n:
+                np.maximum.at(
+                    last_writer, idx.ravel(), kernels.repeat_arange(n, k)
+                )
+            else:
+                np.maximum.at(last_writer, idx[ins].ravel(), np.repeat(ins, k))
             upd = np.nonzero(last_writer >= 0)[0]
             entries[upd] = (
                 (first_position + last_writer[upd]) % period

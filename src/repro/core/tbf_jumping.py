@@ -23,6 +23,7 @@ from ..bitset.words import OperationCounter
 from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError
 from ..hashing import HashFamily, SplitMixFamily
+from . import kernels
 from .batch import check_reads, resolve_inserts
 from .tbf import _dtype_for_bits
 
@@ -208,32 +209,50 @@ class TBFJumpingDetector:
         scan = self._scan_per_element
         first_position = self._position + 1
         now = (first_position // self.subwindow_size) % period
-        rows = np.arange(n, dtype=np.int64)
 
         values = entries[idx].astype(np.int64)
-        active0 = (values != empty) & ((np.int64(now) - values) % period < active_span)
-        dup0 = active0.all(axis=1)
-        duplicate, inserters, first_writer = resolve_inserts(dup0, active0, idx, m)
-        active = active0 | (first_writer[idx] < rows[:, None])
-        reads = check_reads(duplicate, active)
+        ages = kernels.wrapped_ages(now, values, period)
+        active0 = (values != empty) & (ages < active_span)
+        dup0 = kernels.row_all(active0)
+        duplicate, inserters, first_writer, covered = resolve_inserts(
+            dup0, active0, idx, m
+        )
+        reads = check_reads(covered)
         ins = np.nonzero(inserters)[0]
 
-        sweep = (self._clean_cursor + np.arange(n * scan, dtype=np.int64)) % m
-        sweep_values = entries[sweep].astype(np.int64)
-        erase = (sweep_values != empty) & (
-            (np.int64(now) - sweep_values) % period >= active_span
-        )
-        if ins.size:
-            sweep_element = np.repeat(rows, scan)
-            erase &= ~(first_writer[sweep] < sweep_element)
-        clean_writes = int(np.count_nonzero(erase))
-
-        if clean_writes:
-            entries[sweep[erase]] = empty
+        # Cursor sweep over at most two contiguous slices (n * scan <= m
+        # by the segment limit): sliced views replace index arrays, and
+        # the interleaved per-slice erase is exact because slices are
+        # disjoint in entry space.
+        total = n * scan
+        sweep_element = kernels.repeat_arange(n, scan) if ins.size else None
+        cursor = self._clean_cursor
+        offset = 0
+        clean_writes = 0
+        empty_stamp = entries.dtype.type(empty)
+        while offset < total:
+            length = min(total - offset, m - cursor)
+            seg = entries[cursor : cursor + length]
+            seg_values = seg.astype(np.int64)
+            erase = (seg_values != empty) & (
+                kernels.wrapped_ages(now, seg_values, period) >= active_span
+            )
+            if ins.size:
+                erase &= ~(
+                    first_writer[cursor : cursor + length]
+                    < sweep_element[offset : offset + length]
+                )
+            count = int(np.count_nonzero(erase))
+            if count:
+                seg[erase] = empty_stamp
+                clean_writes += count
+            cursor = (cursor + length) % m
+            offset += length
         if ins.size:
             # Every in-segment insert stamps the same value, so the
             # duplicate-index assignment order cannot matter.
-            entries[idx[ins].ravel()] = entries.dtype.type(now)
+            flat = idx.ravel() if ins.size == n else idx[ins].ravel()
+            entries[flat] = entries.dtype.type(now)
 
         self._clean_cursor = int((self._clean_cursor + n * scan) % m)
         self._position += n

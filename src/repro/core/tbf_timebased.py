@@ -26,6 +26,7 @@ from ..bitset.words import OperationCounter
 from ..bloom.params import false_positive_rate_from_fill
 from ..errors import ConfigurationError, StreamError
 from ..hashing import HashFamily, SplitMixFamily
+from . import kernels
 from .batch import check_reads, resolve_inserts
 from .tbf import _dtype_for_bits
 
@@ -140,11 +141,26 @@ class TimeBasedTBFDetector:
         return now
 
     def _clean_segment(self, now: int, budget: int) -> None:
+        """One cursor sweep of ``budget <= m`` entries at clock ``now``.
+
+        Tiny sweeps (a couple of entries between nearby arrivals) stay
+        a scalar loop; anything larger runs the vectorized slice kernel
+        — bit mutations, cursor, and tallies are identical either way.
+        """
         entries = self._entries
         m = self.num_entries
         period = self.timestamp_period
         active_span = self.resolution
         empty = self.empty_value
+        if budget >= 32:
+            cursor, writes = kernels.clean_cursor_sweep(
+                entries, self._clean_cursor, budget, now, period,
+                active_span, empty,
+            )
+            self._clean_cursor = cursor
+            self.counter.word_reads += budget
+            self.counter.word_writes += writes
+            return
         cursor = self._clean_cursor
         reads = 0
         writes = 0
@@ -206,10 +222,16 @@ class TimeBasedTBFDetector:
         """Observe a batch of clicks with timestamps; bit-identical to a
         scalar :meth:`process_at` loop.
 
-        Elements are grouped by time unit: the clock (cleaning, idle
-        wipe) advances scalar-style at each unit boundary, and within a
-        unit — where ``now`` is constant and no cleaning runs — probes
-        and timestamp stores are single array operations.  A regressing
+        Elements are fused into maximal *multi-unit* segments rather
+        than one group per time unit: a segment may span every arrival
+        within one window-resolution of its first element, provided the
+        interleaved cleaning sweeps total at most ``m`` entries (each
+        entry judged at most once, on pre-segment values).  Within a
+        segment the per-element clock is carried as an *unwrapped* age
+        offset (``base_age + elapsed_units``), which the cursor
+        invariant proves equal to the scalar modular compare — see
+        ``docs/performance.md``.  Boundary crossings (idle wipes, new
+        segments) advance the clock scalar-style.  A regressing
         timestamp raises :class:`~repro.errors.StreamError` exactly as
         the scalar loop would: the elements before it are fully
         processed, the regressing element is not.
@@ -246,16 +268,33 @@ class TimeBasedTBFDetector:
             units = np.floor_divide(timestamps[:limit], self.unit_duration).astype(
                 np.int64
             )
+            scan = self._scan_per_unit
+            m = self.num_entries
+            span = self.resolution
             start = 0
             while start < limit:
-                stop = int(np.searchsorted(units, units[start], side="right"))
-                # Cap the slice; re-entering the same unit is a no-op
-                # for the clock, so oversized units split exactly.
-                stop = min(stop, start + 65536)
-                now = self._advance_clock(float(timestamps[start]))
-                self._unit_group(idx[start:stop], now, out[start:stop])
-                self._last_time = float(timestamps[stop - 1])
-                start = stop
+                now0 = self._advance_clock(float(timestamps[start]))
+                # Segment: every later arrival less than one resolution
+                # of units after the first (no idle wipe, in-segment
+                # stamps stay active throughout), as long as the fused
+                # cleaning sweeps stay within one cursor lap.
+                end = int(np.searchsorted(units, units[start] + span, side="left"))
+                end = min(end, start + 65536)
+                if end - start > 1:
+                    budgets = np.minimum(
+                        np.diff(units[start:end]) * scan, m
+                    )
+                    lap = int(np.searchsorted(np.cumsum(budgets), m, side="right"))
+                    end = min(end, start + 1 + lap)
+                    budgets = budgets[: end - start - 1]
+                else:
+                    budgets = None
+                self._segment_group(
+                    idx[start:end], units[start:end], now0, budgets, out[start:end]
+                )
+                self._last_time = float(timestamps[end - 1])
+                self._last_unit = int(units[end - 1])
+                start = end
         if limit < n:
             raise StreamError(
                 f"timestamp regressed: {float(timestamps[limit])} "
@@ -263,29 +302,94 @@ class TimeBasedTBFDetector:
             )
         return out
 
-    def _unit_group(self, idx: "np.ndarray", now: int, out: "np.ndarray") -> None:
-        """Vectorized processing of arrivals sharing one time unit."""
+    def _segment_group(
+        self,
+        idx: "np.ndarray",
+        units: "np.ndarray",
+        now0: int,
+        budgets: "np.ndarray | None",
+        out: "np.ndarray",
+    ) -> None:
+        """Fused probe/insert/clean for one multi-unit segment.
+
+        ``now0`` is the first element's clock; element ``i`` runs at
+        unwrapped offset ``E_i = units[i] - units[0] < resolution``.
+        ``budgets`` holds the per-element cleaning quotas of elements
+        ``1..n-1`` (``None`` when the segment is a single element),
+        summing to at most ``m`` so the cursor never laps.
+        """
         n, k = idx.shape
         entries = self._entries
+        m = self.num_entries
         period = self.timestamp_period
         active_span = self.resolution
         empty = self.empty_value
         rows = np.arange(n, dtype=np.int64)
+        elapsed = units - units[0]
 
         values = entries[idx].astype(np.int64)
-        active0 = (values != empty) & ((np.int64(now) - values) % period < active_span)
-        dup0 = active0.all(axis=1)
-        duplicate, inserters, first_writer = resolve_inserts(
-            dup0, active0, idx, self.num_entries
+        base_age = kernels.wrapped_ages(now0, values, period)
+        active0 = (values != empty) & (base_age + elapsed[:, None] < active_span)
+        dup0 = kernels.row_all(active0)
+        # In-segment stamps stay active (elapsed spread < resolution),
+        # so the resolver's covered matrix is active at probe time.
+        duplicate, inserters, first_writer, covered = resolve_inserts(
+            dup0, active0, idx, m
         )
-        active = active0 | (first_writer[idx] < rows[:, None])
-        reads = check_reads(duplicate, active)
-
+        reads = check_reads(covered)
         ins = np.nonzero(inserters)[0]
+
+        # Interleaved cleaning: element i's sweep judges pre-segment
+        # values at element i's clock (unwrapped), except entries an
+        # earlier element re-stamped, which are fresh and survive.  At
+        # most two contiguous slices (total budget <= m).
+        clean_writes = 0
+        total = 0
+        if budgets is not None and budgets.size:
+            total = int(budgets.sum())
+        if total:
+            sweep_offset = np.repeat(elapsed[1:], budgets)
+            sweep_element = np.repeat(rows[1:], budgets)
+            cursor = self._clean_cursor
+            offset = 0
+            empty_stamp = entries.dtype.type(empty)
+            while offset < total:
+                length = min(total - offset, m - cursor)
+                seg = entries[cursor : cursor + length]
+                seg_values = seg.astype(np.int64)
+                seg_age = (
+                    kernels.wrapped_ages(now0, seg_values, period)
+                    + sweep_offset[offset : offset + length]
+                )
+                erase = (seg_values != empty) & (seg_age >= active_span)
+                if ins.size:
+                    erase &= ~(
+                        first_writer[cursor : cursor + length]
+                        < sweep_element[offset : offset + length]
+                    )
+                count = int(np.count_nonzero(erase))
+                if count:
+                    seg[erase] = empty_stamp
+                    clean_writes += count
+                cursor = (cursor + length) % m
+                offset += length
+            self._clean_cursor = cursor
+
         if ins.size:
-            # Constant stamp: duplicate-index assignment order is moot.
-            entries[idx[ins].ravel()] = entries.dtype.type(now)
-        self.counter.add(reads, k * int(ins.size))
+            # Per-element stamps: the last writer's clock wins, exactly
+            # as in the scalar overwrite order.
+            last_writer = np.full(m, -1, dtype=np.int64)
+            if ins.size == n:
+                np.maximum.at(
+                    last_writer, idx.ravel(), kernels.repeat_arange(n, k)
+                )
+            else:
+                np.maximum.at(last_writer, idx[ins].ravel(), np.repeat(ins, k))
+            upd = np.nonzero(last_writer >= 0)[0]
+            entries[upd] = (
+                (np.int64(now0) + elapsed[last_writer[upd]]) % period
+            ).astype(entries.dtype)
+        self.counter.add(total + reads, clean_writes + k * int(ins.size))
         self.counter.elements += n
         self.duplicates += int(np.count_nonzero(duplicate))
         out[:] = duplicate

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..hashing.vectorized import iter_precomputed_indices
 from ..streams.generators import distinct_stream
 from .config import FPExperimentConfig
 
@@ -53,11 +54,9 @@ def measure_false_positives(
         process = detector.process_indices
         counter = getattr(detector, "counter", None)
         num_hashes = family.num_hashes
-        for start in range(0, total, _BATCH):
-            batch = identifiers[start : start + _BATCH]
-            rows = family.indices_batch(batch)
+        for rows in iter_precomputed_indices(family, identifiers, _BATCH):
             if counter is not None:
-                counter.hash_evaluations += num_hashes * len(batch)
+                counter.hash_evaluations += num_hashes * rows.shape[0]
             for row in rows:
                 if process(row) and position >= measure_from:
                     false_positives += 1

@@ -11,7 +11,7 @@ from .double_hashing import DoubleHashingFamily
 from .family import HashFamily, derive_constants
 from .tabulation import TabulationFamily
 from .universal import CarterWegmanFamily, MultiplyShiftFamily, SplitMixFamily
-from .vectorized import chunked, precompute_indices
+from .vectorized import chunked, iter_precomputed_indices, precompute_indices
 
 #: The family experiments use unless told otherwise.
 DEFAULT_FAMILY = SplitMixFamily
@@ -51,6 +51,7 @@ __all__ = [
     "DoubleHashingFamily",
     "derive_constants",
     "precompute_indices",
+    "iter_precomputed_indices",
     "chunked",
     "make_family",
     "DEFAULT_FAMILY",

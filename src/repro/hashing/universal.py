@@ -62,6 +62,7 @@ class MultiplyShiftFamily(HashFamily):
             )
         self._shift = 64 - (num_buckets.bit_length() - 1)
         self._multipliers = [c | 1 for c in derive_constants(seed, num_hashes)]
+        self._multiplier_row = np.array(self._multipliers, dtype=np.uint64)[None, :]
 
     def indices(self, identifier: int) -> List[int]:
         x = identifier & _MASK64
@@ -72,14 +73,12 @@ class MultiplyShiftFamily(HashFamily):
 
     def indices_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
         xs = np.asarray(identifiers, dtype=np.uint64)
-        out = np.empty((xs.shape[0], self.num_hashes), dtype=np.uint64)
         if self._shift >= 64:
-            out.fill(0)
-            return out
+            return np.zeros((xs.shape[0], self.num_hashes), dtype=np.uint64)
         with np.errstate(over="ignore"):
-            for column, a in enumerate(self._multipliers):
-                out[:, column] = (xs * np.uint64(a)) >> np.uint64(self._shift)
-        return out
+            z = xs[:, None] * self._multiplier_row
+            z >>= np.uint64(self._shift)
+        return z
 
 
 class SplitMixFamily(HashFamily):
@@ -98,6 +97,7 @@ class SplitMixFamily(HashFamily):
     def __init__(self, num_hashes: int, num_buckets: int, seed: int = 0) -> None:
         super().__init__(num_hashes, num_buckets, seed)
         self._gammas = derive_constants(seed, num_hashes)
+        self._gamma_row = np.array(self._gammas, dtype=np.uint64)[None, :]
 
     @staticmethod
     def _mix(value: int) -> int:
@@ -113,15 +113,15 @@ class SplitMixFamily(HashFamily):
 
     def indices_batch(self, identifiers: "np.ndarray") -> "np.ndarray":
         xs = np.asarray(identifiers, dtype=np.uint64)
-        out = np.empty((xs.shape[0], self.num_hashes), dtype=np.uint64)
-        c1 = np.uint64(self._C1)
-        c2 = np.uint64(self._C2)
         m = np.uint64(self.num_buckets)
+        # One 2-D pass over the (n, k) matrix; in-place ops keep it to a
+        # single allocation beyond the output.
         with np.errstate(over="ignore"):
-            for column, gamma in enumerate(self._gammas):
-                z = xs ^ np.uint64(gamma)
-                z = (z ^ (z >> np.uint64(30))) * c1
-                z = (z ^ (z >> np.uint64(27))) * c2
-                z = z ^ (z >> np.uint64(31))
-                out[:, column] = z % m
-        return out
+            z = xs[:, None] ^ self._gamma_row
+            z ^= z >> np.uint64(30)
+            z *= np.uint64(self._C1)
+            z ^= z >> np.uint64(27)
+            z *= np.uint64(self._C2)
+            z ^= z >> np.uint64(31)
+            z %= m
+        return z

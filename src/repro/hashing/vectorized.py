@@ -43,9 +43,7 @@ def precompute_indices(
     buffered; the full ``(n, k)`` result is still returned.
     """
     if chunk_size is not None:
-        blocks = [
-            family.indices_batch(block) for block in chunked(identifiers, chunk_size)
-        ]
+        blocks = list(iter_precomputed_indices(family, identifiers, chunk_size))
         if not blocks:
             return np.empty((0, family.num_hashes), dtype=np.uint64)
         return np.concatenate(blocks, axis=0)
@@ -57,6 +55,25 @@ def precompute_indices(
         count = -1
     array = np.fromiter(identifiers, dtype=np.uint64, count=count)
     return family.indices_batch(array)
+
+
+def iter_precomputed_indices(
+    family: HashFamily,
+    identifiers: Iterable[int],
+    chunk_size: int = 4096,
+) -> Iterator["np.ndarray"]:
+    """Stream ``(n_chunk, k)`` index blocks instead of one full table.
+
+    The lazy complement of :func:`precompute_indices`: the concatenation
+    of the yielded blocks is exactly its ``(n, k)`` result, but nothing
+    larger than one block (``chunk_size * k * 8`` bytes) is ever alive —
+    so a consumer that replays blocks as they arrive (the experiment
+    runner, the serving engine) holds no whole-stream table no matter
+    how long the stream runs.  Array inputs are sliced zero-copy; lazy
+    iterables are consumed a chunk at a time.
+    """
+    for block in chunked(identifiers, chunk_size):
+        yield family.indices_batch(block)
 
 
 def chunked(values: Iterable[int], chunk_size: int) -> Iterator["np.ndarray"]:

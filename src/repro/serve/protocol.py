@@ -255,15 +255,23 @@ def encode_batch(
 
 
 def decode_batch_payload(payload: bytes) -> Tuple["np.ndarray", "np.ndarray"]:
-    """Split a ``BATCH`` payload into (identifiers, timestamps) arrays."""
+    """Split a ``BATCH`` payload into (identifiers, timestamps) arrays.
+
+    Zero-copy: the returned arrays are read-only *views* over the wire
+    bytes (``np.frombuffer`` + structured-field access), strided at the
+    16-byte record pitch.  Nothing on the fast path mutates them — the
+    hash family, coalescer, and detectors only read — so the payload's
+    bytes are the single allocation a batch ever needs between socket
+    and verdict.  See ``docs/performance.md``.
+    """
     if len(payload) % RECORD_BYTES != 0:
         raise ProtocolError(
             f"batch payload of {len(payload)} bytes is not a multiple of "
             f"the {RECORD_BYTES}-byte record size"
         )
     records = np.frombuffer(payload, dtype=RECORD_DTYPE)
-    identifiers = np.ascontiguousarray(records["identifier"])
-    timestamps = np.ascontiguousarray(records["timestamp"])
+    identifiers = records["identifier"]
+    timestamps = records["timestamp"]
     if timestamps.shape[0] > 1 and bool((np.diff(timestamps) < 0).any()):
         raise ProtocolError("batch timestamps regress; streams must be time-ordered")
     return identifiers, timestamps

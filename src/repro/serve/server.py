@@ -1159,22 +1159,37 @@ class ClickIngestServer:
         total = sum(request.count for request in group)
         order = None
         if total:
-            identifiers = np.concatenate([r.identifiers for r in group])
             timestamps = None
-            if self._timed:
-                # Each request's timestamps are non-decreasing (protocol
-                # contract), but independent connections' clocks may
-                # interleave: merge the group into one monotone stream
-                # (stable, so per-request and arrival order survive) and
-                # clamp residual sub-tolerance skew up to the watermark.
-                # The detector therefore never sees a mid-batch
-                # regression, so its state cannot half-advance.
-                timestamps = np.concatenate([r.timestamps for r in group])
-                if bool((np.diff(timestamps) < 0.0).any()):
-                    order = np.argsort(timestamps, kind="stable")
-                    identifiers = identifiers[order]
-                    timestamps = timestamps[order]
-                np.maximum(timestamps, self._watermark, out=timestamps)
+            if len(group) == 1:
+                # Single-request group: the decoder's zero-copy views
+                # go to the detector as-is — no concatenate, no
+                # re-materialization between socket and verdict.
+                # Within-request monotonicity was already validated at
+                # decode time; the watermark clamp copies only when it
+                # would actually change a value (the views are
+                # read-only wire bytes).
+                identifiers = group[0].identifiers
+                if self._timed:
+                    timestamps = group[0].timestamps
+                    if float(timestamps[0]) < self._watermark:
+                        timestamps = np.maximum(timestamps, self._watermark)
+            else:
+                identifiers = np.concatenate([r.identifiers for r in group])
+                if self._timed:
+                    # Each request's timestamps are non-decreasing
+                    # (protocol contract), but independent connections'
+                    # clocks may interleave: merge the group into one
+                    # monotone stream (stable, so per-request and
+                    # arrival order survive) and clamp residual
+                    # sub-tolerance skew up to the watermark.  The
+                    # detector therefore never sees a mid-batch
+                    # regression, so its state cannot half-advance.
+                    timestamps = np.concatenate([r.timestamps for r in group])
+                    if bool((np.diff(timestamps) < 0.0).any()):
+                        order = np.argsort(timestamps, kind="stable")
+                        identifiers = identifiers[order]
+                        timestamps = timestamps[order]
+                    np.maximum(timestamps, self._watermark, out=timestamps)
             try:
                 verdicts = self.pipeline.run_identified_batch(
                     identifiers, timestamps

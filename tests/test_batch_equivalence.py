@@ -151,6 +151,109 @@ class TestTimeBasedEquivalence:
         )
 
 
+COUNT_BUILDERS = {
+    "gbf": lambda: GBFDetector(32, 4, 97, 3, seed=5),
+    "tbf": lambda: TBFDetector(24, 53, 3, seed=5),
+    "tbf-jumping": lambda: TBFJumpingDetector(24, 4, 61, 3, seed=5),
+}
+TIME_BUILDERS = {
+    "gbf-time": lambda: TimeBasedGBFDetector(16.0, 4, 97, 3, seed=5),
+    "tbf-time": lambda: TimeBasedTBFDetector(16.0, 8, 53, 3, seed=5),
+}
+
+
+def _counter_state(counter):
+    return (
+        counter.word_reads,
+        counter.word_writes,
+        counter.hash_evaluations,
+        counter.elements,
+    )
+
+
+class TestBatchEdgeCases:
+    """Deterministic corners the fuzz above reaches only by luck."""
+
+    @pytest.mark.parametrize("name", sorted(COUNT_BUILDERS))
+    def test_empty_batch_is_a_noop(self, name):
+        detector = COUNT_BUILDERS[name]()
+        detector.process_batch(np.arange(8, dtype=np.uint64))
+        before = save_detector(detector)
+        counter_before = _counter_state(detector.counter)
+        verdicts = detector.process_batch(np.empty(0, dtype=np.uint64))
+        assert verdicts.shape == (0,)
+        assert save_detector(detector) == before
+        assert _counter_state(detector.counter) == counter_before
+
+    @pytest.mark.parametrize("name", sorted(TIME_BUILDERS))
+    def test_empty_timed_batch_is_a_noop(self, name):
+        detector = TIME_BUILDERS[name]()
+        detector.process_batch_at(
+            np.arange(8, dtype=np.uint64), np.arange(8, dtype=np.float64)
+        )
+        before = save_detector(detector)
+        counter_before = _counter_state(detector.counter)
+        verdicts = detector.process_batch_at(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.float64)
+        )
+        assert verdicts.shape == (0,)
+        assert save_detector(detector) == before
+        assert _counter_state(detector.counter) == counter_before
+
+    @pytest.mark.parametrize("name", sorted(TIME_BUILDERS))
+    def test_single_element_segments(self, name):
+        # Arrivals so far apart every fused segment holds one element:
+        # the segment machinery degenerates to the scalar cadence.
+        ids = np.arange(40, dtype=np.uint64) % 7
+        stamps = np.cumsum(np.full(40, 100.0))
+        _assert_time_equivalence(
+            TIME_BUILDERS[name], list(ids), list(np.diff(stamps, prepend=0.0)), [40]
+        )
+
+    @pytest.mark.parametrize("name", sorted(TIME_BUILDERS))
+    def test_timestamps_exactly_on_unit_boundaries(self, name):
+        # Every arrival lands exactly on a sub-window / cleaning-unit
+        # boundary (integral multiples of the unit duration), the case
+        # where an off-by-one in segment extent or budget accounting
+        # would first show: boundary elements must open the *next*
+        # segment, never extend the previous one.
+        detector = TIME_BUILDERS[name]()
+        unit = detector.unit_duration
+        ids = np.arange(60, dtype=np.uint64) % 9
+        units = np.repeat(np.arange(20, dtype=np.float64), 3)
+        stamps = units * unit
+        gaps = list(np.diff(stamps, prepend=0.0))
+        for chunking in ([60], [1], [7]):
+            _assert_time_equivalence(TIME_BUILDERS[name], list(ids), gaps, chunking)
+
+    @pytest.mark.parametrize("name", sorted(COUNT_BUILDERS))
+    def test_duplicate_ids_within_one_chunk_first_writer_wins(self, name):
+        # The same identifier many times inside one batch: the first
+        # occurrence inserts (first-writer semantics in the scatter
+        # resolution), every later one is a duplicate — matching the
+        # scalar loop and leaving identical state.
+        ids = [3, 3, 3, 5, 3, 5, 9, 5, 3]
+        _assert_count_equivalence(COUNT_BUILDERS[name], ids, [len(ids)])
+        detector = COUNT_BUILDERS[name]()
+        verdicts = detector.process_batch(np.array(ids, dtype=np.uint64))
+        assert not verdicts[0] and not verdicts[3] and not verdicts[6]
+        assert bool(verdicts[1]) and bool(verdicts[2]) and bool(verdicts[4])
+
+    @pytest.mark.parametrize("name", sorted(TIME_BUILDERS))
+    def test_duplicate_ids_within_one_segment(self, name):
+        # Same, but all inside one fused time segment (identical
+        # timestamps keep every element in the first segment).
+        ids = [3, 3, 5, 3, 5, 9]
+        gaps = [0.0] * len(ids)
+        _assert_time_equivalence(TIME_BUILDERS[name], ids, gaps, [len(ids)])
+        detector = TIME_BUILDERS[name]()
+        verdicts = detector.process_batch_at(
+            np.array(ids, dtype=np.uint64), np.zeros(len(ids), dtype=np.float64)
+        )
+        assert not verdicts[0] and not verdicts[2] and not verdicts[5]
+        assert bool(verdicts[1]) and bool(verdicts[3]) and bool(verdicts[4])
+
+
 class TestShardedEquivalence:
     @SETTINGS
     @given(ids=identifiers, chunking=chunkings)

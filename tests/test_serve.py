@@ -22,6 +22,7 @@ from repro.serve.protocol import (
     FRAME_VERDICTS,
     HEADER,
     MAGIC,
+    decode_batch_payload,
     decode_header,
     encode_batch,
     encode_frame,
@@ -88,6 +89,39 @@ class TestCoalescer:
         c.add("b", 0)                     # zero-click items still owe a reply
         assert c.flush() == ["a", "b"]
         assert c.flush() is None
+
+
+class TestZeroCopyDecode:
+    def test_decode_returns_views_over_the_payload(self):
+        identifiers = np.arange(100, dtype=np.uint64) * 7
+        timestamps = np.cumsum(np.full(100, 0.25))
+        frame = encode_batch(3, identifiers, timestamps)
+        payload = frame[HEADER.size :]
+        got_ids, got_ts = decode_batch_payload(payload)
+        assert np.array_equal(got_ids, identifiers)
+        assert np.array_equal(got_ts, timestamps)
+        # Zero-copy: both arrays are strided views over the wire bytes,
+        # not fresh buffers — no per-record or per-array allocation.
+        assert got_ids.base is not None and got_ts.base is not None
+        assert got_ids.strides == (16,) and got_ts.strides == (16,)
+        assert not got_ids.flags.writeable
+        assert not got_ts.flags.writeable
+
+    def test_views_survive_the_detector_round_trip(self):
+        # The read-only strided views must drive the full batch path
+        # (hashing, probe, insert) bit-identically to contiguous copies.
+        identifiers, timestamps = _stream(2_000)
+        frame = encode_batch(1, identifiers, timestamps)
+        got_ids, got_ts = decode_batch_payload(frame[HEADER.size :])
+        expected = _offline(TBF_TIME_SPEC, identifiers.copy(), timestamps.copy())
+        got = _offline(TBF_TIME_SPEC, got_ids, got_ts)
+        assert np.array_equal(expected, got)
+
+    def test_empty_and_misaligned_payloads(self):
+        got_ids, got_ts = decode_batch_payload(b"")
+        assert got_ids.shape == (0,) and got_ts.shape == (0,)
+        with pytest.raises(ProtocolError):
+            decode_batch_payload(b"\x00" * 15)
 
 
 class TestBinaryProtocolServing:
