@@ -12,6 +12,13 @@ slower and noisier than the recording host, so the workflow relaxes
 the floor through the same env-knob convention as the other
 ``REPRO_BENCH_*`` gates instead of trusting absolute numbers
 cross-machine; a floor of 0 turns the check into a report.
+
+When the committed BENCH file carries a ``latency`` section (schema 3),
+the serve path's client-observed batch-RTT p99 is also measured and
+gated: it must stay below ``REPRO_BENCH_LATENCY_CEILING`` times the
+committed p99 (default 10 — latency quantiles are far noisier than
+throughput across hosts, so the ceiling is generous by design; 0
+disables the gate).
 """
 
 from __future__ import annotations
@@ -35,6 +42,31 @@ GATED = ("gbf", "tbf")
 REPORTED = ("gbf", "tbf", "tbf-jumping", "gbf-time", "tbf-time")
 
 FLOOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FLOOR", "0.8"))
+LATENCY_CEILING = float(os.environ.get("REPRO_BENCH_LATENCY_CEILING", "10"))
+
+
+def check_latency(committed: dict, failures: list) -> None:
+    """Gate the serve path's batch-RTT p99 against the committed number."""
+    recorded = committed.get("latency")
+    if not recorded:
+        return  # pre-schema-3 BENCH file: nothing to gate against
+    from test_serve_throughput import run_latency_bench
+
+    measured = run_latency_bench(clicks=1 << 15)
+    p99_ms = measured["p99_s"] * 1000
+    ratio = p99_ms / recorded["p99_ms"] if recorded["p99_ms"] else 0.0
+    gated = LATENCY_CEILING > 0
+    verdict = "ok"
+    if gated and ratio > LATENCY_CEILING:
+        verdict = "REGRESSED"
+        failures.append("latency-p99")
+    print(
+        f"{'latency p99':>12}: measured {p99_ms:>10.2f} ms    "
+        f"  committed {recorded['p99_ms']:>10.2f} ms"
+        f"  ratio {ratio:.2f}"
+        f"  ({'ceiling ' + format(LATENCY_CEILING, '.1f') if gated else 'report only'})"
+        f"  {verdict}"
+    )
 
 
 def main() -> int:
@@ -59,10 +91,11 @@ def main() -> int:
             f"  ({'gate ' + format(FLOOR, '.2f') if gated else 'report only'})"
             f"  {verdict}"
         )
+    check_latency(committed, failures)
     if failures:
         print(
-            f"regression: {', '.join(failures)} below "
-            f"{FLOOR:.0%} of committed batch throughput",
+            f"regression: {', '.join(failures)} outside the committed "
+            "BENCH envelope",
             file=sys.stderr,
         )
         return 1

@@ -40,6 +40,7 @@ from test_parallel_throughput import (  # noqa: E402
 from test_serve_throughput import (  # noqa: E402
     BATCH,
     WINDOW_DEPTH,
+    run_latency_bench,
     run_serve_bench,
 )
 from test_telemetry_overhead import (  # noqa: E402
@@ -52,7 +53,7 @@ from test_telemetry_overhead import (  # noqa: E402
 #: file written under a different schema unless ``--force`` is given,
 #: so a stale checkout cannot silently clobber numbers a newer layout
 #: already recorded (or vice versa).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def main(argv=None) -> int:
@@ -126,7 +127,13 @@ def main(argv=None) -> int:
         best = measure_overheads(name)
         telemetry[name] = {
             "bare_clicks_per_sec": round(TELEMETRY_TIMED / best["bare"], 1),
-            "noop_overhead_pct": round(100 * (best["noop"] / best["bare"] - 1), 2),
+            # Clamped at 0: the no-op path cannot actually be faster
+            # than the bare one, so a negative measured overhead is
+            # scheduler/cache noise — recording it as a speedup would
+            # mislead BENCH diffs (see test_telemetry_overhead.py).
+            "noop_overhead_pct": round(
+                max(0.0, 100 * (best["noop"] / best["bare"] - 1)), 2
+            ),
             "enabled_overhead_pct": round(
                 100 * (best["enabled"] / best["bare"] - 1), 2
             ),
@@ -169,6 +176,23 @@ def main(argv=None) -> int:
         f"  (TCP, batch={BATCH}, depth={WINDOW_DEPTH})"
     )
 
+    rtt = run_latency_bench(clicks=(1 << 15) if args.quick else (1 << 17))
+    latency = {
+        "batch": BATCH,
+        "pipeline_depth": WINDOW_DEPTH,
+        "batches": rtt["batches"],
+        "p50_ms": round(rtt["p50_s"] * 1000, 3),
+        "p95_ms": round(rtt["p95_s"] * 1000, 3),
+        "p99_ms": round(rtt["p99_s"] * 1000, 3),
+        "max_ms": round(rtt["max_s"] * 1000, 3),
+    }
+    print(
+        f"{'latency':>12}: p50 {latency['p50_ms']:.2f}ms"
+        f"  p95 {latency['p95_ms']:.2f}ms"
+        f"  p99 {latency['p99_ms']:.2f}ms"
+        f"  (batch RTT over {latency['batches']} batches)"
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -188,6 +212,7 @@ def main(argv=None) -> int:
         "telemetry": telemetry,
         "parallel": parallel,
         "serve": serve,
+        "latency": latency,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

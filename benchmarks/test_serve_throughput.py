@@ -74,6 +74,29 @@ def run_serve_bench(clicks=TOTAL_CLICKS, batch=BATCH, depth=WINDOW_DEPTH):
     return ThroughputResult(elements=clicks, seconds=elapsed)
 
 
+def run_latency_bench(clicks=1 << 16, batch=BATCH, depth=WINDOW_DEPTH):
+    """Client-observed RTT percentiles through the TCP serve path.
+
+    Drives :func:`repro.serve.client.run_load` (which times every
+    batch's submit → verdict round trip) against a fresh server and
+    returns its ``latency`` dict — seconds, keys ``p50_s``/``p95_s``/
+    ``p99_s``/``max_s``/``batches``.  Shared with ``benchmarks/
+    record.py`` so the BENCH file's latency section quotes the same
+    measurement path the load generator prints.
+    """
+    from repro.serve.client import run_load
+
+    identifiers = _stream(clicks, seed=17)
+    batches = [
+        (identifiers[offset : offset + batch], None)
+        for offset in range(0, clicks, batch)
+    ]
+    with ServerThread(create_detector(SPEC)) as thread:
+        stats = run_load("127.0.0.1", thread.port, batches, window=depth)
+    assert stats["errors"] == 0
+    return stats["latency"]
+
+
 def test_serve_throughput(benchmark, report):
     result = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
     benchmark.extra_info["serve_cps"] = result.elements_per_second

@@ -23,6 +23,15 @@ median is stable against both the slow outliers the min also ignores
 and the lucky ones it doesn't.)  Ceilings are overridable for noisy
 shared runners via ``REPRO_TELEMETRY_NOOP_CEILING`` /
 ``REPRO_TELEMETRY_ENABLED_CEILING``.
+
+Measurement noise still dominates near zero: even the median-of-9
+no-op overhead can land a fraction of a percent *negative* on a quiet
+host, because the no-op session's dead method calls cost less than one
+timer tick per chunk and the two modes' medians are then two draws
+from overlapping distributions.  A negative reading means "too small
+to measure", not "telemetry made it faster" — ``benchmarks/record.py``
+therefore clamps the recorded ``noop_overhead_pct`` at 0.0 so BENCH
+diffs never advertise a phantom speedup.
 """
 
 import os

@@ -55,7 +55,7 @@ from ..errors import ConfigurationError
 from ..resilience.faults import EngineFaultHooks
 from ..serve import RetryPolicy, ServeConfig, ServerThread
 from ..serve.client import _synthetic_batches, run_load
-from ..telemetry import TelemetrySession
+from ..telemetry import FlightRecorder, TelemetrySession
 from .proxy import FaultPlan, ProxyThread
 
 __all__ = ["SoakConfig", "SoakReport", "run_soak", "DEFAULT_PLAN"]
@@ -138,17 +138,26 @@ class SoakReport:
     errors: int
     seconds: float
     clicks_per_second: float
+    #: Flight-recorder reconciliation: JSONL dumps found in the
+    #: checkpoint directory after the soak (every injected engine death
+    #: / watchdog restart / drain must leave one) and whether every one
+    #: of them parsed back cleanly.
+    flight_dumps: int = 0
+    flight_parse_ok: bool = True
 
     @property
     def ok(self) -> bool:
         """The exactly-once verdict: nothing lost, nothing doubled,
-        verdicts indistinguishable from one clean offline pass."""
+        verdicts indistinguishable from one clean offline pass — and
+        every fault left a parseable flight-recorder dump behind."""
         return (
             self.lost_clicks == 0
             and self.double_applied_clicks == 0
             and self.missing_batches == 0
             and self.errors == 0
             and self.bit_identical
+            and self.flight_dumps > 0
+            and self.flight_parse_ok
         )
 
     def summary(self) -> str:
@@ -166,7 +175,9 @@ class SoakReport:
             f"watchdog_restarts={self.watchdog_restarts} "
             f"server_restarts={self.restarts} "
             f"checkpoint_failures={self.checkpoint_failures}\n"
-            f"  refusals: overloads={self.overloads} hard_errors={self.errors}"
+            f"  refusals: overloads={self.overloads} hard_errors={self.errors}\n"
+            f"  flight recorder: dumps={self.flight_dumps} "
+            f"parse_ok={self.flight_parse_ok}"
         )
 
 
@@ -295,6 +306,16 @@ def run_soak(
             state["thread"].stop()
 
         applied = state["thread"].server.processed_clicks
+        # Flight-recorder reconciliation: the injected engine faults and
+        # every drain must each have dumped the event ring, and every
+        # dump must round-trip through the parser.
+        flight_paths = sorted(ckpt.glob("flight-*.jsonl"))
+        flight_parse_ok = True
+        for path in flight_paths:
+            try:
+                FlightRecorder.parse(path)
+            except (ValueError, OSError):
+                flight_parse_ok = False
         missing = [i for i in range(len(batches)) if i not in journal]
         actual = (
             np.concatenate([journal[i] for i in range(len(batches))])
@@ -333,4 +354,6 @@ def run_soak(
             errors=stats["errors"],
             seconds=stats["seconds"],
             clicks_per_second=stats["clicks_per_second"],
+            flight_dumps=len(flight_paths),
+            flight_parse_ok=flight_parse_ok,
         )

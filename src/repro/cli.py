@@ -15,6 +15,10 @@ Commands
 ``serve``      run the network click-ingest server: TCP batches in,
                verdicts out, graceful drain on SIGTERM
                (see docs/serving.md)
+``trace``      sample a distributed request trace through the serve
+               stack (client → server → workers), merge the per-process
+               span shards into one Chrome-trace timeline, and report
+               latency percentiles (see docs/observability.md)
 
 Examples
 --------
@@ -130,6 +134,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        "lags are clamped; default 1.0)")
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="drain checkpoints + resume-on-start directory")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="append span shards here for sampled "
+                       "(FLAG_TRACE) requests; merge with `repro trace "
+                       "--merge-only --trace-dir DIR`")
+    serve.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="flight-recorder crash dumps land here "
+                       "(default: the checkpoint directory)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="sample a distributed trace through the serve stack and "
+        "merge it into a Chrome-trace timeline")
+    trace.add_argument("--clicks", type=int, default=20_000,
+                       help="synthetic clicks to drive (default 20000)")
+    trace.add_argument("--batch", type=int, default=512,
+                       help="clicks per client batch (default 512)")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="worker processes behind the server (default 2)")
+    trace.add_argument("--window", type=int, default=8192)
+    trace.add_argument("--sample", type=float, default=0.1,
+                       help="fraction of batches carrying trace context "
+                       "(default 0.1)")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="merged Chrome-trace JSON (open in "
+                       "chrome://tracing or Perfetto; default trace.json)")
+    trace.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="span-shard directory (default: temporary)")
+    trace.add_argument("--merge-only", action="store_true",
+                       help="skip the demo run; merge the shards already "
+                       "in --trace-dir (e.g. from `repro serve "
+                       "--trace-dir`)")
+    trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also write the Prometheus text exposition "
+                       "(stage latency histograms + quantile gauges)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -425,6 +464,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_inflight_bytes=int(args.max_inflight_mib * 1024 * 1024),
         checkpoint_dir=args.checkpoint_dir,
         skew_tolerance=max(0.0, args.skew_tolerance),
+        trace_dir=args.trace_dir,
+        flight_dir=args.flight_dir,
     )
     session = TelemetrySession()
     dead_letters = DeadLetterSink()
@@ -452,6 +493,98 @@ def _command_serve(args: argparse.Namespace) -> int:
     server = asyncio.run(_serve_main())
     print(f"drained: {server.processed_clicks} clicks classified, "
           f"{dead_letters.total} frames dead-lettered")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: sample, merge, and dump a distributed trace.
+
+    Default mode boots a self-contained serve deployment (sharded TBF
+    across ``--workers`` processes), drives a sampled synthetic load
+    through it, and merges every process's span shard — client, server,
+    and workers — into one Chrome-trace timeline.  ``--merge-only``
+    skips the run and merges shards an external deployment (``repro
+    serve --trace-dir``) already wrote.
+    """
+    import tempfile
+
+    from .serve import ServeConfig, ServerThread
+    from .serve.client import _synthetic_batches, run_load
+    from .telemetry import merge_shards
+    from .telemetry.monitor import _latency_panel
+
+    def _merge(directory: str) -> int:
+        trace = merge_shards(directory, output=args.out)
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        pids = {e["pid"] for e in events}
+        print(f"wrote {len(events)} spans from {len(pids)} processes "
+              f"to {args.out}")
+        return len(events)
+
+    if args.merge_only:
+        if args.trace_dir is None:
+            print("error: --merge-only requires --trace-dir", file=sys.stderr)
+            return 2
+        _merge(args.trace_dir)
+        return 0
+
+    workers = max(2, args.workers)
+    spec = DetectorSpec(
+        algorithm="tbf",
+        window=WindowSpec("sliding", args.window, 1),
+        seed=args.seed,
+        shards=workers,
+        target_fp=0.001,
+    )
+    session = TelemetrySession()
+    cleanup = None
+    trace_dir = args.trace_dir
+    if trace_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-trace-")
+        trace_dir = cleanup.name
+    try:
+        config = ServeConfig(
+            workers=workers,
+            trace_dir=trace_dir,
+            max_batch=max(1, args.batch) * 2,
+            max_delay=0.002,
+        )
+        batches = _synthetic_batches(args.clicks, args.batch, args.seed, 0.2)
+        with ServerThread(
+            create_detector(spec), config=config, telemetry=session
+        ) as thread:
+            stats = run_load(
+                "127.0.0.1",
+                thread.port,
+                batches,
+                trace_dir=trace_dir,
+                trace_sample=args.sample,
+            )
+            # Snapshot while the worker fleet is still up: detector
+            # instruments poll the workers over their control rings.
+            snapshot = session.emit() or {}
+        count = _merge(trace_dir)
+        if count == 0:
+            print("error: no spans recorded (is --sample > 0?)",
+                  file=sys.stderr)
+            return 1
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    panel = _latency_panel(snapshot.get("gauges", []), "serve")
+    if panel:
+        print(panel)
+    latency = stats["latency"]
+    if latency is not None:
+        print(f"client RTT p50={latency['p50_s'] * 1000:.2f}ms "
+              f"p95={latency['p95_s'] * 1000:.2f}ms "
+              f"p99={latency['p99_s'] * 1000:.2f}ms "
+              f"max={latency['max_s'] * 1000:.2f}ms "
+              f"over {latency['batches']} batches")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(session.registry.to_prometheus())
+        print(f"wrote metrics exposition to {args.metrics_out}")
     return 0
 
 
@@ -496,6 +629,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _command_figures,
         "monitor": _command_monitor,
         "serve": _command_serve,
+        "trace": _command_trace,
         "chaos": _command_chaos,
     }
     return handlers[args.command](args)

@@ -69,6 +69,7 @@ from ..detection.sharded import (
     shard_groups,
 )
 from ..hashing.vectorized import precompute_indices
+from ..telemetry.requesttrace import current_trace
 from .ring import BatchRing
 from .worker import (
     _op_counts as _shard_counts,
@@ -165,6 +166,12 @@ class _ParallelEngine:
     worker_timeout:
         Seconds a ring or control transfer may stall before the engine
         declares the worker wedged (the deadlock guard).
+    trace_dir:
+        When set, workers append span shards here for sampled-traced
+        batches (the trace context rides the ring slot headers — see
+        :mod:`repro.telemetry.requesttrace`).  Runtime-only: it is
+        deliberately *not* serialized into checkpoints, so a restored
+        fleet traces only if its restorer asks for it.
     """
 
     _time_based = False
@@ -182,6 +189,7 @@ class _ParallelEngine:
         death_policy: Union[FailoverPolicy, str] = FailoverPolicy.FAIL_CLOSED,
         checkpoint_every_items: int = 1 << 16,
         worker_timeout: float = 60.0,
+        trace_dir: Optional[str] = None,
     ) -> None:
         expected = TimeShardedDetector if self._time_based else ShardedDetector
         if type(base) is not expected:
@@ -213,6 +221,7 @@ class _ParallelEngine:
         self.death_policy = FailoverPolicy(death_policy)
         self.checkpoint_every_items = checkpoint_every_items
         self.worker_timeout = worker_timeout
+        self.trace_dir = trace_dir
         self._poll = 0.05
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
@@ -272,7 +281,15 @@ class _ParallelEngine:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=shard_worker_main,
-            args=(WorkerSpec(state.index, request.spec, response.spec, child_conn),),
+            args=(
+                WorkerSpec(
+                    state.index,
+                    request.spec,
+                    response.spec,
+                    child_conn,
+                    trace_dir=self.trace_dir,
+                ),
+            ),
             name=f"repro-shard-{state.index}",
             daemon=True,
         )
@@ -407,8 +424,21 @@ class _ParallelEngine:
     def _push(
         self, state: _WorkerState, op: int, parts=(), count: int = 0, k: int = 0
     ) -> None:
+        # The installed trace context (set by the serve engine around a
+        # sampled group's detector call) rides the slot header into the
+        # worker; (0, 0) — the overwhelmingly common case — means the
+        # worker skips span writing entirely.
+        trace_id, span_id = current_trace()
         deadline = time.monotonic() + self.worker_timeout
-        while not state.request.push(op, parts, count=count, num_hashes=k, timeout=self._poll):
+        while not state.request.push(
+            op,
+            parts,
+            count=count,
+            num_hashes=k,
+            timeout=self._poll,
+            trace_id=trace_id,
+            span_id=span_id,
+        ):
             self._check_alive(state)
             if time.monotonic() > deadline:
                 raise ParallelError(
@@ -708,6 +738,9 @@ class _ParallelEngine:
         }
 
     def _options(self) -> Dict[str, object]:
+        # trace_dir is runtime-only and deliberately absent: a manifest
+        # restored on another host must not try to write span shards to
+        # a path that belonged to the recording run.
         return {
             "start_method": self.start_method,
             "slots": self.slots,

@@ -39,8 +39,12 @@ from ..errors import ConfigurationError
 
 __all__ = ["BatchRing", "RingSpec"]
 
-#: Per-slot header: ``[op, count, num_hashes, payload_bytes]`` as uint64.
-_HEADER_WORDS = 4
+#: Per-slot header: ``[op, count, num_hashes, payload_bytes, trace_id,
+#: span_id]`` as uint64.  The two trace words carry the sampled request
+#: trace context across the process boundary (zero = untraced); they ride
+#: the header rather than the payload so the payload stays exactly the
+#: batch bytes the worker reads in place.
+_HEADER_WORDS = 6
 _HEADER_BYTES = _HEADER_WORDS * 8
 
 
@@ -87,6 +91,11 @@ class BatchRing:
         self._push_cursor = 0
         self._pop_cursor = 0
         self._held_slot: Optional[int] = None
+        #: Trace context of the most recently popped slot, ``(trace_id,
+        #: span_id)``; ``(0, 0)`` when that batch was untraced.  Exposed
+        #: as a side channel so :meth:`pop`'s 4-tuple shape (which op
+        #: dispatch and tests rely on) is unchanged.
+        self.last_trace: Tuple[int, int] = (0, 0)
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,12 +135,15 @@ class BatchRing:
         count: int = 0,
         num_hashes: int = 0,
         timeout: Optional[float] = None,
+        trace_id: int = 0,
+        span_id: int = 0,
     ) -> bool:
         """Write one slot; returns False if no slot freed up in ``timeout``.
 
         ``parts`` are concatenated into the slot's payload area; their
         total size must fit ``slot_bytes`` (enforced — a silent overrun
-        would corrupt the neighbouring slot).
+        would corrupt the neighbouring slot).  ``trace_id``/``span_id``
+        stamp the slot's trace-context header words (zero = untraced).
         """
         if not self._space.acquire(timeout=timeout):
             return False
@@ -153,6 +165,8 @@ class BatchRing:
         self._headers[slot, 1] = count
         self._headers[slot, 2] = num_hashes
         self._headers[slot, 3] = offset
+        self._headers[slot, 4] = trace_id
+        self._headers[slot, 5] = span_id
         self._push_cursor += 1
         self._items.release()
         return True
@@ -167,7 +181,8 @@ class BatchRing:
         The returned payload is a zero-copy view into shared memory —
         valid until :meth:`release_slot`, which the consumer must call
         once it has finished reading (that is what frees the slot for
-        the producer).  Returns ``None`` on timeout.
+        the producer).  Returns ``None`` on timeout.  The slot's trace
+        context lands in :attr:`last_trace` as a side effect.
         """
         if self._held_slot is not None:
             raise RuntimeError("previous slot not released")
@@ -176,7 +191,10 @@ class BatchRing:
         slot = self._pop_cursor % self.slots
         self._pop_cursor += 1
         self._held_slot = slot
-        op, count, num_hashes, payload_bytes = (int(v) for v in self._headers[slot])
+        op, count, num_hashes, payload_bytes, trace_id, span_id = (
+            int(v) for v in self._headers[slot]
+        )
+        self.last_trace = (trace_id, span_id)
         base = slot * self.slot_bytes
         return op, count, num_hashes, self._payload[base : base + payload_bytes]
 

@@ -31,12 +31,15 @@ timestamp) or triggers respawn-from-checkpoint (unclean death).
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..core.checkpoint import load_detector, save_detector
+from ..telemetry.requesttrace import SpanShardWriter, new_span_id
 from .ring import BatchRing, RingSpec
 
 __all__ = [
@@ -73,6 +76,9 @@ class WorkerSpec:
     request: RingSpec
     response: RingSpec
     conn: object  # child end of the control pipe
+    #: When set, the worker appends a span shard here for every batch
+    #: whose ring slot carried a nonzero trace context (sampled tracing).
+    trace_dir: Optional[str] = None
 
 
 def _op_counts(detector) -> dict:
@@ -121,12 +127,17 @@ def shard_worker_main(spec: WorkerSpec) -> None:
     conn = spec.conn
     request = BatchRing.attach(spec.request)
     response = BatchRing.attach(spec.response)
+    spans = (
+        SpanShardWriter(spec.trace_dir, f"worker-{spec.index}")
+        if spec.trace_dir
+        else None
+    )
     try:
         blob, counts = conn.recv()
         detector = load_detector(blob)
         if counts is not None:
             _apply_op_counts(detector, counts)
-        _serve(detector, request, response, conn)
+        _serve(detector, request, response, conn, spans)
     except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
         pass
     except Exception:  # noqa: BLE001 - report, then die; the engine decides
@@ -135,6 +146,8 @@ def shard_worker_main(spec: WorkerSpec) -> None:
         except (OSError, BrokenPipeError):  # pragma: no cover
             pass
     finally:
+        if spans is not None:
+            spans.close()
         request.close()
         response.close()
         try:
@@ -143,7 +156,13 @@ def shard_worker_main(spec: WorkerSpec) -> None:
             pass
 
 
-def _serve(detector, request: BatchRing, response: BatchRing, conn) -> None:
+def _serve(
+    detector,
+    request: BatchRing,
+    response: BatchRing,
+    conn,
+    spans: Optional[SpanShardWriter] = None,
+) -> None:
     process_batch = getattr(detector, "process_batch", None)
     process_indices_batch = getattr(detector, "process_indices_batch", None)
     process_batch_at = getattr(detector, "process_batch_at", None)
@@ -177,6 +196,12 @@ def _serve(detector, request: BatchRing, response: BatchRing, conn) -> None:
             request.release_slot()
             conn.send(("opcounts", _op_counts(detector)))
             continue
+
+        trace_id, parent_span = request.last_trace
+        traced = spans is not None and trace_id != 0
+        if traced:
+            span_wall = time.time()
+            span_t0 = time.perf_counter()
 
         if op == OP_INDICES:
             indices = np.frombuffer(
@@ -218,6 +243,18 @@ def _serve(detector, request: BatchRing, response: BatchRing, conn) -> None:
         else:
             request.release_slot()
             raise RuntimeError(f"unknown ring op {op}")
+
+        if traced:
+            spans.write(
+                "worker.shard_batch",
+                trace_id,
+                new_span_id(),
+                parent_id=parent_span,
+                start=span_wall,
+                duration=time.perf_counter() - span_t0,
+                clicks=count,
+                op=op,
+            )
 
         # The verdict array no longer references the slot (batch kernels
         # copy on dtype conversion), so free it before the response push

@@ -57,7 +57,7 @@ import socket
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +70,7 @@ from ..errors import (
     RetriesExhausted,
 )
 from ..streams.click import DEFAULT_SCHEME, IdentifierScheme
+from ..telemetry.requesttrace import SpanShardWriter, new_span_id, new_trace_id
 from .protocol import (
     FRAME_ERROR,
     FRAME_HELLO_ACK,
@@ -159,11 +160,33 @@ class ServeClient:
         retry: Optional[RetryPolicy] = None,
         client_id: Optional[int] = None,
         registry=None,
+        trace_dir: Optional[str] = None,
+        trace_sample: float = 0.0,
     ) -> None:
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample must be in [0, 1], got {trace_sample}"
+            )
         self._host = host
         self._port = port
         self._timeout = timeout
         self._retry = retry
+        # Sampled distributed tracing: every 1/trace_sample-th submit
+        # (deterministic interval, not a coin flip — reproducible and
+        # evenly spread) ships a FLAG_TRACE context and, once collected,
+        # lands a "client.request" root span in this shard.
+        self._spans = (
+            SpanShardWriter(str(trace_dir), "client")
+            if trace_dir is not None and trace_sample > 0.0
+            else None
+        )
+        self._trace_every = (
+            max(1, round(1.0 / trace_sample)) if trace_sample > 0.0 else 0
+        )
+        self._submits = 0
+        #: request_id → (trace_id, span_id, wall_start, perf_start) for
+        #: sampled submits whose response has not been collected yet.
+        self._trace_pending: Dict[int, Tuple[int, int, float, float]] = {}
         self._rng = random.Random(retry.seed if retry is not None else None)
         self.client_id = (
             client_id if client_id is not None else self._rng.getrandbits(63) | 1
@@ -352,7 +375,15 @@ class ServeClient:
         self._require_socket()
         request_id = self._next_id
         self._next_id += 1
-        frame = encode_batch(request_id, identifiers, timestamps)
+        trace = None
+        if self._spans is not None:
+            if self._submits % self._trace_every == 0:
+                trace = (new_trace_id(), new_span_id())
+                self._trace_pending[request_id] = (
+                    trace[0], trace[1], time.time(), time.perf_counter(),
+                )
+            self._submits += 1
+        frame = encode_batch(request_id, identifiers, timestamps, trace=trace)
         self._pending.append((request_id, frame))
         try:
             self._send_frame(frame)
@@ -422,6 +453,17 @@ class ServeClient:
                 pending=self._pending_ids(),
             ))
         self._pending.popleft()
+        traced = self._trace_pending.pop(expected, None)
+        if traced is not None and frame_type == FRAME_VERDICTS:
+            trace_id, span_id, wall, perf = traced
+            self._spans.write(
+                "client.request",
+                trace_id,
+                span_id,
+                start=wall,
+                duration=time.perf_counter() - perf,
+                request_id=expected,
+            )
         if frame_type == FRAME_VERDICTS:
             return decode_verdicts_payload(payload)
         if frame_type == FRAME_OVERLOADED:
@@ -481,6 +523,8 @@ class ServeClient:
         if self._closed:
             return
         self._closed = True
+        if self._spans is not None:
+            self._spans.close()
         sock, self._sock = self._sock, None
         if sock is None:
             return
@@ -542,6 +586,8 @@ def run_load(
     timeout: Optional[float] = 30.0,
     registry=None,
     on_verdicts=None,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 0.0,
 ) -> dict:
     """Drive a bounded pipeline of batches; returns a stats dict.
 
@@ -572,10 +618,14 @@ def run_load(
 
     ``on_verdicts(index, verdicts)`` is invoked for every classified
     batch (the chaos soak's journal hook).
+
+    The returned stats include a ``latency`` dict with client-side
+    round-trip percentiles (seconds, submit → verdict) over every
+    successfully classified batch; ``None`` when nothing completed.
     """
     client = ServeClient(
         host, port, timeout=timeout, retry=retry, client_id=client_id,
-        registry=registry,
+        registry=registry, trace_dir=trace_dir, trace_sample=trace_sample,
     )
     total = 0
     duplicates = 0
@@ -585,17 +635,22 @@ def run_load(
     consecutive = 0
     work: Deque[int] = deque(range(len(batches)))
     inflight: Deque[Tuple[int, int]] = deque()  # (request_id, batch index)
+    submitted_at: Dict[int, float] = {}
+    rtts: list = []
     started = time.perf_counter()
     try:
         while work or inflight:
             while work and len(inflight) < window:
                 index = work.popleft()
                 identifiers, timestamps = batches[index]
-                inflight.append((client.submit(identifiers, timestamps), index))
+                request_id = client.submit(identifiers, timestamps)
+                submitted_at[request_id] = time.perf_counter()
+                inflight.append((request_id, index))
             request_id, index = inflight.popleft()
             try:
                 verdicts = client.collect(request_id)
             except OverloadedError:
+                submitted_at.pop(request_id, None)
                 overloads += 1
                 consecutive += 1
                 if consecutive > max_consecutive_overloads:
@@ -605,10 +660,14 @@ def run_load(
                 continue
             except ProtocolError:
                 # A hard refusal: the same bytes would fail again.
+                submitted_at.pop(request_id, None)
                 errors += 1
                 error_clicks += int(batches[index][0].shape[0])
                 consecutive = 0
                 continue
+            sent = submitted_at.pop(request_id, None)
+            if sent is not None:
+                rtts.append(time.perf_counter() - sent)
             consecutive = 0
             total += int(verdicts.shape[0])
             duplicates += int(np.count_nonzero(verdicts))
@@ -617,6 +676,17 @@ def run_load(
     finally:
         client.close()
     elapsed = time.perf_counter() - started
+    if rtts:
+        observed = np.asarray(rtts, dtype=np.float64)
+        latency = {
+            "batches": int(observed.shape[0]),
+            "p50_s": float(np.percentile(observed, 50)),
+            "p95_s": float(np.percentile(observed, 95)),
+            "p99_s": float(np.percentile(observed, 99)),
+            "max_s": float(observed.max()),
+        }
+    else:
+        latency = None
     return {
         "clicks": total,
         "duplicates": duplicates,
@@ -625,6 +695,7 @@ def run_load(
         "error_clicks": error_clicks,
         "seconds": elapsed,
         "clicks_per_second": total / elapsed if elapsed > 0 else 0.0,
+        "latency": latency,
     }
 
 
@@ -681,6 +752,16 @@ def main(argv=None) -> int:
         f"{stats['duplicates']} duplicates, {stats['overloads']} overloads, "
         f"{stats['errors']} errors ({stats['error_clicks']} clicks refused)"
     )
+    latency = stats["latency"]
+    if latency is not None:
+        print(
+            "batch RTT "
+            f"p50={latency['p50_s'] * 1000:.2f}ms "
+            f"p95={latency['p95_s'] * 1000:.2f}ms "
+            f"p99={latency['p99_s'] * 1000:.2f}ms "
+            f"max={latency['max_s'] * 1000:.2f}ms "
+            f"over {latency['batches']} batches"
+        )
     return 0
 
 

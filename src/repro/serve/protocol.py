@@ -77,6 +77,19 @@ clients interoperate either way.  The 16-byte header itself is not
 covered — header damage breaks framing and surfaces as a connection
 error, which the retry path already heals.
 
+Trace context
+-------------
+A sampled client may set ``flags`` bit ``FLAG_TRACE`` on a ``BATCH``:
+the payload then *begins* with a 16-byte trace context — ``trace_id
+u64 le | parent_span_id u64 le`` — followed by the click records.  The
+checksum covers the full payload including the prefix, and the record
+count becomes ``(payload_len - 16) // 16``.  Servers strip the prefix
+with a ``memoryview`` slice (:func:`split_trace_payload`), so the
+record decode stays zero-copy; servers predating the flag would
+misread a traced payload, which is why tracing is opt-in per frame and
+default-off.  An untraced frame is byte-identical to what older
+clients send.
+
 JSONL mode (debugging)
 ----------------------
 A connection whose first byte is ``{`` speaks newline-delimited JSON
@@ -114,8 +127,11 @@ __all__ = [
     "FRAME_ERROR",
     "FRAME_RETRY",
     "FLAG_CHECKSUM",
+    "FLAG_TRACE",
+    "TRACE_CONTEXT",
     "DEFAULT_MAX_FRAME_BYTES",
     "checksum16",
+    "split_trace_payload",
     "encode_frame",
     "decode_header",
     "encode_hello",
@@ -148,6 +164,13 @@ FRAME_RETRY = 0xE2
 
 #: Header ``flags`` bit: ``reserved`` holds ``CRC-32(payload) & 0xFFFF``.
 FLAG_CHECKSUM = 0x01
+
+#: Header ``flags`` bit: the payload starts with a :data:`TRACE_CONTEXT`
+#: prefix (sampled distributed tracing — see the module docstring).
+FLAG_TRACE = 0x02
+
+#: ``FLAG_TRACE`` payload prefix: trace_id u64 le | parent_span_id u64 le.
+TRACE_CONTEXT = struct.Struct("<QQ")
 
 _REQUEST_TYPES = frozenset({FRAME_BATCH, FRAME_PING, FRAME_HELLO})
 _RESPONSE_TYPES = frozenset(
@@ -231,11 +254,15 @@ def encode_batch(
     request_id: int,
     identifiers: "np.ndarray",
     timestamps: Optional["np.ndarray"] = None,
+    trace: Optional[Tuple[int, int]] = None,
 ) -> bytes:
     """A ``BATCH`` frame from parallel identifier/timestamp arrays.
 
     ``timestamps`` defaults to zeros (count-based detectors never read
-    them, and the record layout is fixed either way).
+    them, and the record layout is fixed either way).  A sampled client
+    passes ``trace=(trace_id, parent_span_id)`` to prepend the 16-byte
+    trace context and set ``FLAG_TRACE``; ``None`` (the default) emits
+    a frame byte-identical to the untraced protocol.
     """
     identifiers = np.ascontiguousarray(identifiers, dtype=np.uint64)
     records = np.empty(identifiers.shape[0], dtype=RECORD_DTYPE)
@@ -244,14 +271,38 @@ def encode_batch(
         records["timestamp"] = 0.0
     else:
         records["timestamp"] = np.asarray(timestamps, dtype=np.float64)
+    flags = FLAG_CHECKSUM
     payload = records.tobytes()
+    if trace is not None:
+        payload = TRACE_CONTEXT.pack(trace[0], trace[1]) + payload
+        flags |= FLAG_TRACE
     return encode_frame(
         FRAME_BATCH,
         request_id,
         payload,
-        flags=FLAG_CHECKSUM,
+        flags=flags,
         reserved=checksum16(payload),
     )
+
+
+def split_trace_payload(flags: int, payload: bytes):
+    """Split a ``BATCH`` payload into its trace context and record bytes.
+
+    Returns ``(trace, records)`` where ``trace`` is ``(trace_id,
+    parent_span_id)`` when ``FLAG_TRACE`` is set (``None`` otherwise)
+    and ``records`` is the click-record bytes ready for
+    :func:`decode_batch_payload`.  The strip is a ``memoryview`` slice,
+    not a copy, so the traced path keeps the zero-copy decode.
+    """
+    if not flags & FLAG_TRACE:
+        return None, payload
+    if len(payload) < TRACE_CONTEXT.size:
+        raise ProtocolError(
+            f"traced batch payload of {len(payload)} bytes is shorter than "
+            f"the {TRACE_CONTEXT.size}-byte trace context"
+        )
+    trace = TRACE_CONTEXT.unpack_from(payload)
+    return trace, memoryview(payload)[TRACE_CONTEXT.size :]
 
 
 def decode_batch_payload(payload: bytes) -> Tuple["np.ndarray", "np.ndarray"]:

@@ -62,6 +62,14 @@ from ..resilience.supervisor import CheckpointStore
 from ..streams.click import DEFAULT_SCHEME, IdentifierScheme
 from ..streams.io import click_from_record
 from ..telemetry import TelemetrySession
+from ..telemetry.requesttrace import (
+    FlightRecorder,
+    SpanShardWriter,
+    StageLatencyRecorder,
+    clear_current_trace,
+    new_span_id,
+    set_current_trace,
+)
 from .coalescer import Coalescer
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -77,6 +85,7 @@ from .protocol import (
     HEADER,
     MAGIC,
     checksum16,
+    split_trace_payload,
     decode_batch_payload,
     decode_hello_payload,
     decode_jsonl_line,
@@ -147,6 +156,17 @@ class ServeConfig:
     #: fail-static behaviour (a dead engine errors new requests).
     watchdog_interval: float = 0.5
     watchdog_stall_timeout: float = 30.0
+    #: Sampled distributed tracing: when set, the server (and parallel
+    #: workers, when ``workers`` lifts the detector) append span shards
+    #: here for BATCH frames carrying ``FLAG_TRACE``; merge them with
+    #: :func:`repro.telemetry.merge_shards` or ``repro trace``.  ``None``
+    #: keeps tracing off — untraced frames never pay for it either way.
+    trace_dir: Optional[Union[str, Path]] = None
+    #: Flight recorder: where crash dumps land (``None`` falls back to
+    #: ``checkpoint_dir``; both ``None`` disables dumping — the ring
+    #: still records in memory) and how many events the ring retains.
+    flight_dir: Optional[Union[str, Path]] = None
+    flight_events: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_inflight_bytes < 1:
@@ -320,7 +340,9 @@ class _Request:
         "jsonl",
         "future",
         "enqueued_at",
+        "coalesced_at",
         "dedup_key",
+        "trace",
     )
 
     connection: "_Connection"
@@ -332,10 +354,17 @@ class _Request:
     jsonl: bool
     future: "asyncio.Future"
     enqueued_at: float
+    #: Monotonic instant the engine popped this request off the queue
+    #: (initialised to ``enqueued_at``); splits the admission→verdict
+    #: latency into engine_queue and coalesce_wait stages.
+    coalesced_at: float
     #: ``(client_id, batch_seq)`` when the connection said ``HELLO``;
     #: ``None`` for legacy/JSONL requests outside the dedup window.
     #: (No default: a class-level default would clash with __slots__.)
     dedup_key: Optional[Tuple[int, int]]
+    #: Sampled trace context ``(trace_id, parent_span_id)`` carried by a
+    #: ``FLAG_TRACE`` batch frame; ``None`` for untraced requests.
+    trace: Optional[Tuple[int, int]]
 
 
 @dataclass
@@ -400,7 +429,15 @@ class ClickIngestServer:
         if self.config.workers is not None:
             from ..parallel import lift_sharded
 
-            engine = lift_sharded(self._base_detector, self.config.workers)
+            engine = lift_sharded(
+                self._base_detector,
+                self.config.workers,
+                trace_dir=(
+                    str(self.config.trace_dir)
+                    if self.config.trace_dir is not None
+                    else None
+                ),
+            )
             self._engine_owned = engine is not self._base_detector
         self._engine_detector = engine
         self._timed = is_timed(engine)
@@ -461,6 +498,27 @@ class ClickIngestServer:
         self._corrupt_frames_total = registry.counter(
             "repro_serve_corrupt_frames_total",
             "Batches refused with RETRY on a payload checksum mismatch",
+        )
+        # Per-request latency decomposition (docs/observability.md §2):
+        # labelled stage histograms plus exact streaming p50/p95/p99
+        # gauges, refreshed on the session's snapshot cadence.  Appended
+        # after the pipeline is built — DetectionPipeline resets the
+        # session's instrument list when it takes the detector.
+        self._stages = (
+            StageLatencyRecorder(registry) if self.telemetry.enabled else None
+        )
+        if self._stages is not None:
+            self.telemetry.instruments.append(self._stages)
+        #: Always-on crash flight recorder: a bounded in-memory ring of
+        #: recent structured events, dumped to JSONL on engine death,
+        #: watchdog restart, wedged drain, and graceful drain.
+        self.flight = FlightRecorder(self.config.flight_events)
+        flight_dir = self.config.flight_dir or self.config.checkpoint_dir
+        self._flight_dir = Path(flight_dir) if flight_dir is not None else None
+        self._spans = (
+            SpanShardWriter(str(self.config.trace_dir), "server")
+            if self.config.trace_dir is not None
+            else None
         )
         self._inflight_bytes = 0
         self._queue: "asyncio.Queue" = asyncio.Queue()
@@ -523,6 +581,7 @@ class ClickIngestServer:
             await self._drained.wait()
             return
         self._draining = True
+        self.flight.record("drain", phase="begin")
         if self._watchdog_task is not None:
             # Stop the watchdog first so it cannot restart the engine
             # while drain is waiting for it to exit.
@@ -550,7 +609,26 @@ class ClickIngestServer:
             # detector so the checkpoint reflects every click served.
             self._engine_detector.close(sync=True)
         self._checkpoint()
+        self.flight.record("drain", phase="end")
+        self._dump_flight("drain")
+        if self._spans is not None:
+            self._spans.close()
         self._drained.set()
+
+    def _dump_flight(self, reason: str) -> Optional[Path]:
+        """Dump the flight-recorder ring to JSONL; never raises.
+
+        This runs on crash paths (engine death, watchdog restart, wedged
+        drain) where a secondary failure must not mask the primary one —
+        a failed write is dead-lettered and swallowed.
+        """
+        if self._flight_dir is None:
+            return None
+        try:
+            return self.flight.dump(self._flight_dir, reason)
+        except OSError as error:  # pragma: no cover - disk failure
+            self._dead_letter(reason, f"flight dump failed: {error}")
+            return None
 
     async def _drain_engine(self) -> None:
         """Wait for the engine to consume the drain sentinel and exit.
@@ -599,6 +677,8 @@ class ClickIngestServer:
             pass
         # Wedges every time it is restarted: give up and fail static so
         # the pending requests are ERRORed instead of hanging the drain.
+        self.flight.record("wedged", phase="drain")
+        self._dump_flight("wedged-drain")
         self._engine_error = RuntimeError("engine wedged through drain")
 
     def _try_resume(self) -> None:
@@ -661,11 +741,13 @@ class ClickIngestServer:
                 self._store.save(blob)
             except Exception as error:
                 self._checkpoint_failures_total.inc()
+                self.flight.record("checkpoint", ok=False, attempt=attempt)
                 self._dead_letter(
                     f"checkpoint attempt {attempt}", f"write failed: {error}"
                 )
                 continue
             self._checkpoints_total.inc()
+            self.flight.record("checkpoint", ok=True, attempt=attempt)
             return
 
     # -- connection handling -------------------------------------------
@@ -768,6 +850,7 @@ class ClickIngestServer:
                 # client resends the same bytes — unlike ERROR, nothing
                 # about the batch itself was wrong.
                 self._corrupt_frames_total.inc()
+                self.flight.record("retry", request_id=request_id)
                 self._dead_letter(
                     header, f"payload checksum mismatch on request {request_id}"
                 )
@@ -785,6 +868,9 @@ class ClickIngestServer:
             wire_bytes = len(payload)
             if not self._admit(conn, wire_bytes):
                 self._overloaded_total.inc()
+                self.flight.record(
+                    "refused", request_id=request_id, bytes=wire_bytes
+                )
                 self._respond_now(
                     conn,
                     encode_frame(
@@ -792,8 +878,13 @@ class ClickIngestServer:
                     ),
                 )
                 continue
+            stages = self._stages
             try:
-                identifiers, timestamps = decode_batch_payload(payload)
+                decode_t0 = time.perf_counter() if stages is not None else 0.0
+                trace, records = split_trace_payload(flags, payload)
+                identifiers, timestamps = decode_batch_payload(records)
+                if stages is not None:
+                    stages.observe("decode", time.perf_counter() - decode_t0)
             except ProtocolError as error:
                 self._release(conn, wire_bytes)
                 self._dead_letter(payload[:64], str(error))
@@ -801,6 +892,12 @@ class ClickIngestServer:
                     conn, encode_frame(FRAME_ERROR, request_id, str(error).encode())
                 )
                 continue
+            self.flight.record(
+                "frame",
+                request_id=request_id,
+                clicks=int(identifiers.shape[0]),
+                bytes=wire_bytes,
+            )
             dedup_key = (
                 (conn.client_id, request_id)
                 if conn.client_id is not None
@@ -814,6 +911,7 @@ class ClickIngestServer:
                 wire_bytes,
                 jsonl=False,
                 dedup_key=dedup_key,
+                trace=trace,
             )
 
     async def _jsonl_loop(
@@ -967,9 +1065,11 @@ class ClickIngestServer:
         wire_bytes: int,
         jsonl: bool,
         dedup_key: Optional[Tuple[int, int]] = None,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> None:
         future = asyncio.get_running_loop().create_future()
         conn.responses.put_nowait((future, wire_bytes))
+        now = time.monotonic()
         request = _Request(
             connection=conn,
             request_id=request_id,
@@ -979,8 +1079,10 @@ class ClickIngestServer:
             wire_bytes=wire_bytes,
             jsonl=jsonl,
             future=future,
-            enqueued_at=time.monotonic(),
+            enqueued_at=now,
+            coalesced_at=now,
             dedup_key=dedup_key,
+            trace=trace,
         )
         if dedup_key is not None:
             # From here the key is "pending": a duplicate arriving on
@@ -1010,6 +1112,12 @@ class ClickIngestServer:
             except asyncio.CancelledError:
                 data = None
             if data is not None:
+                # Time the write+drain only for real request responses
+                # (release > 0) — control frames would skew the stage.
+                stages = self._stages if release else None
+                write_t0 = (
+                    time.perf_counter() if stages is not None else 0.0
+                )
                 try:
                     conn.writer.write(data)
                     await conn.writer.drain()
@@ -1017,6 +1125,11 @@ class ClickIngestServer:
                     # Peer went away; keep consuming so budgets release
                     # and the engine's work is not blocked.
                     pass
+                else:
+                    if stages is not None:
+                        stages.observe(
+                            "response_write", time.perf_counter() - write_t0
+                        )
             if release:
                 self._release(conn, release)
 
@@ -1038,6 +1151,8 @@ class ClickIngestServer:
             raise
         except BaseException as error:
             self._engine_error = error
+            self.flight.record("engine_death", error=repr(error))
+            self._dump_flight("engine-death")
             if self._watchdog_task is None or self._draining:
                 # No watchdog to resurrect us: fail static so senders
                 # flush and drain completes instead of hanging.
@@ -1063,6 +1178,7 @@ class ClickIngestServer:
             await asyncio.sleep(interval)
             if self._draining:
                 return
+            self.flight.record("watchdog", busy=self._engine_busy)
             task = self._engine_task
             if task is None:
                 continue
@@ -1085,6 +1201,8 @@ class ClickIngestServer:
     def _restart_engine(self, reason: str) -> None:
         self._watchdog_restarts_total.inc()
         self._dead_letter(reason, "engine restarted by watchdog")
+        self.flight.record("restart", reason=reason)
+        self._dump_flight("watchdog-restart")
         self._engine_error = None
         self._engine_busy = False
         self._engine_heartbeat = time.monotonic()
@@ -1104,15 +1222,25 @@ class ClickIngestServer:
                 except asyncio.TimeoutError:
                     group = coalescer.flush()
                     if group:
+                        self.flight.record(
+                            "flush", reason="deadline", requests=len(group)
+                        )
                         await self._run_group(group)
                     continue
             if request is None:
                 group = coalescer.flush()
                 if group:
+                    self.flight.record(
+                        "flush", reason="drain", requests=len(group)
+                    )
                     await self._run_group(group)
                 return
+            request.coalesced_at = time.monotonic()
             group = coalescer.add(request, request.count)
             if group is not None:
+                self.flight.record(
+                    "flush", reason="size", requests=len(group)
+                )
                 await self._run_group(group)
 
     async def _run_group(self, group: List[_Request]) -> None:
@@ -1127,6 +1255,11 @@ class ClickIngestServer:
         """
         self._engine_busy = True
         self._engine_heartbeat = time.monotonic()
+        self.flight.record(
+            "group_start",
+            requests=len(group),
+            clicks=sum(request.count for request in group),
+        )
         try:
             hooks = self.fault_hooks
             before = getattr(hooks, "before_group", None) if hooks else None
@@ -1139,6 +1272,7 @@ class ClickIngestServer:
                     )
                     raise
             self._process_group(group)
+            self.flight.record("group_end", requests=len(group))
         finally:
             self._engine_busy = False
             self._engine_heartbeat = time.monotonic()
@@ -1152,8 +1286,14 @@ class ClickIngestServer:
         docs/serving.md §3.
         """
         now = time.monotonic()
+        stages = self._stages
         for request in group:
             self._queue_wait.observe(now - request.enqueued_at)
+            if stages is not None:
+                stages.observe(
+                    "engine_queue", request.coalesced_at - request.enqueued_at
+                )
+                stages.observe("coalesce_wait", now - request.coalesced_at)
         if self._timed:
             group = self._reject_stale(group)
         total = sum(request.count for request in group)
@@ -1190,6 +1330,22 @@ class ClickIngestServer:
                         identifiers = identifiers[order]
                         timestamps = timestamps[order]
                     np.maximum(timestamps, self._watermark, out=timestamps)
+            # Sampled tracing: the first traced request lends the group
+            # its trace context; the server span parents the workers'
+            # shard spans via the module-global current trace (one
+            # engine task — no concurrent writers).
+            trace = None
+            if self._spans is not None:
+                for request in group:
+                    if request.trace is not None:
+                        trace = request.trace
+                        break
+            if trace is not None:
+                server_span = new_span_id()
+                span_wall = time.time()
+                set_current_trace(trace[0], server_span)
+            timed_compute = stages is not None or trace is not None
+            compute_t0 = time.perf_counter() if timed_compute else 0.0
             try:
                 verdicts = self.pipeline.run_identified_batch(
                     identifiers, timestamps
@@ -1201,6 +1357,27 @@ class ClickIngestServer:
                 for request in group:
                     self._fail_request(request, reason)
                 return
+            finally:
+                if trace is not None:
+                    clear_current_trace()
+            if timed_compute:
+                compute_dt = time.perf_counter() - compute_t0
+                if stages is not None:
+                    # Requests in a coalesced group share one detector
+                    # call; each observes the same compute interval.
+                    for request in group:
+                        stages.observe("detector_compute", compute_dt)
+                if trace is not None:
+                    self._spans.write(
+                        "server.process_group",
+                        trace[0],
+                        server_span,
+                        parent_id=trace[1],
+                        start=span_wall,
+                        duration=compute_dt,
+                        clicks=total,
+                        requests=len(group),
+                    )
             if self._timed:
                 self._watermark = float(timestamps[-1])
             if order is not None:

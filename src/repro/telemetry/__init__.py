@@ -12,6 +12,9 @@ The observability layer of the reproduction (see docs/observability.md):
 * :mod:`.session` — the bundle pipelines accept; disabled by default
   via no-op twins so the hot path pays a single dead call.
 * :mod:`.monitor` — terminal dashboard rendering for ``repro monitor``.
+* :mod:`.requesttrace` — serve-path request observability: per-stage
+  latency with exact streaming quantiles, cross-process span shards
+  merged into one Chrome trace, and the crash flight recorder.
 """
 
 from .instruments import DetectorInstrument, theoretical_fp_bound
@@ -22,6 +25,18 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from .requesttrace import (
+    SERVE_STAGES,
+    FlightRecorder,
+    SpanShardWriter,
+    StageLatencyRecorder,
+    StreamingQuantile,
+    current_trace,
+    merge_shards,
+    new_span_id,
+    new_trace_id,
+    set_current_trace,
 )
 from .session import TelemetrySession
 from .tracing import NullTracer, Span, Tracer
@@ -39,4 +54,14 @@ __all__ = [
     "NullTracer",
     "Span",
     "render_dashboard",
+    "SERVE_STAGES",
+    "StreamingQuantile",
+    "StageLatencyRecorder",
+    "FlightRecorder",
+    "SpanShardWriter",
+    "merge_shards",
+    "new_trace_id",
+    "new_span_id",
+    "set_current_trace",
+    "current_trace",
 ]

@@ -18,6 +18,49 @@ def _label_text(labels: Dict[str, str]) -> str:
     return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
 
 
+#: Gauge family pivoted into the request-latency panel (and dropped
+#: from the generic gauge table so each number appears exactly once).
+_STAGE_QUANTILE_GAUGE = "repro_serve_stage_quantile_seconds"
+
+
+def _latency_panel(gauges: List[Dict[str, Any]], title: str) -> str:
+    """Pivot per-stage quantile gauges into a stage × quantile table.
+
+    Rows follow the serve pipeline order (decode → queue → coalesce →
+    compute → write); columns are the exact streaming quantiles plus the
+    window max, rendered in milliseconds.
+    """
+    cells: Dict[str, Dict[str, float]] = {}
+    for entry in gauges:
+        if entry["name"] != _STAGE_QUANTILE_GAUGE:
+            continue
+        labels = entry["labels"]
+        cells.setdefault(labels["stage"], {})[labels["q"]] = entry["value"]
+    if not cells:
+        return ""
+    from .requesttrace import SERVE_STAGES
+
+    quantiles = sorted(
+        {q for stage in cells.values() for q in stage},
+        key=lambda q: float("inf") if q == "max" else float(q),
+    )
+    ordered = [s for s in SERVE_STAGES if s in cells] + sorted(
+        s for s in cells if s not in SERVE_STAGES
+    )
+    rows = [
+        [stage]
+        + [
+            f"{cells[stage][q] * 1000.0:.3f}" if q in cells[stage] else ""
+            for q in quantiles
+        ]
+        for stage in ordered
+    ]
+    headers = ["stage"] + [
+        f"p{float(q) * 100:g}ms" if q != "max" else "max ms" for q in quantiles
+    ]
+    return render_table(headers, rows, title=f"{title}: request latency")
+
+
 def render_dashboard(snapshot: Dict[str, Any], title: str = "telemetry") -> str:
     """Render one snapshot as counter / gauge / histogram tables."""
     sections: List[str] = []
@@ -35,6 +78,10 @@ def render_dashboard(snapshot: Dict[str, Any], title: str = "telemetry") -> str:
         )
 
     gauges = snapshot.get("gauges", [])
+    latency = _latency_panel(gauges, title)
+    if latency:
+        sections.append(latency)
+        gauges = [g for g in gauges if g["name"] != _STAGE_QUANTILE_GAUGE]
     if gauges:
         rows = [
             [entry["name"], _label_text(entry["labels"]), entry["value"]]

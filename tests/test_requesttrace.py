@@ -1,0 +1,413 @@
+"""Serve-path request tracing: stages, span shards, flight recorder.
+
+Covers the pieces of ``repro.telemetry.requesttrace`` in isolation —
+exact streaming quantiles, the trace context on the wire, the span
+shard merge, and the flight-recorder ring — and then the whole path
+end to end: a traced load through a live server with two worker
+processes must merge into one Chrome-trace timeline whose spans nest
+client → server → worker across three pids, and an engine death must
+leave a parseable flight dump behind (docs/observability.md §5–§7).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectorSpec, WindowSpec, create_detector
+from repro.errors import ConfigurationError, ProtocolError
+from repro.resilience import EngineFaultHooks
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.serve.client import run_load
+from repro.serve.protocol import (
+    FLAG_CHECKSUM,
+    FLAG_TRACE,
+    HEADER,
+    checksum16,
+    decode_batch_payload,
+    encode_batch,
+    split_trace_payload,
+)
+from repro.telemetry import (
+    SERVE_STAGES,
+    FlightRecorder,
+    SpanShardWriter,
+    StageLatencyRecorder,
+    StreamingQuantile,
+    TelemetrySession,
+    current_trace,
+    merge_shards,
+    new_span_id,
+    new_trace_id,
+    set_current_trace,
+)
+from repro.telemetry.requesttrace import clear_current_trace
+
+TBF_SPEC = DetectorSpec(
+    algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.01
+)
+SHARDED_SPEC = DetectorSpec(
+    algorithm="tbf", window=WindowSpec("sliding", 4096), target_fp=0.01,
+    shards=2,
+)
+
+
+def _stream(count=2000, seed=5, universe=500):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, size=count, dtype=np.uint64)
+
+
+def _nearest_rank(values, q):
+    ordered = sorted(values)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+class TestStreamingQuantile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingQuantile(capacity=0)
+        stream = StreamingQuantile()
+        with pytest.raises(ConfigurationError):
+            stream.quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            stream.quantile(1.5)
+
+    def test_empty_is_nan(self):
+        stream = StreamingQuantile()
+        assert math.isnan(stream.quantile(0.5))
+        assert math.isnan(stream.max)
+        assert stream.quantiles((0.5, 0.99)) == pytest.approx(
+            {0.5: float("nan"), 0.99: float("nan")}, nan_ok=True
+        )
+
+    def test_exact_nearest_rank_against_reference(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(1.0, size=777).tolist()
+        stream = StreamingQuantile(capacity=1 << 12)
+        for value in values:
+            stream.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+            assert stream.quantile(q) == _nearest_rank(values, q)
+        batch = stream.quantiles((0.5, 0.95, 0.99))
+        for q, got in batch.items():
+            assert got == _nearest_rank(values, q)
+        assert stream.max == max(values)
+
+    def test_window_wraps_and_forgets_old_samples(self):
+        stream = StreamingQuantile(capacity=100)
+        for value in range(250):
+            stream.observe(float(value))
+        assert stream.count == 100
+        assert stream.observed == 250
+        # Exact over the *last* 100 samples (150..249), not all history.
+        window = list(range(150, 250))
+        assert stream.quantile(0.5) == _nearest_rank(window, 0.5)
+        assert stream.quantile(1.0) == 249.0
+        assert stream.max == 249.0
+
+
+class TestTraceContextOnTheWire:
+    def test_untraced_frame_is_byte_identical_to_pre_trace_protocol(self):
+        identifiers = _stream(64)
+        frame = encode_batch(9, identifiers)
+        frame_type, flags, reserved, request_id, length = HEADER.unpack(
+            frame[: HEADER.size]
+        )
+        assert flags == FLAG_CHECKSUM      # no FLAG_TRACE bit
+        assert length == 16 * 64           # no prefix bytes
+        trace, records = split_trace_payload(flags, frame[HEADER.size :])
+        assert trace is None
+        got, _ts = decode_batch_payload(records)
+        assert np.array_equal(got, identifiers)
+
+    def test_traced_frame_round_trips_and_checksums_the_prefix(self):
+        identifiers = _stream(64)
+        context = (new_trace_id(), new_span_id())
+        frame = encode_batch(9, identifiers, trace=context)
+        _type, flags, reserved, _id, length = HEADER.unpack(frame[: HEADER.size])
+        assert flags & FLAG_TRACE
+        assert flags & FLAG_CHECKSUM
+        payload = frame[HEADER.size :]
+        assert length == 16 + 16 * 64
+        assert reserved == checksum16(payload)   # covers the prefix too
+        trace, records = split_trace_payload(flags, payload)
+        assert trace == context
+        got, _ts = decode_batch_payload(records)
+        assert np.array_equal(got, identifiers)
+        # The strip is a view over the wire bytes, not a copy.
+        assert isinstance(records, memoryview)
+
+    def test_short_traced_payload_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            split_trace_payload(FLAG_TRACE, b"\x00" * 8)
+
+    def test_ids_are_nonzero(self):
+        # Zero means "untraced" on the wire and in the rings, so the
+        # generators must never mint it.
+        assert all(new_trace_id() != 0 for _ in range(64))
+        assert all(new_span_id() != 0 for _ in range(64))
+
+    def test_current_trace_set_and_clear(self):
+        clear_current_trace()
+        assert current_trace() == (0, 0)
+        set_current_trace(7, 9)
+        assert current_trace() == (7, 9)
+        clear_current_trace()
+        assert current_trace() == (0, 0)
+
+
+class TestStageLatencyRecorder:
+    def test_exact_quantile_gauges_reach_the_exposition(self):
+        session = TelemetrySession()
+        recorder = StageLatencyRecorder(session.registry)
+        for stage in SERVE_STAGES:
+            for value in (0.001, 0.002, 0.004, 0.008):
+                recorder.observe(stage, value)
+        recorder.collect()
+        text = session.registry.to_prometheus()
+        assert "repro_serve_stage_seconds" in text
+        for stage in SERVE_STAGES:
+            assert f'stage="{stage}",q="0.99"' in text
+            assert f'stage="{stage}",q="max"' in text
+        # Gauges are the exact nearest-rank values, not estimates.
+        assert recorder.stream("decode").quantile(0.5) == 0.002
+        assert recorder.stream("decode").max == 0.008
+
+
+class TestSpanShardMerge:
+    def _write_shard(self, directory, role, pid, spans):
+        path = directory / f"spans-{role}-{pid}.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span) + "\n")
+        return path
+
+    def test_multi_process_shards_merge_into_one_nested_timeline(self, tmp_path):
+        trace_id = 0xABC
+        root, mid, leaf = 11, 22, 33
+        self._write_shard(tmp_path, "client", 100, [
+            {"name": "client.request", "trace_id": trace_id, "span_id": root,
+             "parent_id": 0, "pid": 100, "role": "client",
+             "ts": 50.0, "dur": 0.030},
+        ])
+        self._write_shard(tmp_path, "server", 200, [
+            {"name": "server.process_group", "trace_id": trace_id,
+             "span_id": mid, "parent_id": root, "pid": 200, "role": "server",
+             "ts": 50.010, "dur": 0.015},
+        ])
+        self._write_shard(tmp_path, "worker-0", 300, [
+            {"name": "worker.shard_batch", "trace_id": trace_id,
+             "span_id": leaf, "parent_id": mid, "pid": 300, "role": "worker-0",
+             "ts": 50.012, "dur": 0.008},
+        ])
+        trace = merge_shards(tmp_path, output=tmp_path / "trace.json")
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+
+        # One process row per pid, named from the shard's role.
+        assert {e["pid"] for e in events} == {100, 200, 300}
+        names = {e["args"]["name"] for e in metadata}
+        assert names == {"client (100)", "server (200)", "worker-0 (300)"}
+
+        # Timeline is rebased to the earliest span and monotone in µs.
+        starts = [e["ts"] for e in events]
+        assert starts[0] == 0.0
+        assert starts == sorted(starts)
+        assert events[1]["ts"] == pytest.approx(10_000.0)  # 10 ms in µs
+
+        # Parent/child nesting survives the merge through args ids.
+        by_name = {e["name"]: e for e in events}
+        assert "parent_span_id" not in by_name["client.request"]["args"]
+        assert (by_name["server.process_group"]["args"]["parent_span_id"]
+                == by_name["client.request"]["args"]["span_id"])
+        assert (by_name["worker.shard_batch"]["args"]["parent_span_id"]
+                == by_name["server.process_group"]["args"]["span_id"])
+
+        # The written file is the same trace.
+        on_disk = json.loads((tmp_path / "trace.json").read_text())
+        assert on_disk == trace
+
+    def test_torn_tail_line_is_skipped_not_fatal(self, tmp_path):
+        path = self._write_shard(tmp_path, "server", 1, [
+            {"name": "a", "trace_id": 1, "span_id": 2, "parent_id": 0,
+             "pid": 1, "role": "server", "ts": 1.0, "dur": 0.1},
+        ])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn", "ts": 2.0')  # killed mid-write
+        events = [
+            e for e in merge_shards(tmp_path)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert [e["name"] for e in events] == ["a"]
+
+    def test_writer_span_context_manager_times_and_flushes(self, tmp_path):
+        with SpanShardWriter(tmp_path, "server") as writer:
+            with writer.span("work", trace_id=5, parent_id=3, clicks=10):
+                pass
+            lines = writer.path.read_text().splitlines()
+        assert len(lines) == 1                     # flushed before close
+        record = json.loads(lines[0])
+        assert record["name"] == "work"
+        assert record["trace_id"] == 5
+        assert record["parent_id"] == 3
+        assert record["args"] == {"clicks": 10}
+        assert record["dur"] >= 0.0
+
+
+class TestFlightRecorder:
+    def test_capacity_floor(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=8)
+
+    def test_ring_keeps_the_newest_events_in_order(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(40):
+            recorder.record("tick", index=index)
+        events = recorder.events()
+        assert len(events) == 16
+        assert [event[0] for event in events] == list(range(24, 40))
+        assert [event[3]["index"] for event in events] == list(range(24, 40))
+
+    def test_dump_round_trips_through_parse(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(20):
+            recorder.record("frame", request_id=index, clicks=64)
+        recorder.record("engine_death", error="RuntimeError('boom')")
+        path = recorder.dump(tmp_path, "engine-death")
+        assert path.name.startswith("flight-engine-death-")
+        header, events = FlightRecorder.parse(path)
+        assert header["reason"] == "engine-death"
+        assert header["recorded"] == 21
+        assert header["dropped"] == 5
+        assert header["events"] == len(events) == 16
+        assert events[-1]["kind"] == "engine_death"
+        assert events[-1]["error"] == "RuntimeError('boom')"
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+
+    def test_parse_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            FlightRecorder.parse(empty)
+
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text('{"seq": 0, "kind": "frame", "ts": 1.0}\n')
+        with pytest.raises(ValueError):
+            FlightRecorder.parse(headerless)
+
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("a")
+        recorder.record("b")
+        truncated = recorder.dump(tmp_path, "drain")
+        lines = truncated.read_text().splitlines()
+        truncated.write_text("\n".join(lines[:-1]) + "\n")  # lose one event
+        with pytest.raises(ValueError):
+            FlightRecorder.parse(truncated)
+
+
+class TestServePathEndToEnd:
+    def test_traced_load_merges_across_client_server_and_workers(self, tmp_path):
+        identifiers = _stream(count=4096)
+        batches = [
+            (identifiers[start : start + 512], None)
+            for start in range(0, identifiers.shape[0], 512)
+        ]
+        config = ServeConfig(
+            workers=2, trace_dir=tmp_path / "spans", max_delay=0.002
+        )
+        with ServerThread(create_detector(SHARDED_SPEC), config) as thread:
+            stats = run_load(
+                "127.0.0.1",
+                thread.port,
+                batches,
+                window=4,
+                trace_dir=str(tmp_path / "spans"),
+                trace_sample=1.0,
+            )
+        assert stats["errors"] == 0
+        assert stats["latency"]["batches"] == len(batches)
+        assert stats["latency"]["p50_s"] <= stats["latency"]["p99_s"]
+
+        trace = merge_shards(tmp_path / "spans")
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in events}
+        names = {e["name"] for e in events}
+        # Client and server share a pid here (ServerThread is in-process)
+        # but the two shard workers are real processes of their own.
+        assert len(pids) >= 3
+        assert {"client.request", "server.process_group",
+                "worker.shard_batch"} <= names
+
+        spans = {e["args"]["span_id"]: e for e in events}
+        clients = [e for e in events if e["name"] == "client.request"]
+        servers = [e for e in events if e["name"] == "server.process_group"]
+        workers = [e for e in events if e["name"] == "worker.shard_batch"]
+        assert clients and servers and len(workers) >= 2
+        for event in clients:
+            assert "parent_span_id" not in event["args"]    # roots
+        for event in servers:
+            parent = spans[event["args"]["parent_span_id"]]
+            assert parent["name"] == "client.request"
+            assert parent["args"]["trace_id"] == event["args"]["trace_id"]
+        for event in workers:
+            parent = spans[event["args"]["parent_span_id"]]
+            assert parent["name"] == "server.process_group"
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)                     # monotone merge
+
+    def test_untraced_server_writes_no_spans(self, tmp_path):
+        identifiers = _stream(count=1024)
+        config = ServeConfig(trace_dir=tmp_path / "spans")
+        with ServerThread(create_detector(TBF_SPEC), config) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                client.send(identifiers)                    # no FLAG_TRACE
+        events = merge_shards(tmp_path / "spans")["traceEvents"]
+        assert [e for e in events if e["ph"] == "X"] == []
+
+    def test_stage_quantile_gauges_reach_the_server_exposition(self):
+        identifiers = _stream(count=4096)
+        session = TelemetrySession()
+        with ServerThread(
+            create_detector(TBF_SPEC), telemetry=session
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                for start in range(0, identifiers.shape[0], 512):
+                    client.send(identifiers[start : start + 512])
+            session.emit()
+        text = session.registry.to_prometheus()
+        for stage in SERVE_STAGES:
+            assert f'repro_serve_stage_quantile_seconds{{stage="{stage}",q="0.99"}}' in text
+        assert 'repro_serve_stage_seconds_count{stage="detector_compute"}' in text
+
+    def test_engine_death_dumps_a_parseable_flight_record(self, tmp_path):
+        identifiers = _stream(count=600)
+        hooks = EngineFaultHooks(fail_groups=(0,))
+        config = ServeConfig(
+            watchdog_interval=0.02, flight_dir=tmp_path / "flight"
+        )
+        with ServerThread(
+            create_detector(TBF_SPEC), config, fault_hooks=hooks
+        ) as thread:
+            with ServeClient("127.0.0.1", thread.port, timeout=10.0) as client:
+                client.send(identifiers)
+        dumps = sorted((tmp_path / "flight").glob("flight-engine-death-*.jsonl"))
+        assert dumps, "engine death left no flight dump"
+        header, events = FlightRecorder.parse(dumps[0])
+        assert header["reason"] == "engine-death"
+        kinds = [event["kind"] for event in events]
+        assert kinds[-1] == "engine_death"
+        assert "frame" in kinds        # the window before the death is there
+
+    def test_clean_drain_leaves_a_baseline_dump(self, tmp_path):
+        identifiers = _stream(count=1024)
+        config = ServeConfig(flight_dir=tmp_path / "flight")
+        with ServerThread(create_detector(TBF_SPEC), config) as thread:
+            with ServeClient("127.0.0.1", thread.port) as client:
+                client.send(identifiers)
+        dumps = sorted((tmp_path / "flight").glob("flight-drain-*.jsonl"))
+        assert len(dumps) == 1
+        header, events = FlightRecorder.parse(dumps[0])
+        assert header["reason"] == "drain"
+        kinds = {event["kind"] for event in events}
+        assert {"frame", "flush", "group_start", "group_end", "drain"} <= kinds
