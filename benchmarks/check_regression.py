@@ -69,6 +69,33 @@ def check_latency(committed: dict, failures: list) -> None:
     )
 
 
+def report_scaling(committed: dict) -> None:
+    """Echo the committed multi-process scaling numbers, tolerantly.
+
+    The ``parallel`` and ``cluster`` sections are host-shaped: absent in
+    pre-schema BENCH files, and (since schema 4) individual counts are
+    recorded as tagged skips on hosts with fewer cores than the sweep.
+    They are never gated here — re-running a multi-process sweep inside
+    the regression check would dwarf it — but the check must not crash
+    on any of those shapes.
+    """
+    for section, key in (("parallel", "workers"), ("cluster", "nodes")):
+        recorded = committed.get(section)
+        if not isinstance(recorded, dict):
+            continue  # older BENCH file: nothing to echo
+        parts = []
+        entries = recorded.get(key) or {}
+        for count, entry in sorted(entries.items(), key=lambda kv: int(kv[0])):
+            if not isinstance(entry, dict) or "clicks_per_sec" not in entry:
+                parts.append(f"x{count} skipped")
+            else:
+                parts.append(f"x{count} {entry['clicks_per_sec']:,.0f}/s")
+        print(
+            f"{section:>12}: committed {'  '.join(parts) or 'none'}"
+            f"  (report only; cpu_count {recorded.get('cpu_count', '?')})"
+        )
+
+
 def main() -> int:
     bench_path = REPO_ROOT / "BENCH_throughput.json"
     committed = json.loads(bench_path.read_text())
@@ -92,6 +119,7 @@ def main() -> int:
             f"  {verdict}"
         )
     check_latency(committed, failures)
+    report_scaling(committed)
     if failures:
         print(
             f"regression: {', '.join(failures)} outside the committed "

@@ -33,6 +33,10 @@ from test_batch_throughput import (  # noqa: E402
     WINDOW,
     compare_paths,
 )
+from test_cluster_throughput import (  # noqa: E402
+    NODE_COUNTS,
+    run_cluster_sweep,
+)
 from test_parallel_throughput import (  # noqa: E402
     WORKER_COUNTS,
     run_parallel_sweep,
@@ -53,7 +57,12 @@ from test_telemetry_overhead import (  # noqa: E402
 #: file written under a different schema unless ``--force`` is given,
 #: so a stale checkout cannot silently clobber numbers a newer layout
 #: already recorded (or vice versa).
-SCHEMA_VERSION = 3
+#:
+#: Schema 4: multi-worker/multi-node sweeps only run counts the host
+#: can parallelize — counts past ``os.cpu_count()`` are recorded as
+#: tagged skips instead of timings that could only show fake slowdown —
+#: and a ``cluster`` scatter/gather section joins the report.
+SCHEMA_VERSION = 4
 
 
 def main(argv=None) -> int:
@@ -144,9 +153,27 @@ def main(argv=None) -> int:
             f"  enabled {telemetry[name]['enabled_overhead_pct']:+.2f}%"
         )
 
-    sweep = run_parallel_sweep(WORKER_COUNTS)
-    base_seconds = sweep[WORKER_COUNTS[0]].seconds
-    parallel = {"cpu_count": os.cpu_count(), "workers": {}}
+    # Worker/node counts past the physical cores cannot speed anything
+    # up — timing them records a "0.33 efficiency" that reads as a
+    # scaling bug when it is only the host being small.  Run what the
+    # host can parallelize and tag the rest as skipped so a BENCH diff
+    # distinguishes "slower" from "never measured here".
+    cpu_count = os.cpu_count() or 1
+
+    def _skip_tag(counts):
+        return {
+            str(count): {"skipped": f"host has {cpu_count} CPUs, not {count}"}
+            for count in counts
+            if count > cpu_count
+        }
+
+    worker_counts = [c for c in WORKER_COUNTS if c <= cpu_count] or [1]
+    sweep = run_parallel_sweep(worker_counts)
+    base_seconds = sweep[worker_counts[0]].seconds
+    parallel = {
+        "cpu_count": cpu_count,
+        "workers": _skip_tag(WORKER_COUNTS),
+    }
     for workers, result in sweep.items():
         speedup = base_seconds / result.seconds
         parallel["workers"][str(workers)] = {
@@ -159,6 +186,33 @@ def main(argv=None) -> int:
             f" {result.elements_per_second:>12,.0f} clicks/s"
             f"  ({speedup:.2f}x vs 1 worker)"
         )
+    for count in sorted(WORKER_COUNTS):
+        if count > cpu_count:
+            print(f"{'parallel x' + str(count):>12}: skipped ({cpu_count} CPUs)")
+
+    node_counts = [c for c in NODE_COUNTS if c <= cpu_count] or [1]
+    cluster_sweep = run_cluster_sweep(
+        node_counts, clicks=(1 << 16) if args.quick else (1 << 18)
+    )
+    cluster_base = cluster_sweep[node_counts[0]].seconds
+    cluster = {
+        "cpu_count": cpu_count,
+        "nodes": _skip_tag(NODE_COUNTS),
+    }
+    for nodes, result in cluster_sweep.items():
+        speedup = cluster_base / result.seconds
+        cluster["nodes"][str(nodes)] = {
+            "clicks_per_sec": round(result.elements_per_second, 1),
+            "speedup_vs_1_node": round(speedup, 2),
+        }
+        print(
+            f"{'cluster x' + str(nodes):>12}:"
+            f" {result.elements_per_second:>12,.0f} clicks/s"
+            f"  ({speedup:.2f}x vs 1 node)"
+        )
+    for count in sorted(NODE_COUNTS):
+        if count > cpu_count:
+            print(f"{'cluster x' + str(count):>12}: skipped ({cpu_count} CPUs)")
 
     serve_result = run_serve_bench(clicks=(1 << 16) if args.quick else (1 << 18))
     serve = {
@@ -177,21 +231,27 @@ def main(argv=None) -> int:
     )
 
     rtt = run_latency_bench(clicks=(1 << 15) if args.quick else (1 << 17))
-    latency = {
-        "batch": BATCH,
-        "pipeline_depth": WINDOW_DEPTH,
-        "batches": rtt["batches"],
-        "p50_ms": round(rtt["p50_s"] * 1000, 3),
-        "p95_ms": round(rtt["p95_s"] * 1000, 3),
-        "p99_ms": round(rtt["p99_s"] * 1000, 3),
-        "max_ms": round(rtt["max_s"] * 1000, 3),
-    }
-    print(
-        f"{'latency':>12}: p50 {latency['p50_ms']:.2f}ms"
-        f"  p95 {latency['p95_ms']:.2f}ms"
-        f"  p99 {latency['p99_ms']:.2f}ms"
-        f"  (batch RTT over {latency['batches']} batches)"
-    )
+    # ``run_load`` reports ``latency: None`` when no batch completed a
+    # round trip; don't let the recorder crash indexing into it.
+    if rtt is None:
+        latency = None
+        print(f"{'latency':>12}: no completed batches; section omitted")
+    else:
+        latency = {
+            "batch": BATCH,
+            "pipeline_depth": WINDOW_DEPTH,
+            "batches": rtt["batches"],
+            "p50_ms": round(rtt["p50_s"] * 1000, 3),
+            "p95_ms": round(rtt["p95_s"] * 1000, 3),
+            "p99_ms": round(rtt["p99_s"] * 1000, 3),
+            "max_ms": round(rtt["max_s"] * 1000, 3),
+        }
+        print(
+            f"{'latency':>12}: p50 {latency['p50_ms']:.2f}ms"
+            f"  p95 {latency['p95_ms']:.2f}ms"
+            f"  p99 {latency['p99_ms']:.2f}ms"
+            f"  (batch RTT over {latency['batches']} batches)"
+        )
 
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -211,6 +271,7 @@ def main(argv=None) -> int:
         "detectors": detectors,
         "telemetry": telemetry,
         "parallel": parallel,
+        "cluster": cluster,
         "serve": serve,
         "latency": latency,
     }

@@ -44,12 +44,13 @@ from __future__ import annotations
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..cluster import LocalCluster
 from ..detection import DetectionPipeline, DetectorSpec, WindowSpec, create_detector
 from ..errors import ConfigurationError
 from ..resilience.faults import EngineFaultHooks
@@ -104,6 +105,12 @@ class SoakConfig:
     #: Client retry budget per delivery failure.
     retries: int = 12
     detector: Optional[DetectorSpec] = None
+    #: Route the soak through a :class:`~repro.cluster.LocalCluster` of
+    #: this many serve nodes behind the scatter/gather router instead of
+    #: one server.  The mid-schedule process fault then becomes a node
+    #: failover (checkpoint barrier, SIGKILL-equivalent, restore on the
+    #: same port) and the books must still balance across the fleet.
+    cluster_nodes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.clicks < 1 or self.batch < 1:
@@ -113,6 +120,10 @@ class SoakConfig:
         if self.drain_after is not None and self.drain_after < 0:
             raise ConfigurationError(
                 f"drain_after must be >= 0, got {self.drain_after}"
+            )
+        if self.cluster_nodes is not None and self.cluster_nodes < 1:
+            raise ConfigurationError(
+                f"cluster_nodes must be >= 1, got {self.cluster_nodes}"
             )
 
 
@@ -188,6 +199,72 @@ def _counter_value(registry, name: str) -> int:
     return 0
 
 
+def _reconcile(
+    batches,
+    total_clicks: int,
+    stats: dict,
+    applied: int,
+    journal: Dict[int, np.ndarray],
+    expected: np.ndarray,
+    session: TelemetrySession,
+    proxy_faults: Dict[str, int],
+    restarts: int,
+    flight_paths: List[Path],
+) -> SoakReport:
+    """Balance the books; shared by the single-server and cluster soaks.
+
+    ``corrupt_frames`` sums the serve- and cluster-tier counters: a
+    corrupted frame is refused wherever it is first noticed (the router
+    checks the checksum before slicing, a lone server at its own front
+    door), and either refusal must surface as a retried delivery.
+    """
+    flight_parse_ok = True
+    for path in flight_paths:
+        try:
+            FlightRecorder.parse(path)
+        except (ValueError, OSError):
+            flight_parse_ok = False
+    missing = [i for i in range(len(batches)) if i not in journal]
+    actual = (
+        np.concatenate([journal[i] for i in range(len(batches))])
+        if not missing and journal
+        else None
+    )
+    classified = total_clicks - stats["error_clicks"]
+    registry = session.registry
+    return SoakReport(
+        total_clicks=total_clicks,
+        collected_clicks=stats["clicks"],
+        applied_clicks=applied,
+        lost_clicks=total_clicks - stats["clicks"] - stats["error_clicks"],
+        double_applied_clicks=max(0, applied - classified),
+        bit_identical=(
+            actual is not None and bool(np.array_equal(actual, expected))
+        ),
+        missing_batches=len(missing),
+        restarts=restarts,
+        watchdog_restarts=_counter_value(
+            registry, "repro_serve_watchdog_restarts_total"
+        ),
+        dedup_hits=_counter_value(registry, "repro_serve_dedup_hits_total"),
+        client_retries=_counter_value(registry, "repro_serve_retries_total"),
+        checkpoint_failures=_counter_value(
+            registry, "repro_serve_checkpoint_failures_total"
+        ),
+        corrupt_frames=(
+            _counter_value(registry, "repro_serve_corrupt_frames_total")
+            + _counter_value(registry, "repro_cluster_corrupt_frames_total")
+        ),
+        proxy_faults=proxy_faults,
+        overloads=stats["overloads"],
+        errors=stats["errors"],
+        seconds=stats["seconds"],
+        clicks_per_second=stats["clicks_per_second"],
+        flight_dumps=len(flight_paths),
+        flight_parse_ok=flight_parse_ok,
+    )
+
+
 def run_soak(
     config: Optional[SoakConfig] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
@@ -201,6 +278,10 @@ def run_soak(
     spec = config.detector if config.detector is not None else _default_spec(
         config.seed
     )
+    if config.cluster_nodes is not None and spec.shards < 2:
+        # Cluster slices partition a *sharded* detector; widen the
+        # default spec so there are shards to spread across nodes.
+        spec = replace(spec, shards=8)
 
     batches = _synthetic_batches(
         config.clicks, config.batch, config.seed, config.duplicate_rate
@@ -227,6 +308,12 @@ def run_soak(
         fail_checkpoints=(0,) if config.fail_first_checkpoint else (),
     )
     session = TelemetrySession()
+
+    if config.cluster_nodes is not None:
+        return _cluster_soak(
+            config, spec, batches, total_clicks, expected, hooks, session,
+            checkpoint_dir,
+        )
 
     with tempfile.TemporaryDirectory(prefix="repro-soak-") as fallback_dir:
         ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else Path(
@@ -309,51 +396,131 @@ def run_soak(
         # Flight-recorder reconciliation: the injected engine faults and
         # every drain must each have dumped the event ring, and every
         # dump must round-trip through the parser.
-        flight_paths = sorted(ckpt.glob("flight-*.jsonl"))
-        flight_parse_ok = True
-        for path in flight_paths:
-            try:
-                FlightRecorder.parse(path)
-            except (ValueError, OSError):
-                flight_parse_ok = False
-        missing = [i for i in range(len(batches)) if i not in journal]
-        actual = (
-            np.concatenate([journal[i] for i in range(len(batches))])
-            if not missing and journal
-            else None
+        return _reconcile(
+            batches,
+            total_clicks,
+            stats,
+            applied,
+            journal,
+            expected,
+            session,
+            proxy_faults,
+            state["restarts"],
+            sorted(ckpt.glob("flight-*.jsonl")),
         )
-        classified = total_clicks - stats["error_clicks"]
-        return SoakReport(
-            total_clicks=total_clicks,
-            collected_clicks=stats["clicks"],
-            applied_clicks=applied,
-            lost_clicks=total_clicks - stats["clicks"] - stats["error_clicks"],
-            double_applied_clicks=max(0, applied - classified),
-            bit_identical=(
-                actual is not None and bool(np.array_equal(actual, expected))
-            ),
-            missing_batches=len(missing),
-            restarts=state["restarts"],
-            watchdog_restarts=_counter_value(
-                session.registry, "repro_serve_watchdog_restarts_total"
-            ),
-            dedup_hits=_counter_value(
-                session.registry, "repro_serve_dedup_hits_total"
-            ),
-            client_retries=_counter_value(
-                session.registry, "repro_serve_retries_total"
-            ),
-            checkpoint_failures=_counter_value(
-                session.registry, "repro_serve_checkpoint_failures_total"
-            ),
-            corrupt_frames=_counter_value(
-                session.registry, "repro_serve_corrupt_frames_total"
-            ),
-            proxy_faults=proxy_faults,
-            overloads=stats["overloads"],
-            errors=stats["errors"],
-            seconds=stats["seconds"],
-            clicks_per_second=stats["clicks_per_second"],
-            flight_dumps=len(flight_paths),
-            flight_parse_ok=flight_parse_ok,
+
+
+def _cluster_soak(
+    config: SoakConfig,
+    spec: DetectorSpec,
+    batches,
+    total_clicks: int,
+    expected: np.ndarray,
+    hooks: EngineFaultHooks,
+    session: TelemetrySession,
+    checkpoint_dir: Optional[Union[str, Path]],
+) -> SoakReport:
+    """The soak, routed through the cluster tier.
+
+    Same proxy, same fault plan, same client — but the frames land on a
+    :class:`~repro.cluster.ClusterRouter` that scatters each batch
+    across ``config.cluster_nodes`` serve nodes.  The mid-schedule
+    process fault becomes a *failover*: a cluster-wide checkpoint
+    barrier, then a SIGKILL-equivalent on the last node and a restore
+    on the same port, with the router's ack-gated journals rolling the
+    replacement forward.  ``applied`` is the fleet-wide sum from the
+    drain manifest, so a batch double-applied on *any* node overshoots
+    the reconciliation exactly as it would on one server.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as fallback_dir:
+        ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else Path(
+            fallback_dir
+        )
+        node_config = ServeConfig(
+            max_delay=0.002,
+            dedup_entries=128,
+            watchdog_interval=0.05,
+            watchdog_stall_timeout=0.4,
+        )
+        cluster = LocalCluster(
+            lambda: create_detector(spec),
+            config.cluster_nodes,
+            ckpt,
+            node_config=node_config,
+            telemetry=session,
+            fault_hooks=hooks,
+        ).start()
+        proxy = ProxyThread(cluster.port, plan=config.plan).start()
+
+        stop_failover = threading.Event()
+        failovers = {"count": 0}
+
+        def _failover() -> None:
+            if stop_failover.wait(config.drain_after):
+                return
+            # Checkpoint barrier first: the journals the barrier clears
+            # are exactly what would otherwise have to replay from the
+            # beginning of time on the restored node.
+            victim = cluster.num_nodes - 1
+            cluster.checkpoint()
+            cluster.kill_node(victim)
+            cluster.restore_node(victim)
+            failovers["count"] += 1
+
+        restarter = None
+        if config.drain_after is not None:
+            restarter = threading.Thread(
+                target=_failover, name="repro-soak-failover", daemon=True
+            )
+            restarter.start()
+
+        journal: Dict[int, np.ndarray] = {}
+
+        def _record(index: int, verdicts: np.ndarray) -> None:
+            journal[index] = verdicts.copy()
+
+        manifest = None
+        try:
+            stats = run_load(
+                "127.0.0.1",
+                proxy.port,
+                batches,
+                window=1,
+                retry=RetryPolicy(
+                    max_retries=config.retries,
+                    base_backoff=0.05,
+                    max_backoff=0.5,
+                    breaker_reset=0.2,
+                    seed=config.seed,
+                ),
+                client_id=(config.seed << 1) | 1,
+                timeout=config.timeout,
+                registry=session.registry,
+                on_verdicts=_record,
+            )
+        finally:
+            stop_failover.set()
+            if restarter is not None:
+                restarter.join(timeout=30.0)
+            proxy_faults = dict(proxy.proxy.faults) if proxy.proxy else {}
+            proxy.stop()
+            # The drain manifest is the cluster's closing statement:
+            # fleet-wide totals plus per-node processed counts.
+            manifest = cluster.drain()
+
+        applied = sum(
+            int(node["processed_clicks"])
+            for node in (manifest or {}).get("nodes", [])
+        )
+        return _reconcile(
+            batches,
+            total_clicks,
+            stats,
+            applied,
+            journal,
+            expected,
+            session,
+            proxy_faults,
+            failovers["count"],
+            sorted(ckpt.glob("node-*/flight-*.jsonl")),
         )

@@ -19,6 +19,12 @@ Commands
                stack (client → server → workers), merge the per-process
                span shards into one Chrome-trace timeline, and report
                latency percentiles (see docs/observability.md)
+``cluster``    run the cluster serving tier — a consistent-hash
+               scatter/gather router over N serve nodes — or rebalance
+               a drained cluster's shard checkpoints onto a resized
+               fleet (see docs/serving.md §"Cluster topology")
+``chaos``      soak the serve stack under injected faults and verify
+               exactly-once delivery end to end
 
 Examples
 --------
@@ -102,7 +108,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     monitor = commands.add_parser(
         "monitor", help="run a detector with a live telemetry dashboard")
-    _add_detector_args(monitor)
+    _add_detector_args(monitor, with_input=False)
+    monitor.add_argument("input", nargs="?", default=None,
+                         help="stream file from `repro generate` "
+                         "(omit with --cluster)")
+    monitor.add_argument("--cluster", default=None, metavar="STATE_DIR",
+                         help="instead of running a detector, render the "
+                         "merged router + per-node telemetry from a drained "
+                         "cluster's manifest (see `repro cluster run`)")
     monitor.add_argument("--every", type=int, default=2048,
                          help="clicks between dashboard refreshes (default 2048)")
     monitor.add_argument("--chunk-size", type=int, default=1024,
@@ -170,6 +183,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the Prometheus text exposition "
                        "(stage latency histograms + quantile gauges)")
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="run or operate the cluster serving tier "
+        "(router + N serve nodes; see docs/serving.md)")
+    cluster_cmds = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_run = cluster_cmds.add_parser(
+        "run", help="boot a router + N local serve nodes; SIGTERM drains "
+        "the whole cluster and writes a journaled manifest")
+    cluster_run.add_argument("--nodes", type=int, default=2,
+                             help="serve nodes behind the router (default 2)")
+    cluster_run.add_argument("--shards", type=int, default=8,
+                             help="fixed global shard count — the unit of "
+                             "checkpointed state; node counts may change "
+                             "later, this may not (default 8)")
+    cluster_run.add_argument("--window", type=int, default=8192,
+                             help="sliding-window size in clicks (default 8192)")
+    cluster_run.add_argument("--target-fp", type=float, default=0.001)
+    cluster_run.add_argument("--seed", type=int, default=0)
+    cluster_run.add_argument("--host", default="127.0.0.1")
+    cluster_run.add_argument("--port", type=int, default=0,
+                             help="router port (default 0 = ephemeral, "
+                             "printed at boot)")
+    cluster_run.add_argument("--state-dir", required=True, metavar="DIR",
+                             help="per-node checkpoint stores + cluster "
+                             "manifests live here; an existing directory "
+                             "resumes from its checkpoints")
+    cluster_rebalance = cluster_cmds.add_parser(
+        "rebalance", help="resize a drained cluster by shipping shard "
+        "checkpoints between node stores (no detector is deserialized)")
+    cluster_rebalance.add_argument("--state-dir", required=True, metavar="DIR")
+    cluster_rebalance.add_argument("--nodes", type=int, required=True,
+                                   help="new node count")
+
     chaos = commands.add_parser(
         "chaos",
         help="soak the serve stack under injected faults and reconcile")
@@ -194,6 +240,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="keep the drain checkpoints here for inspection "
                        "(default: a temporary directory)")
+    chaos.add_argument("--cluster-nodes", type=int, default=None,
+                       metavar="N",
+                       help="route the soak through a scatter/gather router "
+                       "over N serve nodes; the mid-schedule fault becomes "
+                       "a node kill + restore failover (default: one server)")
 
     return parser
 
@@ -418,6 +469,12 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 
 def _command_monitor(args: argparse.Namespace) -> int:
+    if args.cluster is not None:
+        return _monitor_cluster(args.cluster)
+    if args.input is None:
+        print("error: an input stream file is required without --cluster",
+              file=sys.stderr)
+        return 2
     clicks = load_clicks(args.input)
     detector, _ = _detector_from_args(args)
 
@@ -439,6 +496,92 @@ def _command_monitor(args: argparse.Namespace) -> int:
     if args.prometheus:
         print()
         print(session.registry.to_prometheus(), end="")
+    return 0
+
+
+def _monitor_cluster(state_dir: str) -> int:
+    """``repro monitor --cluster DIR``: the fleet-wide dashboard.
+
+    Renders the merged telemetry the drain manifest captured — the
+    router's registry plus every node's — one dashboard per component,
+    with the assignment and per-node totals up top.
+    """
+    from .cluster import read_manifest
+
+    manifest = read_manifest(state_dir)
+    if manifest is None:
+        print(f"error: no cluster manifest under {state_dir} "
+              "(drain a `repro cluster run` first)", file=sys.stderr)
+        return 1
+    totals = manifest.get("totals", {})
+    print(f"cluster: {len(manifest.get('nodes', []))} nodes x "
+          f"{manifest.get('total_shards')} shards; "
+          f"{totals.get('clicks', 0)} clicks in "
+          f"{totals.get('batches', 0)} batches routed")
+    for record in manifest.get("nodes", []):
+        print(f"  {record['name']}: shards {record['shards']}  "
+              f"{record['processed_clicks']} clicks  "
+              f"({record['checkpoint_dir']})")
+    telemetry = manifest.get("telemetry") or {}
+    router_snapshot = telemetry.get("router")
+    if router_snapshot:
+        print(render_dashboard(router_snapshot, title="router"))
+    for name, node in sorted((telemetry.get("nodes") or {}).items()):
+        snapshot = node.get("metrics")
+        if snapshot:
+            print(render_dashboard(snapshot, title=name))
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster run|rebalance`` (docs/operations.md §8 runbook)."""
+    if args.cluster_command == "rebalance":
+        from .cluster import rebalance_checkpoints
+
+        manifest = rebalance_checkpoints(args.state_dir, args.nodes)
+        print(f"rebalanced to {args.nodes} nodes x "
+              f"{manifest['total_shards']} shards")
+        for record in manifest["nodes"]:
+            print(f"  {record['name']}: shards {record['shards']}")
+        return 0
+
+    import signal
+    import threading
+
+    from .cluster import ClusterConfig, LocalCluster
+
+    spec = DetectorSpec(
+        algorithm="tbf",
+        window=WindowSpec("sliding", args.window, 1),
+        seed=args.seed,
+        shards=args.shards,
+        target_fp=args.target_fp,
+    )
+    config = ClusterConfig(
+        host=args.host, port=args.port, total_shards=args.shards
+    )
+    cluster = LocalCluster(
+        lambda: create_detector(spec),
+        nodes=args.nodes,
+        state_dir=args.state_dir,
+        config=config,
+        telemetry=True,
+    ).start()
+    ports = ", ".join(
+        f"node-{index}:{cluster._ports[index]}" for index in range(args.nodes)
+    )
+    print(f"cluster: {args.nodes} nodes x {args.shards} shards "
+          f"(tbf, window {args.window}) routing on "
+          f"{args.host}:{cluster.port}  [{ports}]", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _s, _f: stop.set())
+    stop.wait()
+    manifest = cluster.drain()
+    totals = manifest["totals"] if manifest else {}
+    print(f"drained: {totals.get('clicks', 0)} clicks in "
+          f"{totals.get('batches', 0)} batches; manifest journaled under "
+          f"{args.state_dir}/manifest")
     return 0
 
 
@@ -602,6 +745,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
         engine_fail_group=None if args.no_engine_faults else 2,
         engine_stall_group=None if args.no_engine_faults else 6,
         fail_first_checkpoint=not args.no_engine_faults,
+        cluster_nodes=args.cluster_nodes,
     )
     report = run_soak(config, checkpoint_dir=args.checkpoint_dir)
     print(report.summary())
@@ -631,6 +775,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "trace": _command_trace,
         "chaos": _command_chaos,
+        "cluster": _command_cluster,
     }
     return handlers[args.command](args)
 

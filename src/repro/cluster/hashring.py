@@ -1,0 +1,107 @@
+"""Consistent-hash placement of global shards onto serve nodes.
+
+The cluster tier keeps the *shard* count fixed — it is the unit of
+detector state, chosen once per deployment — and moves only the
+shard→node *assignment* when the fleet resizes.  That split is what
+makes rebalancing a checkpoint-shipping problem instead of a
+state-rebuilding one: shard ``s`` of an ``N``-node cluster holds
+byte-identical filter state to shard ``s`` of an ``M``-node cluster
+(and to shard ``s`` of a single-process
+:class:`~repro.detection.sharded.ShardedDetector`), so growing the
+fleet means handing a few shards' existing checkpoint blobs to new
+owners, never re-deriving anything.
+
+The ring hashes each node name to ``replicas`` points and each shard id
+to one point; a shard belongs to the first node point at or clockwise
+of its own.  Hashing is splitmix64-based (the same deterministic
+finalizer the routing layer uses — never Python's salted ``hash()``),
+so an assignment is a pure function of ``(names, replicas,
+total_shards)`` and every process in the cluster derives the same one.
+Adding or removing a node only moves the shards whose successor point
+changed — the classic consistent-hashing minimal-movement property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing.family import _splitmix64
+
+__all__ = ["HashRing"]
+
+_MASK64 = (1 << 64) - 1
+
+#: Mixed into shard-id points so shard keys live in a different family
+#: than node points (and than the click-routing constant in
+#: :func:`repro.detection.sharded.default_router`).
+_SHARD_SALT = 0xD1B54A32D192ED03
+
+
+def _fnv1a64(data: bytes) -> int:
+    """FNV-1a folding of a node name into a u64 seed (deterministic)."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & _MASK64
+    return value
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    >>> ring = HashRing(["node-0", "node-1"])
+    >>> assignment = ring.assign(8)   # shard index -> node index
+    """
+
+    def __init__(self, names: Sequence[str], replicas: int = 64) -> None:
+        names = list(names)
+        if not names:
+            raise ConfigurationError("need at least one node name")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names: {names}")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.names = tuple(names)
+        self.replicas = replicas
+        points: List[int] = []
+        owners: List[int] = []
+        for index, name in enumerate(self.names):
+            base = _fnv1a64(name.encode("utf-8"))
+            for replica in range(replicas):
+                points.append(_splitmix64((base + replica) & _MASK64))
+                owners.append(index)
+        order = np.argsort(np.asarray(points, dtype=np.uint64), kind="stable")
+        self._points = np.asarray(points, dtype=np.uint64)[order]
+        self._owners = np.asarray(owners, dtype=np.int64)[order]
+
+    def assign(self, total_shards: int) -> "np.ndarray":
+        """Shard→node assignment: int64 array of node indices, one per shard."""
+        if total_shards < 1:
+            raise ConfigurationError(
+                f"total_shards must be >= 1, got {total_shards}"
+            )
+        keys = np.fromiter(
+            (
+                _splitmix64((shard ^ _SHARD_SALT) & _MASK64)
+                for shard in range(total_shards)
+            ),
+            dtype=np.uint64,
+            count=total_shards,
+        )
+        slots = np.searchsorted(self._points, keys, side="left")
+        slots %= self._points.shape[0]  # wrap past the last point
+        return self._owners[slots]
+
+    def node_of(self, shard: int, total_shards: int) -> int:
+        """The owning node index of one shard (scalar :meth:`assign`)."""
+        return int(self.assign(total_shards)[shard])
+
+    def spread(self, total_shards: int) -> Dict[str, int]:
+        """Shards owned per node name — balance diagnostics."""
+        assignment = self.assign(total_shards)
+        return {
+            name: int(np.count_nonzero(assignment == index))
+            for index, name in enumerate(self.names)
+        }

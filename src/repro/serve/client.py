@@ -57,7 +57,7 @@ import socket
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -588,6 +588,8 @@ def run_load(
     on_verdicts=None,
     trace_dir: Optional[str] = None,
     trace_sample: float = 0.0,
+    targets: Optional[Sequence[Tuple[str, int]]] = None,
+    affinity: str = "round-robin",
 ) -> dict:
     """Drive a bounded pipeline of batches; returns a stats dict.
 
@@ -619,38 +621,79 @@ def run_load(
     ``on_verdicts(index, verdicts)`` is invoked for every classified
     batch (the chaos soak's journal hook).
 
+    ``targets`` spreads the load over several servers — the cluster
+    router plus its nodes, or several routers — each with its own
+    connection and pipeline share.  ``affinity`` picks the batch→target
+    mapping: ``"round-robin"`` deals batches out evenly,
+    ``"hash"`` pins each batch to the target its first identifier
+    hashes to (stable across reruns, so a target always replays the
+    same sub-stream).  ``host``/``port`` are ignored when ``targets``
+    is given.
+
     The returned stats include a ``latency`` dict with client-side
     round-trip percentiles (seconds, submit → verdict) over every
-    successfully classified batch; ``None`` when nothing completed.
+    successfully classified batch; ``None`` when nothing completed
+    (zero batches, or every batch refused) — consumers must guard
+    before indexing into it.
     """
-    client = ServeClient(
-        host, port, timeout=timeout, retry=retry, client_id=client_id,
-        registry=registry, trace_dir=trace_dir, trace_sample=trace_sample,
-    )
+    if targets is None:
+        targets = [(host, port)]
+    targets = list(targets)
+    if not targets:
+        raise ConfigurationError("need at least one target")
+    if affinity not in ("round-robin", "hash"):
+        raise ConfigurationError(
+            f"affinity must be 'round-robin' or 'hash', got {affinity!r}"
+        )
+    if affinity == "hash" and len(targets) > 1:
+        from ..hashing.family import _splitmix64
+
+        def _target_of(index: int) -> int:
+            identifiers = batches[index][0]
+            if identifiers.shape[0] == 0:
+                return index % len(targets)
+            return _splitmix64(int(identifiers[0])) % len(targets)
+
+    else:
+        def _target_of(index: int) -> int:
+            return index % len(targets)
+
+    clients = [
+        ServeClient(
+            target_host, target_port, timeout=timeout, retry=retry,
+            client_id=client_id, registry=registry, trace_dir=trace_dir,
+            trace_sample=trace_sample,
+        )
+        for target_host, target_port in targets
+    ]
     total = 0
     duplicates = 0
     overloads = 0
     errors = 0
     error_clicks = 0
     consecutive = 0
+    per_target = [0] * len(targets)
     work: Deque[int] = deque(range(len(batches)))
-    inflight: Deque[Tuple[int, int]] = deque()  # (request_id, batch index)
-    submitted_at: Dict[int, float] = {}
+    #: (target, request_id, batch index) — global FIFO preserves each
+    #: target's per-connection collect order.
+    inflight: Deque[Tuple[int, int, int]] = deque()
+    submitted_at: Dict[Tuple[int, int], float] = {}
     rtts: list = []
     started = time.perf_counter()
     try:
         while work or inflight:
             while work and len(inflight) < window:
                 index = work.popleft()
+                target = _target_of(index)
                 identifiers, timestamps = batches[index]
-                request_id = client.submit(identifiers, timestamps)
-                submitted_at[request_id] = time.perf_counter()
-                inflight.append((request_id, index))
-            request_id, index = inflight.popleft()
+                request_id = clients[target].submit(identifiers, timestamps)
+                submitted_at[(target, request_id)] = time.perf_counter()
+                inflight.append((target, request_id, index))
+            target, request_id, index = inflight.popleft()
             try:
-                verdicts = client.collect(request_id)
+                verdicts = clients[target].collect(request_id)
             except OverloadedError:
-                submitted_at.pop(request_id, None)
+                submitted_at.pop((target, request_id), None)
                 overloads += 1
                 consecutive += 1
                 if consecutive > max_consecutive_overloads:
@@ -660,21 +703,23 @@ def run_load(
                 continue
             except ProtocolError:
                 # A hard refusal: the same bytes would fail again.
-                submitted_at.pop(request_id, None)
+                submitted_at.pop((target, request_id), None)
                 errors += 1
                 error_clicks += int(batches[index][0].shape[0])
                 consecutive = 0
                 continue
-            sent = submitted_at.pop(request_id, None)
+            sent = submitted_at.pop((target, request_id), None)
             if sent is not None:
                 rtts.append(time.perf_counter() - sent)
             consecutive = 0
             total += int(verdicts.shape[0])
             duplicates += int(np.count_nonzero(verdicts))
+            per_target[target] += int(verdicts.shape[0])
             if on_verdicts is not None:
                 on_verdicts(index, verdicts)
     finally:
-        client.close()
+        for client in clients:
+            client.close()
     elapsed = time.perf_counter() - started
     if rtts:
         observed = np.asarray(rtts, dtype=np.float64)
@@ -696,6 +741,10 @@ def run_load(
         "seconds": elapsed,
         "clicks_per_second": total / elapsed if elapsed > 0 else 0.0,
         "latency": latency,
+        "targets": [
+            {"host": target_host, "port": target_port, "clicks": count}
+            for (target_host, target_port), count in zip(targets, per_target)
+        ],
     }
 
 
@@ -706,7 +755,19 @@ def main(argv=None) -> int:
         description="Load generator for the repro click-ingest server"
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="single-target port (or use --target)",
+    )
+    parser.add_argument(
+        "--target", action="append", default=None, metavar="HOST:PORT",
+        help="repeatable; spread load over several servers "
+        "(router + nodes, or several routers)",
+    )
+    parser.add_argument(
+        "--affinity", choices=("round-robin", "hash"), default="round-robin",
+        help="batch->target mapping with multiple --target entries",
+    )
     parser.add_argument(
         "--clicks", type=int, default=1_000_000, help="synthetic clicks to send"
     )
@@ -731,6 +792,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.target:
+        try:
+            targets = [
+                (spec.rsplit(":", 1)[0], int(spec.rsplit(":", 1)[1]))
+                for spec in args.target
+            ]
+        except (IndexError, ValueError):
+            parser.error(f"--target must be HOST:PORT, got {args.target}")
+    elif args.port is not None:
+        targets = [(args.host, args.port)]
+    else:
+        parser.error("one of --port or --target is required")
+
     if args.input is not None:
         batches = _file_batches(
             args.input, args.batch, IdentifierScheme(args.scheme)
@@ -744,8 +818,10 @@ def main(argv=None) -> int:
         if args.retries > 0
         else None
     )
-    stats = run_load(args.host, args.port, batches, window=args.window,
-                     retry=retry)
+    stats = run_load(
+        targets[0][0], targets[0][1], batches, window=args.window,
+        retry=retry, targets=targets, affinity=args.affinity,
+    )
     print(
         f"{stats['clicks']} clicks in {stats['seconds']:.2f}s "
         f"({stats['clicks_per_second']:,.0f} clicks/s), "
@@ -762,6 +838,12 @@ def main(argv=None) -> int:
             f"max={latency['max_s'] * 1000:.2f}ms "
             f"over {latency['batches']} batches"
         )
+    if len(stats["targets"]) > 1:
+        for entry in stats["targets"]:
+            print(
+                f"  {entry['host']}:{entry['port']}: "
+                f"{entry['clicks']} clicks"
+            )
     return 0
 
 

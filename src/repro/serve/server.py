@@ -773,7 +773,14 @@ class ClickIngestServer:
             try:
                 await asyncio.shield(sender)
             except asyncio.CancelledError:
-                await sender
+                try:
+                    await sender
+                except asyncio.CancelledError:
+                    # Loop teardown (abrupt kill) cancelled the sender
+                    # too; swallow so the socket below still closes —
+                    # a leaked fd keeps peers hanging instead of
+                    # seeing EOF.
+                    pass
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -1508,6 +1515,7 @@ class ServerThread:
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._kill: Optional[asyncio.Event] = None
         self.port: Optional[int] = None
 
     def start(self, timeout: float = 10.0) -> "ServerThread":
@@ -1538,12 +1546,27 @@ class ServerThread:
             await self.server.start()
             self.port = self.server.port
             self._loop = asyncio.get_running_loop()
+            self._kill = asyncio.Event()
         except BaseException as error:  # surface to start()
             self._startup_error = error
             self._started.set()
             return
         self._started.set()
-        await self.server.wait_drained()
+        drained = asyncio.create_task(self.server.wait_drained())
+        killed = asyncio.create_task(self._kill.wait())
+        done, pending = await asyncio.wait(
+            {drained, killed}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        if killed in done and drained not in done:
+            # Abrupt death: close the listening socket and return
+            # without draining or checkpointing.  ``asyncio.run``
+            # cancels every remaining task on exit, so in-flight work
+            # simply vanishes — the closest a thread can get to
+            # simulating SIGKILL for failover tests.
+            if self.server._server is not None:
+                self.server._server.close()
 
     def stop(self, timeout: float = 30.0) -> None:
         """Drain gracefully and join the loop thread."""
@@ -1554,6 +1577,37 @@ class ServerThread:
         if self._thread is not None:
             self._thread.join(timeout)
         self._loop = None
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Terminate abruptly: no drain, no checkpoint, no goodbyes.
+
+        The server's durable state stays whatever the last checkpoint
+        captured — exactly the crash the resume path is built for.
+        """
+        if self._loop is None or self._kill is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._kill.set)
+        except RuntimeError:
+            pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._loop = None
+
+    def checkpoint(self, timeout: float = 30.0) -> None:
+        """Write a checkpoint now, without draining.
+
+        Only meaningful while traffic is quiesced (e.g. inside the
+        cluster router's checkpoint barrier): the write runs on the
+        event loop thread and captures detector + dedup state as-is.
+        """
+        if self._loop is None or self.server is None:
+            raise ConfigurationError("serve thread not running")
+
+        async def _write() -> None:
+            self.server._checkpoint()
+
+        asyncio.run_coroutine_threadsafe(_write(), self._loop).result(timeout)
 
     def __enter__(self) -> "ServerThread":
         return self.start()
