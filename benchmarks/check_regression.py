@@ -19,6 +19,13 @@ gated: it must stay below ``REPRO_BENCH_LATENCY_CEILING`` times the
 committed p99 (default 10 — latency quantiles are far noisier than
 throughput across hosts, so the ceiling is generous by design; 0
 disables the gate).
+
+When it carries an ``adaptive`` section (schema 5), the portfolio's
+FP-per-bit quality sweep is re-run and gated *tightly*: the sweep is
+fully deterministic (seeded streams and hash families, no timing), so
+each variant's measured FP rate and memory must match the committed
+numbers exactly on any host.  ``REPRO_BENCH_ADAPTIVE_GATE=0`` turns
+that check into a report.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ REPORTED = ("gbf", "tbf", "tbf-jumping", "gbf-time", "tbf-time")
 
 FLOOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FLOOR", "0.8"))
 LATENCY_CEILING = float(os.environ.get("REPRO_BENCH_LATENCY_CEILING", "10"))
+ADAPTIVE_GATE = os.environ.get("REPRO_BENCH_ADAPTIVE_GATE", "1") != "0"
 
 
 def check_latency(committed: dict, failures: list) -> None:
@@ -67,6 +75,43 @@ def check_latency(committed: dict, failures: list) -> None:
         f"  ({'ceiling ' + format(LATENCY_CEILING, '.1f') if gated else 'report only'})"
         f"  {verdict}"
     )
+
+
+def check_adaptive(committed: dict, failures: list) -> None:
+    """Gate the portfolio's deterministic FP-per-bit sweep exactly.
+
+    A drifted measured FP means the hashing, slicing, or aging logic
+    changed behaviour; a drifted memory means the sizing planner moved.
+    Both must be deliberate, recorded changes — so the gate is equality,
+    not a ratio band.
+    """
+    recorded = committed.get("adaptive")
+    if not recorded:
+        return  # pre-schema-5 BENCH file: nothing to gate against
+    from test_adaptive_quality import run_quality_sweep
+
+    measured = run_quality_sweep()
+    for name, entry in sorted(recorded.items()):
+        got = measured.get(name)
+        verdict = "ok"
+        if got is None:
+            verdict = "MISSING"
+        elif (
+            got["measured_fp_rate"] != entry["measured_fp_rate"]
+            or got["memory_bits"] != entry["memory_bits"]
+        ):
+            verdict = "DRIFTED"
+        if verdict != "ok" and ADAPTIVE_GATE:
+            failures.append(f"adaptive-{name}")
+        shown = got or {"measured_fp_rate": float("nan"), "memory_bits": 0}
+        print(
+            f"{name:>12}: measured FP {shown['measured_fp_rate']:.6f}"
+            f" / {shown['memory_bits']:>8,d} bits"
+            f"  committed {entry['measured_fp_rate']:.6f}"
+            f" / {entry['memory_bits']:>8,d}"
+            f"  ({'exact gate' if ADAPTIVE_GATE else 'report only'})"
+            f"  {verdict}"
+        )
 
 
 def report_scaling(committed: dict) -> None:
@@ -119,6 +164,7 @@ def main() -> int:
             f"  {verdict}"
         )
     check_latency(committed, failures)
+    check_adaptive(committed, failures)
     report_scaling(committed)
     if failures:
         print(

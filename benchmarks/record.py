@@ -24,6 +24,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from test_adaptive_quality import (  # noqa: E402
+    run_quality_sweep,
+)
 from test_batch_throughput import (  # noqa: E402
     CHUNK,
     MEMORY_BITS,
@@ -62,7 +65,14 @@ from test_telemetry_overhead import (  # noqa: E402
 #: can parallelize — counts past ``os.cpu_count()`` are recorded as
 #: tagged skips instead of timings that could only show fake slowdown —
 #: and a ``cluster`` scatter/gather section joins the report.
-SCHEMA_VERSION = 4
+#:
+#: Schema 5: an ``adaptive`` quality section joins the report — per
+#: variant (GBF/TBF/APBF/TLBF at one window + target-FP point) the
+#: memory, bits-per-click, and measured-vs-design FP rate from
+#: ``test_adaptive_quality.py``.  Unlike the throughput sections these
+#: numbers are fully deterministic (seeded streams, no timing), so
+#: ``check_regression.py`` gates them tightly across hosts.
+SCHEMA_VERSION = 5
 
 
 def main(argv=None) -> int:
@@ -214,6 +224,14 @@ def main(argv=None) -> int:
         if count > cpu_count:
             print(f"{'cluster x' + str(count):>12}: skipped ({cpu_count} CPUs)")
 
+    adaptive = run_quality_sweep()
+    for name, entry in adaptive.items():
+        print(
+            f"{name:>12}: {entry['bits_per_click']:>7.1f} bits/click"
+            f"  measured FP {entry['measured_fp_rate']:.4f}"
+            f"  ({entry['bound_kind']} bound {entry['design_fp_bound']:.4f})"
+        )
+
     serve_result = run_serve_bench(clicks=(1 << 16) if args.quick else (1 << 18))
     serve = {
         "clicks_per_sec": round(serve_result.elements_per_second, 1),
@@ -272,6 +290,7 @@ def main(argv=None) -> int:
         "telemetry": telemetry,
         "parallel": parallel,
         "cluster": cluster,
+        "adaptive": adaptive,
         "serve": serve,
         "latency": latency,
     }

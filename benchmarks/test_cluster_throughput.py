@@ -37,7 +37,7 @@ CLUSTER_FLOOR = float(os.environ.get("REPRO_BENCH_CLUSTER_FLOOR", "1.5"))
 
 
 def build_reference() -> ShardedDetector:
-    return ShardedDetector.of_tbf(
+    return ShardedDetector._of_tbf(
         WINDOW, SHARDS, TOTAL_ENTRIES, NUM_HASHES, seed=1
     )
 

@@ -33,7 +33,7 @@ PARALLEL_FLOOR = float(os.environ.get("REPRO_BENCH_PARALLEL_FLOOR", "2.5"))
 
 
 def build_reference(workers: int) -> ShardedDetector:
-    return ShardedDetector.of_tbf(
+    return ShardedDetector._of_tbf(
         WINDOW, workers, TOTAL_ENTRIES, NUM_HASHES, seed=1
     )
 

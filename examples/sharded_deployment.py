@@ -30,8 +30,8 @@ def main() -> None:
 
     # Fleet A: uninterrupted.  Fleet B: shard 2 "crashes" mid-stream and
     # is restored from its latest checkpoint.
-    fleet_a = ShardedDetector.of_tbf(window, shards, entries, num_hashes=8, seed=1)
-    fleet_b = ShardedDetector.of_tbf(window, shards, entries, num_hashes=8, seed=1)
+    fleet_a = ShardedDetector._of_tbf(window, shards, entries, num_hashes=8, seed=1)
+    fleet_b = ShardedDetector._of_tbf(window, shards, entries, num_hashes=8, seed=1)
 
     crash_at = 30_000
     checkpoint = None

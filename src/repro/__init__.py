@@ -50,13 +50,30 @@ from .core import (
     TimeBasedGBFDetector,
     TimeBasedTBFDetector,
 )
+from .adaptive import (
+    AdaptiveController,
+    AdaptiveDetector,
+    AdaptiveTimedDetector,
+    AgePartitionedBFDetector,
+    ControllerConfig,
+    ResizeEvent,
+    TimeLimitedBFDetector,
+    adaptive_detector,
+    scaled_spec,
+)
 from .detection import (
     AlertEngine,
+    APBFParams,
     DetectionPipeline,
     Detector,
+    DetectorLifecycle,
     DetectorSpec,
+    GBFParams,
+    TBFParams,
     TimedDetector,
+    TLBFParams,
     WindowSpec,
+    as_lifecycle,
     create_detector,
     wrap_timed,
 )
@@ -130,6 +147,18 @@ __all__ = [
     "BillingEngine",
     "demo_network",
     "run_audit",
+    # adaptive portfolio & lifecycle
+    "AgePartitionedBFDetector",
+    "TimeLimitedBFDetector",
+    "AdaptiveDetector",
+    "AdaptiveTimedDetector",
+    "adaptive_detector",
+    "AdaptiveController",
+    "ControllerConfig",
+    "ResizeEvent",
+    "scaled_spec",
+    "DetectorLifecycle",
+    "as_lifecycle",
     # detection & planning
     "create_detector",
     "DetectorSpec",
@@ -137,6 +166,10 @@ __all__ = [
     "TimedDetector",
     "wrap_timed",
     "WindowSpec",
+    "GBFParams",
+    "TBFParams",
+    "APBFParams",
+    "TLBFParams",
     "DetectionPipeline",
     "AlertEngine",
     "plan_gbf_from_memory",

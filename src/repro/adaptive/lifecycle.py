@@ -1,0 +1,440 @@
+"""Adaptive detector wrappers: live resize via checkpoint-migrate.
+
+The sketches in :mod:`repro.core` and :mod:`repro.adaptive.filters` are
+sized once, at construction.  When live traffic drifts away from the
+sizing assumptions — the estimated FP rate creeps past the paper's
+bound, or a shrunken stream leaves most of the memory idle — the only
+remedy is a *resize*: build a filter of the new size and warm it with
+the recent past.
+
+:class:`AdaptiveDetector` (count-based) and
+:class:`AdaptiveTimedDetector` (time-based) make that remedy a method
+call.  Each wraps an inner detector built from a
+:class:`~repro.detection.DetectorSpec` and retains a bounded window of
+the most recent arrivals.  ``migrate(new_spec)`` builds a fresh inner
+detector from ``new_spec``, replays the retained window through it, and
+swaps it in — the wrapper object (and therefore every reference held by
+pipelines, routers, and instruments) survives the resize.  Both
+wrappers natively implement the full
+:class:`~repro.detection.DetectorLifecycle` protocol
+(``quiesce / checkpoint / migrate / resume``), so the supervised
+pipeline, the parallel fleet, and the cluster router drive them through
+the same four verbs they use for everything else.
+
+Replay semantics are deliberately simple and testable: after
+``migrate(new_spec)``, the wrapper's verdicts match a *fresh* detector
+of ``new_spec`` that processed exactly the retained window (property-
+tested).  Clicks older than the retained window are forgotten — the
+same guarantee decay already gives them.
+
+Checkpoints round-trip the whole assembly — wrapper bookkeeping,
+retained window, spec, and the inner detector's bit-exact state — under
+the ``"adaptive"`` / ``"adaptive-timed"`` frame kinds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict
+from typing import Deque, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..core.checkpoint import (
+    CheckpointError,
+    load_detector,
+    pack_frame,
+    register_checkpoint_kind,
+    save_detector,
+)
+from ..detection.detector import (
+    PARAMS_TYPES,
+    TIME_BASED_ALGORITHMS,
+    DetectorSpec,
+    WindowSpec,
+    create_detector,
+)
+from ..errors import ConfigurationError
+
+__all__ = [
+    "AdaptiveDetector",
+    "AdaptiveTimedDetector",
+    "adaptive_detector",
+    "spec_to_dict",
+    "spec_from_dict",
+]
+
+
+def spec_to_dict(spec: DetectorSpec) -> dict:
+    """Serialize a :class:`DetectorSpec` to a JSON-safe dict."""
+    window = spec.window
+    return {
+        "algorithm": spec.algorithm,
+        "window": {
+            "kind": window.kind,
+            "size": window.size,
+            "num_subwindows": window.num_subwindows,
+        },
+        "memory_bits": spec.memory_bits,
+        "target_fp": spec.target_fp,
+        "num_hashes": spec.num_hashes,
+        "seed": spec.seed,
+        "duration": spec.duration,
+        "resolution": spec.resolution,
+        "shards": spec.shards,
+        "engine": spec.engine,
+        "params": None if spec.params is None else asdict(spec.params),
+    }
+
+
+def spec_from_dict(data: dict) -> DetectorSpec:
+    """Rebuild the :class:`DetectorSpec` :func:`spec_to_dict` emitted."""
+    window = data["window"]
+    params = data.get("params")
+    if params is not None:
+        params_type = PARAMS_TYPES.get(data["algorithm"])
+        if params_type is None:
+            raise CheckpointError(
+                f"checkpoint carries params for {data['algorithm']!r}, "
+                "which takes none"
+            )
+        params = params_type(**params)
+    return DetectorSpec(
+        algorithm=data["algorithm"],
+        window=WindowSpec(
+            window["kind"], window["size"], window["num_subwindows"]
+        ),
+        memory_bits=data["memory_bits"],
+        target_fp=data["target_fp"],
+        num_hashes=data["num_hashes"],
+        seed=data["seed"],
+        duration=data["duration"],
+        resolution=data["resolution"],
+        shards=data["shards"],
+        engine=data["engine"],
+        params=params,
+    )
+
+
+class _AdaptiveBase:
+    """Shared machinery: retained window, lifecycle verbs, delegation."""
+
+    def __init__(
+        self,
+        spec: DetectorSpec,
+        *,
+        retain: Optional[int] = None,
+        _inner=None,
+    ) -> None:
+        if retain is None:
+            retain = spec.window.size
+        if retain < 1:
+            raise ConfigurationError(f"retain must be >= 1, got {retain}")
+        self._spec = spec
+        self.retain = retain
+        self.inner = _inner if _inner is not None else create_detector(spec)
+        self.migrations = 0
+        self._quiesced = False
+
+    # -- lifecycle ---------------------------------------------------
+
+    def quiesce(self) -> None:
+        """Stop background work so state is stable for checkpoint/migrate."""
+        hook = getattr(self.inner, "quiesce", None)
+        if hook is not None:
+            hook()
+        self._quiesced = True
+
+    def resume(self) -> None:
+        """Undo :meth:`quiesce`; the detector accepts traffic again."""
+        hook = getattr(self.inner, "resume", None)
+        if hook is not None:
+            hook()
+        self._quiesced = False
+
+    def checkpoint(self) -> bytes:
+        """Serialize wrapper + retained window + inner state to bytes."""
+        return save_detector(self)
+
+    # Supervised-pipeline compatibility: it snapshots via
+    # ``checkpoint_state()`` when a detector offers one.
+    def checkpoint_state(self) -> bytes:
+        return save_detector(self)
+
+    def migrate(self, new_spec: DetectorSpec) -> None:
+        """Swap in a fresh detector of ``new_spec`` warmed by replay.
+
+        After this returns, verdicts match a fresh ``new_spec`` detector
+        that processed exactly the retained window.  The wrapper object
+        itself is unchanged — references held elsewhere stay valid.
+        """
+        self._check_spec(new_spec)
+        fresh = create_detector(new_spec)
+        self._replay(fresh)
+        self.inner = fresh
+        self._spec = new_spec
+        self.migrations += 1
+
+    # -- shared surface ----------------------------------------------
+
+    def spec(self) -> DetectorSpec:
+        """The spec of the *current* inner detector."""
+        inner_spec = getattr(self.inner, "spec", None)
+        if inner_spec is not None:
+            return inner_spec()
+        return self._spec
+
+    @property
+    def memory_bits(self) -> int:
+        return self.inner.memory_bits
+
+    def theoretical_fp_bound(self) -> Optional[float]:
+        from ..telemetry.instruments import theoretical_fp_bound
+
+        return theoretical_fp_bound(self.inner)
+
+    def estimated_fp_rate(self) -> Optional[float]:
+        estimate = getattr(self.inner, "estimated_fp_rate", None)
+        if estimate is not None:
+            return estimate()
+        gauges = self.inner.telemetry_snapshot().get("gauges", {})
+        return gauges.get("estimated_fp_rate")
+
+    def telemetry_snapshot(self) -> dict:
+        snapshot_fn = getattr(self.inner, "telemetry_snapshot", None)
+        snapshot = snapshot_fn() if snapshot_fn is not None else {}
+        gauges = dict(snapshot.get("gauges", {}))
+        gauges["retained_window"] = float(len(self._buffer))
+        gauges["retain_limit"] = float(self.retain)
+        counters = dict(snapshot.get("counters", {}))
+        counters["migrations"] = self.migrations
+        out = dict(snapshot)
+        out["gauges"] = gauges
+        out["counters"] = counters
+        return out
+
+    def __getattr__(self, name: str):
+        # Fallback delegation for read-only surface (duplicates, query
+        # helpers, counters).  Only called when normal lookup fails.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(inner={self.inner!r}, "
+            f"retain={self.retain}, migrations={self.migrations})"
+        )
+
+
+class AdaptiveDetector(_AdaptiveBase):
+    """Count-based resizable detector (see module docstring).
+
+    Parameters
+    ----------
+    spec:
+        The :class:`DetectorSpec` of the initial inner detector; must be
+        a count-based algorithm.
+    retain:
+        Replay-window length in clicks; defaults to ``spec.window.size``
+        (the window the sketch guarantees anyway).
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec,
+        *,
+        retain: Optional[int] = None,
+        _inner=None,
+        _buffer: Optional[Iterable[int]] = None,
+    ) -> None:
+        if spec.algorithm in TIME_BASED_ALGORITHMS:
+            raise ConfigurationError(
+                f"{spec.algorithm} is time-based; use AdaptiveTimedDetector"
+            )
+        super().__init__(spec, retain=retain, _inner=_inner)
+        self._buffer: Deque[int] = deque(_buffer or (), maxlen=self.retain)
+
+    def _check_spec(self, new_spec: DetectorSpec) -> None:
+        if new_spec.algorithm in TIME_BASED_ALGORITHMS:
+            raise ConfigurationError(
+                "cannot migrate a count-based adaptive detector to the "
+                f"time-based algorithm {new_spec.algorithm!r}"
+            )
+
+    def _replay(self, fresh) -> None:
+        if not self._buffer:
+            return
+        batch = getattr(fresh, "process_batch", None)
+        if batch is not None:
+            batch(np.fromiter(self._buffer, dtype=np.uint64))
+        else:
+            for identifier in self._buffer:
+                fresh.process(identifier)
+
+    def process(self, identifier: int) -> bool:
+        verdict = self.inner.process(identifier)
+        self._buffer.append(int(identifier))
+        return verdict
+
+    def process_batch(self, identifiers: np.ndarray) -> np.ndarray:
+        verdicts = self.inner.process_batch(identifiers)
+        tail = np.asarray(identifiers)[-self.retain :]
+        self._buffer.extend(int(x) for x in tail)
+        return verdicts
+
+    def query(self, identifier: int) -> bool:
+        return self.inner.query(identifier)
+
+
+class AdaptiveTimedDetector(_AdaptiveBase):
+    """Time-based resizable detector (see module docstring).
+
+    Retains ``(identifier, timestamp)`` pairs and replays them through
+    ``process_at`` / ``process_batch_at`` on migrate.  Deliberately does
+    **not** define ``process`` so :func:`~repro.detection.is_timed`
+    classifies it as timed.
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec,
+        *,
+        retain: Optional[int] = None,
+        _inner=None,
+        _buffer: Optional[Iterable[Tuple[int, float]]] = None,
+    ) -> None:
+        if spec.algorithm not in TIME_BASED_ALGORITHMS:
+            raise ConfigurationError(
+                f"{spec.algorithm} is count-based; use AdaptiveDetector"
+            )
+        super().__init__(spec, retain=retain, _inner=_inner)
+        self._buffer: Deque[Tuple[int, float]] = deque(
+            _buffer or (), maxlen=self.retain
+        )
+
+    def _check_spec(self, new_spec: DetectorSpec) -> None:
+        if new_spec.algorithm not in TIME_BASED_ALGORITHMS:
+            raise ConfigurationError(
+                "cannot migrate a time-based adaptive detector to the "
+                f"count-based algorithm {new_spec.algorithm!r}"
+            )
+
+    def _replay(self, fresh) -> None:
+        if not self._buffer:
+            return
+        batch = getattr(fresh, "process_batch_at", None)
+        if batch is not None:
+            ids = np.fromiter((i for i, _ in self._buffer), dtype=np.uint64)
+            times = np.fromiter((t for _, t in self._buffer), dtype=np.float64)
+            batch(ids, times)
+        else:
+            for identifier, timestamp in self._buffer:
+                fresh.process_at(identifier, timestamp)
+
+    def process_at(self, identifier: int, timestamp: float) -> bool:
+        verdict = self.inner.process_at(identifier, timestamp)
+        self._buffer.append((int(identifier), float(timestamp)))
+        return verdict
+
+    def process_batch_at(
+        self, identifiers: np.ndarray, timestamps: np.ndarray
+    ) -> np.ndarray:
+        verdicts = self.inner.process_batch_at(identifiers, timestamps)
+        ids = np.asarray(identifiers)[-self.retain :]
+        times = np.asarray(timestamps)[-self.retain :]
+        self._buffer.extend(
+            (int(i), float(t)) for i, t in zip(ids, times)
+        )
+        return verdicts
+
+    def query_at(self, identifier: int, timestamp: float) -> bool:
+        return self.inner.query_at(identifier, timestamp)
+
+
+def adaptive_detector(
+    spec: DetectorSpec, *, retain: Optional[int] = None
+):
+    """Build the right adaptive wrapper for ``spec``'s time model."""
+    if spec.algorithm in TIME_BASED_ALGORITHMS:
+        return AdaptiveTimedDetector(spec, retain=retain)
+    return AdaptiveDetector(spec, retain=retain)
+
+
+# -- checkpointing ---------------------------------------------------
+
+
+def _save_adaptive(detector: AdaptiveDetector) -> bytes:
+    inner_blob = save_detector(detector.inner)
+    ids = np.fromiter(detector._buffer, dtype=np.uint64)
+    header = {
+        "kind": "adaptive",
+        "spec": spec_to_dict(detector._spec),
+        "retain": detector.retain,
+        "migrations": detector.migrations,
+        "buffer_len": int(ids.size),
+    }
+    return pack_frame(header, ids.tobytes() + inner_blob)
+
+
+def _load_adaptive(header: dict, payload: bytes) -> AdaptiveDetector:
+    buffer_len = int(header["buffer_len"])
+    split = buffer_len * 8
+    ids = np.frombuffer(payload[:split], dtype=np.uint64)
+    if ids.size != buffer_len:
+        raise CheckpointError("adaptive checkpoint buffer truncated")
+    inner = load_detector(payload[split:])
+    spec = spec_from_dict(header["spec"])
+    detector = AdaptiveDetector(
+        spec,
+        retain=int(header["retain"]),
+        _inner=inner,
+        _buffer=(int(x) for x in ids),
+    )
+    detector.migrations = int(header["migrations"])
+    return detector
+
+
+def _save_adaptive_timed(detector: AdaptiveTimedDetector) -> bytes:
+    inner_blob = save_detector(detector.inner)
+    ids = np.fromiter((i for i, _ in detector._buffer), dtype=np.uint64)
+    times = np.fromiter((t for _, t in detector._buffer), dtype=np.float64)
+    header = {
+        "kind": "adaptive-timed",
+        "spec": spec_to_dict(detector._spec),
+        "retain": detector.retain,
+        "migrations": detector.migrations,
+        "buffer_len": int(ids.size),
+    }
+    return pack_frame(header, ids.tobytes() + times.tobytes() + inner_blob)
+
+
+def _load_adaptive_timed(header: dict, payload: bytes) -> AdaptiveTimedDetector:
+    buffer_len = int(header["buffer_len"])
+    ids = np.frombuffer(payload[: buffer_len * 8], dtype=np.uint64)
+    times = np.frombuffer(
+        payload[buffer_len * 8 : buffer_len * 16], dtype=np.float64
+    )
+    if ids.size != buffer_len or times.size != buffer_len:
+        raise CheckpointError("adaptive-timed checkpoint buffer truncated")
+    inner = load_detector(payload[buffer_len * 16 :])
+    spec = spec_from_dict(header["spec"])
+    detector = AdaptiveTimedDetector(
+        spec,
+        retain=int(header["retain"]),
+        _inner=inner,
+        _buffer=((int(i), float(t)) for i, t in zip(ids, times)),
+    )
+    detector.migrations = int(header["migrations"])
+    return detector
+
+
+register_checkpoint_kind(
+    "adaptive", AdaptiveDetector, _save_adaptive, _load_adaptive
+)
+register_checkpoint_kind(
+    "adaptive-timed",
+    AdaptiveTimedDetector,
+    _save_adaptive_timed,
+    _load_adaptive_timed,
+)

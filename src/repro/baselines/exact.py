@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Tuple
 
+from ..errors import ConfigurationError
 from ..windows import (
     CountBasedWindow,
     JumpingWindow,
@@ -92,6 +93,23 @@ class ExactDetector:
     def memory_bits(self) -> int:
         """Rough modeled cost: 128 bits (id + position) per tracked record."""
         return 128 * (len(self._last_valid) + len(self._arrivals))
+
+    def spec(self):
+        """The :class:`~repro.detection.DetectorSpec` rebuilding this detector."""
+        from ..detection.detector import DetectorSpec, WindowSpec
+
+        window = self.window
+        if type(window) is SlidingWindow:
+            window_spec = WindowSpec("sliding", window.size)
+        elif type(window) is JumpingWindow:
+            window_spec = WindowSpec("jumping", window.size, window.num_subwindows)
+        elif type(window) is LandmarkWindow:
+            window_spec = WindowSpec("landmark", window.size)
+        else:
+            raise ConfigurationError(
+                f"spec() cannot express window type {type(window).__name__}"
+            )
+        return DetectorSpec(algorithm="exact", window=window_spec)
 
 
 class TimeBasedExactDetector:

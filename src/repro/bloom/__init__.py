@@ -4,6 +4,7 @@ from .classical import BloomFilter
 from .partitioned import PartitionedBloomFilter
 from .counting import CountingBloomFilter
 from .params import (
+    apbf_false_positive_rate,
     bits_for_target_rate,
     expected_fill_fraction,
     false_positive_rate,
@@ -11,6 +12,7 @@ from .params import (
     false_positive_rate_from_fill,
     min_false_positive_rate,
     optimal_num_hashes,
+    sliced_false_positive_rate,
 )
 from .stable import StableBloomFilter
 
@@ -26,4 +28,6 @@ __all__ = [
     "min_false_positive_rate",
     "bits_for_target_rate",
     "expected_fill_fraction",
+    "sliced_false_positive_rate",
+    "apbf_false_positive_rate",
 ]

@@ -104,6 +104,81 @@ def bits_for_target_rate(num_elements: int, target_rate: float) -> int:
     return num_bits
 
 
+def sliced_false_positive_rate(fills, num_required: int) -> float:
+    """Exact FP rate of a sliced (age-partitioned) Bloom filter.
+
+    ``fills`` is the per-slice fill fraction in logical age order
+    (youngest first); a query is a false positive exactly when some run
+    of ``num_required`` *consecutive* slices all report a hit, slice
+    ``a`` hitting independently with probability ``fills[a]`` (one hash
+    probe per slice).  Evaluated exactly by dynamic programming over the
+    length of the trailing hit-run: state ``r`` after slice ``a`` means
+    the last ``r`` slices all hit but no ``num_required``-run has
+    completed yet.  Shared by the APBF and time-limited-BF variants —
+    the live telemetry gauges call this with *measured* fills, the
+    a-priori bounds below with expected fills.
+    """
+    fills = list(fills)
+    if num_required < 1:
+        raise ConfigurationError(f"num_required must be >= 1, got {num_required}")
+    if len(fills) < num_required:
+        raise ConfigurationError(
+            f"need at least num_required={num_required} slices, got {len(fills)}"
+        )
+    for fill in fills:
+        if not 0.0 <= fill <= 1.0:
+            raise ConfigurationError(f"fills must be in [0, 1], got {fill}")
+    # states[r] = P(trailing run length == r, no k-run seen yet)
+    states = [0.0] * num_required
+    states[0] = 1.0
+    matched = 0.0
+    for fill in fills:
+        nxt = [0.0] * num_required
+        for run, prob in enumerate(states):
+            if prob == 0.0:
+                continue
+            nxt[0] += prob * (1.0 - fill)
+            hit = prob * fill
+            if run + 1 == num_required:
+                matched += hit
+            else:
+                nxt[run + 1] += hit
+        states = nxt
+    return matched
+
+
+def apbf_false_positive_rate(
+    num_required: int, num_aged: int, slice_bits: int, generation_size: int
+) -> float:
+    """Design-point FP rate of an age-partitioned Bloom filter.
+
+    An APBF with ``k = num_required`` young slices, ``l = num_aged``
+    aged slices, ``m = slice_bits`` bits per slice, and ``g =
+    generation_size`` inserts per shift reaches a steady state where
+    logical slice ``a`` (0 = youngest) has absorbed ``min(a + 1, k) * g``
+    generations' worth of insertions.  Feeding the resulting expected
+    fills to :func:`sliced_false_positive_rate` gives the worst-case
+    (end-of-generation) FP rate the structure was sized for — this is
+    the ``theoretical_fp_bound`` surfaced for APBF detectors.
+    """
+    if num_required < 1:
+        raise ConfigurationError(f"num_required must be >= 1, got {num_required}")
+    if num_aged < 1:
+        raise ConfigurationError(f"num_aged must be >= 1, got {num_aged}")
+    if slice_bits < 1:
+        raise ConfigurationError(f"slice_bits must be >= 1, got {slice_bits}")
+    if generation_size < 1:
+        raise ConfigurationError(
+            f"generation_size must be >= 1, got {generation_size}"
+        )
+    num_slices = num_required + num_aged
+    fills = []
+    for age in range(num_slices):
+        inserted = min(age + 1, num_required) * generation_size
+        fills.append(-math.expm1(inserted * math.log1p(-1.0 / slice_bits)))
+    return sliced_false_positive_rate(fills, num_required)
+
+
 def expected_fill_fraction(num_bits: int, num_elements: int, num_hashes: int) -> float:
     """Expected fraction of bits set after ``n`` distinct insertions."""
     _validate(num_bits, num_elements, num_hashes)

@@ -151,9 +151,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append span shards here for sampled "
                        "(FLAG_TRACE) requests; merge with `repro trace "
                        "--merge-only --trace-dir DIR`")
+    serve.add_argument("--adaptive-interval", type=int, default=0,
+                       metavar="GROUPS",
+                       help="resize controller: sample the live FP estimate "
+                       "every GROUPS coalesced batches and grow/shrink the "
+                       "detector in place (0 disables; inline engine only)")
+    serve.add_argument("--adaptive-target-fp", type=float, default=None,
+                       metavar="FP",
+                       help="FP baseline for the controller (default: the "
+                       "configuration's theoretical bound)")
     serve.add_argument("--flight-dir", default=None, metavar="DIR",
                        help="flight-recorder crash dumps land here "
                        "(default: the checkpoint directory)")
+
+    tune = commands.add_parser(
+        "tune",
+        help="compare the detector portfolio at a target FP and suggest "
+             "adaptive-controller settings")
+    tune.add_argument("--window", type=int, default=8192,
+                      help="window size in clicks (default 8192)")
+    tune.add_argument("--subwindows", type=int, default=8,
+                      help="Q for the jumping-window GBF plan")
+    tune.add_argument("--target-fp", type=float, default=0.001)
+    tune.add_argument("--resolution", type=int, default=16,
+                      help="aged slices for the time-limited plan")
 
     trace = commands.add_parser(
         "trace",
@@ -256,7 +277,7 @@ def _add_detector_args(
     if with_input:
         parser.add_argument("input", help="stream file from `repro generate`")
     parser.add_argument("--algorithm", default="tbf",
-                        choices=["tbf", "gbf", "tbf-jumping", "exact",
+                        choices=["tbf", "gbf", "tbf-jumping", "apbf", "exact",
                                  "metwally-cbf", "stable-bloom"])
     parser.add_argument("--window", type=int, default=8192,
                         help="window size in clicks (default 8192)")
@@ -468,6 +489,63 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_tune(args: argparse.Namespace) -> int:
+    """``repro tune``: portfolio comparison + controller suggestion."""
+    from .adaptive import plan_apbf_for_target, plan_tlbf_for_target
+    from .bloom.params import apbf_false_positive_rate
+
+    window = args.window - args.window % args.subwindows
+    gbf = plan_gbf_for_target(window, args.subwindows, args.target_fp)
+    tbf = plan_tbf_for_target(args.window, args.target_fp)
+    apbf = plan_apbf_for_target(args.window, args.target_fp)
+    tlbf = plan_tlbf_for_target(args.window, args.resolution, args.target_fp)
+
+    apbf_bits = (apbf.num_required + apbf.num_aged) * apbf.slice_bits
+    tlbf_bits = (tlbf.num_required + tlbf.num_aged) * tlbf.slice_bits
+    rows = [
+        [
+            f"GBF (jumping, Q={args.subwindows})",
+            f"{gbf.total_memory_bits / 8 / 1024:.1f} KiB",
+            f"{gbf.total_memory_bits / window:.1f}",
+            gbf.num_hashes,
+            f"{gbf.predicted_fp:.2e}",
+        ],
+        [
+            "TBF (sliding)",
+            f"{tbf.total_memory_bits / 8 / 1024:.1f} KiB",
+            f"{tbf.total_memory_bits / args.window:.1f}",
+            tbf.num_hashes,
+            f"{tbf.predicted_fp:.2e}",
+        ],
+        [
+            f"APBF (sliding, k={apbf.num_required}, l={apbf.num_aged})",
+            f"{apbf_bits / 8 / 1024:.1f} KiB",
+            f"{apbf_bits / args.window:.1f}",
+            apbf.num_required + apbf.num_aged,
+            f"{apbf_false_positive_rate(apbf.num_required, apbf.num_aged, apbf.slice_bits, apbf.generation_size):.2e}",
+        ],
+        [
+            f"TLBF (time-sliced, l={tlbf.num_aged})",
+            f"{tlbf_bits / 8 / 1024:.1f} KiB",
+            f"{tlbf_bits / args.window:.1f}",
+            tlbf.num_required + tlbf.num_aged,
+            f"{apbf_false_positive_rate(tlbf.num_required, tlbf.num_aged, tlbf.slice_bits, max(1, args.window // args.resolution)):.2e} *",
+        ],
+    ]
+    print(render_table(
+        ["detector", "memory", "bits/click", "k", "design FP"],
+        rows,
+        title=f"Portfolio at N = {args.window}, target FP = {args.target_fp}",
+    ))
+    print("* at the design load; time-based filters have no a-priori bound")
+    print()
+    print("adaptive serving (grows 2x after 3 breached samples, shrinks 0.5x")
+    print("after 24 idle ones, 8-sample cooldown):")
+    print(f"  repro serve --algorithm apbf --window {args.window} "
+          f"--target-fp {args.target_fp} --adaptive-interval 64")
+    return 0
+
+
 def _command_monitor(args: argparse.Namespace) -> int:
     if args.cluster is not None:
         return _monitor_cluster(args.cluster)
@@ -597,6 +675,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"error: --workers requires --algorithm tbf "
               f"(got {args.algorithm!r})", file=sys.stderr)
         return 2
+    if args.adaptive_interval > 0 and args.workers > 1:
+        print("error: --adaptive-interval needs the inline engine "
+              "(drop --workers)", file=sys.stderr)
+        return 2
+    adaptive_config = None
+    if args.adaptive_interval > 0 and args.adaptive_target_fp is not None:
+        from .adaptive import ControllerConfig
+
+        adaptive_config = ControllerConfig(target_fp=args.adaptive_target_fp)
     spec = _spec_from_args(args, shards=max(1, args.workers))
     config = ServeConfig(
         host=args.host,
@@ -609,15 +696,24 @@ def _command_serve(args: argparse.Namespace) -> int:
         skew_tolerance=max(0.0, args.skew_tolerance),
         trace_dir=args.trace_dir,
         flight_dir=args.flight_dir,
+        adaptive_interval=max(0, args.adaptive_interval),
+        adaptive=adaptive_config,
     )
     session = TelemetrySession()
     dead_letters = DeadLetterSink()
+
+    def _build_detector():
+        if args.adaptive_interval > 0:
+            from .adaptive import AdaptiveDetector
+
+            return AdaptiveDetector(spec)
+        return create_detector(spec)
 
     async def _serve_main() -> ClickIngestServer:
         # Constructed inside the running loop: the server binds its
         # asyncio primitives at construction time.
         server = ClickIngestServer(
-            create_detector(spec),
+            _build_detector(),
             config=config,
             telemetry=session,
             dead_letters=dead_letters,
@@ -636,6 +732,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     server = asyncio.run(_serve_main())
     print(f"drained: {server.processed_clicks} clicks classified, "
           f"{dead_letters.total} frames dead-lettered")
+    if args.adaptive_interval > 0:
+        events = server.resize_events
+        detail = "; ".join(
+            f"{e.direction} {e.old_memory_bits}->{e.new_memory_bits} bits"
+            for e in events
+        )
+        print(f"adaptive: {len(events)} resizes"
+              + (f" ({detail})" if detail else ""))
     return 0
 
 
@@ -770,6 +874,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "detect": _command_detect,
         "plan": _command_plan,
+        "tune": _command_tune,
         "figures": _command_figures,
         "monitor": _command_monitor,
         "serve": _command_serve,

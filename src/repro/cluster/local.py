@@ -387,6 +387,40 @@ class LocalCluster:
         finally:
             self.router.resume()
 
+    # -- DetectorLifecycle verbs ----------------------------------------
+    #
+    # The cluster speaks the same quiesce / checkpoint / migrate /
+    # resume surface as a single detector (``repro.detection.api``),
+    # so supervisory code drives a fleet and a sketch identically.
+    # ``checkpoint`` (above) is the cluster-wide barrier; ``migrate``'s
+    # resize axis is fleet width — a checkpoint-shipping rebalance.
+
+    def quiesce(self) -> None:
+        """Stop admission at the router; no batch is in flight anywhere."""
+        if self.router is None:
+            raise ConfigurationError("cluster not started")
+        self.router.quiesce()
+
+    def resume(self) -> None:
+        """Reopen admission after :meth:`quiesce`."""
+        if self.router is None:
+            raise ConfigurationError("cluster not started")
+        self.router.resume()
+
+    def migrate(self, new_spec) -> None:
+        """Lifecycle migrate: resize the fleet.
+
+        ``new_spec`` is the target node count (the cluster's resize
+        axis); delegates to :meth:`rebalance`, which quiesces, ships
+        checkpoints to the new assignment, and resumes.
+        """
+        if not isinstance(new_spec, int):
+            raise ConfigurationError(
+                "LocalCluster.migrate resizes fleet width; pass the "
+                f"target node count, got {type(new_spec).__name__}"
+            )
+        self.rebalance(new_spec)
+
     def kill_node(self, index: int) -> None:
         """SIGKILL-equivalent: the node vanishes without drain or
         checkpoint; durable state stays at its last checkpoint."""

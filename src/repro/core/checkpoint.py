@@ -185,11 +185,28 @@ def save_detector(detector) -> bytes:
     )
 
 
+#: Kinds registered by modules outside the core import graph, resolved
+#: on first load.  Saving never needs this (a live detector's module is
+#: necessarily imported), but a restorer — a spawn-mode parallel worker,
+#: a serve node resuming from a store — may see the blob first.
+_LAZY_KIND_MODULES = {
+    "apbf": "repro.adaptive.filters",
+    "time-limited-bf": "repro.adaptive.filters",
+    "adaptive": "repro.adaptive.lifecycle",
+    "adaptive-timed": "repro.adaptive.lifecycle",
+}
+
+
 def load_detector(blob: bytes):
     """Restore a detector from :func:`save_detector` output."""
     header, payload = unpack_frame(blob)
     kind = header.get("kind")
     loader = _LOADERS.get(kind)
+    if loader is None and kind in _LAZY_KIND_MODULES:
+        import importlib
+
+        importlib.import_module(_LAZY_KIND_MODULES[kind])
+        loader = _LOADERS.get(kind)
     if loader is None:
         raise CheckpointError(f"unknown detector kind {kind!r} in checkpoint")
     return loader(header, payload)

@@ -384,6 +384,32 @@ class GBFDetector:
             product *= 1.0 - false_positive_rate_from_fill(fill, k)
         return 1.0 - product
 
+    def spec(self):
+        """The :class:`~repro.detection.DetectorSpec` rebuilding this detector.
+
+        Exact round trip — ``create_detector(detector.spec())`` yields
+        an identically configured detector — which is the resize
+        primitive the adaptive controller scales.  Requires the default
+        hash family and word size (custom ones cannot ride a spec).
+        """
+        from ..detection.detector import DetectorSpec, GBFParams, WindowSpec
+
+        if type(self.family) is not SplitMixFamily:
+            raise ConfigurationError(
+                "spec() requires the default SplitMixFamily; this detector "
+                f"uses {type(self.family).__name__}"
+            )
+        if self.word_bits != 64:
+            raise ConfigurationError(
+                f"spec() cannot express word_bits={self.word_bits}"
+            )
+        return DetectorSpec(
+            algorithm="gbf",
+            window=WindowSpec("jumping", self.window_size, self.num_subwindows),
+            params=GBFParams(self.bits_per_filter, self.family.num_hashes),
+            seed=self.family.seed,
+        )
+
     def checkpoint_state(self) -> bytes:
         """Serialized sketch state (invert with :func:`repro.core.load_detector`).
 

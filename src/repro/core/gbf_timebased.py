@@ -393,6 +393,34 @@ class TimeBasedGBFDetector:
             product *= 1.0 - false_positive_rate_from_fill(fill, k)
         return 1.0 - product
 
+    def spec(self):
+        """The :class:`~repro.detection.DetectorSpec` rebuilding this detector.
+
+        Exact round trip — ``create_detector(detector.spec())`` yields
+        an identically configured detector.  The window spec is
+        descriptive only (time-based detectors are sized by their
+        params); requires the default hash family and word size.
+        """
+        from ..detection.detector import DetectorSpec, GBFParams, WindowSpec
+
+        if type(self.family) is not SplitMixFamily:
+            raise ConfigurationError(
+                "spec() requires the default SplitMixFamily; this detector "
+                f"uses {type(self.family).__name__}"
+            )
+        if self.word_bits != 64:
+            raise ConfigurationError(
+                f"spec() cannot express word_bits={self.word_bits}"
+            )
+        return DetectorSpec(
+            algorithm="gbf-time",
+            window=WindowSpec("jumping", self.num_subwindows, self.num_subwindows),
+            params=GBFParams(self.bits_per_filter, self.family.num_hashes),
+            duration=self.duration,
+            resolution=self.units_per_subwindow,
+            seed=self.family.seed,
+        )
+
     def checkpoint_state(self) -> bytes:
         """Serialized sketch state (invert with :func:`repro.core.load_detector`).
 

@@ -422,6 +422,27 @@ class TBFDetector:
             self.active_entries() / self.num_entries, self.num_hashes
         )
 
+    def spec(self):
+        """The :class:`~repro.detection.DetectorSpec` rebuilding this detector.
+
+        Exact round trip — ``create_detector(detector.spec())`` yields
+        an identically configured detector.  Requires the default
+        SplitMixFamily (a custom family cannot ride a spec).
+        """
+        from ..detection.detector import DetectorSpec, TBFParams, WindowSpec
+
+        if type(self.family) is not SplitMixFamily:
+            raise ConfigurationError(
+                "spec() requires the default SplitMixFamily; this detector "
+                f"uses {type(self.family).__name__}"
+            )
+        return DetectorSpec(
+            algorithm="tbf",
+            window=WindowSpec("sliding", self.window_size),
+            params=TBFParams(self.num_entries, self.num_hashes, self.cleanup_slack),
+            seed=self.family.seed,
+        )
+
     def checkpoint_state(self) -> bytes:
         """Serialized sketch state (invert with :func:`repro.core.load_detector`).
 

@@ -448,6 +448,32 @@ class TimeBasedTBFDetector:
             self.active_entries() / self.num_entries, self.num_hashes
         )
 
+    def spec(self):
+        """The :class:`~repro.detection.DetectorSpec` rebuilding this detector.
+
+        Exact round trip — ``create_detector(detector.spec())`` yields
+        an identically configured detector.  The window spec is
+        descriptive only (time-based detectors are sized by their
+        params); requires the default SplitMixFamily.
+        """
+        from ..detection.detector import DetectorSpec, TBFParams, WindowSpec
+
+        if type(self.family) is not SplitMixFamily:
+            raise ConfigurationError(
+                "spec() requires the default SplitMixFamily; this detector "
+                f"uses {type(self.family).__name__}"
+            )
+        return DetectorSpec(
+            algorithm="tbf-time",
+            window=WindowSpec("sliding", self.num_entries),
+            params=TBFParams(
+                self.num_entries, self.family.num_hashes, self.cleanup_slack
+            ),
+            duration=self.duration,
+            resolution=self.resolution,
+            seed=self.family.seed,
+        )
+
     def checkpoint_state(self) -> bytes:
         """Serialized sketch state (invert with :func:`repro.core.load_detector`).
 

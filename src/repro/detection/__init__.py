@@ -1,13 +1,27 @@
 """High-level detection: unified protocol + factory, pipeline, scoring, alerting."""
 
 from .alerts import Alert, AlertEngine, AlertRule, default_rules
-from .api import Detector, TimedAdapter, TimedDetector, is_timed, wrap_timed
+from .api import (
+    Detector,
+    DetectorLifecycle,
+    LifecycleAdapter,
+    TimedAdapter,
+    TimedDetector,
+    as_lifecycle,
+    is_timed,
+    wrap_timed,
+)
 from .coalitions import CoalitionDetector, CoalitionPair, MinHashSignature
 from .detector import (
     ALGORITHMS,
+    PARAMS_TYPES,
     SHARDABLE_ALGORITHMS,
     TIME_BASED_ALGORITHMS,
+    APBFParams,
     DetectorSpec,
+    GBFParams,
+    TBFParams,
+    TLBFParams,
     WindowSpec,
     create_detector,
 )
@@ -32,9 +46,17 @@ __all__ = [
     "DetectorSpec",
     "WindowSpec",
     "create_detector",
+    "GBFParams",
+    "TBFParams",
+    "APBFParams",
+    "TLBFParams",
+    "PARAMS_TYPES",
     "ALGORITHMS",
     "TIME_BASED_ALGORITHMS",
     "SHARDABLE_ALGORITHMS",
+    "DetectorLifecycle",
+    "LifecycleAdapter",
+    "as_lifecycle",
     # Pipelines and sharding.
     "DetectionPipeline",
     "PipelineResult",

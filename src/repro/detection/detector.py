@@ -65,6 +65,8 @@ ALGORITHMS = (
     "tbf",
     "tbf-time",
     "tbf-jumping",
+    "apbf",
+    "time-limited-bf",
     "exact",
     "landmark-bloom",
     "naive-bloom",
@@ -73,12 +75,72 @@ ALGORITHMS = (
 )
 
 #: Algorithms driven by an explicit clock (``process_at`` surface).
-TIME_BASED_ALGORITHMS = ("gbf-time", "tbf-time")
+TIME_BASED_ALGORITHMS = ("gbf-time", "tbf-time", "time-limited-bf")
 
 #: Algorithms that can be hash-partitioned across shards / workers.
-SHARDABLE_ALGORITHMS = ("tbf", "tbf-time")
+SHARDABLE_ALGORITHMS = ("tbf", "tbf-time", "apbf", "time-limited-bf")
 
 ENGINES = ("inline", "parallel")
+
+
+@dataclass(frozen=True)
+class GBFParams:
+    """Exact GBF filter parameters (``gbf`` / ``gbf-time``)."""
+
+    bits_per_filter: int
+    num_hashes: int
+
+
+@dataclass(frozen=True)
+class TBFParams:
+    """Exact TBF parameters (``tbf`` / ``tbf-time`` / ``tbf-jumping``).
+
+    ``num_entries`` is the *total* across shards when the spec shards.
+    """
+
+    num_entries: int
+    num_hashes: int
+    cleanup_slack: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class APBFParams:
+    """Exact Age-Partitioned BF parameters (``apbf``).
+
+    ``slice_bits`` and ``generation_size`` are totals across shards
+    when the spec shards.
+    """
+
+    num_required: int
+    num_aged: int
+    slice_bits: int
+    generation_size: int
+
+
+@dataclass(frozen=True)
+class TLBFParams:
+    """Exact time-limited-BF parameters (``time-limited-bf``).
+
+    ``slice_bits`` is the total across shards when the spec shards;
+    the aging resolution rides on ``DetectorSpec.resolution`` (slices
+    retired per ``duration``).
+    """
+
+    num_required: int
+    num_aged: int
+    slice_bits: int
+
+
+#: Which exact-parameter dataclass each algorithm accepts.
+PARAMS_TYPES = {
+    "gbf": GBFParams,
+    "gbf-time": GBFParams,
+    "tbf": TBFParams,
+    "tbf-time": TBFParams,
+    "tbf-jumping": TBFParams,
+    "apbf": APBFParams,
+    "time-limited-bf": TLBFParams,
+}
 
 
 @dataclass(frozen=True)
@@ -140,6 +202,15 @@ class DetectorSpec:
         ``"inline"`` (default) runs shards in-process; ``"parallel"``
         runs one worker process per shard over shared-memory rings
         (:mod:`repro.parallel`).
+    params:
+        Exact filter parameters (the matching :data:`PARAMS_TYPES`
+        dataclass), bypassing auto-sizing entirely.  Mutually exclusive
+        with ``memory_bits`` / ``target_fp`` / ``num_hashes``; the
+        window is then descriptive rather than sizing.  This is what
+        every detector's ``spec()`` method emits, so
+        ``create_detector(detector.spec())`` rebuilds the identical
+        configuration — the resize primitive of
+        :mod:`repro.adaptive.controller`.
     """
 
     algorithm: str
@@ -152,6 +223,7 @@ class DetectorSpec:
     resolution: int = 16
     shards: int = 1
     engine: str = "inline"
+    params: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -189,10 +261,31 @@ class DetectorSpec:
             raise ConfigurationError(
                 f"{self.algorithm} is count-based; duration does not apply"
             )
-        if self.algorithm != "exact":
+        if self.params is not None:
+            expected = PARAMS_TYPES.get(self.algorithm)
+            if expected is None:
+                raise ConfigurationError(
+                    f"{self.algorithm} does not take exact params"
+                )
+            if type(self.params) is not expected:
+                raise ConfigurationError(
+                    f"{self.algorithm} params must be {expected.__name__}, "
+                    f"got {type(self.params).__name__}"
+                )
+            if self.memory_bits is not None or self.target_fp is not None:
+                raise ConfigurationError(
+                    "params carry exact sizes; memory_bits / target_fp "
+                    "do not apply"
+                )
+            if self.num_hashes is not None:
+                raise ConfigurationError(
+                    "params carry the hash count; num_hashes does not apply"
+                )
+        elif self.algorithm != "exact":
             if self.memory_bits is None and self.target_fp is None:
                 raise ConfigurationError(
-                    f"{self.algorithm} needs memory_bits or target_fp for sizing"
+                    f"{self.algorithm} needs memory_bits, target_fp, or "
+                    "params for sizing"
                 )
             if self.memory_bits is not None and self.target_fp is not None:
                 raise ConfigurationError(
@@ -279,11 +372,55 @@ def _build(spec: DetectorSpec):
             spec.resolution,
             plan.num_entries,
             k,
+            # Sizing plans carry count-window slack, which does not
+            # apply to the time-based cleaner; only exact params pin it.
+            cleanup_slack=(
+                spec.params.cleanup_slack if spec.params is not None else None
+            ),
+            seed=spec.seed,
+        )
+
+    if algorithm == "apbf":
+        _require(window, "sliding", algorithm)
+        plan = _apbf_plan(spec)
+        from ..adaptive.filters import AgePartitionedBFDetector
+
+        if spec.shards > 1 or spec.engine == "parallel":
+            return _sharded_sliced(spec, plan)
+        return AgePartitionedBFDetector(
+            plan.num_required,
+            plan.num_aged,
+            plan.slice_bits,
+            plan.generation_size,
+            seed=spec.seed,
+        )
+
+    if algorithm == "time-limited-bf":
+        _require(window, "sliding", algorithm)
+        plan = _tlbf_plan(spec)
+        from ..adaptive.filters import TimeLimitedBFDetector
+
+        if spec.shards > 1 or spec.engine == "parallel":
+            return _sharded_sliced(spec, plan)
+        return TimeLimitedBFDetector(
+            spec.duration,
+            plan.num_required,
+            plan.num_aged,
+            plan.slice_bits,
             seed=spec.seed,
         )
 
     if algorithm == "tbf-jumping":
         _require(window, "jumping", algorithm)
+        if spec.params is not None:
+            return TBFJumpingDetector(
+                window.size,
+                window.num_subwindows,
+                spec.params.num_entries,
+                spec.params.num_hashes,
+                cleanup_slack=spec.params.cleanup_slack,
+                seed=spec.seed,
+            )
         # Size like a sliding-window TBF but with sub-window timestamps
         # (entries need only ceil(log2(2Q + 1)) bits).
         if spec.memory_bits is not None:
@@ -361,6 +498,8 @@ def _build(spec: DetectorSpec):
 
 
 def _gbf_plan(spec: DetectorSpec):
+    if spec.params is not None:
+        return spec.params
     window = spec.window
     if spec.memory_bits is not None:
         return plan_gbf_from_memory(
@@ -370,9 +509,36 @@ def _gbf_plan(spec: DetectorSpec):
 
 
 def _tbf_plan(spec: DetectorSpec):
+    if spec.params is not None:
+        return spec.params
     if spec.memory_bits is not None:
         return plan_tbf_from_memory(spec.window.size, spec.memory_bits, spec.num_hashes)
     return plan_tbf_for_target(spec.window.size, spec.target_fp)
+
+
+def _apbf_plan(spec: DetectorSpec):
+    if spec.params is not None:
+        return spec.params
+    from ..adaptive.filters import plan_apbf_for_target, plan_apbf_from_memory
+
+    if spec.memory_bits is not None:
+        # num_hashes plays the run-length role (k young slices).
+        return plan_apbf_from_memory(
+            spec.window.size, spec.memory_bits, spec.num_hashes
+        )
+    return plan_apbf_for_target(spec.window.size, spec.target_fp)
+
+
+def _tlbf_plan(spec: DetectorSpec):
+    if spec.params is not None:
+        return spec.params
+    from ..adaptive.filters import plan_tlbf_for_target, plan_tlbf_from_memory
+
+    if spec.memory_bits is not None:
+        return plan_tlbf_from_memory(
+            spec.window.size, spec.resolution, spec.memory_bits, spec.num_hashes
+        )
+    return plan_tlbf_for_target(spec.window.size, spec.resolution, spec.target_fp)
 
 
 def _sharded_tbf(spec: DetectorSpec, total_entries: int, num_hashes: int):
@@ -380,12 +546,12 @@ def _sharded_tbf(spec: DetectorSpec, total_entries: int, num_hashes: int):
     if spec.engine == "parallel":
         from ..parallel import ParallelShardedDetector
 
-        return ParallelShardedDetector.of_tbf(
+        return ParallelShardedDetector._of_tbf(
             spec.window.size, spec.shards, total_entries, num_hashes, seed=spec.seed
         )
     from .sharded import ShardedDetector
 
-    return ShardedDetector.of_tbf(
+    return ShardedDetector._of_tbf(
         spec.window.size, spec.shards, total_entries, num_hashes, seed=spec.seed
     )
 
@@ -395,16 +561,58 @@ def _sharded_tbf_time(spec: DetectorSpec, total_entries: int, num_hashes: int):
     if spec.engine == "parallel":
         from ..parallel import ParallelTimeShardedDetector
 
-        return ParallelTimeShardedDetector.of_tbf(
+        return ParallelTimeShardedDetector._of_tbf(
             spec.duration, spec.resolution, spec.shards, total_entries,
             num_hashes, seed=spec.seed,
         )
     from .sharded import TimeShardedDetector
 
-    return TimeShardedDetector.of_tbf(
+    return TimeShardedDetector._of_tbf(
         spec.duration, spec.resolution, spec.shards, total_entries,
         num_hashes, seed=spec.seed,
     )
+
+
+def _sharded_sliced(spec: DetectorSpec, plan):
+    """Sharded/parallel sliced filter (APBF / time-limited BF).
+
+    The plan carries totals; each shard gets an even split of the slice
+    bits (and, for the APBF, of the generation size) with per-shard
+    seeds, mirroring the TBF convention.
+    """
+    from ..adaptive.filters import AgePartitionedBFDetector, TimeLimitedBFDetector
+    from .sharded import ShardedDetector, TimeShardedDetector
+
+    n = spec.shards
+    slice_bits = max(1, plan.slice_bits // n)
+    if spec.algorithm == "apbf":
+        generation = max(1, plan.generation_size // n)
+        shards = [
+            AgePartitionedBFDetector(
+                plan.num_required, plan.num_aged, slice_bits, generation,
+                seed=spec.seed + shard,
+            )
+            for shard in range(n)
+        ]
+        base = ShardedDetector(shards)
+    else:
+        shards = [
+            TimeLimitedBFDetector(
+                spec.duration, plan.num_required, plan.num_aged, slice_bits,
+                seed=spec.seed + shard,
+            )
+            for shard in range(n)
+        ]
+        base = TimeShardedDetector(shards)
+    if spec.engine == "parallel":
+        if spec.algorithm == "apbf":
+            from ..parallel import ParallelShardedDetector
+
+            return ParallelShardedDetector(base)
+        from ..parallel import ParallelTimeShardedDetector
+
+        return ParallelTimeShardedDetector(base)
+    return base
 
 
 def _create_exact(window: WindowSpec):

@@ -33,6 +33,7 @@ rather than decided silently.
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
@@ -319,7 +320,32 @@ class ShardedDetector(_ShardFailover):
         num_hashes: int = 10,
         seed: int = 0,
     ) -> "ShardedDetector":
-        """``num_shards`` TBFs, splitting window and memory evenly."""
+        """``num_shards`` TBFs, splitting window and memory evenly.
+
+        Deprecated: build through :func:`repro.detection.create_detector`
+        with a sharded :class:`~repro.detection.DetectorSpec` instead —
+        the spec surface covers every variant and round-trips via
+        ``spec()``.
+        """
+        warnings.warn(
+            "ShardedDetector.of_tbf is deprecated; build through "
+            "create_detector(DetectorSpec('tbf', ..., shards=N))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls._of_tbf(
+            global_window, num_shards, total_entries, num_hashes, seed=seed
+        )
+
+    @classmethod
+    def _of_tbf(
+        cls,
+        global_window: int,
+        num_shards: int,
+        total_entries: int,
+        num_hashes: int = 10,
+        seed: int = 0,
+    ) -> "ShardedDetector":
         from ..core import TBFDetector
 
         if num_shards < 1:
@@ -405,6 +431,15 @@ class ShardedDetector(_ShardFailover):
         snapshot["gauges"]["load_imbalance"] = self.load_imbalance()
         return snapshot
 
+    def spec(self):
+        """One :class:`~repro.detection.DetectorSpec` rebuilding the fleet.
+
+        Requires a homogeneous fleet (same shard configuration with
+        sequential per-shard seeds) behind the default router — exactly
+        what the spec path builds.
+        """
+        return _combined_spec(self)
+
 
 class TimeShardedDetector(_ShardFailover):
     """Time-based sharded duplicate detector (exact window semantics).
@@ -429,6 +464,28 @@ class TimeShardedDetector(_ShardFailover):
 
     @classmethod
     def of_tbf(
+        cls,
+        duration: float,
+        resolution: int,
+        num_shards: int,
+        total_entries: int,
+        num_hashes: int = 10,
+        seed: int = 0,
+    ) -> "TimeShardedDetector":
+        """Deprecated: build through :func:`repro.detection.create_detector`
+        with a sharded time-based :class:`~repro.detection.DetectorSpec`."""
+        warnings.warn(
+            "TimeShardedDetector.of_tbf is deprecated; build through "
+            "create_detector(DetectorSpec('tbf-time', ..., shards=N))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls._of_tbf(
+            duration, resolution, num_shards, total_entries, num_hashes, seed=seed
+        )
+
+    @classmethod
+    def _of_tbf(
         cls,
         duration: float,
         resolution: int,
@@ -511,6 +568,74 @@ class TimeShardedDetector(_ShardFailover):
     def telemetry_snapshot(self) -> Dict[str, object]:
         """Fleet health metrics for :mod:`repro.telemetry.instruments`."""
         return self._aggregate_telemetry()
+
+    def spec(self):
+        """One :class:`~repro.detection.DetectorSpec` rebuilding the fleet.
+
+        Requires a homogeneous fleet (same shard configuration with
+        sequential per-shard seeds) behind the default router — exactly
+        what the spec path builds.
+        """
+        return _combined_spec(self)
+
+
+def _combined_spec(detector):
+    """One spec for a homogeneous shard fleet (inverse of the spec build).
+
+    Per-shard specs carry local sizes; the combined spec multiplies the
+    split quantities (window, TBF entries, slice bits, generation size)
+    back up by the shard count so the factory's even split reproduces
+    the fleet exactly.
+    """
+    from dataclasses import replace
+
+    from .detector import APBFParams, TBFParams, TLBFParams, WindowSpec
+
+    if not detector._router_is_default:
+        raise ConfigurationError("spec() cannot express a custom router")
+    shards = detector.shards
+    n = len(shards)
+    first = shards[0].spec()
+    base_seed = first.seed
+    for index, shard in enumerate(shards[1:], 1):
+        other = shard.spec()
+        if replace(other, seed=base_seed) != first or other.seed != base_seed + index:
+            raise ConfigurationError(
+                "spec() needs a homogeneous fleet with sequential per-shard "
+                f"seeds; shard {index} differs from shard 0"
+            )
+    params = first.params
+    if type(params) is TBFParams:
+        default_slack = (
+            first.resolution - 1
+            if first.duration is not None
+            else first.window.size - 1
+        )
+        if params.cleanup_slack not in (None, default_slack):
+            raise ConfigurationError(
+                "spec() cannot express non-default per-shard cleanup_slack "
+                f"({params.cleanup_slack})"
+            )
+        scaled = TBFParams(params.num_entries * n, params.num_hashes, None)
+    elif type(params) is APBFParams:
+        scaled = APBFParams(
+            params.num_required,
+            params.num_aged,
+            params.slice_bits * n,
+            params.generation_size * n,
+        )
+    elif type(params) is TLBFParams:
+        scaled = TLBFParams(
+            params.num_required, params.num_aged, params.slice_bits * n
+        )
+    else:
+        raise ConfigurationError(
+            f"spec() cannot shard-combine {type(params).__name__} params"
+        )
+    window = WindowSpec(
+        first.window.kind, first.window.size * n, first.window.num_subwindows
+    )
+    return replace(first, window=window, params=scaled, shards=n)
 
 
 # ----------------------------------------------------------------------

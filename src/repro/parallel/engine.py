@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
@@ -682,6 +683,23 @@ class _ParallelEngine:
             while state.outstanding > 0:  # pragma: no cover - defensive
                 state.collected.append(self._pop_verdicts(state))
 
+    def resume(self) -> None:
+        """Lifecycle counterpart of :meth:`quiesce` (see
+        :class:`~repro.detection.api.DetectorLifecycle`).  The rings
+        accept work whenever they have free slots, so leaving the
+        quiesced state needs no action."""
+
+    def spec(self):
+        """One :class:`~repro.detection.DetectorSpec` rebuilding this fleet.
+
+        Delegates to the base sharded detector (worker configuration is
+        fixed at construction, so the stale base states do not matter)
+        and stamps ``engine="parallel"``.
+        """
+        from dataclasses import replace
+
+        return replace(self.base.spec(), engine="parallel")
+
     def _gather_blobs(self) -> List[bytes]:
         """Phase 1: quiesce + collect a consistent blob per shard.
 
@@ -1016,9 +1034,35 @@ class ParallelShardedDetector(_ParallelEngine):
         seed: int = 0,
         **options,
     ) -> "ParallelShardedDetector":
-        """``num_workers`` TBF shards, one worker process each."""
+        """``num_workers`` TBF shards, one worker process each.
+
+        Deprecated: build through :func:`repro.detection.create_detector`
+        with ``DetectorSpec('tbf', ..., shards=N, engine='parallel')``.
+        """
+        warnings.warn(
+            "ParallelShardedDetector.of_tbf is deprecated; build through "
+            "create_detector(DetectorSpec('tbf', ..., shards=N, "
+            "engine='parallel'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls._of_tbf(
+            global_window, num_workers, total_entries, num_hashes,
+            seed=seed, **options,
+        )
+
+    @classmethod
+    def _of_tbf(
+        cls,
+        global_window: int,
+        num_workers: int,
+        total_entries: int,
+        num_hashes: int = 10,
+        seed: int = 0,
+        **options,
+    ) -> "ParallelShardedDetector":
         return cls(
-            ShardedDetector.of_tbf(
+            ShardedDetector._of_tbf(
                 global_window, num_workers, total_entries, num_hashes, seed=seed
             ),
             **options,
@@ -1070,8 +1114,33 @@ class ParallelTimeShardedDetector(_ParallelEngine):
         seed: int = 0,
         **options,
     ) -> "ParallelTimeShardedDetector":
+        """Deprecated: build through :func:`repro.detection.create_detector`
+        with ``DetectorSpec('tbf-time', ..., shards=N, engine='parallel')``."""
+        warnings.warn(
+            "ParallelTimeShardedDetector.of_tbf is deprecated; build through "
+            "create_detector(DetectorSpec('tbf-time', ..., shards=N, "
+            "engine='parallel'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls._of_tbf(
+            duration, resolution, num_workers, total_entries, num_hashes,
+            seed=seed, **options,
+        )
+
+    @classmethod
+    def _of_tbf(
+        cls,
+        duration: float,
+        resolution: int,
+        num_workers: int,
+        total_entries: int,
+        num_hashes: int = 10,
+        seed: int = 0,
+        **options,
+    ) -> "ParallelTimeShardedDetector":
         return cls(
-            TimeShardedDetector.of_tbf(
+            TimeShardedDetector._of_tbf(
                 duration, resolution, num_workers, total_entries, num_hashes, seed=seed
             ),
             **options,

@@ -35,9 +35,9 @@ from ..core.checkpoint import (
     CheckpointError,
     load_detector,
     pack_frame,
-    save_detector,
     unpack_frame,
 )
+from ..detection.api import as_lifecycle
 from ..detection.pipeline import DetectionPipeline, PipelineResult
 from ..detection.scoring import SourceStats
 from ..errors import BudgetError, ConfigurationError, RecoveryError
@@ -372,19 +372,26 @@ class SupervisedPipeline:
             # a resumed process continues the same counters (crash-
             # consistent observability).
             header["telemetry"] = self.telemetry.state_dict()
-        detector = self.pipeline.detector
-        quiesce = getattr(detector, "quiesce", None)
-        if callable(quiesce):
-            # Multi-process engines drain their rings first, so the
-            # detector blob below (their two-phase fleet manifest) never
-            # races an in-flight batch.
-            with self.telemetry.tracer.span("supervisor.checkpoint.quiesce"):
-                quiesce()
-        with self.telemetry.tracer.span("supervisor.checkpoint.write", offset=offset):
-            started = time.perf_counter()
-            blob = pack_frame(header, save_detector(detector))
-            self.store.save(blob)
-            self._checkpoint_write_seconds.observe(time.perf_counter() - started)
+        # Every detector — plain sketch, multi-process fleet, adaptive
+        # wrapper — is driven through the one DetectorLifecycle surface:
+        # quiesce drains in-flight work (multi-process engines drain
+        # their rings, so the blob below never races a batch), then the
+        # lifecycle serializes, then resume reopens for traffic.
+        lifecycle = as_lifecycle(self.pipeline.detector)
+        with self.telemetry.tracer.span("supervisor.checkpoint.quiesce"):
+            lifecycle.quiesce()
+        try:
+            with self.telemetry.tracer.span(
+                "supervisor.checkpoint.write", offset=offset
+            ):
+                started = time.perf_counter()
+                blob = pack_frame(header, lifecycle.checkpoint())
+                self.store.save(blob)
+                self._checkpoint_write_seconds.observe(
+                    time.perf_counter() - started
+                )
+        finally:
+            lifecycle.resume()
         self._checkpoints_total.inc()
         result.checkpoints_written += 1
 

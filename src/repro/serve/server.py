@@ -167,6 +167,17 @@ class ServeConfig:
     #: still records in memory) and how many events the ring retains.
     flight_dir: Optional[Union[str, Path]] = None
     flight_events: int = 4096
+    #: Self-tuning resize: sample the detector's live estimated-FP
+    #: gauge after every ``adaptive_interval`` coalesced groups and let
+    #: an :class:`~repro.adaptive.AdaptiveController` resize it in the
+    #: idle gap between groups (the engine task is the only detector
+    #: user, so no click is in flight during the migrate).  Requires
+    #: the inline engine (``workers=None``) and a detector with a
+    #: ``migrate`` method (an :class:`~repro.adaptive.AdaptiveDetector`
+    #: wrapper).  ``0`` disables.  ``adaptive`` optionally carries the
+    #: :class:`~repro.adaptive.ControllerConfig` knobs.
+    adaptive_interval: int = 0
+    adaptive: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight_bytes < 1:
@@ -200,6 +211,15 @@ class ServeConfig:
             raise ConfigurationError(
                 "watchdog_stall_timeout must be > 0, got "
                 f"{self.watchdog_stall_timeout}"
+            )
+        if self.adaptive_interval < 0:
+            raise ConfigurationError(
+                f"adaptive_interval must be >= 0, got {self.adaptive_interval}"
+            )
+        if self.adaptive_interval > 0 and self.workers is not None:
+            raise ConfigurationError(
+                "the adaptive controller resizes between coalesced groups "
+                "of the inline engine; it does not compose with workers"
             )
 
 
@@ -536,6 +556,21 @@ class ClickIngestServer:
         self._drained = asyncio.Event()
         self._draining = False
         self._engine_clicks = 0
+        self._controller = None
+        self._groups_since_sample = 0
+        if self.config.adaptive_interval > 0:
+            if not hasattr(self._base_detector, "migrate"):
+                raise ConfigurationError(
+                    "adaptive_interval needs a resizable detector; wrap it "
+                    "in repro.adaptive.AdaptiveDetector"
+                )
+            from ..adaptive.controller import AdaptiveController
+
+            self._controller = AdaptiveController(
+                self._base_detector,
+                self.config.adaptive,
+                registry=registry,
+            )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -543,6 +578,13 @@ class ClickIngestServer:
     def processed_clicks(self) -> int:
         """Clicks classified by this server, including resumed history."""
         return self._resumed_clicks + self._engine_clicks
+
+    @property
+    def resize_events(self) -> tuple:
+        """The adaptive controller's resize journal (empty when off)."""
+        if self._controller is None:
+            return ()
+        return tuple(self._controller.journal)
 
     @property
     def port(self) -> int:
@@ -1280,9 +1322,31 @@ class ClickIngestServer:
                     raise
             self._process_group(group)
             self.flight.record("group_end", requests=len(group))
+            self._maybe_resize()
         finally:
             self._engine_busy = False
             self._engine_heartbeat = time.monotonic()
+
+    def _maybe_resize(self) -> None:
+        """Controller sample point: between groups the engine is idle,
+        so a quiesce -> migrate -> resume here races nothing."""
+        controller = self._controller
+        if controller is None:
+            return
+        self._groups_since_sample += 1
+        if self._groups_since_sample < self.config.adaptive_interval:
+            return
+        self._groups_since_sample = 0
+        event = controller.observe()
+        if event is not None:
+            self.flight.record(
+                "resize",
+                direction=event.direction,
+                old_bits=event.old_memory_bits,
+                new_bits=event.new_memory_bits,
+                estimated_fp=event.estimated_fp,
+                bound=event.bound,
+            )
 
     def _process_group(self, group: List[_Request]) -> None:
         """Classify one coalesced group and resolve its futures.

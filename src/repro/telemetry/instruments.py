@@ -64,6 +64,14 @@ def theoretical_fp_bound(detector) -> Optional[float]:
             detector.window_size + detector.subwindow_size,
             detector.num_hashes,
         )
+    if kind == "AgePartitionedBFDetector":
+        # APBF (Shtul et al. 2020): closed-form run-of-k bound over
+        # steady-state slice fills; the detector owns the formula.
+        return detector.theoretical_fp_bound()
+    if kind in ("AdaptiveDetector", "AdaptiveTimedDetector"):
+        # The resizable wrapper answers with its *current* inner
+        # detector's bound, so the envelope tracks each migrate.
+        return theoretical_fp_bound(detector.inner)
     if kind in ("ShardedDetector", "TimeShardedDetector"):
         bounds = [theoretical_fp_bound(shard) for shard in detector.shards]
         bounds = [bound for bound in bounds if bound is not None]

@@ -23,6 +23,7 @@ from repro.core import (
     TimeBasedTBFDetector,
     save_detector,
 )
+from repro.adaptive import AgePartitionedBFDetector, TimeLimitedBFDetector
 from repro.detection import ShardedDetector
 
 SETTINGS = settings(max_examples=25, deadline=None)
@@ -128,6 +129,27 @@ class TestCountBasedEquivalence:
             lambda: TBFJumpingDetector(24, 4, 61, 3, seed=5), ids, chunking
         )
 
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_apbf(self, ids, chunking):
+        # Tiny generations: shifts land mid-chunk; odd slice width so
+        # the bit/word layout is unaligned.
+        _assert_count_equivalence(
+            lambda: AgePartitionedBFDetector(4, 6, 61, 5, seed=5),
+            ids,
+            chunking,
+        )
+
+    @SETTINGS
+    @given(ids=identifiers, chunking=chunkings)
+    def test_apbf_single_insert_generations(self, ids, chunking):
+        # g = 1: every insert shifts — the degenerate boundary regime.
+        _assert_count_equivalence(
+            lambda: AgePartitionedBFDetector(3, 5, 37, 1, seed=2),
+            ids,
+            chunking,
+        )
+
 
 class TestTimeBasedEquivalence:
     @SETTINGS
@@ -150,15 +172,29 @@ class TestTimeBasedEquivalence:
             chunking,
         )
 
+    @SETTINGS
+    @given(ids=identifiers, gaps=gaps, chunking=chunkings)
+    def test_time_limited_bf(self, ids, gaps, chunking):
+        # Unit length 16/6 s against gaps up to 6 s: multi-unit shifts
+        # and full-expiry jumps both occur inside chunks.
+        _assert_time_equivalence(
+            lambda: TimeLimitedBFDetector(16.0, 4, 6, 61, seed=5),
+            ids,
+            gaps,
+            chunking,
+        )
+
 
 COUNT_BUILDERS = {
     "gbf": lambda: GBFDetector(32, 4, 97, 3, seed=5),
     "tbf": lambda: TBFDetector(24, 53, 3, seed=5),
     "tbf-jumping": lambda: TBFJumpingDetector(24, 4, 61, 3, seed=5),
+    "apbf": lambda: AgePartitionedBFDetector(4, 6, 61, 5, seed=5),
 }
 TIME_BUILDERS = {
     "gbf-time": lambda: TimeBasedGBFDetector(16.0, 4, 97, 3, seed=5),
     "tbf-time": lambda: TimeBasedTBFDetector(16.0, 8, 53, 3, seed=5),
+    "time-limited-bf": lambda: TimeLimitedBFDetector(16.0, 4, 6, 61, seed=5),
 }
 
 

@@ -100,3 +100,87 @@ def test_validation_errors():
         false_positive_rate(10, -1, 1)
     with pytest.raises(ConfigurationError):
         false_positive_rate(10, 1, 0)
+
+
+# --- sliced (age-partitioned) FP mathematics -------------------------------
+
+
+def _brute_force_sliced_rate(fills, num_required):
+    """Enumerate all 2**S hit patterns; sum those containing a k-run."""
+    import itertools
+
+    total = 0.0
+    for pattern in itertools.product((False, True), repeat=len(fills)):
+        run = best = 0
+        for hit in pattern:
+            run = run + 1 if hit else 0
+            best = max(best, run)
+        if best < num_required:
+            continue
+        prob = 1.0
+        for hit, fill in zip(pattern, fills):
+            prob *= fill if hit else 1.0 - fill
+        total += prob
+    return total
+
+
+@pytest.mark.parametrize("num_required,num_slices,seed", [
+    (1, 5, 0), (2, 6, 1), (3, 8, 2), (4, 10, 3), (5, 12, 4),
+])
+def test_sliced_rate_matches_brute_force(num_required, num_slices, seed):
+    import random
+
+    from repro.bloom import sliced_false_positive_rate
+
+    rng = random.Random(seed)
+    fills = [rng.random() for _ in range(num_slices)]
+    assert sliced_false_positive_rate(fills, num_required) == pytest.approx(
+        _brute_force_sliced_rate(fills, num_required), rel=1e-12
+    )
+
+
+def test_sliced_rate_degenerate_fills():
+    from repro.bloom import sliced_false_positive_rate
+
+    # All-empty slices never false-positive; all-full always do.
+    assert sliced_false_positive_rate([0.0] * 6, 3) == 0.0
+    assert sliced_false_positive_rate([1.0] * 6, 3) == pytest.approx(1.0)
+    # A single required slice reduces to 1 - prod(1 - p_a).
+    fills = [0.1, 0.25, 0.5]
+    expected = 1.0 - (1 - 0.1) * (1 - 0.25) * (1 - 0.5)
+    assert sliced_false_positive_rate(fills, 1) == pytest.approx(expected)
+
+
+def test_sliced_rate_validation():
+    from repro.bloom import sliced_false_positive_rate
+
+    with pytest.raises(ConfigurationError):
+        sliced_false_positive_rate([0.5, 0.5], 0)
+    with pytest.raises(ConfigurationError):
+        sliced_false_positive_rate([0.5], 2)
+    with pytest.raises(ConfigurationError):
+        sliced_false_positive_rate([0.5, 1.5], 1)
+
+
+def test_apbf_rate_matches_manual_fills():
+    from repro.bloom import apbf_false_positive_rate, sliced_false_positive_rate
+
+    k, l, m, g = 3, 5, 256, 16
+    fills = [
+        -math.expm1(min(age + 1, k) * g * math.log1p(-1.0 / m))
+        for age in range(k + l)
+    ]
+    assert apbf_false_positive_rate(k, l, m, g) == pytest.approx(
+        _brute_force_sliced_rate(fills, k), rel=1e-12
+    )
+    assert apbf_false_positive_rate(k, l, m, g) == sliced_false_positive_rate(
+        fills, k
+    )
+
+
+def test_apbf_rate_monotone_in_slice_bits():
+    from repro.bloom import apbf_false_positive_rate
+
+    rates = [apbf_false_positive_rate(4, 6, m, 8) for m in (64, 128, 256, 512)]
+    assert rates == sorted(rates, reverse=True)
+    assert all(0.0 < r < 1.0 for r in rates)

@@ -37,8 +37,8 @@ def _variants():
             lambda: TimeBasedGBFDetector(24.0, 4, 1024, 4, units_per_subwindow=4, seed=3),
         ),
         ("tbf-time", lambda: TimeBasedTBFDetector(24.0, 8, 2048, 4, seed=3)),
-        ("sharded", lambda: ShardedDetector.of_tbf(64, 3, 4096, 4, seed=3)),
-        ("time-sharded", lambda: TimeShardedDetector.of_tbf(24.0, 8, 3, 4096, 4, seed=3)),
+        ("sharded", lambda: ShardedDetector._of_tbf(64, 3, 4096, 4, seed=3)),
+        ("time-sharded", lambda: TimeShardedDetector._of_tbf(24.0, 8, 3, 4096, 4, seed=3)),
     ]
 
 

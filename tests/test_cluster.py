@@ -64,7 +64,7 @@ HASHES = 4
 
 
 def _reference(seed: int = 1) -> ShardedDetector:
-    return ShardedDetector.of_tbf(WINDOW, SHARDS, ENTRIES, HASHES, seed=seed)
+    return ShardedDetector._of_tbf(WINDOW, SHARDS, ENTRIES, HASHES, seed=seed)
 
 
 def _stream(count: int, seed: int) -> np.ndarray:

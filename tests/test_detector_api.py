@@ -1,4 +1,4 @@
-"""Protocol-conformance suite: seven variants, one unified API.
+"""Protocol-conformance suite: every variant, one unified API.
 
 Every detector variant in the library must satisfy the runtime-checkable
 protocol of :mod:`repro.detection.api` (``Detector`` or
@@ -21,7 +21,7 @@ from repro.detection import (
 )
 from repro.errors import ConfigurationError
 
-#: The seven variants of the unified protocol, one spec each.
+#: Every variant of the unified protocol, one spec each.
 VARIANTS = {
     "gbf": DetectorSpec(
         algorithm="gbf", window=WindowSpec("jumping", 256, 8), target_fp=0.01
@@ -41,17 +41,32 @@ VARIANTS = {
         algorithm="tbf-jumping", window=WindowSpec("jumping", 1024, 64),
         memory_bits=1 << 16,
     ),
+    "apbf": DetectorSpec(
+        algorithm="apbf", window=WindowSpec("sliding", 256), target_fp=0.01
+    ),
+    "time-limited-bf": DetectorSpec(
+        algorithm="time-limited-bf", window=WindowSpec("sliding", 256),
+        target_fp=0.01, duration=64.0, resolution=16,
+    ),
     "sharded": DetectorSpec(
         algorithm="tbf", window=WindowSpec("sliding", 256),
+        target_fp=0.01, shards=2,
+    ),
+    "sharded-apbf": DetectorSpec(
+        algorithm="apbf", window=WindowSpec("sliding", 256),
         target_fp=0.01, shards=2,
     ),
     "parallel": DetectorSpec(
         algorithm="tbf", window=WindowSpec("sliding", 256),
         target_fp=0.01, shards=2, engine="parallel",
     ),
+    "parallel-apbf": DetectorSpec(
+        algorithm="apbf", window=WindowSpec("sliding", 256),
+        target_fp=0.01, shards=2, engine="parallel",
+    ),
 }
 
-TIMED = {"gbf-time", "tbf-time"}
+TIMED = {"gbf-time", "tbf-time", "time-limited-bf"}
 
 
 def _stream(count=3000, seed=11):

@@ -37,8 +37,8 @@ START_METHOD = os.environ.get("REPRO_PARALLEL_START_METHOD") or None
 
 def make_pair(num_shards, seed=1, window=64, entries=4096, num_hashes=4, **options):
     """A (reference, parallel) pair built from identical configs."""
-    reference = ShardedDetector.of_tbf(window, num_shards, entries, num_hashes, seed=seed)
-    parallel = ParallelShardedDetector.of_tbf(
+    reference = ShardedDetector._of_tbf(window, num_shards, entries, num_hashes, seed=seed)
+    parallel = ParallelShardedDetector._of_tbf(
         window,
         num_shards,
         total_entries=entries,
@@ -166,8 +166,8 @@ class TestEquivalence:
             parallel.close()
 
     def test_time_based_equivalence(self):
-        reference = TimeShardedDetector.of_tbf(10.0, 8, 3, 4096, 4, seed=2)
-        parallel = ParallelTimeShardedDetector.of_tbf(
+        reference = TimeShardedDetector._of_tbf(10.0, 8, 3, 4096, 4, seed=2)
+        parallel = ParallelTimeShardedDetector._of_tbf(
             10.0, 8, 3, total_entries=4096, num_hashes=4, seed=2,
             start_method=START_METHOD, slot_items=256,
         )
@@ -412,7 +412,7 @@ class TestWorkerDeath:
             parallel.close()
 
     def test_worker_data_error_propagates(self):
-        parallel = ParallelTimeShardedDetector.of_tbf(
+        parallel = ParallelTimeShardedDetector._of_tbf(
             10.0, 8, 2, total_entries=2048, num_hashes=4, seed=1,
             start_method=START_METHOD,
         )
@@ -492,7 +492,7 @@ class TestTelemetry:
 
 class TestLift:
     def test_lift_shard_count_mismatch(self):
-        sharded = ShardedDetector.of_tbf(64, 2, 2048, 4, seed=1)
+        sharded = ShardedDetector._of_tbf(64, 2, 2048, 4, seed=1)
         with pytest.raises(ConfigurationError, match="2 shards"):
             lift_sharded(sharded, workers=4)
 
@@ -510,7 +510,7 @@ class TestLift:
             lift_sharded(TBFDetector(64, 1024, 4, seed=1))
 
     def test_engine_rejects_bad_options(self):
-        sharded = ShardedDetector.of_tbf(64, 2, 2048, 4, seed=1)
+        sharded = ShardedDetector._of_tbf(64, 2, 2048, 4, seed=1)
         with pytest.raises(ConfigurationError, match="slots"):
             ParallelShardedDetector(sharded, slots=1)
         with pytest.raises(ConfigurationError, match="max_respawns"):

@@ -80,11 +80,11 @@ class TestPipelineWorkers:
     def test_workers_matches_single_process_run(self):
         clicks = make_stream(400)
         reference = DetectionPipeline(
-            ShardedDetector.of_tbf(64, 2, 2048, 4, seed=3), billing=make_billing()
+            ShardedDetector._of_tbf(64, 2, 2048, 4, seed=3), billing=make_billing()
         )
         expected = reference.run_batch(clicks)
 
-        detector = ShardedDetector.of_tbf(64, 2, 2048, 4, seed=3)
+        detector = ShardedDetector._of_tbf(64, 2, 2048, 4, seed=3)
         pipeline = DetectionPipeline(detector, billing=make_billing())
         result = pipeline.run_batch(clicks, workers=2)
 
@@ -103,7 +103,7 @@ class TestPipelineWorkers:
             assert save_detector(expected_shard) == save_detector(synced)
 
     def test_workers_requires_matching_shard_count(self):
-        pipeline = DetectionPipeline(ShardedDetector.of_tbf(64, 2, 2048, 4, seed=3))
+        pipeline = DetectionPipeline(ShardedDetector._of_tbf(64, 2, 2048, 4, seed=3))
         with pytest.raises(ConfigurationError, match="2 shards"):
             pipeline.run_batch(make_stream(10), workers=4)
 
@@ -116,7 +116,7 @@ class TestPipelineWorkers:
 
     def test_already_parallel_detector_passes_through(self):
         clicks = make_stream(150)
-        engine = ParallelShardedDetector(ShardedDetector.of_tbf(64, 2, 2048, 4, seed=3))
+        engine = ParallelShardedDetector(ShardedDetector._of_tbf(64, 2, 2048, 4, seed=3))
         pipeline = DetectionPipeline(engine)
         try:
             result = pipeline.run_batch(clicks, workers=2)
@@ -133,7 +133,7 @@ class TestPipelineWorkers:
 # ----------------------------------------------------------------------
 
 def make_fleet():
-    return ParallelShardedDetector(ShardedDetector.of_tbf(64, 2, 2048, 4, seed=3))
+    return ParallelShardedDetector(ShardedDetector._of_tbf(64, 2, 2048, 4, seed=3))
 
 
 class TestSupervisedFleet:
@@ -235,7 +235,7 @@ class TestCliWorkers:
         from repro.detection import DetectorSpec, WindowSpec, create_detector
 
         tbf = create_detector(DetectorSpec(algorithm="tbf", window=WindowSpec("sliding", 64, 1), seed=0, target_fp=0.001))
-        sharded = ShardedDetector.of_tbf(
+        sharded = ShardedDetector._of_tbf(
             64, 2, total_entries=tbf.num_entries, num_hashes=tbf.num_hashes, seed=0
         )
         pipeline = DetectionPipeline(sharded)

@@ -22,7 +22,7 @@ def drive(detector, count, seed, universe=80):
 
 
 def test_fail_open_accepts_and_fail_closed_rejects_everything():
-    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     drive(detector, 200, seed=2)
 
     detector.fail_shard(1, FailoverPolicy.FAIL_OPEN)
@@ -49,8 +49,8 @@ def test_restore_shard_resumes_exact_verdicts():
     # Two detectors fed identically; one loses a shard and rebuilds it
     # from a checkpoint taken at that instant.  With no clicks processed
     # during the degraded window, verdicts must stay identical forever.
-    healthy = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
-    failing = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    healthy = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
+    failing = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     assert drive(healthy, 300, seed=5) == drive(failing, 300, seed=5)
 
     blob = failing.checkpoint_shard(2)
@@ -62,8 +62,8 @@ def test_restore_shard_resumes_exact_verdicts():
 
 
 def test_degraded_window_damage_is_bounded_to_one_shard():
-    healthy = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
-    failing = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    healthy = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
+    failing = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     drive(healthy, 300, seed=5)
     drive(failing, 300, seed=5)
 
@@ -81,7 +81,7 @@ def test_degraded_window_damage_is_bounded_to_one_shard():
 
 
 def test_restore_shard_type_mismatch_rejected():
-    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     from repro.core import GBFDetector
 
     wrong = save_detector(GBFDetector(64, 8, 1024, 4, seed=3))
@@ -90,7 +90,7 @@ def test_restore_shard_type_mismatch_rejected():
 
 
 def test_shard_index_validated():
-    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     with pytest.raises(ConfigurationError):
         detector.fail_shard(4)
     with pytest.raises(ConfigurationError):
@@ -98,7 +98,7 @@ def test_shard_index_validated():
 
 
 def test_time_sharded_failover():
-    detector = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
+    detector = TimeShardedDetector._of_tbf(30.0, 8, 4, 8192, seed=1)
     rng = random.Random(2)
     timestamp = 0.0
     for _ in range(300):
@@ -118,7 +118,7 @@ def test_time_sharded_failover():
 
 
 def test_whole_sharded_detector_checkpoint_preserves_degradation():
-    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     drive(detector, 300, seed=5)
     detector.fail_shard(3, FailoverPolicy.FAIL_OPEN)
     drive(detector, 50, seed=6)
@@ -145,7 +145,7 @@ def test_custom_router_refused_for_whole_detector_checkpoint():
 def test_supervised_pipeline_surfaces_degraded_window(tmp_path):
     from tests.test_resilience import make_billing, make_stream
 
-    detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     detector.fail_shard(1, FailoverPolicy.FAIL_CLOSED)
     pipeline = DetectionPipeline(detector, billing=make_billing())
     supervisor = SupervisedPipeline(pipeline, tmp_path, checkpoint_every=50)
@@ -175,8 +175,8 @@ def _stream_arrays(count, seed, universe=80):
 def test_batch_failover_matches_scalar_path():
     import numpy as np
 
-    scalar = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
-    batched = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    scalar = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
+    batched = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     warmup = _stream_arrays(300, seed=5)
     assert [scalar.process(int(x)) for x in warmup] == list(
         batched.process_batch(warmup)
@@ -204,8 +204,8 @@ def test_batch_failover_matches_scalar_path():
 def test_batch_failover_kill_between_chunks_and_restore():
     import numpy as np
 
-    scalar = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
-    batched = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+    scalar = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
+    batched = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
     chunks = [_stream_arrays(150, seed=s) for s in range(8)]
     blob = None
     for index, chunk in enumerate(chunks):
@@ -228,8 +228,8 @@ def test_batch_failover_kill_between_chunks_and_restore():
 def test_time_sharded_batch_failover_matches_scalar_path():
     import numpy as np
 
-    scalar = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
-    batched = TimeShardedDetector.of_tbf(30.0, 8, 4, 8192, seed=1)
+    scalar = TimeShardedDetector._of_tbf(30.0, 8, 4, 8192, seed=1)
+    batched = TimeShardedDetector._of_tbf(30.0, 8, 4, 8192, seed=1)
     rng = random.Random(9)
     timestamp, ids, stamps = 0.0, [], []
     for _ in range(500):

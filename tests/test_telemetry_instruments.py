@@ -114,7 +114,7 @@ class TestTheoreticalBounds:
         ) is None
 
     def test_sharded_bound_is_worst_shard(self):
-        detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+        detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
         shard_bounds = [theoretical_fp_bound(shard) for shard in detector.shards]
         assert theoretical_fp_bound(detector) == max(shard_bounds)
 
@@ -217,7 +217,7 @@ class TestDetectorInstrument:
 
 class TestShardedTelemetry:
     def test_snapshot_reports_per_shard_health(self):
-        detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+        detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
         drive(detector, list(range(40)) * 2)
         detector.fail_shard(2, FailoverPolicy.FAIL_OPEN)
         snapshot = detector.telemetry_snapshot()
@@ -230,7 +230,7 @@ class TestShardedTelemetry:
         assert snapshot["gauges"]["estimated_fp_rate"] == detector.estimated_fp_rate()
 
     def test_failover_transitions_counted(self):
-        detector = ShardedDetector.of_tbf(64, 4, 4096, seed=1)
+        detector = ShardedDetector._of_tbf(64, 4, 4096, seed=1)
         registry = MetricsRegistry()
         DetectorInstrument(detector, registry)  # attaches failover counters
         blob = detector.checkpoint_shard(1)
